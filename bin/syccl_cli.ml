@@ -1,0 +1,293 @@
+(* SyCCL command-line interface: inspect topologies, synthesize schedules,
+   sweep sizes.  See `syccl_cli --help`. *)
+
+open Cmdliner
+module T = Syccl_topology
+module C = Syccl_collective.Collective
+module S = Syccl_sim
+
+let topo_of_name name =
+  match name with
+  | "a100-16" -> T.Builders.a100 ~servers:2
+  | "a100-32" -> T.Builders.a100 ~servers:4
+  | "h800-64" -> T.Builders.h800 ~servers:8
+  | "h800-512" -> T.Builders.h800 ~servers:64
+  | "fig3" -> T.Builders.fig3 ()
+  | "fig19" -> T.Builders.fig19 ()
+  | "fig20" -> T.Builders.fig20 ()
+  | s -> (
+      (* "multirail:<servers>x<gpus>" builds a generic H800-like cluster. *)
+      match String.split_on_char ':' s with
+      | [ "multirail"; dims ] -> (
+          match String.split_on_char 'x' dims with
+          | [ a; b ] ->
+              T.Builders.h800_scaled ~servers:(int_of_string a)
+                ~gpus_per_server:(int_of_string b)
+          | _ -> failwith "expected multirail:<servers>x<gpus>")
+      | _ ->
+          failwith
+            (Printf.sprintf
+               "unknown topology %s (try a100-16, a100-32, h800-64, h800-512, \
+                fig3, fig19, fig20, multirail:SxG)"
+               s))
+
+let coll_of_name name ~n ~size =
+  let kind =
+    match String.lowercase_ascii name with
+    | "allgather" | "ag" -> C.AllGather
+    | "alltoall" | "a2a" -> C.AllToAll
+    | "reducescatter" | "rs" -> C.ReduceScatter
+    | "allreduce" | "ar" -> C.AllReduce
+    | "broadcast" | "bcast" -> C.Broadcast
+    | "reduce" -> C.Reduce
+    | "scatter" -> C.Scatter
+    | "gather" -> C.Gather
+    | s -> failwith ("unknown collective " ^ s)
+  in
+  C.make kind ~n ~size
+
+let topo_arg =
+  Arg.(
+    value
+    & opt string "a100-16"
+    & info [ "t"; "topology" ] ~docv:"TOPO" ~doc:"Topology name.")
+
+let coll_arg =
+  Arg.(
+    value
+    & opt string "allgather"
+    & info [ "c"; "collective" ] ~docv:"COLL" ~doc:"Collective kind.")
+
+let size_arg =
+  Arg.(
+    value
+    & opt float 1048576.0
+    & info [ "s"; "size" ] ~docv:"BYTES" ~doc:"Data size in bytes.")
+
+let fast_arg =
+  Arg.(
+    value & flag
+    & info [ "fast" ] ~doc:"Skip the MILP refinement (fast solving only).")
+
+let topo_cmd =
+  let run name =
+    let topo = topo_of_name name in
+    Format.printf "%a@." T.Topology.pp topo;
+    Array.iteri
+      (fun d share -> Format.printf "  bandwidth share dim %d: %.3f@." d share)
+      (T.Topology.bandwidth_share topo)
+  in
+  Cmd.v (Cmd.info "topo" ~doc:"Show a topology's dimensions and groups.")
+    Term.(const run $ topo_arg)
+
+let synth_cmd =
+  let run tname cname size fast verbose =
+    let topo = topo_of_name tname in
+    let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
+    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
+    let o = Syccl.Synthesizer.synthesize ~config topo coll in
+    Format.printf "collective: %a on %s@." C.pp coll tname;
+    Format.printf "synthesis:  %.2fs (search %.2fs, combine %.2fs, solve1 %.2fs, solve2 %.2fs)@."
+      o.synth_time o.breakdown.search_s o.breakdown.combine_s
+      o.breakdown.solve1_s o.breakdown.solve2_s;
+    Format.printf "sketches:   %d explored, %d combinations, winner: %s@."
+      o.num_sketches o.num_combos o.chosen;
+    Format.printf "predicted:  %.1f us, busbw %.1f GBps@." (o.time *. 1e6) o.busbw;
+    List.iter
+      (fun s ->
+        match S.Validate.covers topo coll s with
+        | Ok () -> ()
+        | Error e -> Format.printf "WARNING: schedule invalid: %s@." e)
+      o.schedules;
+    if verbose then
+      List.iter (fun s -> Format.printf "%a@." S.Schedule.pp s) o.schedules
+  in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump the schedule.")
+  in
+  Cmd.v (Cmd.info "synth" ~doc:"Synthesize a schedule and report its performance.")
+    Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ verbose)
+
+let explain_cmd =
+  let run tname cname size fast =
+    let topo = topo_of_name tname in
+    let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
+    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
+    let o = Syccl.Synthesizer.synthesize ~config topo coll in
+    print_string (Syccl.Explain.outcome topo o);
+    (* Re-derive the winner's first sketch for the readable report. *)
+    let kind =
+      match coll.C.kind with
+      | C.AllToAll | C.Scatter | C.Gather -> `Scatter
+      | _ -> `Broadcast
+    in
+    match Syccl.Search.run topo ~kind ~root:0 with
+    | s :: _ ->
+        print_newline ();
+        print_string (Syccl.Explain.sketch topo s)
+    | [] -> ()
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Synthesize and print a human-readable sketch/combination report.")
+    Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg)
+
+let save_cmd =
+  let run tname cname size fast path =
+    let topo = topo_of_name tname in
+    let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
+    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
+    let o = Syccl.Synthesizer.synthesize ~config topo coll in
+    List.iteri
+      (fun i s ->
+        let path =
+          if List.length o.schedules = 1 then path
+          else Printf.sprintf "%s.phase%d" path i
+        in
+        let oc = open_out path in
+        output_string oc
+          (Syccl_util.Json.to_string ~pretty:true (S.Schedule.to_json s));
+        close_out oc;
+        Format.printf "wrote %s@." path)
+      o.schedules
+  in
+  let path =
+    Arg.(required & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Destination JSON path.")
+  in
+  Cmd.v
+    (Cmd.info "save" ~doc:"Synthesize and persist the schedule as JSON.")
+    Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ path)
+
+let replay_cmd =
+  let run tname path =
+    let topo = topo_of_name tname in
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    let s = S.Schedule.of_json (Syccl_util.Json.of_string text) in
+    let report = S.Sim.run topo s in
+    Format.printf "replayed %s: %d transfers, completion %.1f us@." path
+      (S.Schedule.num_xfers s)
+      (report.S.Sim.time *. 1e6);
+    Format.printf "%a@." S.Analysis.pp (S.Analysis.analyze topo s)
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Simulate a previously saved JSON schedule.")
+    Term.(const run $ topo_arg $ path)
+
+let analyze_cmd =
+  let run tname cname size fast timeline =
+    let topo = topo_of_name tname in
+    let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
+    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
+    let o = Syccl.Synthesizer.synthesize ~config topo coll in
+    List.iteri
+      (fun i s ->
+        Format.printf "--- phase %d ---@.%a@." i S.Analysis.pp
+          (S.Analysis.analyze topo s);
+        if timeline then print_string (S.Analysis.timeline topo s))
+      o.schedules
+  in
+  let timeline =
+    Arg.(value & flag & info [ "timeline" ] ~doc:"Print a text Gantt chart.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Synthesize, then report traffic per dimension and port utilization.")
+    Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ timeline)
+
+let profile_cmd =
+  let run tname noise =
+    let topo = topo_of_name tname in
+    let rng = Syccl_util.Xrand.create 7 in
+    let probe =
+      T.Profiler.simulator_probe
+        ?noise:(if noise > 0.0 then Some (rng, noise) else None)
+        topo
+    in
+    List.iter
+      (fun (d, (f : T.Profiler.fit)) ->
+        Format.printf "dim %d: alpha %.2f us, bandwidth %.1f GBps (residual %.2f us)@."
+          d (f.alpha *. 1e6)
+          (1.0 /. f.beta /. 1e9)
+          (f.residual *. 1e6))
+      (T.Profiler.profile ~probe topo)
+  in
+  let noise =
+    Arg.(value & opt float 0.0
+         & info [ "noise" ] ~docv:"FRAC" ~doc:"Relative measurement noise.")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Fit per-dimension alpha-beta link parameters from probe sweeps.")
+    Term.(const run $ topo_arg $ noise)
+
+let export_cmd =
+  let run tname cname size fast output =
+    let topo = topo_of_name tname in
+    let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
+    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
+    let o = Syccl.Synthesizer.synthesize ~config topo coll in
+    List.iteri
+      (fun i s ->
+        let xml = S.Msccl.to_xml ~name:(Printf.sprintf "syccl-%s-%d" cname i) ~coll s in
+        match output with
+        | None -> print_string xml
+        | Some path ->
+            let path =
+              if List.length o.schedules = 1 then path
+              else Printf.sprintf "%s.phase%d" path i
+            in
+            let oc = open_out path in
+            output_string oc xml;
+            close_out oc;
+            Format.printf "wrote %s (%d transfers)@." path (S.Schedule.num_xfers s))
+      o.schedules
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write XML here instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Synthesize and emit MSCCL-executor XML (one file per phase).")
+    Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ output)
+
+let sweep_cmd =
+  let run tname cname fast =
+    let topo = topo_of_name tname in
+    let n = T.Topology.num_gpus topo in
+    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
+    Format.printf "%10s %12s %12s %12s@." "size" "SyCCL" "NCCL" "TECCL";
+    List.iter
+      (fun size ->
+        let coll = coll_of_name cname ~n ~size in
+        let o = Syccl.Synthesizer.synthesize ~config topo coll in
+        let nccl = Syccl_baselines.Nccl.busbw topo coll in
+        let teccl =
+          match
+            Syccl_teccl.Teccl.busbw topo coll
+              (Syccl_teccl.Teccl.synthesize ~time_budget:60.0 topo coll)
+          with
+          | Some b -> Printf.sprintf "%.1f" b
+          | None -> "timeout"
+        in
+        Format.printf "%10.0f %12.1f %12.1f %12s@." size o.busbw nccl teccl)
+      [ 1e3; 65536.0; 1048576.0; 1.6777e7; 2.68435e8; 1.073741824e9 ]
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Bus bandwidth vs data size, SyCCL vs baselines.")
+    Term.(const run $ topo_arg $ coll_arg $ fast_arg)
+
+let () =
+  let doc = "SyCCL: symmetry-guided collective communication schedule synthesis" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "syccl_cli" ~doc)
+          [
+            topo_cmd; synth_cmd; sweep_cmd; export_cmd; analyze_cmd;
+            profile_cmd; save_cmd; replay_cmd; explain_cmd;
+          ]))

@@ -1,0 +1,38 @@
+(* Failure adaptation (§8): when a rail degrades (e.g. a flapping link
+   capped at 40% speed), a fixed schedule keeps pushing the planned traffic
+   through it, while re-running SyCCL rebalances the chunk split toward
+   NVLink.
+
+   Run with: dune exec examples/degraded_rail.exe *)
+
+module Topology = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module Link = Syccl_topology.Link
+module Collective = Syccl_collective.Collective
+module Sim = Syccl_sim.Sim
+
+let () =
+  let healthy = Builders.h800 ~servers:4 in
+  let degraded =
+    Topology.with_link healthy ~dim:1 (Link.make ~alpha:5.0e-6 ~gbps:20.0)
+  in
+  let coll = Collective.make Collective.AllGather ~n:32 ~size:2.68435456e8 in
+  let config = { Syccl.Synthesizer.default_config with fast_only = true } in
+
+  let before = Syccl.Synthesizer.synthesize ~config healthy coll in
+  Format.printf "healthy cluster:   %.1f GBps (%s)@." before.busbw before.chosen;
+
+  (* The old schedule executed on the degraded cluster. *)
+  let stale =
+    List.fold_left (fun acc s -> acc +. Sim.time degraded s) 0.0 before.schedules
+  in
+  Format.printf "stale schedule on degraded rails: %.1f GBps@."
+    (Collective.busbw coll ~time:stale);
+
+  (* Re-synthesizing adapts the NVLink:rail split to the new 9:1 ratio. *)
+  let after = Syccl.Synthesizer.synthesize ~config degraded coll in
+  Format.printf "re-synthesized:    %.1f GBps (%s)@." after.busbw after.chosen;
+  Format.printf "recovered %.0f%% of the loss@."
+    (100.0
+    *. (after.busbw -. Collective.busbw coll ~time:stale)
+    /. Float.max 1e-9 (before.busbw -. Collective.busbw coll ~time:stale))

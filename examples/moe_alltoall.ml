@@ -1,0 +1,28 @@
+(* AlltoAll for Mixture-of-Experts token routing: every GPU exchanges expert
+   activations with every other GPU.  On a rail-optimized cluster, direct
+   cross-rail sends have to climb to the spine; SyCCL discovers PXN-style
+   scatter trees that relay over NVLink onto the destination's rail (§4.3,
+   Fig. 15c context).
+
+   Run with: dune exec examples/moe_alltoall.exe *)
+
+module Collective = Syccl_collective.Collective
+module Builders = Syccl_topology.Builders
+
+let () =
+  let topo = Builders.h800 ~servers:4 in
+  let config = { Syccl.Synthesizer.default_config with fast_only = true } in
+  Format.printf "AlltoAll on 32 H800 GPUs (MoE token exchange)@.";
+  Format.printf "%12s %12s %12s %12s@." "size (B)" "direct" "NCCL PXN" "SyCCL";
+  List.iter
+    (fun size ->
+      let coll = Collective.make Collective.AllToAll ~n:32 ~size in
+      let direct =
+        Collective.busbw coll
+          ~time:
+            (Syccl_sim.Sim.time topo (Syccl_baselines.Direct.alltoall topo coll))
+      in
+      let pxn = Syccl_baselines.Nccl.busbw topo coll in
+      let o = Syccl.Synthesizer.synthesize ~config topo coll in
+      Format.printf "%12.0f %12.2f %12.2f %12.2f@." size direct pxn o.busbw)
+    [ 65536.0; 1048576.0; 16777216.0; 268435456.0 ]

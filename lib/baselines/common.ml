@@ -1,0 +1,59 @@
+module Topology = Syccl_topology.Topology
+
+let connecting_dim topo u v =
+  let best = ref None in
+  for d = 0 to Topology.num_dims topo - 1 do
+    if Topology.group_of topo ~dim:d u = Topology.group_of topo ~dim:d v then begin
+      let size = Array.length (Topology.gpus_in_group topo ~dim:d ~group:(Topology.group_of topo ~dim:d u)) in
+      match !best with
+      | Some (_, s) when s <= size -> ()
+      | _ -> best := Some (d, size)
+    end
+  done;
+  match !best with Some (d, _) -> d | None -> raise Not_found
+
+let server_dim topo =
+  (* The intra-server dimension is the one with the fastest links (NVLink),
+     as long as it does not already span the whole cluster. *)
+  let best = ref None in
+  for d = 0 to Topology.num_dims topo - 1 do
+    let size = Array.length (Topology.gpus_in_group topo ~dim:d ~group:0) in
+    let covers_all = size = Topology.num_gpus topo in
+    let beta = (Topology.dim topo d).Topology.link.Syccl_topology.Link.beta in
+    if size >= 2 && not covers_all then
+      match !best with
+      | Some (_, b) when b <= beta -> ()
+      | _ -> best := Some (d, beta)
+  done;
+  Option.map fst !best
+
+let server_groups topo d =
+  Array.init (Topology.groups_count topo ~dim:d) (fun g ->
+      Topology.gpus_in_group topo ~dim:d ~group:g)
+
+let rail_structure topo =
+  match server_dim topo with
+  | None -> None
+  | Some sd ->
+      let n = Topology.num_gpus topo in
+      let rec find_rail d =
+        if d >= Topology.num_dims topo then None
+        else if d = sd then find_rail (d + 1)
+        else begin
+          (* Every (server group, rail group) pair must meet in exactly one
+             GPU, and rail groups must not swallow whole servers. *)
+          let ok = ref (Topology.groups_count topo ~dim:d > 1) in
+          for g = 0 to Topology.groups_count topo ~dim:d - 1 do
+            let members = Topology.gpus_in_group topo ~dim:d ~group:g in
+            let seen = Hashtbl.create 8 in
+            Array.iter
+              (fun v ->
+                let s = Topology.group_of topo ~dim:sd v in
+                if Hashtbl.mem seen s then ok := false else Hashtbl.replace seen s ())
+              members
+          done;
+          ignore n;
+          if !ok then Some (sd, d) else find_rail (d + 1)
+        end
+      in
+      find_rail 0

@@ -1,0 +1,18 @@
+(** Shared helpers for baseline schedule generators. *)
+
+val connecting_dim : Syccl_topology.Topology.t -> int -> int -> int
+(** The most local dimension (smallest group) in which two GPUs are peers.
+    Raises [Not_found] if the GPUs are not connected in any dimension. *)
+
+val server_dim : Syccl_topology.Topology.t -> int option
+(** The dimension with the smallest groups of size ≥ 2 — the intra-server
+    dimension on clustered topologies, [None] on flat ones with a single
+    all-GPU dimension. *)
+
+val rail_structure : Syccl_topology.Topology.t -> (int * int) option
+(** [(server_dim, rail_dim)] when the topology is rail-optimized: every rail
+    group intersects every server group in exactly one GPU (Fig. 13b).
+    [None] otherwise (e.g. Clos, Fig. 13a). *)
+
+val server_groups : Syccl_topology.Topology.t -> int -> int array array
+(** Groups of a dimension, exposed as arrays of member GPUs. *)

@@ -1,0 +1,34 @@
+module Sim = Syccl_sim.Sim
+
+let allgather_candidates topo coll =
+  let base =
+    [
+      ("multi-ring", Ring.allgather topo coll);
+      ("direct", Direct.allgather topo coll);
+    ]
+  in
+  if Common.server_dim topo = None then base
+  else
+    base
+    @ [
+        ("hierarchical", Hierarchical.allgather_rail_first topo coll);
+        ("hierarchical-nv-first", Hierarchical.allgather_nv_first topo coll);
+      ]
+
+let best_allgather ?(improved = false) ?blocks topo coll =
+  let candidates =
+    allgather_candidates topo coll
+    @
+    if improved && Common.server_dim topo <> None then
+      [ ("improved-hierarchical", Hierarchical.allgather_improved topo coll) ]
+    else []
+  in
+  match candidates with
+  | [] -> invalid_arg "Crafted.best_allgather: no candidates"
+  | (n0, s0) :: rest ->
+      List.fold_left
+        (fun (bn, bs, bt) (name, s) ->
+          let t = Sim.time ?blocks topo s in
+          if t < bt then (name, s, t) else (bn, bs, bt))
+        (n0, s0, Sim.time ?blocks topo s0)
+        rest

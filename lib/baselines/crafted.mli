@@ -1,0 +1,18 @@
+(** Expert hand-crafted schedules (Appendix C): for every collective size
+    the best of multi-ring, direct, and fused hierarchical; the "improved"
+    set adds the Fig. 22 two-holder hierarchical variant. *)
+
+val allgather_candidates :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  (string * Syccl_sim.Schedule.t) list
+(** Named candidates applicable to the topology. *)
+
+val best_allgather :
+  ?improved:bool ->
+  ?blocks:int ->
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  string * Syccl_sim.Schedule.t * float
+(** The fastest candidate (name, schedule, simulated time).  [improved]
+    includes the Fig. 22 variant (default false, matching Fig. 21). *)

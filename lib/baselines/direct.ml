@@ -1,0 +1,69 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+
+(* Spread each source's sends across destinations in rotated order so all
+   ingress ports fill evenly from the first instant. *)
+let from_chunks topo metas =
+  let xfers = ref [] in
+  Array.iteri
+    (fun c (m : Schedule.chunk_meta) ->
+      match m.initial with
+      | [ src ] ->
+          List.iteri
+            (fun i dst ->
+              xfers :=
+                {
+                  Schedule.chunk = c;
+                  src;
+                  dst;
+                  dim = Common.connecting_dim topo src dst;
+                  prio = i;
+                }
+                :: !xfers)
+            (List.filter (fun d -> d <> src) m.wanted)
+      | _ -> invalid_arg "Direct.from_chunks: single source required")
+    metas;
+  { Schedule.chunks = metas; xfers = List.rev !xfers }
+
+let rotated src dsts =
+  (* Rotate the destination list so GPU [src] starts with its successor. *)
+  let arr = Array.of_list dsts in
+  let n = Array.length arr in
+  List.init n (fun i -> arr.((i + src) mod n))
+
+let gather_metas coll =
+  Array.of_list
+    (List.map
+       (fun ch ->
+         match ch with
+         | Collective.Gather_chunk { id; size; src; dsts } ->
+             {
+               Schedule.size;
+               mode = `Gather;
+               initial = [ src ];
+               wanted = rotated src dsts;
+               tag = id;
+             }
+         | Collective.Reduce_chunk _ ->
+             invalid_arg "Direct: reduce collective must be mirrored")
+       (Collective.chunks coll))
+
+let allgather topo coll =
+  assert (coll.Collective.kind = Collective.AllGather);
+  from_chunks topo (gather_metas coll)
+
+let alltoall topo coll =
+  assert (coll.Collective.kind = Collective.AllToAll);
+  from_chunks topo (gather_metas coll)
+
+let broadcast topo coll =
+  assert (coll.Collective.kind = Collective.Broadcast);
+  from_chunks topo (gather_metas coll)
+
+let reducescatter topo coll =
+  assert (coll.Collective.kind = Collective.ReduceScatter);
+  let forward =
+    Collective.make Collective.AllGather ~n:coll.Collective.n ~size:coll.Collective.size
+  in
+  Schedule.reverse (allgather topo forward)

@@ -1,0 +1,34 @@
+(** One-hop direct schedules: every chunk is sent straight from its source
+    to each destination over the most local connecting dimension.  Minimal
+    latency, maximal source-port serialization — the small-size schedule of
+    Appendix C. *)
+
+val allgather :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+
+val alltoall :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+
+val broadcast :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+
+val reducescatter :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+
+val gather_metas : Syccl_collective.Collective.t -> Syccl_sim.Schedule.chunk_meta array
+(** The collective's gather chunks as schedule metadata (destinations rotated
+    per source for even port fill).  Raises on reduce-family collectives. *)
+
+val from_chunks :
+  Syccl_topology.Topology.t ->
+  Syccl_sim.Schedule.chunk_meta array ->
+  Syccl_sim.Schedule.t
+(** One-hop sends for arbitrary single-source gather chunks. *)

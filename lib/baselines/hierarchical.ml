@@ -1,0 +1,157 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+
+let require_server_dim topo =
+  match Common.server_dim topo with
+  | Some sd -> sd
+  | None -> invalid_arg "Hierarchical: topology has no server dimension"
+
+let allgather_metas coll =
+  let n = coll.Collective.n in
+  let s = Collective.chunk_size coll in
+  Array.init n (fun src ->
+      {
+        Schedule.size = s;
+        mode = `Gather;
+        initial = [ src ];
+        wanted = List.filter (fun v -> v <> src) (List.init n (fun i -> i));
+        tag = src;
+      })
+
+(* Position of a GPU inside its server group and the member at a position. *)
+let in_server topo sd v =
+  let g = Topology.group_of topo ~dim:sd v in
+  let members = Topology.gpus_in_group topo ~dim:sd ~group:g in
+  let pos = ref 0 in
+  Array.iteri (fun i u -> if u = v then pos := i) members;
+  (g, !pos, members)
+
+let same_index_peers topo sd v =
+  (* The GPU with the same intra-server position in every other server. *)
+  let _, pos, _ = in_server topo sd v in
+  let res = ref [] in
+  for g = Topology.groups_count topo ~dim:sd - 1 downto 0 do
+    let members = Topology.gpus_in_group topo ~dim:sd ~group:g in
+    if members.(pos) <> v then res := members.(pos) :: !res
+  done;
+  !res
+
+let allgather_rail_first topo coll =
+  assert (coll.Collective.kind = Collective.AllGather);
+  let sd = require_server_dim topo in
+  let metas = allgather_metas coll in
+  let xfers = ref [] in
+  Array.iteri
+    (fun src _ ->
+      let peers = same_index_peers topo sd src in
+      List.iteri
+        (fun i p ->
+          xfers :=
+            { Schedule.chunk = src; src; dst = p; dim = Common.connecting_dim topo src p; prio = i }
+            :: !xfers)
+        peers;
+      (* Spread inside every server from the same-index holder. *)
+      List.iter
+        (fun holder ->
+          let _, _, members = in_server topo sd holder in
+          Array.iteri
+            (fun i v ->
+              if v <> holder then
+                xfers :=
+                  {
+                    Schedule.chunk = src;
+                    src = holder;
+                    dst = v;
+                    dim = sd;
+                    prio = 100 + i;
+                  }
+                  :: !xfers)
+            members)
+        (src :: peers))
+    metas;
+  { Schedule.chunks = metas; xfers = List.rev !xfers }
+
+let allgather_nv_first topo coll =
+  assert (coll.Collective.kind = Collective.AllGather);
+  let sd = require_server_dim topo in
+  let metas = allgather_metas coll in
+  let xfers = ref [] in
+  Array.iteri
+    (fun src _ ->
+      let _, _, members = in_server topo sd src in
+      (* Intra-server spread from the source. *)
+      Array.iteri
+        (fun i v ->
+          if v <> src then
+            xfers :=
+              { Schedule.chunk = src; src; dst = v; dim = sd; prio = i } :: !xfers)
+        members;
+      (* Every server member then forwards along its own network path. *)
+      Array.iter
+        (fun relay ->
+          List.iteri
+            (fun i p ->
+              xfers :=
+                {
+                  Schedule.chunk = src;
+                  src = relay;
+                  dst = p;
+                  dim = Common.connecting_dim topo relay p;
+                  prio = 100 + i;
+                }
+                :: !xfers)
+            (same_index_peers topo sd relay))
+        members)
+    metas;
+  { Schedule.chunks = metas; xfers = List.rev !xfers }
+
+let allgather_improved topo coll =
+  assert (coll.Collective.kind = Collective.AllGather);
+  let sd = require_server_dim topo in
+  let g = Array.length (Topology.gpus_in_group topo ~dim:sd ~group:0) in
+  if g < 2 then invalid_arg "Hierarchical.allgather_improved: needs >= 2 GPUs per server";
+  let metas = allgather_metas coll in
+  let xfers = ref [] in
+  Array.iteri
+    (fun src _ ->
+      let _, pos, members = in_server topo sd src in
+      let partner = members.((pos + (g / 2)) mod g) in
+      (* Stage 0: copy to the partner inside the source server. *)
+      xfers :=
+        { Schedule.chunk = src; src; dst = partner; dim = sd; prio = 0 } :: !xfers;
+      (* Stage 1: both holders fan out along their same-index paths. *)
+      let holders = [ src; partner ] in
+      List.iter
+        (fun h ->
+          List.iteri
+            (fun i p ->
+              xfers :=
+                {
+                  Schedule.chunk = src;
+                  src = h;
+                  dst = p;
+                  dim = Common.connecting_dim topo h p;
+                  prio = 10 + i;
+                }
+                :: !xfers)
+            (same_index_peers topo sd h))
+        holders;
+      (* Stage 2: in every server the two holders cover the rest, splitting
+         the remaining positions between them. *)
+      for srv = 0 to Topology.groups_count topo ~dim:sd - 1 do
+        let m = Topology.gpus_in_group topo ~dim:sd ~group:srv in
+        let h1 = m.(pos) and h2 = m.((pos + (g / 2)) mod g) in
+        let rest =
+          List.filter (fun v -> v <> h1 && v <> h2) (Array.to_list m)
+        in
+        List.iteri
+          (fun i v ->
+            let holder = if i mod 2 = 0 then h1 else h2 in
+            xfers :=
+              { Schedule.chunk = src; src = holder; dst = v; dim = sd; prio = 100 + i }
+              :: !xfers)
+          rest
+      done)
+    metas;
+  { Schedule.chunks = metas; xfers = List.rev !xfers }

@@ -1,0 +1,30 @@
+(** Hand-crafted hierarchical AllGather schedules (Appendix C).
+
+    All three require a clustered topology (a server dimension); the
+    rail-first and improved variants additionally want a same-index network
+    path between servers, which [Common.connecting_dim] provides on both
+    multi-rail and Clos clusters. *)
+
+val allgather_rail_first :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+(** Each chunk first goes to the same-index GPU of every other server over
+    the network, then spreads inside each server over NVLink — the
+    conventional hierarchical schedule, fused into one kernel. *)
+
+val allgather_nv_first :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+(** Intra-server AllGather first, then every GPU forwards the whole server's
+    data along its own network path — simple but network-redundant. *)
+
+val allgather_improved :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+(** The Fig. 22 schedule: the chunk is first copied to one partner GPU in
+    the source server; both holders fan it out along their rails; the two
+    holders in every server then cover the remaining six GPUs with three
+    NVLink sends each. *)

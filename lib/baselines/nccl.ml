@@ -1,0 +1,76 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+module Sim = Syccl_sim.Sim
+
+let phase_time ?blocks topo phases =
+  List.fold_left (fun acc s -> acc +. Sim.time ?blocks topo s) 0.0 phases
+
+let best ?blocks topo candidates =
+  match candidates with
+  | [] -> invalid_arg "Nccl.best: no candidates"
+  | first :: rest ->
+      let score c = phase_time ?blocks topo c in
+      List.fold_left
+        (fun (bc, bt) c ->
+          let t = score c in
+          if t < bt then (c, t) else (bc, bt))
+        (first, score first) rest
+      |> fst
+
+let schedule topo coll =
+  match coll.Collective.kind with
+  | Collective.AllGather -> [ Ring.allgather topo coll ]
+  | Collective.ReduceScatter -> [ Ring.reducescatter topo coll ]
+  | Collective.AllToAll ->
+      if Common.rail_structure topo <> None then [ Pxn.alltoall topo coll ]
+      else [ Direct.alltoall topo coll ]
+  | Collective.Broadcast ->
+      best topo [ [ Tree.broadcast topo coll ]; [ Direct.broadcast topo coll ] ]
+  | Collective.Reduce -> [ Tree.reduce topo coll ]
+  | Collective.AllReduce ->
+      let n = coll.Collective.n and size = coll.Collective.size in
+      let rs = Collective.make Collective.ReduceScatter ~n ~size in
+      let ag = Collective.make Collective.AllGather ~n ~size in
+      best topo
+        [
+          [ Ring.reducescatter topo rs; Ring.allgather topo ag ];
+          Tree.allreduce_phases topo coll;
+        ]
+  | Collective.SendRecv ->
+      let src = coll.Collective.root and dst = coll.Collective.peer in
+      [
+        {
+          Schedule.chunks =
+            [|
+              {
+                Schedule.size = coll.Collective.size;
+                mode = `Gather;
+                initial = [ src ];
+                wanted = [ dst ];
+                tag = 0;
+              };
+            |];
+          xfers =
+            [
+              {
+                Schedule.chunk = 0;
+                src;
+                dst;
+                dim = Common.connecting_dim topo src dst;
+                prio = 0;
+              };
+            ];
+        };
+      ]
+  | Collective.Scatter -> [ Direct.from_chunks topo (Direct.gather_metas coll) ]
+  | Collective.Gather ->
+      let forward =
+        Collective.make ~root:coll.Collective.root Collective.Scatter
+          ~n:coll.Collective.n ~size:coll.Collective.size
+      in
+      [ Schedule.reverse (Direct.from_chunks topo (Direct.gather_metas forward)) ]
+
+let time ?blocks topo coll = phase_time ?blocks topo (schedule topo coll)
+
+let busbw ?blocks topo coll = Collective.busbw coll ~time:(time ?blocks topo coll)

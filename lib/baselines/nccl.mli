@@ -1,0 +1,27 @@
+(** The NCCL baseline: fixed schedules with NCCL's algorithm selection
+    (rings for the AllGather family, PXN or direct AlltoAll, ring-vs-tree
+    tuning for AllReduce and Broadcast).
+
+    The paper compares against "NCCL with its default configuration (NCCL
+    automatically determines schedules and parameters)" (§7.5); we model the
+    tuner by simulating the candidate schedules and keeping the fastest. *)
+
+val schedule :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t list
+(** One schedule per phase of the collective. *)
+
+val time :
+  ?blocks:int ->
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  float
+(** Simulated completion time of {!schedule}. *)
+
+val busbw :
+  ?blocks:int ->
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  float
+(** Simulated bus bandwidth of {!schedule}. *)

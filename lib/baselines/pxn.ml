@@ -1,0 +1,51 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+
+let alltoall topo coll =
+  assert (coll.Collective.kind = Collective.AllToAll);
+  match Common.rail_structure topo with
+  | None -> invalid_arg "Pxn.alltoall: topology is not rail-optimized"
+  | Some (sd, rd) ->
+      let metas =
+        Array.of_list
+          (List.map
+             (fun ch ->
+               match ch with
+               | Collective.Gather_chunk { id; size; src; dsts } ->
+                   { Schedule.size; mode = `Gather; initial = [ src ]; wanted = dsts; tag = id }
+               | Collective.Reduce_chunk _ -> assert false)
+             (Collective.chunks coll))
+      in
+      let xfers = ref [] in
+      Array.iteri
+        (fun c (m : Schedule.chunk_meta) ->
+          let src = List.hd m.initial in
+          let dst = List.hd m.wanted in
+          let same_server =
+            Topology.group_of topo ~dim:sd src = Topology.group_of topo ~dim:sd dst
+          in
+          let same_rail =
+            Topology.group_of topo ~dim:rd src = Topology.group_of topo ~dim:rd dst
+          in
+          if same_server then
+            xfers := { Schedule.chunk = c; src; dst; dim = sd; prio = 0 } :: !xfers
+          else if same_rail then
+            xfers := { Schedule.chunk = c; src; dst; dim = rd; prio = 0 } :: !xfers
+          else begin
+            (* Relay through the source-server GPU on the destination rail. *)
+            let server = Topology.gpus_in_group topo ~dim:sd
+                ~group:(Topology.group_of topo ~dim:sd src)
+            in
+            let dst_rail = Topology.group_of topo ~dim:rd dst in
+            let relay =
+              Array.to_list server
+              |> List.find (fun v -> Topology.group_of topo ~dim:rd v = dst_rail)
+            in
+            xfers :=
+              { Schedule.chunk = c; src; dst = relay; dim = sd; prio = 0 }
+              :: { Schedule.chunk = c; src = relay; dst; dim = rd; prio = 1 }
+              :: !xfers
+          end)
+        metas;
+      { Schedule.chunks = metas; xfers = List.rev !xfers }

@@ -1,0 +1,11 @@
+(** NCCL's PXN (PCI × NVLink) AlltoAll for rail-optimized topologies: a
+    chunk bound for a different server and a different rail hops over NVLink
+    to the GPU on the destination's rail first, then crosses the network
+    on that rail — avoiding the spine entirely. *)
+
+val alltoall :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+(** Raises [Invalid_argument] if the topology has no rail structure; use
+    {!Direct.alltoall} there. *)

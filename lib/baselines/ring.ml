@@ -1,0 +1,71 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+
+let ring_order topo ~channel =
+  match Common.server_dim topo with
+  | None ->
+      let n = Topology.num_gpus topo in
+      Array.init n (fun i -> (i + channel) mod n)
+  | Some sd ->
+      let groups = Common.server_groups topo sd in
+      let order = ref [] in
+      for gi = Array.length groups - 1 downto 0 do
+        let members = groups.(gi) in
+        let g = Array.length members in
+        for i = g - 1 downto 0 do
+          order := members.((i + channel) mod g) :: !order
+        done
+      done;
+      Array.of_list !order
+
+let default_channels topo =
+  match Common.server_dim topo with
+  | None -> 2
+  | Some sd -> Array.length (Topology.gpus_in_group topo ~dim:sd ~group:0)
+
+let allgather ?channels topo coll =
+  assert (coll.Collective.kind = Collective.AllGather);
+  let n = coll.Collective.n in
+  assert (n = Topology.num_gpus topo);
+  let channels = match channels with Some c -> c | None -> default_channels topo in
+  let s = Collective.chunk_size coll /. float_of_int channels in
+  let per_channel ch =
+    let order = ring_order topo ~channel:ch in
+    let pos = Array.make n 0 in
+    Array.iteri (fun i v -> pos.(v) <- i) order;
+    (* Chunk originating at GPU [src] walks the ring for n-1 hops. *)
+    let chunks =
+      Array.init n (fun src ->
+          {
+            Schedule.size = s;
+            mode = `Gather;
+            initial = [ src ];
+            wanted = List.filter (fun v -> v <> src) (List.init n (fun i -> i));
+            tag = src;
+          })
+    in
+    let xfers = ref [] in
+    for src = 0 to n - 1 do
+      for hop = 0 to n - 2 do
+        let u = order.((pos.(src) + hop) mod n) in
+        let v = order.((pos.(src) + hop + 1) mod n) in
+        xfers :=
+          {
+            Schedule.chunk = src;
+            src = u;
+            dst = v;
+            dim = Common.connecting_dim topo u v;
+            prio = hop;
+          }
+          :: !xfers
+      done
+    done;
+    { Schedule.chunks; xfers = List.rev !xfers }
+  in
+  Schedule.union (List.init channels per_channel)
+
+let reducescatter ?channels topo coll =
+  assert (coll.Collective.kind = Collective.ReduceScatter);
+  let forward = Collective.make Collective.AllGather ~n:coll.Collective.n ~size:coll.Collective.size in
+  Schedule.reverse (allgather ?channels topo forward)

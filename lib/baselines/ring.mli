@@ -1,0 +1,24 @@
+(** NCCL's fixed ring schedules (Fig. 2): GPUs within each server are chained
+    and the chains are linked into a complete ring.  Multiple channels build
+    rotated rings so every GPU's NIC carries boundary traffic, as NCCL does
+    with its parallel channels. *)
+
+val ring_order : Syccl_topology.Topology.t -> channel:int -> int array
+(** GPU visiting order of one ring: servers in index order, members rotated
+    by [channel] inside each server. *)
+
+val allgather :
+  ?channels:int ->
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+(** Ring AllGather: every chunk travels [n-1] hops around each ring, split
+    evenly over [channels] rings (default: GPUs per server, or 2 on flat
+    topologies). *)
+
+val reducescatter :
+  ?channels:int ->
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+(** The time-reversed ring (§4.1). *)

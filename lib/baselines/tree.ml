@@ -1,0 +1,75 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+
+(* Heap-shaped binary tree over ranks 0..n-1; rank 0 is always the root.
+   The second tree reverses the non-root ranks, so a leaf of one tree is
+   internal in the other (NCCL's complementary double tree). *)
+let tree_edges n ~mirror =
+  let rank i = if mirror && i > 0 then n - i else i in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    if l < n then edges := (rank i, rank l) :: !edges;
+    if r < n then edges := (rank i, rank r) :: !edges
+  done;
+  List.rev !edges
+
+let depth_of n ~mirror =
+  let d = Array.make n 0 in
+  (* Depth via heap index. *)
+  for i = 1 to n - 1 do
+    let idx = if mirror && i > 0 then n - i else i in
+    let rec depth j = if j = 0 then 0 else 1 + depth ((j - 1) / 2) in
+    d.(idx) <- depth i
+  done;
+  d
+
+let broadcast topo coll =
+  assert (coll.Collective.kind = Collective.Broadcast);
+  let n = coll.Collective.n in
+  let root = coll.Collective.root in
+  let relabel v = (v + root) mod n in
+  let half = Collective.chunk_size coll /. 2.0 in
+  let mk mirror chunk_id =
+    let depths = depth_of n ~mirror in
+    List.map
+      (fun (u, v) ->
+        let u = relabel u and v = relabel v in
+        {
+          Schedule.chunk = chunk_id;
+          src = u;
+          dst = v;
+          dim = Common.connecting_dim topo u v;
+          prio = depths.((v - root + n) mod n);
+        })
+      (tree_edges n ~mirror)
+  in
+  let chunk _ =
+    {
+      Schedule.size = half;
+      mode = `Gather;
+      initial = [ root ];
+      wanted = List.filter (fun v -> v <> root) (List.init n (fun i -> i));
+      tag = 0;
+    }
+  in
+  {
+    Schedule.chunks = [| chunk 0; chunk 1 |];
+    xfers = mk false 0 @ mk true 1;
+  }
+
+let reduce topo coll =
+  assert (coll.Collective.kind = Collective.Reduce);
+  let forward =
+    Collective.make ~root:coll.Collective.root Collective.Broadcast
+      ~n:coll.Collective.n ~size:coll.Collective.size
+  in
+  Schedule.reverse (broadcast topo forward)
+
+let allreduce_phases topo coll =
+  assert (coll.Collective.kind = Collective.AllReduce);
+  let n = coll.Collective.n and size = coll.Collective.size in
+  let red = Collective.make ~root:0 Collective.Reduce ~n ~size in
+  let bc = Collective.make ~root:0 Collective.Broadcast ~n ~size in
+  [ reduce topo red; broadcast topo bc ]

@@ -1,0 +1,21 @@
+(** NCCL's double binary tree schedules: two complementary binary trees each
+    carry half of the data, halving the latency-critical depth compared to a
+    ring for rooted collectives and AllReduce. *)
+
+val broadcast :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+(** Double-tree Broadcast from [coll.root]. *)
+
+val reduce :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+(** Time-reversed double-tree for Reduce. *)
+
+val allreduce_phases :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t list
+(** Reduce-to-root then broadcast, each over both trees. *)

@@ -1,0 +1,143 @@
+type kind =
+  | SendRecv
+  | Broadcast
+  | Scatter
+  | Gather
+  | Reduce
+  | AllGather
+  | AllToAll
+  | ReduceScatter
+  | AllReduce
+
+let kind_name = function
+  | SendRecv -> "SendRecv"
+  | Broadcast -> "Broadcast"
+  | Scatter -> "Scatter"
+  | Gather -> "Gather"
+  | Reduce -> "Reduce"
+  | AllGather -> "AllGather"
+  | AllToAll -> "AlltoAll"
+  | ReduceScatter -> "ReduceScatter"
+  | AllReduce -> "AllReduce"
+
+let is_reduce = function
+  | Reduce | ReduceScatter | AllReduce -> true
+  | SendRecv | Broadcast | Scatter | Gather | AllGather | AllToAll -> false
+
+type t = { kind : kind; n : int; size : float; root : int; peer : int }
+
+let make ?(root = 0) ?(peer = 0) kind ~n ~size =
+  if size <= 0.0 then invalid_arg "Collective.make: size <= 0";
+  if n < 2 then invalid_arg "Collective.make: n < 2";
+  if root < 0 || root >= n then invalid_arg "Collective.make: root out of range";
+  if peer < 0 || peer >= n then invalid_arg "Collective.make: peer out of range";
+  { kind; n; size; root; peer }
+
+let chunk_size t =
+  match t.kind with
+  | SendRecv | Broadcast | Reduce -> t.size
+  | Scatter | Gather | AllGather | ReduceScatter | AllReduce ->
+      t.size /. float_of_int t.n
+  | AllToAll -> t.size /. float_of_int t.n
+
+let num_chunks t =
+  match t.kind with
+  | SendRecv | Broadcast | Reduce -> 1
+  | Scatter | Gather -> t.n - 1
+  | AllGather | ReduceScatter -> t.n
+  | AllToAll -> t.n * (t.n - 1)
+  | AllReduce -> 2 * t.n
+
+type chunk =
+  | Gather_chunk of { id : int; size : float; src : int; dsts : int list }
+  | Reduce_chunk of { id : int; size : float; dst : int; srcs : int list }
+
+let others n v = List.filter (fun u -> u <> v) (List.init n (fun i -> i))
+
+let chunks t =
+  let s = chunk_size t in
+  match t.kind with
+  | SendRecv ->
+      [ Gather_chunk { id = 0; size = s; src = t.root; dsts = [ t.peer ] } ]
+  | Broadcast ->
+      [ Gather_chunk { id = 0; size = s; src = t.root; dsts = others t.n t.root } ]
+  | Scatter ->
+      List.mapi
+        (fun i d -> Gather_chunk { id = i; size = s; src = t.root; dsts = [ d ] })
+        (others t.n t.root)
+  | Gather ->
+      List.mapi
+        (fun i src -> Gather_chunk { id = i; size = s; src; dsts = [ t.root ] })
+        (others t.n t.root)
+  | Reduce ->
+      [ Reduce_chunk { id = 0; size = s; dst = t.root; srcs = others t.n t.root } ]
+  | AllGather ->
+      List.init t.n (fun i ->
+          Gather_chunk { id = i; size = s; src = i; dsts = others t.n i })
+  | ReduceScatter ->
+      List.init t.n (fun i ->
+          Reduce_chunk { id = i; size = s; dst = i; srcs = others t.n i })
+  | AllToAll ->
+      List.concat
+        (List.init t.n (fun src ->
+             List.map
+               (fun dst ->
+                 Gather_chunk
+                   { id = (src * t.n) + dst; size = s; src; dsts = [ dst ] })
+               (others t.n src)))
+  | AllReduce -> invalid_arg "Collective.chunks: decompose AllReduce via phases"
+
+let phases t =
+  match t.kind with
+  | AllReduce ->
+      [
+        { t with kind = ReduceScatter; size = t.size };
+        { t with kind = AllGather; size = t.size };
+      ]
+  | _ -> [ t ]
+
+type primitive = {
+  p_root : int;
+  p_kind : [ `Broadcast | `Scatter ];
+  p_size : float;
+  mirrored : bool;
+}
+
+let decompose t =
+  let s = chunk_size t in
+  match t.kind with
+  | Broadcast ->
+      [ { p_root = t.root; p_kind = `Broadcast; p_size = s; mirrored = false } ]
+  | Reduce ->
+      [ { p_root = t.root; p_kind = `Broadcast; p_size = s; mirrored = true } ]
+  | Scatter ->
+      [ { p_root = t.root; p_kind = `Scatter; p_size = t.size; mirrored = false } ]
+  | Gather ->
+      [ { p_root = t.root; p_kind = `Scatter; p_size = t.size; mirrored = true } ]
+  | SendRecv ->
+      [ { p_root = t.root; p_kind = `Broadcast; p_size = s; mirrored = false } ]
+  | AllGather ->
+      List.init t.n (fun i ->
+          { p_root = i; p_kind = `Broadcast; p_size = s; mirrored = false })
+  | ReduceScatter ->
+      List.init t.n (fun i ->
+          { p_root = i; p_kind = `Broadcast; p_size = s; mirrored = true })
+  | AllToAll ->
+      List.init t.n (fun i ->
+          { p_root = i; p_kind = `Scatter; p_size = t.size; mirrored = false })
+  | AllReduce -> invalid_arg "Collective.decompose: decompose phases of AllReduce"
+
+let algbw t ~time = t.size /. time /. 1e9
+
+let busbw t ~time =
+  let nf = float_of_int t.n in
+  let factor =
+    match t.kind with
+    | AllGather | ReduceScatter | AllToAll | Scatter | Gather -> (nf -. 1.0) /. nf
+    | AllReduce -> 2.0 *. (nf -. 1.0) /. nf
+    | SendRecv | Broadcast | Reduce -> 1.0
+  in
+  algbw t ~time *. factor
+
+let pp fmt t =
+  Format.fprintf fmt "%s(n=%d, size=%.0fB)" (kind_name t.kind) t.n t.size

@@ -1,0 +1,82 @@
+(** Collective communication demands (§2.1, Table 1).
+
+    A collective involves GPUs [0..n-1] (aligned with topology ids), a set of
+    equal-size chunks, and mapping functions [F_s] (initial placement) and
+    [F_d] (destinations).  [size] follows the nccl-tests convention used on
+    the paper's x-axes: the total collective buffer (AllGather /
+    ReduceScatter / AllReduce) or the per-GPU buffer (AlltoAll); for
+    rooted collectives it is the root's buffer. *)
+
+type kind =
+  | SendRecv
+  | Broadcast
+  | Scatter
+  | Gather
+  | Reduce
+  | AllGather
+  | AllToAll
+  | ReduceScatter
+  | AllReduce
+
+val kind_name : kind -> string
+val is_reduce : kind -> bool
+(** True for Reduce, Gather's dual family: Reduce, ReduceScatter, AllReduce. *)
+
+type t = private {
+  kind : kind;
+  n : int;  (** number of participant GPUs *)
+  size : float;  (** data size in bytes, nccl-tests convention *)
+  root : int;  (** root for rooted collectives; 0 otherwise *)
+  peer : int;  (** destination for SendRecv; 0 otherwise *)
+}
+
+val make : ?root:int -> ?peer:int -> kind -> n:int -> size:float -> t
+(** Build a collective demand.  Raises [Invalid_argument] on non-positive
+    size, [n < 2], or out-of-range root/peer. *)
+
+val chunk_size : t -> float
+(** Size of one chunk: [size / n] for the all-to-all family and Scatter /
+    Gather, [size] for Broadcast / Reduce / SendRecv. *)
+
+val num_chunks : t -> int
+
+(** One transferable unit of the demand.  Gather-style chunks start on [src]
+    and must reach every destination; reduce-style chunks are contributions
+    from [srcs] that must arrive (combined) at [dst]. *)
+type chunk =
+  | Gather_chunk of { id : int; size : float; src : int; dsts : int list }
+  | Reduce_chunk of { id : int; size : float; dst : int; srcs : int list }
+
+val chunks : t -> chunk list
+(** The full demand as chunks.  AllReduce is expressed as its
+    ReduceScatter-then-AllGather composition (§4.3) and therefore has no
+    direct chunk list; use {!phases} first. *)
+
+val phases : t -> t list
+(** AllReduce decomposes into [\[ReduceScatter; AllGather\]] over the same
+    GPUs (§4.3); every other collective is a single phase. *)
+
+(** A one-to-all primitive obtained by decomposing an all-to-all collective
+    (§4.3).  [mirrored] marks reduce-family primitives whose schedule is the
+    time-reversal of the corresponding Broadcast/Scatter schedule. *)
+type primitive = {
+  p_root : int;
+  p_kind : [ `Broadcast | `Scatter ];
+  p_size : float;  (** size of the data the primitive moves from/to the root *)
+  mirrored : bool;
+}
+
+val decompose : t -> primitive list
+(** Isomorphic one-to-all primitives for a single-phase collective: AllGather
+    → n Broadcasts, AlltoAll → n Scatters, ReduceScatter → n mirrored
+    Broadcasts, rooted collectives → one primitive.  Raises
+    [Invalid_argument] on AllReduce (decompose its {!phases} instead). *)
+
+val algbw : t -> time:float -> float
+(** Algorithm bandwidth in GB/s: [size / time / 1e9]. *)
+
+val busbw : t -> time:float -> float
+(** Bus bandwidth (nccl-tests definition): algbw scaled by [(n-1)/n] for the
+    AllGather family, [2(n-1)/n] for AllReduce, [1] otherwise. *)
+
+val pp : Format.formatter -> t -> unit

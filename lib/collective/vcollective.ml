@@ -1,0 +1,91 @@
+module Collective = Collective
+
+type t = AllGatherV of float array | AllToAllV of float array array
+
+let make_allgatherv sizes =
+  if Array.length sizes < 2 then invalid_arg "Vcollective: n < 2";
+  if Array.exists (fun s -> s < 0.0) sizes then invalid_arg "Vcollective: negative size";
+  if not (Array.exists (fun s -> s > 0.0) sizes) then
+    invalid_arg "Vcollective: all sizes zero";
+  AllGatherV (Array.copy sizes)
+
+let make_alltoallv sizes =
+  let n = Array.length sizes in
+  if n < 2 then invalid_arg "Vcollective: n < 2";
+  Array.iter
+    (fun row ->
+      if Array.length row <> n then invalid_arg "Vcollective: non-square matrix";
+      if Array.exists (fun s -> s < 0.0) row then
+        invalid_arg "Vcollective: negative size")
+    sizes;
+  let some_positive = ref false in
+  Array.iteri
+    (fun i row -> Array.iteri (fun j s -> if i <> j && s > 0.0 then some_positive := true) row)
+    sizes;
+  if not !some_positive then invalid_arg "Vcollective: all sizes zero";
+  AllToAllV (Array.map Array.copy sizes)
+
+let num_gpus = function
+  | AllGatherV sizes -> Array.length sizes
+  | AllToAllV sizes -> Array.length sizes
+
+let total_bytes = function
+  | AllGatherV sizes ->
+      let n = Array.length sizes in
+      Array.fold_left ( +. ) 0.0 sizes *. float_of_int (n - 1)
+  | AllToAllV sizes ->
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun i row -> Array.iteri (fun j s -> if i <> j then acc := !acc +. s) row)
+        sizes;
+      !acc
+
+let chunks t =
+  match t with
+  | AllGatherV sizes ->
+      let n = Array.length sizes in
+      let next = ref 0 in
+      List.filter_map
+        (fun i ->
+          if sizes.(i) <= 0.0 then None
+          else begin
+            let id = !next in
+            incr next;
+            Some
+              (Collective.Gather_chunk
+                 {
+                   id;
+                   size = sizes.(i);
+                   src = i;
+                   dsts = List.filter (fun v -> v <> i) (List.init n (fun v -> v));
+                 })
+          end)
+        (List.init n (fun i -> i))
+  | AllToAllV sizes ->
+      let n = Array.length sizes in
+      let next = ref 0 in
+      List.concat
+        (List.init n (fun i ->
+             List.filter_map
+               (fun j ->
+                 if i = j || sizes.(i).(j) <= 0.0 then None
+                 else begin
+                   let id = !next in
+                   incr next;
+                   Some
+                     (Collective.Gather_chunk
+                        { id; size = sizes.(i).(j); src = i; dsts = [ j ] })
+                 end)
+               (List.init n (fun j -> j))))
+
+let symmetric_base = function
+  | AllGatherV sizes -> Array.fold_left Float.min infinity sizes
+  | AllToAllV sizes ->
+      let m = ref infinity in
+      Array.iteri
+        (fun i row ->
+          Array.iteri (fun j s -> if i <> j then m := Float.min !m s) row)
+        sizes;
+      !m
+
+let algbw t ~time = total_bytes t /. time /. 1e9

@@ -1,0 +1,40 @@
+(** Asymmetric (vector) collectives: AllGatherV and AlltoAllV (§8).
+
+    MoE-style workloads send different amounts per GPU, so the collective
+    symmetry SyCCL exploits does not hold; the paper recommends
+    heuristic-based synthesis, optionally seeded with a symmetric base
+    solution.  This module gives those demands a first-class representation;
+    {!Syccl.Vsynth} provides the synthesis paths. *)
+
+type t =
+  | AllGatherV of float array
+      (** [sizes.(i)] = bytes GPU [i] contributes; everyone receives all *)
+  | AllToAllV of float array array
+      (** [sizes.(i).(j)] = bytes GPU [i] sends to GPU [j]; the diagonal is
+          ignored (local) *)
+
+val make_allgatherv : float array -> t
+(** Validates: at least two ranks, non-negative sizes, some positive size. *)
+
+val make_alltoallv : float array array -> t
+(** Validates: square matrix, at least two ranks, non-negative sizes, some
+    positive off-diagonal entry. *)
+
+val num_gpus : t -> int
+
+val total_bytes : t -> float
+(** Total bytes that must cross the network. *)
+
+val chunks : t -> Collective.chunk list
+(** The demand as gather chunks (empty contributions are skipped); chunk ids
+    are dense and stable. *)
+
+val symmetric_base : t -> float
+(** The largest per-GPU size shared by every rank: [min_i sizes_i] for
+    AllGatherV, [min_{i≠j} sizes_{ij}] for AlltoAllV.  0 when some rank
+    sends nothing. *)
+
+val algbw : t -> time:float -> float
+(** Aggregate bytes moved per second, in GB/s.  Schedule validation against
+    a vector demand lives in {!Syccl.Vsynth.covers} (the simulator layer
+    depends on this one, not vice versa). *)

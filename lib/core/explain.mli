@@ -1,0 +1,22 @@
+(** Human-readable reports for sketches and combinations.
+
+    Appendix C argues a key practical advantage of SyCCL over raw MILP
+    output: "we expect SyCCL's high-level sketches to be readable by users
+    and capable of being further implemented and optimized manually".  This
+    module renders that readable form: per-stage prose for a sketch, and a
+    fraction/workload table for a combination. *)
+
+val sketch : Syccl_topology.Topology.t -> Sketch.t -> string
+(** Multi-line description: one paragraph per stage listing each
+    sub-demand's dimension, group, sources and destinations, followed by the
+    per-dimension workload summary of §4.2. *)
+
+val combo : Syccl_topology.Topology.t -> Combine.combo -> string
+(** Description of a combination: number of sketches per root, chunk
+    fractions, per-dimension workload shares vs the topology's bandwidth
+    shares (flagging imbalance), and the full rendering of one
+    representative sketch. *)
+
+val outcome : Syccl_topology.Topology.t -> Synthesizer.outcome -> string
+(** Summary of a synthesis run: the winning combination, predicted time and
+    bus bandwidth, the step timings, and per-phase schedule sizes. *)

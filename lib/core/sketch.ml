@@ -1,0 +1,255 @@
+module Topology = Syccl_topology.Topology
+module Perm = Syccl_util.Perm
+
+type kind = [ `Broadcast | `Scatter ]
+
+type t = {
+  root : int;
+  kind : kind;
+  num_stages : int;
+  stage_of : int array;
+  parent : int array;
+  dim_of : int array;
+}
+
+let make ~root ~kind ~num_stages ~stage_of ~parent ~dim_of =
+  let n = Array.length stage_of in
+  if Array.length parent <> n || Array.length dim_of <> n then
+    invalid_arg "Sketch.make: array length mismatch";
+  if root < 0 || root >= n then invalid_arg "Sketch.make: root out of range";
+  if stage_of.(root) <> -1 || parent.(root) <> -1 || dim_of.(root) <> -1 then
+    invalid_arg "Sketch.make: root must have stage/parent/dim = -1";
+  Array.iteri
+    (fun v s ->
+      if v <> root then begin
+        if s < 0 || s >= num_stages then invalid_arg "Sketch.make: stage out of range";
+        let p = parent.(v) in
+        if p < 0 || p >= n || p = v then invalid_arg "Sketch.make: bad parent";
+        if stage_of.(p) >= s then invalid_arg "Sketch.make: parent covered too late"
+      end)
+    stage_of;
+  { root; kind; num_stages; stage_of; parent; dim_of }
+
+let check topo t =
+  let bad = ref None in
+  Array.iteri
+    (fun v p ->
+      if v <> t.root && !bad = None then begin
+        let d = t.dim_of.(v) in
+        if d < 0 || d >= Topology.num_dims topo then bad := Some (v, d)
+        else if
+          Topology.group_of topo ~dim:d v <> Topology.group_of topo ~dim:d p
+        then bad := Some (v, d)
+      end)
+    t.parent;
+  match !bad with
+  | None -> Ok ()
+  | Some (v, d) ->
+      Error (Printf.sprintf "GPU %d is not a dim-%d peer of its parent" v d)
+
+type subdemand = {
+  sd_stage : int;
+  sd_dim : int;
+  sd_group : int;
+  srcs : int list;
+  dsts : int list;
+}
+
+let subdemands topo t =
+  let n = Array.length t.stage_of in
+  let tbl = Hashtbl.create 16 in
+  for v = 0 to n - 1 do
+    if v <> t.root then begin
+      let k = t.stage_of.(v) and d = t.dim_of.(v) in
+      let g = Topology.group_of topo ~dim:d v in
+      Hashtbl.replace tbl (k, d, g)
+        (v :: Option.value (Hashtbl.find_opt tbl (k, d, g)) ~default:[])
+    end
+  done;
+  let covered_before k v = t.stage_of.(v) < k in
+  Hashtbl.fold
+    (fun (k, d, g) dsts acc ->
+      let members = Topology.gpus_in_group topo ~dim:d ~group:g in
+      let srcs =
+        List.filter (covered_before k) (Array.to_list members)
+      in
+      { sd_stage = k; sd_dim = d; sd_group = g; srcs; dsts = List.sort compare dsts }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         compare (a.sd_stage, a.sd_dim, a.sd_group) (b.sd_stage, b.sd_dim, b.sd_group))
+
+let descendants t =
+  let n = Array.length t.parent in
+  let d = Array.make n 0 in
+  (* Order GPUs by stage descending so children are counted before parents. *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare t.stage_of.(b) t.stage_of.(a)) order;
+  Array.iter
+    (fun v -> if v <> t.root then d.(t.parent.(v)) <- d.(t.parent.(v)) + d.(v) + 1)
+    order;
+  d
+
+let depth t =
+  let n = Array.length t.parent in
+  let d = Array.make n (-1) in
+  let rec go v =
+    if d.(v) >= 0 then d.(v)
+    else begin
+      let r = if v = t.root then 0 else 1 + go t.parent.(v) in
+      d.(v) <- r;
+      r
+    end
+  in
+  for v = 0 to n - 1 do
+    ignore (go v)
+  done;
+  d
+
+let workload topo t =
+  let desc = descendants t in
+  let w =
+    Array.init (Topology.num_dims topo) (fun d ->
+        Array.make (Topology.groups_count topo ~dim:d) 0.0)
+  in
+  Array.iteri
+    (fun v _ ->
+      if v <> t.root then begin
+        let d = t.dim_of.(v) in
+        let g = Topology.group_of topo ~dim:d v in
+        let units =
+          match t.kind with
+          | `Broadcast -> 1.0
+          | `Scatter -> float_of_int (desc.(v) + 1)
+        in
+        w.(d).(g) <- w.(d).(g) +. units
+      end)
+    t.stage_of;
+  w
+
+let dim_workload topo t =
+  Array.map (Array.fold_left ( +. ) 0.0) (workload topo t)
+
+(* Isomorphism-invariant per-GPU labels of a (possibly partial) coverage
+   tree.  Base labels follow the parent chain; two Weisfeiler-Leman rounds
+   then fold in each covered GPU's relation to other covered GPUs through
+   every dimension's groups, distinguishing e.g. "covered a same-server GPU
+   over the network" from "covered a remote GPU over the network". *)
+let structural_labels topo ~root ~stage_of ~parent ~dim_of =
+  let n = Array.length stage_of in
+  let covered v = v = root || stage_of.(v) >= 0 in
+  let label = Array.make n 0 in
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun a b -> compare stage_of.(a) stage_of.(b)) order;
+  Array.iter
+    (fun v ->
+      if v = root then label.(v) <- Hashtbl.hash `Root
+      else if covered v then
+        label.(v) <- Hashtbl.hash (stage_of.(v), dim_of.(v), label.(parent.(v))))
+    order;
+  let nd = Topology.num_dims topo in
+  let hash_all l = List.fold_left (fun a (i : int) -> Hashtbl.hash (a, i)) 17 l in
+  for _round = 1 to 2 do
+    (* Per (dim, group): chained hash of the sorted labels of its covered
+       members ([Hashtbl.hash] alone truncates long structures). *)
+    let group_sigs =
+      Array.init nd (fun d ->
+          Array.init (Topology.groups_count topo ~dim:d) (fun g ->
+              let members = Topology.gpus_in_group topo ~dim:d ~group:g in
+              hash_all
+                (List.sort compare
+                   (List.filter_map
+                      (fun v -> if covered v then Some label.(v) else None)
+                      (Array.to_list members)))))
+    in
+    let next = Array.make n 0 in
+    for v = 0 to n - 1 do
+      if covered v then begin
+        let ctx =
+          List.init nd (fun d ->
+              group_sigs.(d).(Topology.group_of topo ~dim:d v))
+        in
+        next.(v) <- hash_all (label.(v) :: ctx)
+      end
+    done;
+    Array.blit next 0 label 0 n
+  done;
+  label
+
+(* OCaml's [Hashtbl.hash] only visits a bounded prefix of a structure, which
+   would conflate most label lists; chain-hash every element instead. *)
+let hash_ints l = List.fold_left (fun a (i : int) -> Hashtbl.hash (a, i)) 17 l
+
+let signature topo t =
+  let label =
+    structural_labels topo ~root:t.root ~stage_of:t.stage_of ~parent:t.parent
+      ~dim_of:t.dim_of
+  in
+  let descriptors =
+    List.map
+      (fun sd ->
+        ( sd.sd_stage,
+          sd.sd_dim,
+          hash_ints (List.sort compare (List.map (fun v -> label.(v)) sd.srcs)),
+          hash_ints
+            (List.sort compare (List.map (fun v -> label.(t.parent.(v))) sd.dsts)),
+          List.length sd.dsts ))
+      (subdemands topo t)
+  in
+  List.fold_left
+    (fun a d -> Hashtbl.hash (a, d))
+    (Hashtbl.hash (t.kind, t.num_stages))
+    (List.sort compare descriptors)
+
+let map topo perm t =
+  let n = Array.length t.stage_of in
+  if Array.length perm <> n then invalid_arg "Sketch.map: permutation size";
+  let inv = Perm.invert perm in
+  let mapped =
+    {
+      root = perm.(t.root);
+      kind = t.kind;
+      num_stages = t.num_stages;
+      stage_of = Array.init n (fun v -> t.stage_of.(inv.(v)));
+      parent =
+        Array.init n (fun v ->
+            let p = t.parent.(inv.(v)) in
+            if p < 0 then -1 else perm.(p));
+      dim_of = Array.init n (fun v -> t.dim_of.(inv.(v)));
+    }
+  in
+  (match check topo mapped with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Sketch.map: not an automorphism: " ^ e));
+  mapped
+
+type shape = (int * int) list array
+
+let shape topo t =
+  Array.init t.num_stages (fun k ->
+      let sds = List.filter (fun sd -> sd.sd_stage = k) (subdemands topo t) in
+      let dims = List.sort_uniq compare (List.map (fun sd -> sd.sd_dim) sds) in
+      List.map
+        (fun d ->
+          let r =
+            List.fold_left
+              (fun acc sd ->
+                if sd.sd_dim = d then max acc (List.length sd.dsts) else acc)
+              0 sds
+          in
+          (d, r))
+        dims)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>sketch(%s, root=%d, %d stages)@,"
+    (match t.kind with `Broadcast -> "bcast" | `Scatter -> "scatter")
+    t.root t.num_stages;
+  for k = 0 to t.num_stages - 1 do
+    Format.fprintf fmt "  stage %d:" k;
+    Array.iteri
+      (fun v s ->
+        if s = k then Format.fprintf fmt " %d->%d(d%d)" t.parent.(v) v t.dim_of.(v))
+      t.stage_of;
+    Format.fprintf fmt "@,"
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,386 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+module Greedy = Syccl_teccl.Greedy
+module Epoch_model = Syccl_teccl.Epoch_model
+module Tau = Syccl_teccl.Tau
+
+type strategy =
+  | Fast_only
+  | Milp_refine of {
+      e : float;
+      var_budget : int;
+      node_limit : int;
+      time_limit : float;
+    }
+
+type entry = { chunk : int; e_size : float; e_srcs : int list; e_dsts : int list }
+
+type demand = { d_stage : int; d_dim : int; d_group : int; entries : entry list }
+
+type plan = { chunks : Schedule.chunk_meta array; demands : demand list }
+
+(* Which collective chunk a (root, dst) pair belongs to, per the numbering of
+   Collective.chunks. *)
+let tag_fn (coll : Collective.t) =
+  let n = coll.Collective.n in
+  match coll.Collective.kind with
+  | Collective.Broadcast | Collective.Reduce | Collective.SendRecv -> fun _ _ -> 0
+  | Collective.AllGather | Collective.ReduceScatter -> fun root _ -> root
+  | Collective.AllToAll -> fun root dst -> (root * n) + dst
+  | Collective.Scatter | Collective.Gather ->
+      fun root dst -> if dst < root then dst else dst - 1
+  | Collective.AllReduce -> invalid_arg "Subsolver: plan AllReduce per phase"
+
+let others n v = List.filter (fun u -> u <> v) (List.init n (fun i -> i))
+
+(* Children lists and descendant sets of a sketch tree. *)
+let children (s : Sketch.t) =
+  let n = Array.length s.Sketch.parent in
+  let ch = Array.make n [] in
+  Array.iteri (fun v p -> if v <> s.Sketch.root && p >= 0 then ch.(p) <- v :: ch.(p)) s.Sketch.parent;
+  ch
+
+let subtree (s : Sketch.t) =
+  let ch = children s in
+  let n = Array.length ch in
+  let memo = Array.make n None in
+  let rec go v =
+    match memo.(v) with
+    | Some l -> l
+    | None ->
+        let l = v :: List.concat_map go ch.(v) in
+        memo.(v) <- Some l;
+        l
+  in
+  Array.init n go
+
+let plan topo coll (combo : Combine.combo) =
+  let prim_size = Collective.chunk_size coll in
+  let n = Topology.num_gpus topo in
+  let tag = tag_fn coll in
+  let chunks = ref [] and next_chunk = ref 0 in
+  let fresh meta =
+    let id = !next_chunk in
+    incr next_chunk;
+    chunks := meta :: !chunks;
+    id
+  in
+  let demands = Hashtbl.create 64 in
+  let push key entry =
+    Hashtbl.replace demands key
+      (entry :: Option.value (Hashtbl.find_opt demands key) ~default:[])
+  in
+  List.iter
+    (fun ((s : Sketch.t), frac) ->
+      let size = frac *. prim_size in
+      let root = s.Sketch.root in
+      match s.Sketch.kind with
+      | `Broadcast ->
+          let cid =
+            fresh
+              {
+                Schedule.size;
+                mode = `Gather;
+                initial = [ root ];
+                wanted = others n root;
+                tag = tag root root;
+              }
+          in
+          List.iter
+            (fun (sd : Sketch.subdemand) ->
+              push
+                (sd.Sketch.sd_stage, sd.Sketch.sd_dim, sd.Sketch.sd_group)
+                { chunk = cid; e_size = size; e_srcs = sd.Sketch.srcs; e_dsts = sd.Sketch.dsts })
+            (Sketch.subdemands topo s)
+      | `Scatter ->
+          (* One chunk per non-root GPU; the chunk for GPU w transits every
+             tree edge on the root→w path. *)
+          let cid_of = Array.make n (-1) in
+          for w = 0 to n - 1 do
+            if w <> root then
+              cid_of.(w) <-
+                fresh
+                  {
+                    Schedule.size;
+                    mode = `Gather;
+                    initial = [ root ];
+                    wanted = [ w ];
+                    tag = tag root w;
+                  }
+          done;
+          let sub = subtree s in
+          Array.iteri
+            (fun v p ->
+              if v <> root && p >= 0 then begin
+                let k = s.Sketch.stage_of.(v) and d = s.Sketch.dim_of.(v) in
+                let g = Topology.group_of topo ~dim:d v in
+                List.iter
+                  (fun w ->
+                    push (k, d, g)
+                      { chunk = cid_of.(w); e_size = size; e_srcs = [ p ]; e_dsts = [ v ] })
+                  sub.(v)
+              end)
+            s.Sketch.parent)
+    combo.Combine.sketches;
+  let demand_list =
+    Hashtbl.fold
+      (fun (k, d, g) entries acc ->
+        { d_stage = k; d_dim = d; d_group = g; entries = List.rev entries } :: acc)
+      demands []
+    |> List.sort (fun a b ->
+           compare (a.d_stage, a.d_dim, a.d_group) (b.d_stage, b.d_dim, b.d_group))
+  in
+  { chunks = Array.of_list (List.rev !chunks); demands = demand_list }
+
+(* --- Isomorphism classes --------------------------------------------- *)
+
+let size_key s = Printf.sprintf "%.6e" s
+
+(* Canonical intra-group position order: positions sorted by their multiset
+   of roles across entries (1 round of refinement), ties by raw position.
+   Good enough to align symmetric demands; a failed alignment is caught by
+   verification and re-solved directly. *)
+let canonical_positions topo demand =
+  let members = Topology.gpus_in_group topo ~dim:demand.d_dim ~group:demand.d_group in
+  let np = Array.length members in
+  let pos_of = Hashtbl.create np in
+  Array.iteri (fun i v -> Hashtbl.replace pos_of v i) members;
+  let role p =
+    let v = members.(p) in
+    List.sort compare
+      (List.filter_map
+         (fun e ->
+           let s = List.mem v e.e_srcs and d = List.mem v e.e_dsts in
+           if s || d then Some (size_key e.e_size, s, d, List.length e.e_srcs, List.length e.e_dsts)
+           else None)
+         demand.entries)
+  in
+  let order = Array.init np (fun i -> i) in
+  let roles = Array.init np role in
+  Array.sort (fun a b ->
+      let c = compare roles.(a) roles.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  (* rank.(p) = canonical index of position p *)
+  let rank = Array.make np 0 in
+  Array.iteri (fun i p -> rank.(p) <- i) order;
+  (members, pos_of, rank, order)
+
+let class_key topo demand =
+  let members, pos_of, rank, _ = canonical_positions topo demand in
+  ignore members;
+  let canon_gpu v = rank.(Hashtbl.find pos_of v) in
+  let entry_key e =
+    ( size_key e.e_size,
+      List.sort compare (List.map canon_gpu e.e_srcs),
+      List.sort compare (List.map canon_gpu e.e_dsts) )
+  in
+  let keys = List.sort compare (List.map entry_key demand.entries) in
+  Marshal.to_string (demand.d_dim, keys) []
+
+(* --- Solving ---------------------------------------------------------- *)
+
+let metas_of_demand demand =
+  Array.of_list
+    (List.map
+       (fun e ->
+         {
+           Schedule.size = e.e_size;
+           mode = `Gather;
+           initial = e.e_srcs;
+           wanted = e.e_dsts;
+           tag = 0;
+         })
+       demand.entries)
+
+let solve_demand strategy topo demand =
+  let metas = metas_of_demand demand in
+  let restrict = Greedy.Groups [ (demand.d_dim, demand.d_group) ] in
+  (* Direct candidate: every destination served straight from a source,
+     round-robin with rotated ordering so ingress ports fill evenly.
+     Optimal in saturated groups, where store-and-forward relays only add
+     load; the greedy wins when relaying genuinely helps. *)
+  let direct =
+    let xfers = ref [] in
+    List.iteri
+      (fun c (e : entry) ->
+        let srcs = Array.of_list (List.sort compare e.e_srcs) in
+        List.iteri
+          (fun i dst ->
+            let src = srcs.((i + c) mod Array.length srcs) in
+            xfers :=
+              {
+                Schedule.chunk = c;
+                src;
+                dst;
+                dim = demand.d_dim;
+                prio = i;
+              }
+              :: !xfers)
+          (* Rotate destination order per chunk so sources do not all hit the
+             same ingress first. *)
+          (let d = Array.of_list e.e_dsts in
+           let nd = Array.length d in
+           List.init nd (fun i -> d.((i + c) mod nd))))
+      demand.entries;
+    { Schedule.chunks = metas; xfers = List.rev !xfers }
+  in
+  (* Saturated demands (every GPU pushing many chunks) gain nothing from
+     store-and-forward search and make the greedy quadratic; go direct. *)
+  let deliveries =
+    List.fold_left (fun a e -> a + List.length e.e_dsts) 0 demand.entries
+  in
+  let greedy =
+    if deliveries > 256 then direct
+    else
+      match Greedy.solve ~restrict topo metas with
+      | Some s ->
+          if
+            Syccl_sim.Sim.time topo direct
+            < Syccl_sim.Sim.time topo s -. 1e-15
+          then direct
+          else s
+      | None -> failwith "Subsolver: greedy could not satisfy a sub-demand"
+  in
+  let refined =
+    match strategy with
+    | Fast_only -> greedy
+    | Milp_refine { e; var_budget; node_limit; time_limit } -> (
+        let link = (Topology.dim topo demand.d_dim).Topology.link in
+        let max_size =
+          List.fold_left (fun a en -> Float.max a en.e_size) 0.0 demand.entries
+        in
+        let tau, _ = Tau.select ~link ~size:max_size ~e in
+        let edges =
+          Epoch_model.group_edges topo ~dim:demand.d_dim ~group:demand.d_group
+        in
+        let spec0 =
+          { Epoch_model.topo; chunks = metas; edges; tau; horizon = 0 }
+        in
+        match Epoch_model.replay { spec0 with horizon = max_int / 2 } greedy with
+        | None -> greedy
+        | Some h ->
+            let spec = { spec0 with horizon = h } in
+            let approx_vars =
+              Array.length metas
+              * ((Array.length edges * h)
+                + ((Array.length (Topology.gpus_in_group topo ~dim:demand.d_dim
+                      ~group:demand.d_group))
+                  * (h + 1)))
+            in
+            if approx_vars > var_budget then greedy
+            else begin
+              match
+                Epoch_model.solve ~node_limit ~time_limit ~incumbent:greedy spec
+              with
+              | Some (s, _) ->
+                  if
+                    Syccl_sim.Sim.time topo s
+                    < Syccl_sim.Sim.time topo greedy -. 1e-12
+                  then s
+                  else greedy
+              | None -> greedy
+            end)
+  in
+  refined.Schedule.xfers
+
+(* --- Mapping representatives onto isomorphic demands ------------------ *)
+
+let verify topo demand xfers =
+  (* Causal check per entry: following the entry's transfers from its source
+     set must deliver every destination, each exactly once. *)
+  let ok = ref true in
+  List.iteri
+    (fun i e ->
+      let mine = List.filter (fun (x : Schedule.xfer) -> x.chunk = i) xfers in
+      let holders = Hashtbl.create 8 in
+      List.iter (fun v -> Hashtbl.replace holders v ()) e.e_srcs;
+      let received = Hashtbl.create 8 in
+      let remaining = ref mine and progress = ref true in
+      while !progress do
+        progress := false;
+        let still = ref [] in
+        List.iter
+          (fun (x : Schedule.xfer) ->
+            if Hashtbl.mem holders x.src then begin
+              if Hashtbl.mem received x.dst || Hashtbl.mem holders x.dst then ok := false;
+              Hashtbl.replace holders x.dst ();
+              Hashtbl.replace received x.dst ();
+              progress := true
+            end
+            else still := x :: !still)
+          !remaining;
+        remaining := !still
+      done;
+      if !remaining <> [] then ok := false;
+      List.iter (fun v -> if not (Hashtbl.mem holders v) then ok := false) e.e_dsts;
+      (* Transfers must stay inside the demand's group/dimension. *)
+      List.iter
+        (fun (x : Schedule.xfer) ->
+          if
+            x.dim <> demand.d_dim
+            || Topology.group_of topo ~dim:x.dim x.src <> demand.d_group
+            || Topology.group_of topo ~dim:x.dim x.dst <> demand.d_group
+          then ok := false)
+        mine)
+    demand.entries;
+  !ok
+
+let transfer topo ~rep ~rep_xfers demand =
+  let _, rep_pos, rep_rank, _ = canonical_positions topo rep in
+  let dem_members, _, _, dem_order = canonical_positions topo demand in
+  (* rep GPU -> canonical rank -> demand GPU. *)
+  let gpu_map v = dem_members.(dem_order.(rep_rank.(Hashtbl.find rep_pos v))) in
+  (* Entry correspondence: sort both entry lists by canonical key. *)
+  let entry_keyed d rank_of pos_of =
+    List.mapi
+      (fun i e ->
+        let canon v = rank_of.(Hashtbl.find pos_of v) in
+        ( ( size_key e.e_size,
+            List.sort compare (List.map canon e.e_srcs),
+            List.sort compare (List.map canon e.e_dsts) ),
+          i ))
+      d.entries
+    |> List.sort compare
+  in
+  let _, dem_pos, dem_rank, _ = canonical_positions topo demand in
+  let rep_entries = entry_keyed rep rep_rank rep_pos in
+  let dem_entries = entry_keyed demand dem_rank dem_pos in
+  if List.map fst rep_entries <> List.map fst dem_entries then None
+  else begin
+    let chunk_map = Hashtbl.create 16 in
+    List.iter2
+      (fun (_, ri) (_, di) -> Hashtbl.replace chunk_map ri di)
+      rep_entries dem_entries;
+    let mapped =
+      List.map
+        (fun (x : Schedule.xfer) ->
+          {
+            x with
+            chunk = Hashtbl.find chunk_map x.chunk;
+            src = gpu_map x.src;
+            dst = gpu_map x.dst;
+          })
+        rep_xfers
+    in
+    if verify topo demand mapped then Some mapped else None
+  end
+
+let assemble plan ~solution =
+  let xfers =
+    List.concat_map
+      (fun d ->
+        let local = solution d in
+        let entry_arr = Array.of_list d.entries in
+        List.map
+          (fun (x : Schedule.xfer) ->
+            {
+              x with
+              chunk = entry_arr.(x.chunk).chunk;
+              prio = (d.d_stage * 10_000) + x.prio;
+            })
+          local)
+      plan.demands
+  in
+  { Schedule.chunks = plan.chunks; xfers }

@@ -1,0 +1,424 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+module Sim = Syccl_sim.Sim
+module Parallel = Syccl_util.Parallel
+
+type config = {
+  search_config : Search.config option;
+  e1 : float;
+  e2 : float;
+  r1 : float;
+  r2 : int;
+  fast_only : bool;
+  milp_var_budget : int;
+  milp_node_limit : int;
+  milp_time_limit : float;
+  max_shapes : int;
+  max_combos : int;
+  domains : int;
+  blocks : int;
+}
+
+let default_config =
+  {
+    search_config = None;
+    e1 = 3.0;
+    e2 = 0.5;
+    r1 = 0.20;
+    r2 = 8;
+    fast_only = false;
+    milp_var_budget = 1100;
+    milp_node_limit = 60;
+    milp_time_limit = 6.0;
+    max_shapes = 18;
+    max_combos = 64;
+    domains = 1;
+    blocks = 8;
+  }
+
+type breakdown = {
+  search_s : float;
+  combine_s : float;
+  solve1_s : float;
+  solve2_s : float;
+}
+
+type outcome = {
+  schedules : Schedule.t list;
+  time : float;
+  busbw : float;
+  synth_time : float;
+  breakdown : breakdown;
+  num_sketches : int;
+  num_combos : int;
+  chosen : string;
+}
+
+let zero_breakdown = { search_s = 0.0; combine_s = 0.0; solve1_s = 0.0; solve2_s = 0.0 }
+
+let add_breakdown a b =
+  {
+    search_s = a.search_s +. b.search_s;
+    combine_s = a.combine_s +. b.combine_s;
+    solve1_s = a.solve1_s +. b.solve1_s;
+    solve2_s = a.solve2_s +. b.solve2_s;
+  }
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Solve representatives of every isomorphism class appearing in [plans],
+   in parallel, and return a per-demand solution function. *)
+let solve_plans ~domains strategy topo (plans : Subsolver.plan list) =
+  let classes = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Subsolver.plan) ->
+      List.iter
+        (fun d ->
+          let key = Subsolver.class_key topo d in
+          if not (Hashtbl.mem classes key) then Hashtbl.replace classes key d)
+        p.Subsolver.demands)
+    plans;
+  let keys = Array.of_seq (Hashtbl.to_seq_keys classes) in
+  let reps = Array.map (Hashtbl.find classes) keys in
+  let sols =
+    Parallel.map ~domains (fun d -> Subsolver.solve_demand strategy topo d) reps
+  in
+  let table = Hashtbl.create (Array.length keys) in
+  Array.iteri (fun i k -> Hashtbl.replace table k (reps.(i), sols.(i))) keys;
+  fun (d : Subsolver.demand) ->
+    let key = Subsolver.class_key topo d in
+    match Hashtbl.find_opt table key with
+    | Some (rep, rep_xfers) -> (
+        match Subsolver.transfer topo ~rep ~rep_xfers d with
+        | Some xfers -> xfers
+        | None -> Subsolver.solve_demand strategy topo d)
+    | None -> Subsolver.solve_demand strategy topo d
+
+let strategy_of cfg ~e =
+  if cfg.fast_only then Subsolver.Fast_only
+  else
+    Subsolver.Milp_refine
+      {
+        e;
+        var_budget = cfg.milp_var_budget;
+        node_limit = cfg.milp_node_limit;
+        time_limit = cfg.milp_time_limit;
+      }
+
+(* Sketch search depends only on (topology, kind, root, config) — not on the
+   data size — so sweeps over sizes reuse it. *)
+let search_cache : (string, Sketch.t list) Hashtbl.t = Hashtbl.create 16
+let combo_cache : (string, Combine.combo list) Hashtbl.t = Hashtbl.create 16
+
+let cached_search topo ~config ~kind ~root =
+  let key =
+    Format.asprintf "%s/%d/%s/%d/%d/%b/%b/%d/%d"
+      topo.Topology.name (Topology.num_gpus topo)
+      (match kind with `Broadcast -> "b" | `Scatter -> "s")
+      root config.Search.max_stages config.Search.prune_isomorphic
+      config.Search.prune_consistency
+      (Option.value config.Search.relay_limit ~default:(-1))
+      config.Search.max_sketches
+  in
+  match Hashtbl.find_opt search_cache key with
+  | Some s -> s
+  | None ->
+      let s = Search.run ~config topo ~kind ~root in
+      Hashtbl.replace search_cache key s;
+      s
+
+(* SendRecv needs no sketch machinery: one chunk, one destination.  Compare
+   the direct path (each shared dimension) against two-hop relays and keep
+   the fastest. *)
+let synth_sendrecv cfg topo (phase : Collective.t) =
+  let src = phase.Collective.root and dst = phase.Collective.peer in
+  let meta =
+    {
+      Schedule.size = phase.Collective.size;
+      mode = `Gather;
+      initial = [ src ];
+      wanted = [ dst ];
+      tag = 0;
+    }
+  in
+  let dims_between u v =
+    List.filter
+      (fun d -> Topology.group_of topo ~dim:d u = Topology.group_of topo ~dim:d v)
+      (List.init (Topology.num_dims topo) (fun d -> d))
+  in
+  let direct =
+    List.map
+      (fun d ->
+        { Schedule.chunks = [| meta |];
+          xfers = [ { Schedule.chunk = 0; src; dst; dim = d; prio = 0 } ] })
+      (dims_between src dst)
+  in
+  let relays =
+    List.concat_map
+      (fun r ->
+        if r = src || r = dst then []
+        else
+          match (dims_between src r, dims_between r dst) with
+          | d1 :: _, d2 :: _ ->
+              [
+                { Schedule.chunks = [| meta |];
+                  xfers =
+                    [
+                      { Schedule.chunk = 0; src; dst = r; dim = d1; prio = 0 };
+                      { Schedule.chunk = 0; src = r; dst; dim = d2; prio = 1 };
+                    ] };
+              ]
+          | _ -> [])
+      (List.init (Topology.num_gpus topo) (fun v -> v))
+  in
+  let best =
+    List.fold_left
+      (fun acc s ->
+        let t = Sim.time ~blocks:cfg.blocks topo s in
+        match acc with Some (_, tb) when tb <= t -> acc | _ -> Some (s, t))
+      None (direct @ relays)
+  in
+  match best with
+  | Some (s, t) ->
+      (s, t, zero_breakdown, 0, List.length direct + List.length relays, "sendrecv")
+  | None -> failwith "Synthesizer: peers are not connected"
+
+(* Synthesize one non-AllReduce phase; returns (schedule, simulated time,
+   stats).  The schedule is already mirrored for reduce-family phases. *)
+let synth_phase cfg topo (phase : Collective.t) =
+  if phase.Collective.kind = Collective.SendRecv then synth_sendrecv cfg topo phase
+  else
+  let primitives = Collective.decompose phase in
+  let p0 = List.hd primitives in
+  let mirrored = p0.Collective.mirrored in
+  let kind = p0.Collective.p_kind in
+  let search_cfg =
+    match cfg.search_config with Some c -> c | None -> Search.default topo kind
+  in
+  let sketches, search_s =
+    timed (fun () ->
+        cached_search topo ~config:search_cfg ~kind ~root:p0.Collective.p_root)
+  in
+  if sketches = [] then failwith "Synthesizer: no sketch covers the demand";
+  (* Rank shapes by an α-β estimate and keep the most promising; the
+     simulator makes the final call among the survivors.  For one-to-all
+     demands the estimate sums per-stage critical sends; for all-to-all
+     demands every GPU replays the sketch simultaneously, so per-GPU port
+     time per dimension is its workload times the link's byte time. *)
+  let sketches =
+    let size = Collective.chunk_size phase in
+    let all_to_all = List.length primitives > 1 in
+    let stage_estimate s =
+      List.fold_left
+        (fun acc k ->
+          let stage_cost =
+            List.fold_left
+              (fun m (sd : Sketch.subdemand) ->
+                if sd.Sketch.sd_stage <> k then m
+                else begin
+                  let link = (Topology.dim topo sd.Sketch.sd_dim).Syccl_topology.Topology.link in
+                  let rounds =
+                    (List.length sd.Sketch.dsts + List.length sd.Sketch.srcs - 1)
+                    / max 1 (List.length sd.Sketch.srcs)
+                  in
+                  Float.max m
+                    (link.Syccl_topology.Link.alpha
+                    +. (link.Syccl_topology.Link.beta *. size *. float_of_int rounds))
+                end)
+              0.0 (Sketch.subdemands topo s)
+          in
+          acc +. stage_cost)
+        0.0
+        (List.init s.Sketch.num_stages (fun k -> k))
+    in
+    let merged_estimate s =
+      let w = Sketch.dim_workload topo s in
+      let worst = ref 0.0 in
+      Array.iteri
+        (fun d wd ->
+          let link = (Topology.dim topo d).Syccl_topology.Topology.link in
+          let t = wd *. link.Syccl_topology.Link.beta *. size in
+          if t > !worst then worst := t)
+        w;
+      !worst +. stage_estimate s *. 1e-3
+      (* stage term only breaks ties toward lower latency *)
+    in
+    let estimate = if all_to_all then merged_estimate else stage_estimate in
+    (* Production scale: per-combo planning/simulation costs grow with n, so
+       keep fewer (better-ranked) shapes. *)
+    let cap =
+      if Topology.num_gpus topo >= 256 then min cfg.max_shapes 8
+      else cfg.max_shapes
+    in
+    let ranked =
+      List.map (fun s -> (estimate s, s)) sketches
+      |> List.stable_sort (fun (a, _) (b, _) -> Float.compare a b)
+      |> List.map snd
+    in
+    let kept = List.filteri (fun i _ -> i < cap) ranked in
+    (* A shape that is slow alone can be the essential complement of a mix
+       (§4.2 step 2 balances dimensions by pairing opposite profiles), so
+       also keep, per dimension, the best-ranked shape whose workload
+       concentrates there. *)
+    let dominant s =
+      let w = Sketch.dim_workload topo s in
+      let total = Array.fold_left ( +. ) 0.0 w in
+      let best = ref 0 in
+      Array.iteri (fun d v -> if v > w.(!best) then best := d) w;
+      if total > 0.0 && w.(!best) > 0.5 *. total then Some !best else None
+    in
+    let complements =
+      List.filter_map
+        (fun d ->
+          if List.exists (fun s -> dominant s = Some d) kept then None
+          else List.find_opt (fun s -> dominant s = Some d) ranked)
+        (List.init (Topology.num_dims topo) (fun d -> d))
+    in
+    kept @ complements
+  in
+  let combos, combine_s =
+    timed (fun () ->
+        (* Combinations are also size-independent (fractions are ratios);
+           key by the kept shapes' signatures.  At production scale every
+           combo costs seconds to plan/simulate, so fewer are kept. *)
+        let max_combos =
+          if Topology.num_gpus topo >= 256 then min cfg.max_combos 12
+          else cfg.max_combos
+        in
+        let key =
+          Format.asprintf "%s/%d/%b/%d/%a" topo.Topology.name
+            (Topology.num_gpus topo)
+            (List.length primitives > 1)
+            max_combos
+            (fun fmt l ->
+              List.iter (fun s -> Format.fprintf fmt "%x." (Sketch.signature topo s)) l)
+            sketches
+        in
+        match Hashtbl.find_opt combo_cache key with
+        | Some c -> c
+        | None ->
+            let c =
+              if List.length primitives > 1 then
+                Combine.combos_all_to_all ~max_combos topo sketches
+              else Combine.combos_one_to_all ~max_combos topo sketches
+            in
+            Hashtbl.replace combo_cache key c;
+            c)
+  in
+  let plans = List.map (fun c -> (c, Subsolver.plan topo phase c)) combos in
+  (* Step 1: fast solving of every combination, then filtering (§5.3). *)
+  let step1, solve1_s =
+    timed (fun () ->
+        let strategy =
+          if cfg.fast_only then Subsolver.Fast_only
+          else
+            (* Coarse solving: large epochs (E1) and a small refinement
+               budget — quick screening of every combination. *)
+            Subsolver.Milp_refine
+              {
+                e = cfg.e1;
+                var_budget = cfg.milp_var_budget / 2;
+                node_limit = min 20 cfg.milp_node_limit;
+                time_limit = Float.min 2.0 cfg.milp_time_limit;
+              }
+        in
+        let solution = solve_plans ~domains:cfg.domains strategy topo (List.map snd plans) in
+        (* Coarse screening simulates with few blocks; survivors get the
+           full-fidelity simulation in step 2.  Candidates are independent,
+           so assembly + simulation also spread across the solver domains
+           (the class-solution table is read-only by now). *)
+        let screen_blocks = min 2 cfg.blocks in
+        Array.to_list
+          (Parallel.map ~domains:cfg.domains
+             (fun (c, p) ->
+               let s = Subsolver.assemble p ~solution in
+               let s = if mirrored then Schedule.reverse s else s in
+               (c, p, s, Sim.time ~blocks:screen_blocks topo s))
+             (Array.of_list plans)))
+  in
+  (* Very large schedules are simulated with coarser pipelining: block count
+     barely moves the makespan once chunks are megabytes, but event counts
+     grow linearly. *)
+  let fidelity_blocks s =
+    if Schedule.num_xfers s > 40_000 then min 2 cfg.blocks else cfg.blocks
+  in
+  let best_t =
+    List.fold_left (fun a (_, _, _, t) -> Float.min a t) infinity step1
+  in
+  let survivors =
+    List.filter (fun (_, _, _, t) -> t <= best_t *. (1.0 +. cfg.r1)) step1
+    |> List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare a b)
+    |> List.filteri (fun i _ -> i < cfg.r2)
+  in
+  (* Step 2: accurate solving and full-fidelity simulation of the
+     surviving candidates. *)
+  let step2, solve2_s =
+    timed (fun () ->
+        if cfg.fast_only then
+          List.map
+            (fun (c, p, s1, _) ->
+              (c, p, s1, Sim.time ~blocks:(fidelity_blocks s1) topo s1))
+            survivors
+        else begin
+          let strategy = strategy_of cfg ~e:cfg.e2 in
+          let solution =
+            solve_plans ~domains:cfg.domains strategy topo
+              (List.map (fun (_, p, _, _) -> p) survivors)
+          in
+          List.map
+            (fun (c, p, s1, _) ->
+              let s2 = Subsolver.assemble p ~solution in
+              let s2 = if mirrored then Schedule.reverse s2 else s2 in
+              let t1 = Sim.time ~blocks:(fidelity_blocks s1) topo s1 in
+              let t2 = Sim.time ~blocks:(fidelity_blocks s2) topo s2 in
+              if t2 < t1 then (c, p, s2, t2) else (c, p, s1, t1))
+            survivors
+        end)
+  in
+  let (combo, _, sched, t) =
+    match
+      List.sort (fun (_, _, _, a) (_, _, _, b) -> Float.compare a b) step2
+    with
+    | best :: _ -> best
+    | [] -> failwith "Synthesizer: no candidate survived"
+  in
+  ( sched,
+    t,
+    {
+      search_s;
+      combine_s;
+      solve1_s;
+      solve2_s;
+    },
+    List.length sketches,
+    List.length combos,
+    combo.Combine.desc )
+
+let synthesize ?(config = default_config) topo coll =
+  let t0 = Unix.gettimeofday () in
+  if coll.Collective.n <> Topology.num_gpus topo then
+    invalid_arg "Synthesizer: collective/topology GPU count mismatch";
+  let phases = Collective.phases coll in
+  let results = List.map (synth_phase config topo) phases in
+  let schedules = List.map (fun (s, _, _, _, _, _) -> s) results in
+  let time = List.fold_left (fun a (_, t, _, _, _, _) -> a +. t) 0.0 results in
+  let breakdown =
+    List.fold_left (fun a (_, _, b, _, _, _) -> add_breakdown a b) zero_breakdown results
+  in
+  let num_sketches = List.fold_left (fun a (_, _, _, s, _, _) -> a + s) 0 results in
+  let num_combos = List.fold_left (fun a (_, _, _, _, c, _) -> a + c) 0 results in
+  let chosen = String.concat " + " (List.map (fun (_, _, _, _, _, d) -> d) results) in
+  {
+    schedules;
+    time;
+    busbw = Collective.busbw coll ~time;
+    synth_time = Unix.gettimeofday () -. t0;
+    breakdown;
+    num_sketches;
+    num_combos;
+    chosen;
+  }

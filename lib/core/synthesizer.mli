@@ -1,0 +1,49 @@
+(** The SyCCL synthesis driver (§3.3, §5): sketch exploration → sketch
+    combinations → two-step sub-schedule synthesis → simulator-based
+    selection. *)
+
+type config = {
+  search_config : Search.config option;  (** [None] = {!Search.default} *)
+  e1 : float;  (** coarse-step epoch knob (§5.3; paper default 3.0) *)
+  e2 : float;  (** fine-step epoch knob (paper default 0.5) *)
+  r1 : float;  (** keep candidates within [r1] of the best (default 0.20) *)
+  r2 : int;  (** keep at most [r2] candidates for the fine step (default 8) *)
+  fast_only : bool;  (** skip the MILP refinement entirely *)
+  milp_var_budget : int;  (** model-size cap for the epoch MILP *)
+  milp_node_limit : int;
+  milp_time_limit : float;  (** per-model solver budget, seconds *)
+  max_shapes : int;  (** sketches kept (by α-β estimate) for combination *)
+  max_combos : int;
+  domains : int;  (** parallel solver instances (§5.3) *)
+  blocks : int;  (** simulator pipelining blocks *)
+}
+
+val default_config : config
+(** E1 = 3.0, E2 = 0.5, R1 = 20 %, R2 = 8 (§7.1), MILP refinement on. *)
+
+type breakdown = {
+  search_s : float;
+  combine_s : float;
+  solve1_s : float;
+  solve2_s : float;
+}
+(** Wall-clock per synthesis step (Fig. 16b). *)
+
+type outcome = {
+  schedules : Syccl_sim.Schedule.t list;  (** one per collective phase *)
+  time : float;  (** simulated completion time, seconds *)
+  busbw : float;  (** bus bandwidth, GB/s *)
+  synth_time : float;
+  breakdown : breakdown;
+  num_sketches : int;
+  num_combos : int;
+  chosen : string;  (** description of the winning combination *)
+}
+
+val synthesize :
+  ?config:config ->
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  outcome
+(** Synthesize a schedule for the collective on the topology.  AllReduce is
+    synthesized as ReduceScatter followed by AllGather (§4.3). *)

@@ -1,0 +1,166 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Vcollective = Syccl_collective.Vcollective
+module Schedule = Syccl_sim.Schedule
+module Sim = Syccl_sim.Sim
+module Greedy = Syccl_teccl.Greedy
+
+type mode = [ `Greedy | `Hybrid ]
+
+type outcome = {
+  schedule : Schedule.t;
+  time : float;
+  algbw : float;
+  synth_time : float;
+  mode_used : mode;
+}
+
+let metas_of_chunks chunks =
+  Array.of_list
+    (List.map
+       (fun ch ->
+         match ch with
+         | Collective.Gather_chunk { id; size; src; dsts } ->
+             { Schedule.size; mode = `Gather; initial = [ src ]; wanted = dsts; tag = id }
+         | Collective.Reduce_chunk _ -> assert false)
+       chunks)
+
+let greedy_schedule topo v =
+  let metas = metas_of_chunks (Vcollective.chunks v) in
+  match Greedy.solve topo metas with
+  | Some s -> s
+  | None -> failwith "Vsynth: greedy could not satisfy the vector demand"
+
+(* Tag remapping from the symmetric collective's chunk numbering to the
+   vector demand's chunk ids. *)
+let retag_base v (s : Schedule.t) =
+  let n = Vcollective.num_gpus v in
+  let vid = Hashtbl.create 64 in
+  List.iter
+    (fun ch ->
+      match ch with
+      | Collective.Gather_chunk { id; src; dsts; _ } -> (
+          match v with
+          | Vcollective.AllGatherV _ -> Hashtbl.replace vid src id
+          | Vcollective.AllToAllV _ ->
+              List.iter (fun dst -> Hashtbl.replace vid ((src * n) + dst) id) dsts)
+      | Collective.Reduce_chunk _ -> ())
+    (Vcollective.chunks v);
+  {
+    s with
+    Schedule.chunks =
+      Array.map
+        (fun c ->
+          match Hashtbl.find_opt vid c.Schedule.tag with
+          | Some t -> { c with Schedule.tag = t }
+          | None -> c)
+        s.Schedule.chunks;
+  }
+
+let residual_schedule topo v ~base =
+  let metas =
+    match v with
+    | Vcollective.AllGatherV sizes ->
+        List.filter_map
+          (fun ch ->
+            match ch with
+            | Collective.Gather_chunk { id; src; dsts; _ } ->
+                let extra = sizes.(src) -. base in
+                if extra <= 1e-9 then None
+                else Some { Schedule.size = extra; mode = `Gather; initial = [ src ]; wanted = dsts; tag = id }
+            | Collective.Reduce_chunk _ -> None)
+          (Vcollective.chunks v)
+    | Vcollective.AllToAllV sizes ->
+        List.filter_map
+          (fun ch ->
+            match ch with
+            | Collective.Gather_chunk { id; src; dsts; _ } ->
+                let dst = List.hd dsts in
+                let extra = sizes.(src).(dst) -. base in
+                if extra <= 1e-9 then None
+                else Some { Schedule.size = extra; mode = `Gather; initial = [ src ]; wanted = dsts; tag = id }
+            | Collective.Reduce_chunk _ -> None)
+          (Vcollective.chunks v)
+  in
+  if metas = [] then Schedule.empty
+  else
+    match Greedy.solve topo (Array.of_list metas) with
+    | Some s -> s
+    | None -> failwith "Vsynth: greedy could not satisfy the residual demand"
+
+let synthesize ?(mode = `Hybrid) ?config topo v =
+  let t0 = Unix.gettimeofday () in
+  let n = Vcollective.num_gpus v in
+  if n <> Topology.num_gpus topo then
+    invalid_arg "Vsynth: demand/topology GPU count mismatch";
+  let base = Vcollective.symmetric_base v in
+  let mean =
+    Vcollective.total_bytes v /. float_of_int (List.length (Vcollective.chunks v))
+  in
+  let effective_mode =
+    match mode with
+    | `Greedy -> `Greedy
+    | `Hybrid -> if base < 0.01 *. mean then `Greedy else `Hybrid
+  in
+  let schedule =
+    match effective_mode with
+    | `Greedy -> greedy_schedule topo v
+    | `Hybrid ->
+        let sym =
+          match v with
+          | Vcollective.AllGatherV _ ->
+              Collective.make Collective.AllGather ~n ~size:(base *. float_of_int n)
+          | Vcollective.AllToAllV _ ->
+              Collective.make Collective.AllToAll ~n ~size:(base *. float_of_int n)
+        in
+        let o = Synthesizer.synthesize ?config topo sym in
+        let base_sched =
+          match o.Synthesizer.schedules with
+          | [ s ] -> retag_base v s
+          | _ -> failwith "Vsynth: single-phase collective expected"
+        in
+        Schedule.union [ base_sched; residual_schedule topo v ~base ]
+  in
+  let time = Sim.time topo schedule in
+  {
+    schedule;
+    time;
+    algbw = Vcollective.algbw v ~time;
+    synth_time = Unix.gettimeofday () -. t0;
+    mode_used = effective_mode;
+  }
+
+let covers topo v (s : Schedule.t) =
+  let ( let* ) = Result.bind in
+  let* () = Syccl_sim.Validate.check topo s in
+  let by_tag = Hashtbl.create 64 in
+  Array.iter
+    (fun (m : Schedule.chunk_meta) ->
+      Hashtbl.replace by_tag m.Schedule.tag
+        (m :: Option.value (Hashtbl.find_opt by_tag m.Schedule.tag) ~default:[]))
+    s.Schedule.chunks;
+  let rec go = function
+    | [] -> Ok ()
+    | Collective.Reduce_chunk _ :: _ -> Error "vector demands are gather-only"
+    | Collective.Gather_chunk { id; size; src; dsts } :: rest -> (
+        match Hashtbl.find_opt by_tag id with
+        | None -> Error (Printf.sprintf "demand chunk %d unscheduled" id)
+        | Some frs ->
+            let total = List.fold_left (fun a m -> a +. m.Schedule.size) 0.0 frs in
+            if Float.abs (total -. size) > 1e-3 *. size then
+              Error
+                (Printf.sprintf "demand chunk %d: fractions sum to %g, expected %g"
+                   id total size)
+            else if
+              List.for_all
+                (fun m ->
+                  List.mem src m.Schedule.initial
+                  && List.for_all
+                       (fun d ->
+                         List.mem d m.Schedule.wanted || List.mem d m.Schedule.initial)
+                       dsts)
+                frs
+            then go rest
+            else Error (Printf.sprintf "demand chunk %d mismatched" id))
+  in
+  go (Vcollective.chunks v)

@@ -1,0 +1,40 @@
+(** Synthesis for asymmetric (vector) collectives (§8).
+
+    Collective symmetry does not hold for AllGatherV / AlltoAllV, so sketch
+    decomposition does not apply directly.  Following the paper's
+    discussion, two paths are provided:
+
+    - [`Greedy]: the earliest-finish heuristic over the full vector demand —
+      the recommended approach for highly irregular patterns;
+    - [`Hybrid]: extract the {e symmetric base} (the largest per-rank demand
+      every GPU shares), synthesize it with SyCCL's full symmetry pipeline,
+      and cover the residual asymmetric remainder with the greedy — "a base
+      solution for a symmetric sub-demand in the original collective". *)
+
+type mode = [ `Greedy | `Hybrid ]
+
+type outcome = {
+  schedule : Syccl_sim.Schedule.t;
+  time : float;  (** simulated completion time, seconds *)
+  algbw : float;  (** aggregate GB/s *)
+  synth_time : float;
+  mode_used : mode;
+}
+
+val synthesize :
+  ?mode:mode ->
+  ?config:Synthesizer.config ->
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Vcollective.t ->
+  outcome
+(** Synthesize a schedule for the vector demand.  [`Hybrid] (default) falls
+    back to [`Greedy] when the symmetric base is zero or negligible
+    (< 1 % of the mean demand). *)
+
+val covers :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Vcollective.t ->
+  Syccl_sim.Schedule.t ->
+  (unit, string) result
+(** Schedule validity against the vector demand: schedule chunks grouped by
+    tag must deliver every demand chunk, fractions summing to its size. *)

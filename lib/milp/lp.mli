@@ -1,0 +1,27 @@
+(** Dense two-phase primal simplex for linear programs in the form
+
+    {v minimize c·x  subject to  a_i·x (≤ | ≥ | =) b_i,  x ≥ 0 v}
+
+    This is the LP engine underneath {!Milp}; it substitutes for the
+    commercial solver the paper uses (see DESIGN.md).  Bland's rule
+    guarantees termination; problems in this repository are small (hundreds
+    to a few thousand variables). *)
+
+type cmp = Le | Ge | Eq
+
+type problem = {
+  num_vars : int;
+  objective : float array;  (** length [num_vars]; minimized *)
+  rows : ((int * float) list * cmp * float) list;
+      (** sparse constraint rows: (terms, comparison, rhs) *)
+}
+
+type result =
+  | Optimal of { x : float array; obj : float }
+  | Infeasible
+  | Unbounded
+  | Iter_limit
+
+val solve : ?max_iters:int -> problem -> result
+(** Solve the LP.  [max_iters] bounds total simplex pivots (default scales
+    with problem size). *)

@@ -1,0 +1,185 @@
+type var = { lb : float; ub : float; integer : bool; obj : float; vname : string }
+
+type model = {
+  mutable vars : var list;  (* reversed *)
+  mutable nvars : int;
+  mutable rows : ((int * float) list * Lp.cmp * float) list;  (* reversed *)
+}
+
+let create () = { vars = []; nvars = 0; rows = [] }
+
+let add_var m ?(lb = 0.0) ?(ub = infinity) ?(integer = false) ?(obj = 0.0) vname =
+  if lb < 0.0 then invalid_arg "Milp.add_var: lb < 0 unsupported";
+  if ub < lb then invalid_arg "Milp.add_var: ub < lb";
+  let id = m.nvars in
+  m.vars <- { lb; ub; integer; obj; vname } :: m.vars;
+  m.nvars <- m.nvars + 1;
+  id
+
+let binary m ?obj vname = add_var m ~lb:0.0 ~ub:1.0 ~integer:true ?obj vname
+
+let num_vars m = m.nvars
+
+let add_row m terms cmp rhs = m.rows <- (terms, cmp, rhs) :: m.rows
+
+let add_le m terms rhs = add_row m terms Lp.Le rhs
+let add_ge m terms rhs = add_row m terms Lp.Ge rhs
+let add_eq m terms rhs = add_row m terms Lp.Eq rhs
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Limit
+
+type result = { status : status; x : float array; obj : float; nodes : int }
+
+let int_tol = 1e-6
+
+let vars_array m : var array = Array.of_list (List.rev m.vars)
+
+let objective m =
+  let vs = vars_array m in
+  Array.map (fun (v : var) -> v.obj) vs
+
+let eval_obj m x =
+  let acc = ref 0.0 in
+  Array.iteri (fun j (v : var) -> acc := !acc +. (v.obj *. x.(j))) (vars_array m);
+  !acc
+
+let check_feasible m x =
+  let vs = vars_array m in
+  Array.length x = m.nvars
+  && Array.for_all2
+       (fun v xi ->
+         xi >= v.lb -. int_tol
+         && xi <= v.ub +. int_tol
+         && ((not v.integer) || Float.abs (xi -. Float.round xi) <= int_tol))
+       vs x
+  && List.for_all
+       (fun (terms, cmp, rhs) ->
+         let lhs = List.fold_left (fun a (j, c) -> a +. (c *. x.(j))) 0.0 terms in
+         match cmp with
+         | Lp.Le -> lhs <= rhs +. 1e-6
+         | Lp.Ge -> lhs >= rhs -. 1e-6
+         | Lp.Eq -> Float.abs (lhs -. rhs) <= 1e-6)
+       m.rows
+
+(* A branch-and-bound node is a set of extra variable bounds. *)
+type node = { extra : (int * Lp.cmp * float) list; lp_bound : float; depth : int }
+
+let solve ?(node_limit = 2000) ?(time_limit = infinity) ?(lp_iter_limit = 4000)
+    ?incumbent m =
+  let vs = vars_array m in
+  let base_rows =
+    List.rev m.rows
+    @ List.concat
+        (List.mapi
+           (fun j v ->
+             (if v.lb > 0.0 then [ ([ (j, 1.0) ], Lp.Ge, v.lb) ] else [])
+             @ if v.ub < infinity then [ ([ (j, 1.0) ], Lp.Le, v.ub) ] else [])
+           (Array.to_list vs))
+  in
+  let obj = objective m in
+  let lp_of extra =
+    {
+      Lp.num_vars = m.nvars;
+      objective = obj;
+      rows = base_rows @ List.map (fun (j, c, b) -> ([ (j, 1.0) ], c, b)) extra;
+    }
+  in
+  let best_x = ref None and best_obj = ref infinity in
+  (match incumbent with
+  | Some x when check_feasible m x ->
+      best_x := Some (Array.copy x);
+      best_obj := eval_obj m x
+  | _ -> ());
+  let start = Unix.gettimeofday () in
+  let nodes = ref 0 in
+  let queue =
+    Syccl_util.Pqueue.create ~cmp:(fun a b ->
+        let c = Float.compare a.lp_bound b.lp_bound in
+        if c <> 0 then c else compare b.depth a.depth)
+  in
+  let fractional x =
+    (* Most fractional integer variable, if any. *)
+    let best = ref (-1) and bestfrac = ref int_tol in
+    Array.iteri
+      (fun j v ->
+        if v.integer then begin
+          let f = Float.abs (x.(j) -. Float.round x.(j)) in
+          if f > !bestfrac then begin
+            best := j;
+            bestfrac := f
+          end
+        end)
+      vs;
+    if !best < 0 then None else Some !best
+  in
+  let hit_limit = ref false in
+  let process node =
+    incr nodes;
+    if node.lp_bound >= !best_obj -. 1e-9 then ()
+    else
+      match Lp.solve ~max_iters:lp_iter_limit (lp_of node.extra) with
+      | Lp.Infeasible | Lp.Iter_limit -> ()
+      | Lp.Unbounded ->
+          (* An unbounded relaxation at the root means an unbounded MILP for
+             our well-posed models; deeper nodes inherit the root status. *)
+          if node.depth = 0 then begin
+            best_obj := neg_infinity;
+            hit_limit := false
+          end
+      | Lp.Optimal { x; obj = bound } ->
+          if bound < !best_obj -. 1e-9 then begin
+            match fractional x with
+            | None ->
+                (* Integral: new incumbent. *)
+                best_x := Some (Array.copy x);
+                best_obj := bound
+            | Some j ->
+                let lo = Float.of_int (int_of_float (floor (x.(j) +. int_tol))) in
+                Syccl_util.Pqueue.push queue
+                  {
+                    extra = (j, Lp.Le, lo) :: node.extra;
+                    lp_bound = bound;
+                    depth = node.depth + 1;
+                  };
+                Syccl_util.Pqueue.push queue
+                  {
+                    extra = (j, Lp.Ge, lo +. 1.0) :: node.extra;
+                    lp_bound = bound;
+                    depth = node.depth + 1;
+                  }
+          end
+  in
+  let root = { extra = []; lp_bound = neg_infinity; depth = 0 } in
+  let unbounded = ref false in
+  (match Lp.solve ~max_iters:lp_iter_limit (lp_of []) with
+  | Lp.Infeasible ->
+      if !best_x = None then best_obj := infinity
+  | Lp.Iter_limit -> hit_limit := true
+  | Lp.Unbounded -> unbounded := true
+  | Lp.Optimal { x; obj = bound } -> (
+      match fractional x with
+      | None ->
+          if bound < !best_obj then begin
+            best_x := Some (Array.copy x);
+            best_obj := bound
+          end
+      | Some _ -> Syccl_util.Pqueue.push queue { root with lp_bound = bound }));
+  let rec drain () =
+    if !nodes >= node_limit || Unix.gettimeofday () -. start > time_limit then
+      hit_limit := true
+    else
+      match Syccl_util.Pqueue.pop queue with
+      | None -> ()
+      | Some node ->
+          process node;
+          drain ()
+  in
+  if not !unbounded then drain ();
+  let x = match !best_x with Some x -> x | None -> Array.make m.nvars 0.0 in
+  let status =
+    if !unbounded then Unbounded
+    else if !best_x = None then if !hit_limit then Limit else Infeasible
+    else if !hit_limit then Feasible
+    else Optimal
+  in
+  { status; x; obj = !best_obj; nodes = !nodes }

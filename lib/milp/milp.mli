@@ -1,0 +1,53 @@
+(** Mixed-integer linear programming: a small modelling DSL plus a best-first
+    branch-and-bound over the {!Lp} simplex.
+
+    This module substitutes for the commercial MILP solver used in the paper;
+    it targets the small sub-demand models produced by SyCCL's decomposition
+    (§5.1) and the TECCL baseline's whole-problem models (Appendix A). *)
+
+type model
+
+val create : unit -> model
+
+val add_var :
+  model -> ?lb:float -> ?ub:float -> ?integer:bool -> ?obj:float -> string -> int
+(** Register a variable, returning its index.  [lb] defaults to 0 (and must
+    be ≥ 0), [ub] to +∞, [obj] to 0.  [integer] marks the variable for
+    branching. *)
+
+val binary : model -> ?obj:float -> string -> int
+(** Shorthand for an integer variable in [\[0, 1\]]. *)
+
+val num_vars : model -> int
+
+val add_le : model -> (int * float) list -> float -> unit
+val add_ge : model -> (int * float) list -> float -> unit
+val add_eq : model -> (int * float) list -> float -> unit
+(** Add a constraint row [Σ coef·var (≤|≥|=) rhs]. *)
+
+type status = Optimal | Feasible | Infeasible | Unbounded | Limit
+
+type result = {
+  status : status;
+  x : float array;  (** best solution found (meaningless unless feasible) *)
+  obj : float;
+  nodes : int;  (** branch-and-bound nodes explored *)
+}
+
+val solve :
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?lp_iter_limit:int ->
+  ?incumbent:float array ->
+  model ->
+  result
+(** Minimize.  [incumbent] seeds the search with a known feasible point
+    (checked; ignored if it violates constraints).  [Feasible] means the
+    node or time budget expired with an incumbent in hand whose optimality
+    was not proven; [Limit] means the budget expired with no solution.
+    [lp_iter_limit] (default 4000) bounds simplex pivots per LP so a single
+    relaxation cannot blow the time budget between checks. *)
+
+val check_feasible : model -> float array -> bool
+(** True iff the point satisfies every constraint, bounds, and integrality
+    (tolerance 1e-6). *)

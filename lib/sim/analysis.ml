@@ -1,0 +1,121 @@
+module Topology = Syccl_topology.Topology
+module Link = Syccl_topology.Link
+
+type port_stats = {
+  gpu : int;
+  port_group : int;
+  dir : [ `Egress | `Ingress ];
+  busy : float;
+  utilization : float;
+}
+
+type t = {
+  makespan : float;
+  total_bytes : float;
+  dim_bytes : float array;
+  ports : port_stats list;
+  bottleneck : port_stats option;
+  avg_hops : float;
+}
+
+let analyze ?blocks topo (s : Schedule.t) =
+  let report = Sim.run ?blocks topo s in
+  let makespan = report.Sim.time in
+  let nd = Topology.num_dims topo in
+  let dim_bytes = Array.make nd 0.0 in
+  let busy = Hashtbl.create 64 in
+  let add key b =
+    Hashtbl.replace busy key (b +. Option.value (Hashtbl.find_opt busy key) ~default:0.0)
+  in
+  let total_bytes = ref 0.0 in
+  List.iter
+    (fun (x : Schedule.xfer) ->
+      let d = Topology.dim topo x.dim in
+      let size = s.Schedule.chunks.(x.chunk).Schedule.size in
+      let b = Link.busy_time d.Topology.link size in
+      total_bytes := !total_bytes +. size;
+      dim_bytes.(x.dim) <- dim_bytes.(x.dim) +. size;
+      add (x.src, d.Topology.port_group, `Egress) b;
+      add (x.dst, d.Topology.port_group, `Ingress) b)
+    s.Schedule.xfers;
+  let ports =
+    Hashtbl.fold
+      (fun (gpu, port_group, dir) b acc ->
+        { gpu; port_group; dir; busy = b; utilization = (if makespan > 0.0 then b /. makespan else 0.0) }
+        :: acc)
+      busy []
+    |> List.sort (fun a b -> Float.compare b.busy a.busy)
+  in
+  let deliveries =
+    Array.fold_left
+      (fun acc (c : Schedule.chunk_meta) ->
+        acc
+        +
+        match c.Schedule.mode with
+        | `Gather -> List.length c.Schedule.wanted
+        | `Reduce -> List.length c.Schedule.initial)
+      0 s.Schedule.chunks
+  in
+  {
+    makespan;
+    total_bytes = !total_bytes;
+    dim_bytes;
+    ports;
+    bottleneck = (match ports with [] -> None | p :: _ -> Some p);
+    avg_hops =
+      (if deliveries = 0 then 0.0
+       else float_of_int (Schedule.num_xfers s) /. float_of_int deliveries);
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>makespan: %.1f us, %.1f MB moved, %.2f hops/delivery@,"
+    (t.makespan *. 1e6) (t.total_bytes /. 1e6) t.avg_hops;
+  Array.iteri
+    (fun d b -> Format.fprintf fmt "  dim %d traffic: %.1f MB@," d (b /. 1e6))
+    t.dim_bytes;
+  List.iteri
+    (fun i p ->
+      if i < 6 then
+        Format.fprintf fmt "  port gpu%d/pg%d/%s: busy %.1f us (%.0f%%)@," p.gpu
+          p.port_group
+          (match p.dir with `Egress -> "out" | `Ingress -> "in")
+          (p.busy *. 1e6) (p.utilization *. 100.0))
+    t.ports;
+  Format.fprintf fmt "@]"
+
+let timeline ?(width = 60) ?(limit = 40) topo (s : Schedule.t) =
+  let report = Sim.run topo s in
+  let makespan = Float.max report.Sim.time 1e-12 in
+  let xa = Array.of_list s.Schedule.xfers in
+  let rows =
+    Array.to_list
+      (Array.mapi
+         (fun i (x : Schedule.xfer) ->
+           let finish = report.Sim.xfer_finish.(i) in
+           let d = Topology.dim topo x.dim in
+           let dur =
+             Link.transfer_time d.Topology.link s.Schedule.chunks.(x.chunk).Schedule.size
+           in
+           (Float.max 0.0 (finish -. dur), finish, x))
+         xa)
+    |> List.sort (fun (_, a, _) (_, b, _) -> Float.compare a b)
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-18s %s (makespan %.1f us)\n" "transfer" "timeline"
+       (makespan *. 1e6));
+  List.iteri
+    (fun i (start, finish, (x : Schedule.xfer)) ->
+      if i < limit then begin
+        let cell t = int_of_float (t /. makespan *. float_of_int (width - 1)) in
+        let a = cell start and b = max (cell start) (cell finish) in
+        let bar =
+          String.init width (fun j -> if j >= a && j <= b then '#' else '.')
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "c%-3d %3d->%-3d d%d %s\n" x.chunk x.src x.dst x.dim bar)
+      end)
+    rows;
+  if List.length rows > limit then
+    Buffer.add_string buf (Printf.sprintf "... (%d more)\n" (List.length rows - limit));
+  Buffer.contents buf

@@ -1,0 +1,32 @@
+(** Schedule analysis: where the bytes go and which port is the bottleneck.
+
+    Used by the CLI's [analyze] command and by tests asserting structural
+    properties of synthesized schedules (e.g. "NVLink:NIC traffic matches
+    the capacity ratio", the §2.1 diagnosis). *)
+
+type port_stats = {
+  gpu : int;
+  port_group : int;
+  dir : [ `Egress | `Ingress ];
+  busy : float;  (** total seconds the port transmits *)
+  utilization : float;  (** busy / makespan *)
+}
+
+type t = {
+  makespan : float;
+  total_bytes : float;  (** bytes moved over all transfers *)
+  dim_bytes : float array;  (** bytes per topology dimension *)
+  ports : port_stats list;  (** every active port, busiest first *)
+  bottleneck : port_stats option;
+  avg_hops : float;  (** transfers per chunk delivery *)
+}
+
+val analyze : ?blocks:int -> Syccl_topology.Topology.t -> Schedule.t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Summary: makespan, per-dimension traffic, top ports. *)
+
+val timeline :
+  ?width:int -> ?limit:int -> Syccl_topology.Topology.t -> Schedule.t -> string
+(** Text Gantt chart of transfers ordered by finish time ([limit] rows,
+    default 40). *)

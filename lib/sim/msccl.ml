@@ -1,0 +1,135 @@
+module Collective = Syccl_collective.Collective
+
+(* Internal step representation; [dep] points at the receive step a relayed
+   send must wait for, resolved to (tbid, sid) at emission time. *)
+type step = {
+  op : string;  (* "s" | "r" | "rrc" *)
+  chunk : int;
+  prio : int;
+  mutable sid : int;
+  mutable hasdep : bool;
+  mutable dep : (tb * step) option;
+}
+
+and tb = {
+  tbid : int;
+  mutable send_peer : int;
+  mutable recv_peer : int;
+  chan : int;
+  mutable steps : step list;  (* reversed during construction *)
+}
+
+let coll_name (coll : Collective.t) =
+  String.lowercase_ascii (Collective.kind_name coll.Collective.kind)
+
+let to_xml ?(name = "syccl") ?(proto = "Simple") ?(channels = 1)
+    ~(coll : Collective.t) (s : Schedule.t) =
+  let n = coll.Collective.n in
+  (* One threadblock per (gpu, peer); a peer with traffic both ways shares
+     one threadblock, like MSCCL's paired send/recv connections. *)
+  let tbs : (int * int, tb) Hashtbl.t = Hashtbl.create 64 in
+  let next_tb = Array.make n 0 in
+  let tb_for gpu peer ~send =
+    let tb =
+      match Hashtbl.find_opt tbs (gpu, peer) with
+      | Some tb -> tb
+      | None ->
+          let tbid = next_tb.(gpu) in
+          next_tb.(gpu) <- tbid + 1;
+          let tb =
+            { tbid; send_peer = -1; recv_peer = -1; chan = tbid mod channels;
+              steps = [] }
+          in
+          Hashtbl.replace tbs (gpu, peer) tb;
+          tb
+    in
+    if send then tb.send_peer <- peer else tb.recv_peer <- peer;
+    tb
+  in
+  (* Latest receive of (gpu, chunk), so sends of relayed chunks can depend
+     on it (reduce fan-in keeps the last receive: MSCCL chains its
+     receive-reduce-copy steps). *)
+  let recv_of : (int * int, tb * step) Hashtbl.t = Hashtbl.create 64 in
+  let ordered =
+    List.stable_sort
+      (fun (a : Schedule.xfer) b -> compare a.prio b.prio)
+      s.Schedule.xfers
+  in
+  List.iter
+    (fun (x : Schedule.xfer) ->
+      let mode = s.Schedule.chunks.(x.chunk).Schedule.mode in
+      let stb = tb_for x.src x.dst ~send:true in
+      let send =
+        { op = "s"; chunk = x.chunk; prio = x.prio; sid = 0; hasdep = false;
+          dep = Hashtbl.find_opt recv_of (x.src, x.chunk) }
+      in
+      (match send.dep with
+      | Some (_, rstep) -> rstep.hasdep <- true
+      | None -> ());
+      stb.steps <- send :: stb.steps;
+      let rtb = tb_for x.dst x.src ~send:false in
+      let recv =
+        {
+          op = (match mode with `Gather -> "r" | `Reduce -> "rrc");
+          chunk = x.chunk;
+          prio = x.prio;
+          sid = 0;
+          hasdep = false;
+          dep = None;
+        }
+      in
+      rtb.steps <- recv :: rtb.steps;
+      Hashtbl.replace recv_of (x.dst, x.chunk) (rtb, recv))
+    ordered;
+  (* Number steps within each threadblock (construction order = priority
+     order). *)
+  let by_gpu = Array.make n [] in
+  Hashtbl.iter (fun (gpu, _) tb -> by_gpu.(gpu) <- tb :: by_gpu.(gpu)) tbs;
+  Array.iteri
+    (fun g l ->
+      let sorted = List.sort (fun a b -> compare a.tbid b.tbid) l in
+      List.iter
+        (fun tb ->
+          tb.steps <- List.rev tb.steps;
+          List.iteri (fun i st -> st.sid <- i) tb.steps)
+        sorted;
+      by_gpu.(g) <- sorted)
+    by_gpu;
+  let buf = Buffer.create 4096 in
+  let nchunks = Array.length s.Schedule.chunks in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<algo name=\"%s\" nchunksperloop=\"%d\" nchannels=\"%d\" proto=\"%s\" \
+        ngpus=\"%d\" coll=\"%s\" inplace=\"0\">\n"
+       name nchunks channels proto n (coll_name coll));
+  for g = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "  <gpu id=\"%d\" i_chunks=\"%d\" o_chunks=\"%d\" s_chunks=\"0\">\n" g
+         nchunks nchunks);
+    List.iter
+      (fun tb ->
+        Buffer.add_string buf
+          (Printf.sprintf "    <tb id=\"%d\" send=\"%d\" recv=\"%d\" chan=\"%d\">\n"
+             tb.tbid tb.send_peer tb.recv_peer tb.chan);
+        List.iter
+          (fun st ->
+            let depid, deps =
+              match st.dep with
+              | Some (rtb, rstep) -> (rtb.tbid, rstep.sid)
+              | None -> (-1, -1)
+            in
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "      <step s=\"%d\" type=\"%s\" srcbuf=\"o\" srcoff=\"%d\" \
+                  dstbuf=\"o\" dstoff=\"%d\" cnt=\"1\" depid=\"%d\" deps=\"%d\" \
+                  hasdep=\"%d\"/>\n"
+                 st.sid st.op st.chunk st.chunk depid deps
+                 (if st.hasdep then 1 else 0)))
+          tb.steps;
+        Buffer.add_string buf "    </tb>\n")
+      by_gpu.(g);
+    Buffer.add_string buf "  </gpu>\n"
+  done;
+  Buffer.add_string buf "</algo>\n";
+  Buffer.contents buf

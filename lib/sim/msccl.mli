@@ -1,0 +1,22 @@
+(** MSCCL-executor XML emission (§6).
+
+    The paper's schedule executor converts synthesized schedules into XML
+    consumed by the MSCCL executor [https://github.com/Azure/msccl-executor-nccl]
+    without touching CUDA kernels.  This module emits that format: one
+    [<gpu>] per rank, one threadblock per (peer, direction, channel), and
+    one [<step>] per chunk transfer, with cross-threadblock dependencies for
+    relayed chunks.
+
+    Reduce-mode chunks emit ["rrc"] (receive-reduce-copy) steps on the
+    receiving side, matching MSCCL's reduction semantics. *)
+
+val to_xml :
+  ?name:string ->
+  ?proto:string ->
+  ?channels:int ->
+  coll:Syccl_collective.Collective.t ->
+  Schedule.t ->
+  string
+(** Render the schedule.  [proto] defaults to ["Simple"]; [channels] spreads
+    threadblocks round-robin over that many channels (default 1).  Transfers
+    are ordered by priority within each threadblock. *)

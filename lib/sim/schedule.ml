@@ -1,0 +1,132 @@
+type xfer = { chunk : int; src : int; dst : int; dim : int; prio : int }
+
+type chunk_meta = {
+  size : float;
+  mode : [ `Gather | `Reduce ];
+  initial : int list;
+  wanted : int list;
+  tag : int;
+}
+
+type t = { chunks : chunk_meta array; xfers : xfer list }
+
+let empty = { chunks = [||]; xfers = [] }
+
+let union schedules =
+  let chunks = Array.concat (List.map (fun s -> s.chunks) schedules) in
+  let _, xfers =
+    List.fold_left
+      (fun (offset, acc) s ->
+        let shifted =
+          List.map (fun x -> { x with chunk = x.chunk + offset }) s.xfers
+        in
+        (offset + Array.length s.chunks, List.rev_append shifted acc))
+      (0, []) schedules
+  in
+  { chunks; xfers = List.rev xfers }
+
+let map_gpus t f =
+  {
+    chunks =
+      Array.map
+        (fun c ->
+          { c with initial = List.map f c.initial; wanted = List.map f c.wanted })
+        t.chunks;
+    xfers = List.map (fun x -> { x with src = f x.src; dst = f x.dst }) t.xfers;
+  }
+
+let reverse t =
+  let flip c =
+    let mode = match c.mode with `Gather -> `Reduce | `Reduce -> `Gather in
+    { c with mode; initial = c.wanted; wanted = c.initial }
+  in
+  (* Time reversal: what finished last must start first, so priorities are
+     mirrored (making [reverse] a cost involution under the simulator). *)
+  let maxp = List.fold_left (fun a x -> max a x.prio) 0 t.xfers in
+  {
+    chunks = Array.map flip t.chunks;
+    xfers =
+      List.rev_map
+        (fun x -> { x with src = x.dst; dst = x.src; prio = maxp - x.prio })
+        t.xfers;
+  }
+
+let scale t f =
+  assert (f > 0.0);
+  { t with chunks = Array.map (fun c -> { c with size = c.size *. f }) t.chunks }
+
+let num_xfers t = List.length t.xfers
+
+module Json = Syccl_util.Json
+
+let to_json t =
+  let ints l = Json.List (List.map (fun i -> Json.Num (float_of_int i)) l) in
+  Json.Obj
+    [
+      ( "chunks",
+        Json.List
+          (Array.to_list
+             (Array.map
+                (fun c ->
+                  Json.Obj
+                    [
+                      ("size", Json.Num c.size);
+                      ( "mode",
+                        Json.Str
+                          (match c.mode with `Gather -> "gather" | `Reduce -> "reduce")
+                      );
+                      ("initial", ints c.initial);
+                      ("wanted", ints c.wanted);
+                      ("tag", Json.Num (float_of_int c.tag));
+                    ])
+                t.chunks)) );
+      ( "xfers",
+        Json.List
+          (List.map
+             (fun x ->
+               Json.List
+                 (List.map
+                    (fun i -> Json.Num (float_of_int i))
+                    [ x.chunk; x.src; x.dst; x.dim; x.prio ]))
+             t.xfers) );
+    ]
+
+let of_json j =
+  let ints v = List.map Json.to_int (Json.to_list v) in
+  let chunks =
+    Array.of_list
+      (List.map
+         (fun c ->
+           {
+             size = Json.to_float (Json.member "size" c);
+             mode =
+               (match Json.to_str (Json.member "mode" c) with
+               | "gather" -> `Gather
+               | "reduce" -> `Reduce
+               | s -> raise (Json.Parse_error ("unknown chunk mode " ^ s)));
+             initial = ints (Json.member "initial" c);
+             wanted = ints (Json.member "wanted" c);
+             tag = Json.to_int (Json.member "tag" c);
+           })
+         (Json.to_list (Json.member "chunks" j)))
+  in
+  let xfers =
+    List.map
+      (fun x ->
+        match ints x with
+        | [ chunk; src; dst; dim; prio ] -> { chunk; src; dst; dim; prio }
+        | _ -> raise (Json.Parse_error "transfer must have five fields"))
+      (Json.to_list (Json.member "xfers" j))
+  in
+  { chunks; xfers }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>schedule: %d chunks, %d xfers@," (Array.length t.chunks)
+    (num_xfers t);
+  List.iteri
+    (fun i x ->
+      if i < 64 then
+        Format.fprintf fmt "  c%d: %d -> %d (dim %d)@," x.chunk x.src x.dst x.dim)
+    t.xfers;
+  if num_xfers t > 64 then Format.fprintf fmt "  ...@,";
+  Format.fprintf fmt "@]"

@@ -1,0 +1,23 @@
+(** α-β event-driven schedule simulator (§5.2).
+
+    Chunks are split into [blocks] equal blocks which pipeline across hops:
+    block [b] of a relayed transfer may be injected as soon as block [b]
+    arrived at the relay.  Ports — one egress and one ingress per (GPU, port
+    group) — serialize at [β·block_size] per block; a block lands
+    [α + β·block_size] after it starts.  Every block event is processed
+    exactly once, so the cost is O(events · log events). *)
+
+type report = {
+  time : float;  (** completion time of the whole schedule, seconds *)
+  events : int;  (** number of block events processed *)
+  xfer_finish : float array;  (** finish time of each transfer (last block) *)
+}
+
+val run : ?blocks:int -> Syccl_topology.Topology.t -> Schedule.t -> report
+(** Simulate.  [blocks] defaults to 8; it is clamped so blocks are at least
+    one byte.  Raises [Invalid_argument] if a transfer references a missing
+    chunk or its endpoints are not peers in its dimension, and [Failure] if
+    the schedule deadlocks (a transfer's data dependency never resolves). *)
+
+val time : ?blocks:int -> Syccl_topology.Topology.t -> Schedule.t -> float
+(** [time topo s] = [(run topo s).time]. *)

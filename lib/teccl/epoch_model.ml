@@ -1,0 +1,370 @@
+module Topology = Syccl_topology.Topology
+module Link = Syccl_topology.Link
+module Schedule = Syccl_sim.Schedule
+module Milp = Syccl_milp.Milp
+
+type edge = { eu : int; ev : int; edim : int }
+
+type spec = {
+  topo : Topology.t;
+  chunks : Schedule.chunk_meta array;
+  edges : edge array;
+  tau : float;
+  horizon : int;
+}
+
+let group_edges topo ~dim ~group =
+  let members = Topology.gpus_in_group topo ~dim ~group in
+  let acc = ref [] in
+  Array.iter
+    (fun u ->
+      Array.iter (fun v -> if u <> v then acc := { eu = u; ev = v; edim = dim } :: !acc) members)
+    members;
+  Array.of_list (List.rev !acc)
+
+let all_edges topo =
+  let n = Topology.num_gpus topo in
+  let acc = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then begin
+        (* Lowest dimension connecting the pair (fastest/most local link). *)
+        let rec first d =
+          if d >= Topology.num_dims topo then None
+          else if Topology.group_of topo ~dim:d u = Topology.group_of topo ~dim:d v
+          then Some d
+          else first (d + 1)
+        in
+        match first 0 with
+        | Some d -> acc := { eu = u; ev = v; edim = d } :: !acc
+        | None -> ()
+      end
+    done
+  done;
+  Array.of_list (List.rev !acc)
+
+let edge_timing spec c k =
+  let link = (Topology.dim spec.topo spec.edges.(k).edim).Topology.link in
+  Tau.epochs_for ~link ~size:spec.chunks.(c).Schedule.size ~tau:spec.tau
+
+let port_group spec k = (Topology.dim spec.topo spec.edges.(k).edim).Topology.port_group
+
+let replay spec (sched : Schedule.t) =
+  let n = Topology.num_gpus spec.topo in
+  let nd = Topology.num_dims spec.topo in
+  let npg =
+    1 + Array.fold_left max 0
+          (Array.init nd (fun d -> (Topology.dim spec.topo d).Topology.port_group))
+  in
+  let nc = Array.length spec.chunks in
+  let hold = Array.make_matrix nc n max_int in
+  Array.iteri
+    (fun c (m : Schedule.chunk_meta) -> List.iter (fun v -> hold.(c).(v) <- 0) m.initial)
+    spec.chunks;
+  let eg = Array.make (n * npg) 0 and ing = Array.make (n * npg) 0 in
+  let ordered =
+    List.stable_sort (fun (a : Schedule.xfer) b -> compare a.prio b.prio) sched.xfers
+  in
+  let edge_index = Hashtbl.create 64 in
+  Array.iteri (fun k e -> Hashtbl.replace edge_index (e.eu, e.ev, e.edim) k) spec.edges;
+  let fits = ref true in
+  let makespan = ref 0 in
+  List.iter
+    (fun (x : Schedule.xfer) ->
+      if !fits then
+        match Hashtbl.find_opt edge_index (x.src, x.dst, x.dim) with
+        | None -> fits := false
+        | Some k ->
+            let lat, busy = edge_timing spec x.chunk k in
+            let pg = port_group spec k in
+            if hold.(x.chunk).(x.src) = max_int then fits := false
+            else begin
+              let start =
+                max hold.(x.chunk).(x.src)
+                  (max eg.((x.src * npg) + pg) ing.((x.dst * npg) + pg))
+              in
+              eg.((x.src * npg) + pg) <- start + busy;
+              ing.((x.dst * npg) + pg) <- start + busy;
+              let arrive = start + lat in
+              if arrive < hold.(x.chunk).(x.dst) then hold.(x.chunk).(x.dst) <- arrive;
+              if arrive > !makespan then makespan := arrive;
+              if arrive > spec.horizon then fits := false
+            end)
+    ordered;
+  (* All demands must actually be met under the quantized replay. *)
+  Array.iteri
+    (fun c (m : Schedule.chunk_meta) ->
+      List.iter (fun v -> if hold.(c).(v) = max_int then fits := false) m.wanted)
+    spec.chunks;
+  if !fits then Some !makespan else None
+
+(* Variable layout helpers. *)
+type layout = {
+  model : Milp.model;
+  has : int array array array;  (* chunk, gpu, epoch 0..horizon *)
+  send : int array array;  (* chunk, edge -> first epoch var id; -1 if none *)
+  send_epochs : int array array;  (* number of epoch slots per (chunk, edge) *)
+  t_var : int;
+}
+
+let build spec =
+  let n = Topology.num_gpus spec.topo in
+  let nc = Array.length spec.chunks in
+  let ne = Array.length spec.edges in
+  let horizon = spec.horizon in
+  let m = Milp.create () in
+  (* Participating GPUs: restrict [has] variables to GPUs that appear in the
+     demand or on an allowed edge, to keep models small. *)
+  let participates = Array.make n false in
+  Array.iter (fun e -> participates.(e.eu) <- true; participates.(e.ev) <- true) spec.edges;
+  Array.iter
+    (fun (c : Schedule.chunk_meta) ->
+      List.iter (fun v -> participates.(v) <- true) c.initial;
+      List.iter (fun v -> participates.(v) <- true) c.wanted)
+    spec.chunks;
+  let is_initial c v = List.mem v spec.chunks.(c).Schedule.initial in
+  let is_wanted c v = List.mem v spec.chunks.(c).Schedule.wanted in
+  let npairs =
+    Array.fold_left (fun a (c : Schedule.chunk_meta) -> a + List.length c.wanted) 0 spec.chunks
+  in
+  let eps = 1.0 /. float_of_int (((horizon + 1) * max 1 npairs * 10) + 10) in
+  let has =
+    Array.init nc (fun c ->
+        Array.init n (fun v ->
+            if not participates.(v) then [||]
+            else
+              Array.init (horizon + 1) (fun e ->
+                  let lb, ub =
+                    if is_initial c v then (1.0, 1.0)
+                    else if e = 0 then (0.0, 0.0)
+                    else if e = horizon && is_wanted c v then (1.0, 1.0)
+                    else (0.0, 1.0)
+                  in
+                  let obj = if is_wanted c v then -.eps else 0.0 in
+                  Milp.add_var m ~lb ~ub ~integer:true ~obj
+                    (Printf.sprintf "has_c%d_v%d_e%d" c v e))))
+  in
+  let send = Array.make_matrix nc ne (-1) in
+  let send_epochs = Array.make_matrix nc ne 0 in
+  for c = 0 to nc - 1 do
+    for k = 0 to ne - 1 do
+      let lat, _ = edge_timing spec c k in
+      let slots = horizon - lat + 1 in
+      if slots > 0 then begin
+        send_epochs.(c).(k) <- slots;
+        let first =
+          Milp.binary m (Printf.sprintf "send_c%d_k%d_e0" c k)
+        in
+        for e = 1 to slots - 1 do
+          ignore (Milp.binary m (Printf.sprintf "send_c%d_k%d_e%d" c k e))
+        done;
+        send.(c).(k) <- first
+      end
+    done
+  done;
+  let t_var = Milp.add_var m ~lb:0.0 ~ub:(float_of_int (horizon + 1)) ~obj:1.0 "T" in
+  let send_var c k e =
+    if send.(c).(k) < 0 || e < 0 || e >= send_epochs.(c).(k) then None
+    else Some (send.(c).(k) + e)
+  in
+  (* Constraints. *)
+  for c = 0 to nc - 1 do
+    for v = 0 to n - 1 do
+      if participates.(v) && not (is_initial c v) then begin
+        (* Monotone possession. *)
+        for e = 0 to horizon - 1 do
+          Milp.add_le m [ (has.(c).(v).(e), 1.0); (has.(c).(v).(e + 1), -1.0) ] 0.0
+        done;
+        (* Possession only after an arrived send. *)
+        for e = 1 to horizon do
+          let arrivals = ref [] in
+          Array.iteri
+            (fun k ed ->
+              if ed.ev = v then begin
+                let lat, _ = edge_timing spec c k in
+                for e' = 0 to min (send_epochs.(c).(k) - 1) (e - lat) do
+                  match send_var c k e' with
+                  | Some id -> arrivals := (id, -1.0) :: !arrivals
+                  | None -> ()
+                done
+              end)
+            spec.edges;
+          Milp.add_le m ((has.(c).(v).(e), 1.0) :: !arrivals) 0.0
+        done;
+        (* Each GPU receives a chunk at most once. *)
+        let all_in = ref [] in
+        Array.iteri
+          (fun k ed ->
+            if ed.ev = v then
+              for e' = 0 to send_epochs.(c).(k) - 1 do
+                match send_var c k e' with
+                | Some id -> all_in := (id, 1.0) :: !all_in
+                | None -> ()
+              done)
+          spec.edges;
+        if !all_in <> [] then Milp.add_le m !all_in 1.0
+      end
+    done;
+    (* Sends require possession. *)
+    Array.iteri
+      (fun k ed ->
+        for e = 0 to send_epochs.(c).(k) - 1 do
+          match send_var c k e with
+          | Some id -> Milp.add_le m [ (id, 1.0); (has.(c).(ed.eu).(e), -1.0) ] 0.0
+          | None -> ()
+        done)
+      spec.edges;
+    (* Makespan: T >= arrival epoch of each demanded pair. *)
+    for v = 0 to n - 1 do
+      if participates.(v) && is_wanted c v then begin
+        let terms = ref [ (t_var, 1.0) ] in
+        for e = 0 to horizon do
+          terms := (has.(c).(v).(e), 1.0) :: !terms
+        done;
+        Milp.add_ge m !terms (float_of_int (horizon + 1))
+      end
+    done
+  done;
+  (* Port capacity: at most one in-flight block per (GPU, port group, epoch)
+     on each side. *)
+  let nd = Topology.num_dims spec.topo in
+  let npg =
+    1 + Array.fold_left max 0
+          (Array.init nd (fun d -> (Topology.dim spec.topo d).Topology.port_group))
+  in
+  for gpu = 0 to n - 1 do
+    if participates.(gpu) then
+      for pg = 0 to npg - 1 do
+        for e = 0 to horizon - 1 do
+          let out_terms = ref [] and in_terms = ref [] in
+          Array.iteri
+            (fun k ed ->
+              if port_group spec k = pg then
+                for c = 0 to nc - 1 do
+                  let _, busy = edge_timing spec c k in
+                  for e' = max 0 (e - busy + 1) to e do
+                    match send_var c k e' with
+                    | Some id ->
+                        if ed.eu = gpu then out_terms := (id, 1.0) :: !out_terms;
+                        if ed.ev = gpu then in_terms := (id, 1.0) :: !in_terms
+                    | None -> ()
+                  done
+                done)
+            spec.edges;
+          if List.length !out_terms > 1 then Milp.add_le m !out_terms 1.0;
+          if List.length !in_terms > 1 then Milp.add_le m !in_terms 1.0
+        done
+      done
+  done;
+  { model = m; has; send; send_epochs; t_var }
+
+let var_count spec =
+  let l = build spec in
+  Milp.num_vars l.model
+
+(* Encode a schedule replayed on the epoch grid as a variable assignment. *)
+let incumbent_assignment spec layout (sched : Schedule.t) =
+  match replay spec sched with
+  | None -> None
+  | Some _ ->
+      let n = Topology.num_gpus spec.topo in
+      let nc = Array.length spec.chunks in
+      let x = Array.make (Milp.num_vars layout.model) 0.0 in
+      (* Re-run the replay, this time recording epochs. *)
+      let nd = Topology.num_dims spec.topo in
+      let npg =
+        1 + Array.fold_left max 0
+              (Array.init nd (fun d -> (Topology.dim spec.topo d).Topology.port_group))
+      in
+      let hold = Array.make_matrix nc n max_int in
+      Array.iteri
+        (fun c (meta : Schedule.chunk_meta) ->
+          List.iter (fun v -> hold.(c).(v) <- 0) meta.initial)
+        spec.chunks;
+      let eg = Array.make (n * npg) 0 and ing = Array.make (n * npg) 0 in
+      let edge_index = Hashtbl.create 64 in
+      Array.iteri (fun k e -> Hashtbl.replace edge_index (e.eu, e.ev, e.edim) k) spec.edges;
+      let ordered =
+        List.stable_sort (fun (a : Schedule.xfer) b -> compare a.prio b.prio) sched.xfers
+      in
+      let makespan = ref 0 in
+      List.iter
+        (fun (xf : Schedule.xfer) ->
+          let k = Hashtbl.find edge_index (xf.src, xf.dst, xf.dim) in
+          let lat, busy = edge_timing spec xf.chunk k in
+          let pg = port_group spec k in
+          let start =
+            max hold.(xf.chunk).(xf.src)
+              (max eg.((xf.src * npg) + pg) ing.((xf.dst * npg) + pg))
+          in
+          eg.((xf.src * npg) + pg) <- start + busy;
+          ing.((xf.dst * npg) + pg) <- start + busy;
+          let arrive = start + lat in
+          if arrive < hold.(xf.chunk).(xf.dst) then hold.(xf.chunk).(xf.dst) <- arrive;
+          if arrive > !makespan then makespan := arrive;
+          (match layout.send.(xf.chunk).(k) with
+          | -1 -> ()
+          | first -> if start < layout.send_epochs.(xf.chunk).(k) then x.(first + start) <- 1.0))
+        ordered;
+      for c = 0 to nc - 1 do
+        for v = 0 to n - 1 do
+          if Array.length layout.has.(c).(v) > 0 then
+            for e = 0 to spec.horizon do
+              if hold.(c).(v) <= e then x.(layout.has.(c).(v).(e)) <- 1.0
+            done
+        done
+      done;
+      x.(layout.t_var) <- float_of_int !makespan;
+      if Milp.check_feasible layout.model x then Some x else None
+
+let extract spec layout x =
+  let xfers = ref [] in
+  let nc = Array.length spec.chunks in
+  for c = 0 to nc - 1 do
+    Array.iteri
+      (fun k ed ->
+        for e = 0 to layout.send_epochs.(c).(k) - 1 do
+          match
+            if layout.send.(c).(k) < 0 then None else Some (layout.send.(c).(k) + e)
+          with
+          | Some id when x.(id) > 0.5 ->
+              xfers :=
+                { Schedule.chunk = c; src = ed.eu; dst = ed.ev; dim = ed.edim; prio = e }
+                :: !xfers
+          | _ -> ()
+        done)
+      spec.edges
+  done;
+  let xfers =
+    List.stable_sort (fun (a : Schedule.xfer) b -> compare a.prio b.prio) !xfers
+  in
+  { Schedule.chunks = spec.chunks; xfers }
+
+let solve ?(node_limit = 400) ?(time_limit = 60.0) ?incumbent spec =
+  let layout = build spec in
+  (* The caller's variable budget is an estimate; refuse outsized models
+     outright rather than letting one LP eat the whole time budget. *)
+  if Milp.num_vars layout.model > 3000 then
+    match incumbent with
+    | Some s -> (match replay spec s with Some e -> Some (s, e) | None -> None)
+    | None -> None
+  else
+  let warm =
+    match incumbent with
+    | None -> None
+    | Some s -> incumbent_assignment spec layout s
+  in
+  let result =
+    Milp.solve ~node_limit ~time_limit ?incumbent:warm layout.model
+  in
+  match result.Milp.status with
+  | Milp.Optimal | Milp.Feasible ->
+      let sched = extract spec layout result.Milp.x in
+      let epochs = int_of_float (Float.round result.Milp.x.(layout.t_var)) in
+      Some (sched, epochs)
+  | Milp.Infeasible | Milp.Unbounded | Milp.Limit -> (
+      (* Budget ran out with nothing better: fall back to the incumbent. *)
+      match (incumbent, warm) with
+      | Some s, Some _ -> (
+          match replay spec s with Some e -> Some (s, e) | None -> None)
+      | _ -> None)

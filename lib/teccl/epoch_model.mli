@@ -1,0 +1,46 @@
+(** The epoch-based MILP formulation of schedule synthesis (Appendix A.1).
+
+    Time is divided into epochs of duration τ.  Binary variables [send] place
+    one chunk on one directed edge at one epoch; [has] tracks possession.
+    Transfers occupy their ports for ⌈β·s/τ⌉ epochs and land after
+    ⌈(α+β·s)/τ⌉ epochs.  The objective minimizes the makespan epoch [T] with
+    a small tie-break toward earlier individual arrivals.
+
+    TECCL applies this model to the whole collective; SyCCL applies it to
+    one merged sub-demand inside one GPU group (§5.1), warm-started by the
+    greedy solution. *)
+
+type edge = { eu : int; ev : int; edim : int }
+
+type spec = {
+  topo : Syccl_topology.Topology.t;
+  chunks : Syccl_sim.Schedule.chunk_meta array;  (** gather-mode demands *)
+  edges : edge array;  (** allowed directed transfers *)
+  tau : float;
+  horizon : int;  (** number of epochs available *)
+}
+
+val group_edges : Syccl_topology.Topology.t -> dim:int -> group:int -> edge array
+(** All ordered GPU pairs inside one group (the sub-demand edge set). *)
+
+val all_edges : Syccl_topology.Topology.t -> edge array
+(** All ordered peer pairs in every dimension (the TECCL edge set), keeping
+    for each pair only the lowest dimension that connects it. *)
+
+val replay : spec -> Syccl_sim.Schedule.t -> int option
+(** Quantize an existing schedule onto the epoch grid by replaying its
+    transfers in priority order; returns the number of epochs it needs, or
+    [None] if it does not fit in the horizon or uses a forbidden edge. *)
+
+val var_count : spec -> int
+(** Number of MILP variables the model would have (for cost reporting). *)
+
+val solve :
+  ?node_limit:int ->
+  ?time_limit:float ->
+  ?incumbent:Syccl_sim.Schedule.t ->
+  spec ->
+  (Syccl_sim.Schedule.t * int) option
+(** Build and solve the model; returns the schedule (priorities = start
+    epochs) and its makespan in epochs, or [None] if infeasible within the
+    horizon / budget and no incumbent fits. *)

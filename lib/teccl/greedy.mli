@@ -1,0 +1,30 @@
+(** Greedy earliest-finish store-and-forward synthesis.
+
+    This is the heuristic TECCL falls back to at scale (§2.3: interval-based
+    greedy), and the "fast solving" path SyCCL warm-starts its MILP with
+    (§5.3).  The algorithm keeps per-port free times and per-(chunk, GPU)
+    hold times and repeatedly commits the candidate transfer with the
+    earliest finish time, optionally restricted to a set of (dimension,
+    group) pairs. *)
+
+type restriction = All | Groups of (int * int) list
+(** [Groups \[(d, g); ...\]] only allows transfers inside group [g] of
+    dimension [d]. *)
+
+val solve :
+  ?rng:Syccl_util.Xrand.t ->
+  ?restrict:restriction ->
+  ?holder_beam:int ->
+  ?congestion_weight:float ->
+  ?time_budget:float ->
+  Syccl_topology.Topology.t ->
+  Syccl_sim.Schedule.chunk_meta array ->
+  Syccl_sim.Schedule.t option
+(** Synthesize a schedule delivering every gather chunk to its [wanted] GPUs
+    (reduce chunks must be mirrored by the caller).  [holder_beam] bounds how
+    many candidate senders are examined per (chunk, destination) (default 6);
+    [congestion_weight] scales the port-time penalty added to a candidate's
+    finish time, which steers the search away from re-crossing scarce links
+    (default 1.0; 0 recovers pure earliest-finish); [rng] perturbs
+    tie-breaking for restart diversity.  Returns [None] when [time_budget]
+    (seconds) expires before the demand is met. *)

@@ -1,0 +1,45 @@
+module Link = Syccl_topology.Link
+
+let candidates =
+  (* Integers and integer reciprocals up to 128, plus larger powers of two
+     for the latency-dominated regime where α ≫ β·s. *)
+  List.init 128 (fun i -> float_of_int (i + 1))
+  @ List.init 127 (fun i -> 1.0 /. float_of_int (i + 2))
+  @ List.init 17 (fun i -> float_of_int (1 lsl (i + 8)))
+
+(* The accuracy knob E targets f(r) = (α+β·s)/τ ≈ 1/E: a transfer spans
+   ⌈1/E⌉ epochs.  Larger E ⇒ larger τ ⇒ coarser, faster models (E1 = 3
+   packs several transfers per epoch); E < 1 subdivides each transfer
+   (E2 = 0.5 ⇒ 2 epochs per transfer, E = 0.1 ⇒ 10). *)
+let select ~link ~size ~e =
+  assert (e > 0.0);
+  let bs = Link.busy_time link size in
+  let f r = Link.transfer_time link size /. (r *. bs) in
+  let target = 1.0 /. e in
+  let target_epochs = Float.max 1.0 (Float.ceil (target -. 1e-9)) in
+  (* Primary: hit the target transfer span in epochs; secondary: land f(r)
+     as close to 1/E as the integral ratios allow (minimizing both the
+     wasted fraction g and over-coarsening). *)
+  let score r =
+    let fr = f r in
+    let ceil_f = Float.of_int (int_of_float (Float.ceil (fr -. 1e-9))) in
+    (Float.abs (ceil_f -. target_epochs), Float.abs (fr -. target))
+  in
+  let best =
+    List.fold_left
+      (fun acc r ->
+        let s = score r in
+        match acc with
+        | None -> Some (r, s)
+        | Some (_, sbest) when s < sbest -> Some (r, s)
+        | some -> some)
+      None candidates
+  in
+  match best with
+  | Some (r, _) -> (r *. bs, r)
+  | None -> (bs, 1.0)
+
+let epochs_for ~link ~size ~tau =
+  let lat = int_of_float (Float.ceil ((Link.transfer_time link size /. tau) -. 1e-9)) in
+  let busy = int_of_float (Float.ceil ((Link.busy_time link size /. tau) -. 1e-9)) in
+  (max 1 lat, max 1 busy)

@@ -1,0 +1,19 @@
+(** Automatic epoch-duration selection (Appendix A.3).
+
+    The epoch duration τ must be a multiplier of [β·s] (bandwidth constraint)
+    and should make [α + β·s] close to a whole number of epochs (latency
+    constraint).  SyCCL exposes a single accuracy knob [E]: τ = r·β·s with
+    [r] or [1/r] integral, targeting [f(r) = (α+β·s)/τ ≈ 1/E] while
+    minimizing the wasted fraction [g(r) = ⌈f(r)⌉ − f(r)].  Larger [E] means
+    a larger τ and a coarser, faster model (§5.3: E₁ = 3 packs several
+    transfers into one epoch); [E] < 1 subdivides each transfer (E₂ = 0.5 ⇒
+    two epochs per transfer, E = 0.1 ⇒ ten). *)
+
+val select : link:Syccl_topology.Link.t -> size:float -> e:float -> float * float
+(** [select ~link ~size ~e] returns [(tau, r)].  Candidate ratios are the
+    integers and integer reciprocals up to 128 plus larger powers of two for
+    the latency-dominated regime. *)
+
+val epochs_for : link:Syccl_topology.Link.t -> size:float -> tau:float -> int * int
+(** [(lat, busy)]: epochs before the chunk lands at the destination
+    (⌈(α+β·s)/τ⌉) and epochs the port stays busy (⌈β·s/τ⌉, at least 1). *)

@@ -1,0 +1,94 @@
+let single_switch ?(name = "single-switch") ~n ~link () =
+  Topology.make ~name ~shape:[| n |] ~dims:[ ("switch", [ 0 ], link, 0) ]
+
+let multi_rail ?(name = "multi-rail") ~servers ~gpus_per_server ~nvlink ~rail
+    ?spine () =
+  let dims =
+    [ ("nvlink", [ 1 ], nvlink, 0); ("rail", [ 0 ], rail, 1) ]
+    @ match spine with
+      | None -> []
+      | Some l -> [ ("spine", [ 0; 1 ], l, 1) ]
+  in
+  Topology.make ~name ~shape:[| servers; gpus_per_server |] ~dims
+
+let clos ?(name = "clos") ~levels ~links () =
+  let k = List.length levels in
+  if List.length links <> k then invalid_arg "Builders.clos: levels/links mismatch";
+  let shape = Array.of_list levels in
+  (* Dimension j (0 = innermost) spans the last j+1 axes. *)
+  let dims =
+    List.mapi
+      (fun j link ->
+        let free = List.init (j + 1) (fun i -> k - 1 - i) in
+        let dim_name = if j = 0 then "nvlink" else Printf.sprintf "tier%d" j in
+        let port_group = if j = 0 then 0 else 1 in
+        (dim_name, free, link, port_group))
+      links
+  in
+  Topology.make ~name ~shape ~dims
+
+(* Link classes for the two production clusters of §7.1.  A100 testbed:
+   NVSwitch at 200 GBps per GPU; 4×200 Gbps NICs shared by 8 GPUs gives
+   12.5 GBps per GPU.  H800: 180 GBps NVLink per GPU and one 400 Gbps NIC
+   per GPU (50 GBps), the 3.6:1 ratio of §2.1. *)
+let a100_nvlink = Link.make ~alpha:1.2e-6 ~gbps:200.0
+let a100_net = Link.make ~alpha:6.0e-6 ~gbps:12.5
+let a100_net_spine = Link.make ~alpha:8.0e-6 ~gbps:12.5
+let h800_nvlink = Link.make ~alpha:0.8e-6 ~gbps:180.0
+let h800_rail = Link.make ~alpha:5.0e-6 ~gbps:50.0
+let h800_spine = Link.make ~alpha:7.5e-6 ~gbps:50.0
+
+let a100 ~servers =
+  match servers with
+  | 2 ->
+      (* 16 GPUs: both servers under one ToR; no cross-pod dimension. *)
+      clos ~name:"a100-16" ~levels:[ 2; 8 ] ~links:[ a100_nvlink; a100_net ] ()
+  | 4 ->
+      (* 32 GPUs: two ToR pods joined by spines. *)
+      clos ~name:"a100-32" ~levels:[ 2; 2; 8 ]
+        ~links:[ a100_nvlink; a100_net; a100_net_spine ]
+        ()
+  | _ -> invalid_arg "Builders.a100: servers must be 2 or 4"
+
+let h800 ~servers =
+  multi_rail
+    ~name:(Printf.sprintf "h800-%d" (servers * 8))
+    ~servers ~gpus_per_server:8 ~nvlink:h800_nvlink ~rail:h800_rail
+    ~spine:h800_spine ()
+
+let h800_scaled ~servers ~gpus_per_server =
+  multi_rail
+    ~name:(Printf.sprintf "h800-scaled-%dx%d" servers gpus_per_server)
+    ~servers ~gpus_per_server ~nvlink:h800_nvlink ~rail:h800_rail
+    ~spine:h800_spine ()
+
+let fig3 () =
+  (* 4 servers × 4 GPUs.  Axes: server × rail-pair × rail-within-pair.
+     Dim 2 groups GPUs whose intra-server index shares a pair
+     ({0,1,4,5,...} and {2,3,6,7,...}), matching the figure. *)
+  let nv = Link.make ~alpha:1e-6 ~gbps:180.0 in
+  let leaf = Link.make ~alpha:5e-6 ~gbps:50.0 in
+  let spine = Link.make ~alpha:6.5e-6 ~gbps:50.0 in
+  let core = Link.make ~alpha:8e-6 ~gbps:50.0 in
+  Topology.make ~name:"fig3" ~shape:[| 4; 2; 2 |]
+    ~dims:
+      [
+        ("nvlink", [ 1; 2 ], nv, 0);
+        ("leaf", [ 0 ], leaf, 1);
+        ("spine", [ 0; 2 ], spine, 1);
+        ("core", [ 0; 1; 2 ], core, 1);
+      ]
+
+let fig19 () =
+  let nv = Link.make ~alpha:1e-6 ~gbps:180.0 in
+  let leaf = Link.make ~alpha:5e-6 ~gbps:50.0 in
+  let spine = Link.make ~alpha:6.5e-6 ~gbps:50.0 in
+  multi_rail ~name:"fig19" ~servers:7 ~gpus_per_server:4 ~nvlink:nv ~rail:leaf
+    ~spine ()
+
+let fig20 () =
+  let nv = Link.make ~alpha:1e-6 ~gbps:180.0 in
+  let leaf = Link.make ~alpha:5e-6 ~gbps:50.0 in
+  let spine = Link.make ~alpha:6.5e-6 ~gbps:50.0 in
+  let core = Link.make ~alpha:8e-6 ~gbps:50.0 in
+  clos ~name:"fig20" ~levels:[ 2; 2; 2; 4 ] ~links:[ nv; leaf; spine; core ] ()

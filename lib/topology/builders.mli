@@ -1,0 +1,52 @@
+(** Ready-made topologies, including every cluster used in the paper's
+    evaluation (§7.1, Fig. 13) and appendices (Figs. 3, 19, 20).
+
+    Link parameters follow the paper where stated (H800: 180 GBps NVLink per
+    GPU, 8×400 Gbps NICs per server, §2.1) and sensible production values
+    elsewhere. *)
+
+val single_switch : ?name:string -> n:int -> link:Link.t -> unit -> Topology.t
+(** [n] GPUs behind one non-blocking switch (one dimension, one group). *)
+
+val multi_rail :
+  ?name:string ->
+  servers:int ->
+  gpus_per_server:int ->
+  nvlink:Link.t ->
+  rail:Link.t ->
+  ?spine:Link.t ->
+  unit ->
+  Topology.t
+(** Multi-rail cluster: dimension 0 = intra-server NVSwitch, dimension 1 =
+    same-rail leaf switches, optional dimension 2 = spine (all GPUs; shares
+    the NIC port group with the rail dimension). *)
+
+val clos :
+  ?name:string -> levels:int list -> links:Link.t list -> unit -> Topology.t
+(** Nested Clos tree.  [levels] are branch factors from the top (e.g.
+    [\[2; 2; 2; 4\]] = 2 spine sides × 2 leaves × 2 servers × 4 GPUs);
+    [links] are the per-dimension classes from innermost (intra-server)
+    outwards and must have the same length as [levels].  All network
+    dimensions share one NIC port group. *)
+
+val a100 : servers:int -> Topology.t
+(** The paper's A100 testbed (Fig. 13a): [servers] ∈ {2, 4} giving 16 or 32
+    GPUs; 8 GPUs/server, 4×200 Gbps NICs per server, two-layer Clos with two
+    servers per ToR. *)
+
+val h800 : servers:int -> Topology.t
+(** The paper's H800 production cluster (Fig. 13b): 8 GPUs/server with
+    180 GBps NVLink per GPU and 8×400 Gbps rail-optimized network.
+    [servers] = 8 gives the 64-GPU case, 64 the 512-GPU case. *)
+
+val h800_scaled : servers:int -> gpus_per_server:int -> Topology.t
+(** The §7.4 microbenchmark variant: H800 link classes, smaller servers. *)
+
+val fig3 : unit -> Topology.t
+(** The 16-GPU, four-dimension multi-rail example of Fig. 3. *)
+
+val fig19 : unit -> Topology.t
+(** The 28-GPU, seven-server multi-rail topology of Fig. 19. *)
+
+val fig20 : unit -> Topology.t
+(** The 32-GPU, four-dimension Clos topology of Fig. 20. *)

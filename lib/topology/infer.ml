@@ -1,0 +1,216 @@
+(* Inference strategy:
+   1. Partition edges by link class; connected components of each class are
+      that dimension's candidate groups.  All groups of a class must have
+      equal size.
+   2. Sort classes from coarsest (largest groups) to finest and extract the
+      maximal refinement chain; partitions in the chain contribute one axis
+      each (split factor between consecutive chain levels).
+   3. Classes not on the chain must "cross" it: relabel GPUs inside the
+      finest chain blocks so that every crossing class becomes a
+      fixed-coordinate slice, then verify each class against its free-axes
+      pattern. *)
+
+module IntSet = Set.Make (Int)
+
+type clazz = { link : Link.t; groups : int list list; gsize : int }
+
+let components n edges =
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); parent.(i)) in
+  List.iter (fun (a, b) -> parent.(find a) <- find b) edges;
+  let buckets = Hashtbl.create 16 in
+  for v = n - 1 downto 0 do
+    let r = find v in
+    Hashtbl.replace buckets r (v :: Option.value (Hashtbl.find_opt buckets r) ~default:[])
+  done;
+  Hashtbl.fold (fun _ members acc -> members :: acc) buckets []
+
+let classify n edges =
+  let by_class = Hashtbl.create 8 in
+  List.iter
+    (fun (a, b, link) ->
+      let key = (link.Link.alpha, link.Link.beta) in
+      Hashtbl.replace by_class key
+        ((a, b) :: (match Hashtbl.find_opt by_class key with Some l -> l | None -> [])))
+    edges;
+  let classes = ref [] in
+  let link_of = Hashtbl.create 8 in
+  List.iter (fun (_, _, l) -> Hashtbl.replace link_of (l.Link.alpha, l.Link.beta) l) edges;
+  Hashtbl.iter
+    (fun key es ->
+      (* Only GPUs touched by this class form groups; isolated GPUs form
+         singleton groups so the partition covers the universe. *)
+      let touched = List.fold_left (fun s (a, b) -> IntSet.add a (IntSet.add b s)) IntSet.empty es in
+      let comps = components n es in
+      let comps = List.filter (fun c -> List.exists (fun v -> IntSet.mem v touched) c) comps in
+      let rest =
+        List.filter_map
+          (fun v -> if IntSet.mem v touched then None else Some [ v ])
+          (List.init n (fun i -> i))
+      in
+      let groups = comps @ rest in
+      match groups with
+      | [] -> ()
+      | g0 :: _ ->
+          let gsize = List.length g0 in
+          if List.for_all (fun g -> List.length g = gsize) groups then
+            classes := { link = Hashtbl.find link_of key; groups; gsize } :: !classes
+          else classes := { link = Hashtbl.find link_of key; groups = []; gsize = -1 } :: !classes)
+    by_class;
+  !classes
+
+(* [refines fine coarse]: every block of [fine] is inside a block of [coarse]. *)
+let refines ~block_of_coarse fine =
+  List.for_all
+    (fun block ->
+      match block with
+      | [] -> true
+      | v :: rest ->
+          let b = block_of_coarse.(v) in
+          List.for_all (fun u -> block_of_coarse.(u) = b) rest)
+    fine
+
+let block_index n groups =
+  let a = Array.make n (-1) in
+  List.iteri (fun i g -> List.iter (fun v -> a.(v) <- i) g) groups;
+  a
+
+let infer ?(name = "inferred") ~n edges =
+  let classes = classify n edges in
+  if List.exists (fun c -> c.gsize < 0) classes then None
+  else if classes = [] then None
+  else begin
+    (* Coarsest first. *)
+    let sorted = List.sort (fun a b -> compare b.gsize a.gsize) classes in
+    (* Build the maximal refinement chain greedily. *)
+    let chain, crossing =
+      List.fold_left
+        (fun (chain, crossing) c ->
+          match chain with
+          | [] -> ([ c ], crossing)
+          | prev :: _ ->
+              if c.gsize < prev.gsize && refines ~block_of_coarse:(block_index n prev.groups) c.groups
+              then (c :: chain, crossing)
+              else (chain, c :: crossing))
+        ([], []) sorted
+    in
+    let chain = List.rev chain in   (* coarsest .. finest *)
+    (* Implicit top partition {V} and bottom partition of singletons. *)
+    let chain_partitions =
+      ([ List.init n (fun i -> i) ] :: List.map (fun c -> c.groups) chain)
+      @ [ List.init n (fun i -> [ i ]) ]
+    in
+    (* Drop consecutive duplicates (a class may already be the full set or
+       the singleton partition). *)
+    let rec dedup = function
+      | a :: b :: rest ->
+          if List.length a = List.length b then dedup (a :: rest) else a :: dedup (b :: rest)
+      | l -> l
+    in
+    let chain_partitions = dedup chain_partitions in
+    (* Axis sizes: split factors between consecutive partitions. *)
+    let sizes =
+      let counts = List.map List.length chain_partitions in
+      let rec ratios = function
+        | a :: (b :: _ as rest) -> if b mod a <> 0 then [ -1 ] else (b / a) :: ratios rest
+        | _ -> []
+      in
+      ratios counts
+    in
+    if List.exists (fun s -> s <= 0) sizes then None
+    else begin
+      let shape = Array.of_list sizes in
+      let k = Array.length shape in
+      (* Assign coordinates: sort GPUs lexicographically by their block index
+         at each chain level, breaking ties inside the finest blocks by the
+         crossing classes' group indices so crossing groups align. *)
+      let level_idx =
+        List.map (fun p -> block_index n p) (List.tl chain_partitions)
+        (* skip the trivial top partition *)
+      in
+      let crossing_idx = List.map (fun c -> block_index n c.groups) crossing in
+      let key v =
+        List.map (fun a -> a.(v)) crossing_idx
+      in
+      let order = Array.init n (fun i -> i) in
+      let cmp u v =
+        let rec lex = function
+          | [] -> compare (key u, u) (key v, v)
+          | a :: rest ->
+              let c = compare (a : int array).(u) a.(v) in
+              if c <> 0 then c else lex rest
+        in
+        (* Compare on all chain levels except the singleton level (which is
+           just identity); then crossing keys; then id. *)
+        let levels_wo_singletons =
+          List.filteri (fun i _ -> i < List.length level_idx - 1) level_idx
+        in
+        lex levels_wo_singletons
+      in
+      Array.sort cmp order;
+      (* order.(new_id) = original id. *)
+      let orig_of = order in
+      let new_of = Array.make n 0 in
+      Array.iteri (fun ni oi -> new_of.(oi) <- ni) orig_of;
+      (* Dimensions: chain classes get suffix free-axes; crossing classes get
+         the complement pattern found by checking which axes vary. *)
+      let coords_of_new v = Syccl_util.Mixed_radix.decode ~shape v in
+      let free_axes_of_class c =
+        (* Determine, per axis, whether members of a group differ there. *)
+        let free = Array.make k false in
+        List.iter
+          (fun g ->
+            match List.map (fun v -> coords_of_new new_of.(v)) g with
+            | [] -> ()
+            | c0 :: rest ->
+                List.iter
+                  (fun cv -> Array.iteri (fun a x -> if x <> c0.(a) then free.(a) <- true) cv)
+                  rest)
+          c.groups;
+        List.filter_map (fun (i, b) -> if b then Some i else None)
+          (Array.to_list (Array.mapi (fun i b -> (i, b)) free))
+      in
+      let all_classes = chain @ List.rev crossing in
+      let dims =
+        List.mapi
+          (fun i c ->
+            let free = free_axes_of_class c in
+            if free = [] then None
+            else
+              Some
+                ( Printf.sprintf "dim%d" i,
+                  free,
+                  c.link,
+                  if Link.bandwidth_gbps c.link >= 100.0 then 0 else 1 ))
+          all_classes
+      in
+      let dims = List.filter_map Fun.id dims in
+      if dims = [] then None
+      else begin
+        let topo = Topology.make ~name ~shape ~dims in
+        (* Verify: every input class's groups must be exactly the groups of
+           the corresponding dimension after relabelling. *)
+        let normalize groups =
+          List.sort compare
+            (List.map (fun g -> List.sort compare g) groups)
+        in
+        let ok =
+          List.for_all2
+            (fun c (di : int) ->
+              let expect =
+                normalize
+                  (List.map (fun g -> List.map (fun v -> new_of.(v)) g) c.groups)
+              in
+              let got =
+                normalize
+                  (Array.to_list
+                     (Array.map Array.to_list (Topology.dim topo di).Topology.groups))
+              in
+              expect = got)
+            (List.filter (fun c -> free_axes_of_class c <> []) all_classes)
+            (List.init (Topology.num_dims topo) (fun i -> i))
+        in
+        if ok then Some (topo, orig_of) else None
+      end
+    end
+  end

@@ -1,0 +1,20 @@
+(** Dimension/group inference from a raw link list (§3.1: "given a topology,
+    SyCCL automatically extracts the dimensions and groups according to
+    connectivity and connection performance").
+
+    The input is an undirected GPU-to-GPU reachability list where each entry
+    carries the link class of the connection (two GPUs behind the same
+    NVSwitch, behind the same rail switch, ...).  Inference clusters edges by
+    link class, takes connected components as groups, and then reconstructs a
+    coordinate space in which every group is a fixed-coordinate slice — which
+    may require relabelling GPUs. *)
+
+val infer :
+  ?name:string ->
+  n:int ->
+  (int * int * Link.t) list ->
+  (Topology.t * int array) option
+(** [infer ~n edges] returns [(topo, orig_of)] on success, where GPU [v] of
+    [topo] corresponds to input GPU [orig_of.(v)].  Returns [None] when the
+    link list does not describe a symmetric product/nested structure (unequal
+    group sizes, partitions that are neither nested nor crossing cleanly). *)

@@ -1,0 +1,20 @@
+type t = { alpha : float; beta : float }
+
+let make ~alpha ~gbps =
+  assert (alpha >= 0.0 && gbps > 0.0);
+  { alpha; beta = 1.0 /. (gbps *. 1e9) }
+
+let bandwidth_gbps t = 1.0 /. t.beta /. 1e9
+
+let transfer_time t size = t.alpha +. (t.beta *. size)
+
+let busy_time t size = t.beta *. size
+
+let equal a b = Float.equal a.alpha b.alpha && Float.equal a.beta b.beta
+
+let compare a b =
+  let c = Float.compare a.alpha b.alpha in
+  if c <> 0 then c else Float.compare a.beta b.beta
+
+let pp fmt t =
+  Format.fprintf fmt "α=%.2fus β⁻¹=%.1fGBps" (t.alpha *. 1e6) (bandwidth_gbps t)

@@ -1,0 +1,27 @@
+(** Link performance classes under the α-β (Hockney) model.
+
+    Transmitting a chunk of [s] bytes over a link takes [alpha + beta * s]
+    seconds end to end; the link (port) is busy for [beta * s] seconds before
+    it can start the next chunk (§5.1). *)
+
+type t = {
+  alpha : float;  (** constant latency, seconds *)
+  beta : float;  (** inverse bandwidth, seconds per byte *)
+}
+
+val make : alpha:float -> gbps:float -> t
+(** [make ~alpha ~gbps] builds a class from latency in seconds and bandwidth
+    in gigabytes per second (1e9 bytes/s). *)
+
+val bandwidth_gbps : t -> float
+(** Inverse of [beta], in GB/s. *)
+
+val transfer_time : t -> float -> float
+(** [transfer_time t size] is [alpha + beta * size] for [size] bytes. *)
+
+val busy_time : t -> float -> float
+(** [busy_time t size] is [beta * size]: how long the port is occupied. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit

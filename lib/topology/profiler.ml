@@ -1,0 +1,74 @@
+module Linalg = Syccl_util.Linalg
+module Xrand = Syccl_util.Xrand
+
+type fit = { alpha : float; beta : float; residual : float }
+
+let default_sizes =
+  (* 1 KB .. 256 MB in 4x steps: small sizes pin alpha, large sizes beta. *)
+  List.init 10 (fun i -> 1024.0 *. Float.of_int (1 lsl (2 * i)))
+
+let fit_link ?(sizes = default_sizes) ~probe () =
+  let points = List.map (fun s -> (s, probe s)) sizes in
+  let a = Array.of_list (List.map (fun (s, _) -> [| 1.0; s |]) points) in
+  let b = Array.of_list (List.map snd points) in
+  match Linalg.lstsq a b with
+  | None -> invalid_arg "Profiler.fit_link: degenerate sweep"
+  | Some x ->
+      let alpha = Float.max 0.0 x.(0) and beta = Float.max 0.0 x.(1) in
+      let residual =
+        List.fold_left
+          (fun acc (s, t) -> Float.max acc (Float.abs (alpha +. (beta *. s) -. t)))
+          0.0 points
+      in
+      { alpha; beta; residual }
+
+let representative_pair topo d =
+  let members = Topology.gpus_in_group topo ~dim:d ~group:0 in
+  if Array.length members < 2 then None else Some (members.(0), members.(1))
+
+let profile ?(sizes = default_sizes) ?(repeats = 3) ~probe topo =
+  List.filter_map
+    (fun d ->
+      match representative_pair topo d with
+      | None -> None
+      | Some (src, dst) ->
+          let averaged size =
+            let acc = ref 0.0 in
+            for _ = 1 to repeats do
+              acc := !acc +. probe ~dim:d ~src ~dst ~size
+            done;
+            !acc /. float_of_int repeats
+          in
+          Some (d, fit_link ~sizes ~probe:averaged ()))
+    (List.init (Topology.num_dims topo) (fun d -> d))
+
+let refit_topology ?sizes ~probe topo =
+  let fits = profile ?sizes ~probe topo in
+  let dims =
+    List.init (Topology.num_dims topo) (fun d ->
+        let dim = Topology.dim topo d in
+        let link =
+          match List.assoc_opt d fits with
+          | Some f when f.beta > 0.0 ->
+              Link.make ~alpha:f.alpha ~gbps:(1.0 /. f.beta /. 1e9)
+          | _ -> dim.Topology.link
+        in
+        let free =
+          List.filter_map
+            (fun (a, b) -> if b then Some a else None)
+            (Array.to_list (Array.mapi (fun a b -> (a, b)) dim.Topology.free_axes))
+        in
+        (dim.Topology.dim_name, free, link, dim.Topology.port_group))
+  in
+  Topology.make ~name:(topo.Topology.name ^ "-profiled") ~shape:topo.Topology.shape
+    ~dims
+
+let simulator_probe ?noise topo ~dim ~src ~dst ~size =
+  ignore src;
+  ignore dst;
+  let link = (Topology.dim topo dim).Topology.link in
+  let t = Link.transfer_time link size in
+  match noise with
+  | None -> t
+  | Some (rng, magnitude) ->
+      t *. (1.0 +. ((Xrand.float rng 2.0 -. 1.0) *. magnitude))

@@ -1,0 +1,54 @@
+(** Network profiling: recovering α-β link parameters from measurements
+    (§6: "the network profiler measures the link parameters α and β by
+    testing various chunk sizes for links in each dimension").
+
+    The profiler is medium-agnostic: it drives a [probe] callback — on a real
+    cluster a ping-pong kernel, in this repository a simulator-backed or
+    synthetic measurement — across a size sweep and fits the α-β model
+    [t(s) = α + β·s] by least squares.  Per-dimension profiling probes one
+    representative peer pair per dimension and builds a topology with the
+    fitted classes. *)
+
+type fit = {
+  alpha : float;  (** fitted latency, seconds *)
+  beta : float;  (** fitted inverse bandwidth, seconds/byte *)
+  residual : float;  (** max |t_pred − t_meas| over the sweep, seconds *)
+}
+
+val default_sizes : float list
+(** The probe sweep: 1 KB to 256 MB in 4× steps. *)
+
+val fit_link : ?sizes:float list -> probe:(float -> float) -> unit -> fit
+(** [fit_link ~probe ()] measures [probe size] for every sweep size and fits
+    α and β.  β is clamped to be non-negative; a negative fitted α (noise at
+    tiny sizes) is clamped to 0. *)
+
+val profile :
+  ?sizes:float list ->
+  ?repeats:int ->
+  probe:(dim:int -> src:int -> dst:int -> size:float -> float) ->
+  Topology.t ->
+  (int * fit) list
+(** Profile one representative in-group pair per dimension of a topology
+    whose link classes are unknown or stale.  [repeats] probes are averaged
+    per point (default 3).  Returns the fits by dimension index. *)
+
+val refit_topology :
+  ?sizes:float list ->
+  probe:(dim:int -> src:int -> dst:int -> size:float -> float) ->
+  Topology.t ->
+  Topology.t
+(** Rebuild the topology with profiled link classes in place of the declared
+    ones — the calibration step a deployment runs before synthesis. *)
+
+val simulator_probe :
+  ?noise:Syccl_util.Xrand.t * float ->
+  Topology.t ->
+  dim:int ->
+  src:int ->
+  dst:int ->
+  size:float ->
+  float
+(** A probe backed by the ground-truth link classes of a topology, with
+    optional multiplicative measurement noise (rng, relative magnitude) —
+    the stand-in for a real testbed in tests and examples. *)

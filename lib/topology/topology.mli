@@ -1,0 +1,89 @@
+(** Symmetric multi-dimensional GPU cluster topologies (§3.1, Table 2).
+
+    A topology places GPUs in a coordinate space: GPU identity is a vector of
+    coordinates over a [shape] of axes.  A {e dimension} is one type of
+    inter-GPU connection (NVLink, same-rail network, spine, ...); within a
+    dimension, GPUs are partitioned into {e groups} — a group is the set of
+    GPUs that agree on every axis the dimension does {e not} span (its
+    non-free axes).  Groups of the same dimension are isomorphic by
+    construction.
+
+    Structure-preserving automorphisms are products of per-axis permutations;
+    they map groups to groups within every dimension and are the engine
+    behind sketch replication (§4.2) and isomorphism pruning (§4.1). *)
+
+type dim = private {
+  dim_name : string;
+  free_axes : bool array;  (** [free_axes.(a)] iff axis [a] varies inside a group *)
+  link : Link.t;  (** per-GPU port performance in this dimension *)
+  port_group : int;
+      (** dimensions with the same [port_group] contend for the same physical
+          ingress/egress ports in the simulator (e.g. same-rail and spine
+          traffic both consume the NIC) *)
+  groups : int array array;  (** [groups.(g)] = sorted GPU ids of group [g] *)
+  group_of : int array;  (** [group_of.(v)] = group index of GPU [v] *)
+}
+
+type t = private {
+  name : string;
+  shape : int array;  (** axis sizes; GPU id is the row-major encoding *)
+  num_gpus : int;
+  dims : dim array;
+}
+
+val make :
+  name:string ->
+  shape:int array ->
+  dims:(string * int list * Link.t * int) list ->
+  t
+(** [make ~name ~shape ~dims] builds a topology.  Each dimension is
+    [(dim_name, free_axis_indices, link, port_group)].  Free axis lists must
+    be non-empty and within range.  GPU [v]'s coordinates are
+    [Mixed_radix.decode ~shape v]. *)
+
+val num_gpus : t -> int
+val num_dims : t -> int
+val dim : t -> int -> dim
+val coords : t -> int -> int array
+(** Coordinate vector of a GPU (fresh array). *)
+
+val gpu_of_coords : t -> int array -> int
+
+val group_of : t -> dim:int -> int -> int
+(** Group index of a GPU in a dimension. *)
+
+val gpus_in_group : t -> dim:int -> group:int -> int array
+(** The member GPUs, sorted ascending (shared array, do not mutate). *)
+
+val groups_count : t -> dim:int -> int
+
+val peers : t -> dim:int -> int -> int array
+(** GPUs reachable from a GPU within its group of [dim], excluding itself. *)
+
+val apply_axis_perms : t -> Syccl_util.Perm.t array -> Syccl_util.Perm.t
+(** [apply_axis_perms t perms] turns one permutation per axis into the
+    induced GPU permutation.  Raises [Invalid_argument] if a permutation's
+    length does not match its axis size. *)
+
+val automorphism_to : t -> src:int -> dst:int -> Syccl_util.Perm.t
+(** The canonical automorphism mapping GPU [src] to GPU [dst]: per-axis
+    rotations by the coordinate difference.  Used to re-root sketches when
+    decomposing all-to-all collectives (§4.3). *)
+
+val is_automorphism : t -> Syccl_util.Perm.t -> bool
+(** True iff the GPU permutation maps every group of every dimension onto a
+    group of the same dimension. *)
+
+val with_link : t -> dim:int -> Link.t -> t
+(** A copy of the topology with one dimension's link class replaced — e.g. a
+    degraded rail after a failure (§8 "adaptability to dynamic network
+    environments"); re-synthesizing on the result adapts the schedule. *)
+
+val bandwidth_share : t -> float array
+(** [bandwidth_share t] is [u_d] of §4.2: for every dimension, the fraction
+    of total per-GPU egress capacity it contributes.  Dimensions sharing a
+    [port_group] split that port's bandwidth (only the highest-bandwidth
+    class per port group is counted once). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable dimension/group summary in the style of Fig. 3. *)

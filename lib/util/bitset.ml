@@ -1,0 +1,78 @@
+type t = { n : int; words : int array }
+
+let bits_per_word = 63
+
+let nwords n = (n + bits_per_word - 1) / bits_per_word
+
+let create n =
+  assert (n >= 0);
+  { n; words = Array.make (max 1 (nwords n)) 0 }
+
+let capacity t = t.n
+
+let copy t = { n = t.n; words = Array.copy t.words }
+
+let check t i = assert (i >= 0 && i < t.n)
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl b)
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl b)
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let is_full t = cardinal t = t.n
+
+let zip_words f a b =
+  assert (a.n = b.n);
+  { n = a.n; words = Array.init (Array.length a.words) (fun i -> f a.words.(i) b.words.(i)) }
+
+let union a b = zip_words ( lor ) a b
+let inter a b = zip_words ( land ) a b
+let diff a b = zip_words (fun x y -> x land lnot y) a b
+
+let equal a b = a.n = b.n && a.words = b.words
+
+let subset a b =
+  assert (a.n = b.n);
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if mem t i then f i
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+let elements t = List.rev (fold (fun i acc -> i :: acc) t [])
+
+let of_list n xs =
+  let t = create n in
+  List.iter (add t) xs;
+  t
+
+let hash t = Hashtbl.hash (t.n, t.words)
+
+let pp fmt t =
+  Format.fprintf fmt "{%a}" (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f ",") Format.pp_print_int) (elements t)

@@ -1,0 +1,47 @@
+(** Fixed-capacity bitsets backed by an [int array].
+
+    Used for GPU membership sets during sketch search; capacities are small
+    (hundreds of bits) so operations are effectively constant time. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe [\[0, n)]. *)
+
+val capacity : t -> int
+(** Universe size given at creation. *)
+
+val copy : t -> t
+
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val mem : t -> int -> bool
+
+val cardinal : t -> int
+(** Number of elements currently in the set. *)
+
+val is_empty : t -> bool
+val is_full : t -> bool
+(** [is_full t] iff every element of the universe is present. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+(** Set operations; arguments must share a capacity. Results are fresh. *)
+
+val equal : t -> t -> bool
+val subset : t -> t -> bool
+(** [subset a b] iff every element of [a] is in [b]. *)
+
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+val elements : t -> int list
+(** Elements in increasing order. *)
+
+val of_list : int -> int list -> t
+(** [of_list n xs] is the set over universe [n] containing [xs]. *)
+
+val hash : t -> int
+(** Hash consistent with [equal]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,257 @@
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- printing --- *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let number_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(pretty = false) t =
+  let buf = Buffer.create 256 in
+  let rec go indent t =
+    let pad n = if pretty then Buffer.add_string buf (String.make n ' ') in
+    let nl () = if pretty then Buffer.add_char buf '\n' in
+    match t with
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Num f -> Buffer.add_string buf (number_to_string f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+        Buffer.add_char buf '[';
+        nl ();
+        List.iteri
+          (fun i x ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (indent + 2);
+            go (indent + 2) x)
+          xs;
+        nl ();
+        pad indent;
+        Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        nl ();
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then begin
+              Buffer.add_char buf ',';
+              nl ()
+            end;
+            pad (indent + 2);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\":";
+            if pretty then Buffer.add_char buf ' ';
+            go (indent + 2) v)
+          fields;
+        nl ();
+        pad indent;
+        Buffer.add_char buf '}'
+  in
+  go 0 t;
+  Buffer.contents buf
+
+(* --- parsing --- *)
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some x when x = c -> advance st
+  | Some x -> fail "expected '%c' at %d, found '%c'" c st.pos x
+  | None -> fail "expected '%c' at end of input" c
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail "invalid literal at %d" st.pos
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some '"' -> advance st; Buffer.add_char buf '"'; go ()
+        | Some '\\' -> advance st; Buffer.add_char buf '\\'; go ()
+        | Some '/' -> advance st; Buffer.add_char buf '/'; go ()
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+        | Some 'b' -> advance st; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
+        | Some 'u' ->
+            advance st;
+            if st.pos + 4 > String.length st.src then fail "bad unicode escape";
+            let hex = String.sub st.src st.pos 4 in
+            st.pos <- st.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> fail "bad unicode escape"
+            in
+            (* Only the Latin-1 subset round-trips; enough for our output. *)
+            if code < 256 then Buffer.add_char buf (Char.chr code)
+            else Buffer.add_char buf '?';
+            go ()
+        | _ -> fail "bad escape at %d" st.pos)
+    | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  if st.pos = start then fail "expected number at %d" start;
+  let text = String.sub st.src start (st.pos - start) in
+  match float_of_string_opt text with
+  | Some f -> f
+  | None -> fail "malformed number %S" text
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> Str (parse_string st)
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              items (v :: acc)
+          | Some ']' ->
+              advance st;
+              List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']' at %d" st.pos
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (k, v)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              advance st;
+              fields (f :: acc)
+          | Some '}' ->
+              advance st;
+              List.rev (f :: acc)
+          | _ -> fail "expected ',' or '}' at %d" st.pos
+        in
+        Obj (fields [])
+      end
+  | Some _ -> Num (parse_number st)
+
+let of_string src =
+  let st = { src; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length src then fail "trailing garbage at %d" st.pos;
+  v
+
+let member key = function
+  | Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> fail "missing field %S" key)
+  | _ -> fail "not an object (looking for %S)" key
+
+let to_float = function Num f -> f | _ -> fail "expected number"
+let to_int t = int_of_float (to_float t)
+let to_list = function List l -> l | _ -> fail "expected list"
+let to_str = function Str s -> s | _ -> fail "expected string"

@@ -1,0 +1,30 @@
+(** Minimal JSON codec (no external dependency): enough for schedule and
+    topology persistence.
+
+    Strings support the standard escapes; numbers are parsed as floats.
+    This is not a general-purpose validating parser — it accepts every valid
+    JSON document this library emits and rejects malformed input with
+    {!Parse_error}. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : ?pretty:bool -> t -> string
+val of_string : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val member : string -> t -> t
+(** Field lookup; raises {!Parse_error} when absent or not an object. *)
+
+val to_float : t -> float
+val to_int : t -> int
+val to_list : t -> t list
+val to_str : t -> string
+(** Coercions; raise {!Parse_error} on the wrong constructor. *)

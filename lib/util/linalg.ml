@@ -1,0 +1,87 @@
+let mat_vec a x =
+  Array.map
+    (fun row ->
+      let acc = ref 0.0 in
+      Array.iteri (fun j v -> acc := !acc +. (v *. x.(j))) row;
+      !acc)
+    a
+
+let residual a x b =
+  let ax = mat_vec a x in
+  let m = ref 0.0 in
+  Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. b.(i)))) ax;
+  !m
+
+let solve a b =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  if n = 0 then Some [||]
+  else begin
+    assert (Array.for_all (fun row -> Array.length row = n) a);
+    let m = Array.map Array.copy a in
+    let rhs = Array.copy b in
+    let singular = ref false in
+    (* Forward elimination with partial pivoting. *)
+    for col = 0 to n - 1 do
+      if not !singular then begin
+        let pivot = ref col in
+        for r = col + 1 to n - 1 do
+          if Float.abs m.(r).(col) > Float.abs m.(!pivot).(col) then pivot := r
+        done;
+        if Float.abs m.(!pivot).(col) < 1e-12 then singular := true
+        else begin
+          let tmp = m.(col) in
+          m.(col) <- m.(!pivot);
+          m.(!pivot) <- tmp;
+          let t = rhs.(col) in
+          rhs.(col) <- rhs.(!pivot);
+          rhs.(!pivot) <- t;
+          for r = col + 1 to n - 1 do
+            let f = m.(r).(col) /. m.(col).(col) in
+            if f <> 0.0 then begin
+              for c = col to n - 1 do
+                m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
+              done;
+              rhs.(r) <- rhs.(r) -. (f *. rhs.(col))
+            end
+          done
+        end
+      end
+    done;
+    if !singular then None
+    else begin
+      let x = Array.make n 0.0 in
+      for r = n - 1 downto 0 do
+        let acc = ref rhs.(r) in
+        for c = r + 1 to n - 1 do
+          acc := !acc -. (m.(r).(c) *. x.(c))
+        done;
+        x.(r) <- !acc /. m.(r).(r)
+      done;
+      Some x
+    end
+  end
+
+let transpose a =
+  let rows = Array.length a in
+  if rows = 0 then [||]
+  else
+    let cols = Array.length a.(0) in
+    Array.init cols (fun j -> Array.init rows (fun i -> a.(i).(j)))
+
+let lstsq a b =
+  let at = transpose a in
+  let n = Array.length at in
+  let ata = Array.init n (fun i ->
+      Array.init n (fun j ->
+          let acc = ref 0.0 in
+          Array.iteri (fun k v -> acc := !acc +. (v *. at.(j).(k))) at.(i);
+          !acc))
+  in
+  let atb = Array.map (fun row ->
+      let acc = ref 0.0 in
+      Array.iteri (fun k v -> acc := !acc +. (v *. b.(k))) row;
+      !acc)
+      at
+  in
+  solve ata atb

@@ -1,0 +1,41 @@
+let size shape = Array.fold_left ( * ) 1 shape
+
+let encode ~shape coords =
+  assert (Array.length shape = Array.length coords);
+  let idx = ref 0 in
+  Array.iteri
+    (fun i c ->
+      assert (c >= 0 && c < shape.(i));
+      idx := (!idx * shape.(i)) + c)
+    coords;
+  !idx
+
+let decode ~shape idx =
+  let k = Array.length shape in
+  let coords = Array.make k 0 in
+  let rem = ref idx in
+  for i = k - 1 downto 0 do
+    coords.(i) <- !rem mod shape.(i);
+    rem := !rem / shape.(i)
+  done;
+  assert (!rem = 0);
+  coords
+
+let iter ~shape f =
+  let n = size shape in
+  let k = Array.length shape in
+  let coords = Array.make k 0 in
+  for _ = 1 to n do
+    f coords;
+    (* Increment the coordinate vector, last axis fastest. *)
+    let rec bump i =
+      if i >= 0 then begin
+        coords.(i) <- coords.(i) + 1;
+        if coords.(i) = shape.(i) then begin
+          coords.(i) <- 0;
+          bump (i - 1)
+        end
+      end
+    in
+    bump (k - 1)
+  done

@@ -1,0 +1,17 @@
+(** Mixed-radix encoding between flat indices and coordinate vectors.
+
+    A shape [\[|s0; s1; ...|\]] defines the space [\[0,s0) × \[0,s1) × ...];
+    the flat index is row-major (last axis varies fastest). *)
+
+val size : int array -> int
+(** Product of the shape. *)
+
+val encode : shape:int array -> int array -> int
+(** [encode ~shape coords] is the flat index of [coords]. *)
+
+val decode : shape:int array -> int -> int array
+(** Inverse of {!encode}. *)
+
+val iter : shape:int array -> (int array -> unit) -> unit
+(** Visit every coordinate vector in flat-index order.  The array passed to
+    the callback is reused between calls; copy it if you keep it. *)

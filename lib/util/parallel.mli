@@ -1,0 +1,13 @@
+(** Data-parallel map over OCaml 5 domains.
+
+    SyCCL solves independent sub-demands in parallel (§5.3); this module
+    provides the worker pool.  Work items are split statically into
+    [num_domains] slices; each slice runs on its own domain. *)
+
+val num_recommended : unit -> int
+(** Recommended domain count for this machine. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~domains f xs] applies [f] to every element, preserving order.
+    With [domains <= 1] (or a single element) it degrades to a plain
+    sequential map.  Exceptions raised by [f] are re-raised in the caller. *)

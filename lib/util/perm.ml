@@ -1,0 +1,50 @@
+type t = int array
+
+let identity n = Array.init n (fun i -> i)
+
+let is_valid p =
+  let n = Array.length p in
+  let seen = Array.make n false in
+  let ok = ref true in
+  Array.iter
+    (fun x ->
+      if x < 0 || x >= n || seen.(x) then ok := false else seen.(x) <- true)
+    p;
+  !ok
+
+let compose p q =
+  assert (Array.length p = Array.length q);
+  Array.map (fun i -> p.(i)) q
+
+let invert p =
+  let inv = Array.make (Array.length p) 0 in
+  Array.iteri (fun i x -> inv.(x) <- i) p;
+  inv
+
+let apply p i = p.(i)
+
+let rotation n k =
+  let k = ((k mod n) + n) mod n in
+  Array.init n (fun i -> (i + k) mod n)
+
+let of_cycle n cycle =
+  let p = identity n in
+  (match cycle with
+  | [] | [ _ ] -> ()
+  | first :: _ ->
+      let rec link = function
+        | [ last ] -> p.(last) <- first
+        | a :: (b :: _ as rest) ->
+            p.(a) <- b;
+            link rest
+        | [] -> ()
+      in
+      link cycle);
+  p
+
+let equal = ( = )
+
+let pp fmt p =
+  Format.fprintf fmt "[%a]"
+    (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " ") Format.pp_print_int)
+    (Array.to_list p)

@@ -1,0 +1,25 @@
+(** Permutations of [\[0, n)] represented as arrays ([p.(i)] is the image
+    of [i]).  Used for topology automorphisms and sketch replication. *)
+
+type t = int array
+
+val identity : int -> t
+val is_valid : t -> bool
+(** True iff the array is a bijection of its index range. *)
+
+val compose : t -> t -> t
+(** [compose p q] maps [i] to [p.(q.(i))] (apply [q] first). *)
+
+val invert : t -> t
+
+val apply : t -> int -> int
+(** [apply p i = p.(i)]. *)
+
+val rotation : int -> int -> t
+(** [rotation n k] maps [i] to [(i + k) mod n]. *)
+
+val of_cycle : int -> int list -> t
+(** [of_cycle n cycle] is the permutation of [\[0,n)] given by one cycle. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,19 @@
+(** Polymorphic binary-heap priority queue (min-heap by a user comparator). *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** Empty queue ordered by [cmp]; the minimum element pops first. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Remove and return the minimum, or [None] if empty. *)
+
+val peek : 'a t -> 'a option
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains the queue, returning elements in ascending order. *)

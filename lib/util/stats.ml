@@ -1,0 +1,29 @@
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: xs ->
+      List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let percentile p = function
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | xs ->
+      assert (p >= 0.0 && p <= 1.0);
+      let sorted = List.sort Float.compare xs in
+      let a = Array.of_list sorted in
+      let n = Array.length a in
+      let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+      a.(idx)
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+      let m = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs
+        /. float_of_int (List.length xs)
+      in
+      sqrt var

@@ -1,0 +1,14 @@
+(** Summary statistics over float samples. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 on the empty list. *)
+
+val min_max : float list -> float * float
+(** Smallest and largest sample.  Raises [Invalid_argument] on empty input. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on the sorted
+    samples.  Raises [Invalid_argument] on empty input. *)
+
+val stddev : float list -> float
+(** Population standard deviation; 0 on lists shorter than 2. *)

@@ -1,0 +1,39 @@
+(** Training-job communication workloads (§7.5).
+
+    A workload is the per-iteration trace of collective calls a training
+    configuration issues, derived from model dimensions and the parallelism
+    scheme, plus a compute-time model.  Iteration time = compute + exposed
+    communication, where the communication term is whatever a schedule
+    provider reports for each call — so NCCL / TECCL / SyCCL schedules plug
+    in interchangeably (Table 6). *)
+
+type call = {
+  kind : Syccl_collective.Collective.kind;
+  size : float;  (** bytes, nccl-tests convention *)
+  count : int;  (** calls per iteration *)
+}
+
+type t = {
+  wname : string;
+  num_gpus : int;  (** GPUs participating in each collective *)
+  calls : call list;
+  compute_ms : float;  (** per-iteration compute time, milliseconds *)
+  overlap : float;
+      (** fraction of communication hidden behind compute (0 = fully
+          exposed, 1 = fully hidden) *)
+}
+
+val gpt3_6_7b : [ `DP16 | `TP16 | `TP32 ] -> t
+(** GPT3-6.7B traces: data parallelism with a distributed optimizer
+    (ReduceScatter + AllGather over gradient/parameter shards) or tensor
+    parallelism (per-layer AllReduce-style AllGather/ReduceScatter pairs). *)
+
+val llama3_8b : [ `DP16 | `TP16 | `TP32 ] -> t
+(** Llama3-8B traces under the same parallelism configurations. *)
+
+val all : unit -> t list
+(** The six Table-6 configurations. *)
+
+val iteration_ms : t -> comm_time:(Syccl_collective.Collective.t -> float) -> float
+(** Iteration time in ms given a per-collective completion-time oracle
+    (seconds). *)

@@ -1,0 +1,10 @@
+(* Minimal substring search helper for tests (no astring dependency). *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub hay i nl = needle then true
+    else go (i + 1)
+  in
+  go 0

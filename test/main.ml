@@ -1,0 +1,27 @@
+(* Test entry point: one alcotest run over every module's suite. *)
+
+let () =
+  Alcotest.run "syccl"
+    [
+      ("util", Test_util.suite);
+      ("topology", Test_topology.suite);
+      ("collective", Test_collective.suite);
+      ("milp", Test_milp.suite);
+      ("sim", Test_sim.suite);
+      ("msccl", Test_msccl.suite);
+      ("json", Test_json.suite);
+      ("schedule-ir", Test_schedule_ir.suite);
+      ("explain", Test_explain.suite);
+      ("solver-properties", Test_solver_properties.suite);
+      ("baselines", Test_baselines.suite);
+      ("teccl", Test_teccl.suite);
+      ("sketch", Test_sketch.suite);
+      ("search", Test_search.suite);
+      ("combine", Test_combine.suite);
+      ("subsolver", Test_subsolver.suite);
+      ("synthesizer", Test_synthesizer.suite);
+      ("workload", Test_workload.suite);
+      ("integration", Test_integration.suite);
+      ("properties", Test_properties.suite);
+      ("extensions", Test_extensions.suite);
+    ]

@@ -1,0 +1,223 @@
+(* Tests for the NCCL and hand-crafted baseline schedule generators. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module Link = Syccl_topology.Link
+module C = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+module Sim = Syccl_sim.Sim
+module Validate = Syccl_sim.Validate
+module B = Syccl_baselines
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let valid topo coll phases =
+  List.for_all (fun s -> Validate.covers topo coll s = Ok ()) phases
+
+let test_connecting_dim () =
+  let topo = Builders.h800 ~servers:2 in
+  check Alcotest.int "same server uses nvlink" 0 (B.Common.connecting_dim topo 0 3);
+  check Alcotest.int "same rail uses rail" 1 (B.Common.connecting_dim topo 2 10);
+  check Alcotest.int "cross-rail uses spine" 2 (B.Common.connecting_dim topo 0 9)
+
+let test_rail_structure () =
+  Alcotest.(check bool) "h800 is rail optimized" true
+    (B.Common.rail_structure (Builders.h800 ~servers:4) <> None);
+  Alcotest.(check bool) "clos is not" true
+    (B.Common.rail_structure (Builders.a100 ~servers:4) = None);
+  Alcotest.(check bool) "flat has no servers" true
+    (B.Common.server_dim
+       (Builders.single_switch ~n:8 ~link:(Link.make ~alpha:1e-6 ~gbps:100.0) ())
+    = None)
+
+let test_ring_order () =
+  let topo = Builders.h800 ~servers:2 in
+  let o = B.Ring.ring_order topo ~channel:0 in
+  check Alcotest.(array int) "channel 0"
+    [| 0; 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 |]
+    o;
+  let o3 = B.Ring.ring_order topo ~channel:3 in
+  check Alcotest.int "rotated start" 3 o3.(0);
+  check Alcotest.int "second server rotated" 11 o3.(8)
+
+let test_ring_allgather_valid () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  Alcotest.(check bool) "valid" true (valid topo coll [ B.Ring.allgather topo coll ])
+
+let test_ring_hop_count () =
+  (* Each chunk of a 1-channel ring travels exactly n-1 hops. *)
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  let s = B.Ring.allgather ~channels:1 topo coll in
+  check Alcotest.int "xfers" (16 * 15) (Schedule.num_xfers s)
+
+let test_ring_latency_dominated () =
+  (* At tiny sizes the (n-1)-hop ring is far slower than direct sends —
+     the §2.1 observation. *)
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1024.0 in
+  let ring = Sim.time topo (B.Ring.allgather topo coll) in
+  let direct = Sim.time topo (B.Direct.allgather topo coll) in
+  Alcotest.(check bool) "ring at least 3x slower at 1KB" true (ring > 3.0 *. direct)
+
+let test_reducescatter_valid () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.ReduceScatter ~n:16 ~size:1.6e6 in
+  Alcotest.(check bool) "valid" true (valid topo coll [ B.Ring.reducescatter topo coll ])
+
+let test_tree_broadcast () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make ~root:5 C.Broadcast ~n:16 ~size:1e6 in
+  let s = B.Tree.broadcast topo coll in
+  Alcotest.(check bool) "valid" true (valid topo coll [ s ]);
+  (* Two trees, each over n-1 edges. *)
+  check Alcotest.int "xfers" 30 (Schedule.num_xfers s)
+
+let test_tree_vs_ring_small_broadcast () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.Broadcast ~n:16 ~size:4096.0 in
+  let tree = Sim.time topo (B.Tree.broadcast topo coll) in
+  (* A 15-hop chain would pay 15 alphas; the tree pays ~log n. *)
+  Alcotest.(check bool) "tree fast at small size" true (tree < 15.0 *. 6.0e-6)
+
+let test_direct_allgather_valid () =
+  let topo = Builders.h800 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  Alcotest.(check bool) "valid" true (valid topo coll [ B.Direct.allgather topo coll ])
+
+let test_pxn_structure () =
+  let topo = Builders.h800 ~servers:2 in
+  let coll = C.make C.AllToAll ~n:16 ~size:1.6e6 in
+  let s = B.Pxn.alltoall topo coll in
+  Alcotest.(check bool) "valid" true (valid topo coll [ s ]);
+  (* No transfer may use the spine dimension: that is the point of PXN. *)
+  Alcotest.(check bool) "spine-free" true
+    (List.for_all (fun (x : Schedule.xfer) -> x.dim <> 2) s.Schedule.xfers)
+
+let test_pxn_rejects_clos () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllToAll ~n:16 ~size:1.6e6 in
+  Alcotest.check_raises "clos rejected"
+    (Invalid_argument "Pxn.alltoall: topology is not rail-optimized")
+    (fun () -> ignore (B.Pxn.alltoall topo coll))
+
+let test_hierarchical_valid () =
+  let topo = Builders.h800 ~servers:4 in
+  let coll = C.make C.AllGather ~n:32 ~size:3.2e6 in
+  Alcotest.(check bool) "rail-first valid" true
+    (valid topo coll [ B.Hierarchical.allgather_rail_first topo coll ]);
+  Alcotest.(check bool) "nv-first valid" true
+    (valid topo coll [ B.Hierarchical.allgather_nv_first topo coll ]);
+  Alcotest.(check bool) "improved valid" true
+    (valid topo coll [ B.Hierarchical.allgather_improved topo coll ])
+
+let test_hierarchical_beats_ring_large () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1e9 in
+  let ring = Sim.time topo (B.Ring.allgather topo coll) in
+  let hier = Sim.time topo (B.Hierarchical.allgather_rail_first topo coll) in
+  Alcotest.(check bool) "hierarchical wins at 1GB" true (hier < ring)
+
+let nccl_valid_prop =
+  QCheck.Test.make ~name:"NCCL schedules satisfy their demand" ~count:30
+    QCheck.(pair (int_bound 3) (int_bound 4))
+    (fun (kind_idx, size_idx) ->
+      let topo = Builders.a100 ~servers:2 in
+      let kind =
+        match kind_idx with
+        | 0 -> C.AllGather
+        | 1 -> C.ReduceScatter
+        | 2 -> C.AllToAll
+        | _ -> C.Broadcast
+      in
+      let size = [| 1024.0; 65536.0; 1e6; 1.6e7; 1e8 |].(size_idx) in
+      let coll = C.make kind ~n:16 ~size in
+      valid topo coll (B.Nccl.schedule topo coll))
+
+let test_nccl_allreduce_phases_valid () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllReduce ~n:16 ~size:1e7 in
+  let phases = B.Nccl.schedule topo coll in
+  check Alcotest.int "two phases" 2 (List.length phases);
+  List.iter2
+    (fun phase coll_phase ->
+      match Validate.covers topo coll_phase phase with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "phase invalid: %s" e)
+    phases (C.phases coll)
+
+let test_crafted_best () =
+  let topo = Builders.h800 ~servers:4 in
+  let coll = C.make C.AllGather ~n:32 ~size:1e8 in
+  let name, s, t = B.Crafted.best_allgather topo coll in
+  Alcotest.(check bool) "time positive" true (t > 0.0);
+  Alcotest.(check bool) "valid" true (valid topo coll [ s ]);
+  Alcotest.(check bool) "named" true (String.length name > 0)
+
+let test_tree_odd_sizes () =
+  (* Double binary trees must stay valid for non-power-of-two GPU counts. *)
+  List.iter
+    (fun servers ->
+      let topo = Builders.h800_scaled ~servers ~gpus_per_server:3 in
+      let n = T.num_gpus topo in
+      let coll = C.make ~root:(n - 1) C.Broadcast ~n ~size:1e5 in
+      Alcotest.(check bool)
+        (Printf.sprintf "%d GPUs" n)
+        true
+        (valid topo coll [ B.Tree.broadcast topo coll ]))
+    [ 3; 5; 7 ]
+
+let test_improved_two_gpu_servers () =
+  (* The improved hierarchical degenerates gracefully when each server has
+     only two GPUs (partner covers the whole server). *)
+  let topo = Builders.h800_scaled ~servers:4 ~gpus_per_server:2 in
+  let coll = C.make C.AllGather ~n:8 ~size:8e5 in
+  Alcotest.(check bool) "valid" true
+    (valid topo coll [ B.Hierarchical.allgather_improved topo coll ])
+
+let test_ring_channels_cap () =
+  (* More channels than GPUs per server still yields a valid schedule. *)
+  let topo = Builders.h800_scaled ~servers:2 ~gpus_per_server:4 in
+  let coll = C.make C.AllGather ~n:8 ~size:8e5 in
+  Alcotest.(check bool) "valid" true
+    (valid topo coll [ B.Ring.allgather ~channels:6 topo coll ])
+
+let test_pxn_beats_direct_cross_rail () =
+  (* On a rail cluster with a slow spine, PXN must beat direct AlltoAll. *)
+  let nv = Link.make ~alpha:1e-6 ~gbps:180.0 in
+  let rail = Link.make ~alpha:5e-6 ~gbps:50.0 in
+  let spine = Link.make ~alpha:7.5e-6 ~gbps:10.0 in
+  let topo =
+    Builders.multi_rail ~servers:4 ~gpus_per_server:4 ~nvlink:nv ~rail ~spine ()
+  in
+  let coll = C.make C.AllToAll ~n:16 ~size:1.6e7 in
+  let pxn = Sim.time topo (B.Pxn.alltoall topo coll) in
+  let direct = Sim.time topo (B.Direct.alltoall topo coll) in
+  Alcotest.(check bool) "pxn avoids the slow spine" true (pxn < direct)
+
+let suite =
+  [
+    ("tree odd sizes", `Quick, test_tree_odd_sizes);
+    ("improved with 2-gpu servers", `Quick, test_improved_two_gpu_servers);
+    ("ring channels cap", `Quick, test_ring_channels_cap);
+    ("pxn beats direct cross-rail", `Quick, test_pxn_beats_direct_cross_rail);
+    ("connecting dim", `Quick, test_connecting_dim);
+    ("rail structure", `Quick, test_rail_structure);
+    ("ring order", `Quick, test_ring_order);
+    ("ring allgather valid", `Quick, test_ring_allgather_valid);
+    ("ring hop count", `Quick, test_ring_hop_count);
+    ("ring latency dominated", `Quick, test_ring_latency_dominated);
+    ("reducescatter valid", `Quick, test_reducescatter_valid);
+    ("tree broadcast", `Quick, test_tree_broadcast);
+    ("tree vs ring small", `Quick, test_tree_vs_ring_small_broadcast);
+    ("direct allgather valid", `Quick, test_direct_allgather_valid);
+    ("pxn structure", `Quick, test_pxn_structure);
+    ("pxn rejects clos", `Quick, test_pxn_rejects_clos);
+    ("hierarchical valid", `Quick, test_hierarchical_valid);
+    ("hierarchical beats ring large", `Quick, test_hierarchical_beats_ring_large);
+    qtest nccl_valid_prop;
+    ("nccl allreduce phases", `Quick, test_nccl_allreduce_phases_valid);
+    ("crafted best", `Quick, test_crafted_best);
+  ]

@@ -1,0 +1,125 @@
+(* Tests for the collective demand model and its decompositions. *)
+
+module C = Syccl_collective.Collective
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_chunk_sizes () =
+  let ag = C.make C.AllGather ~n:8 ~size:800.0 in
+  check (Alcotest.float 1e-9) "allgather chunk" 100.0 (C.chunk_size ag);
+  let bc = C.make C.Broadcast ~n:8 ~size:800.0 in
+  check (Alcotest.float 1e-9) "broadcast chunk" 800.0 (C.chunk_size bc);
+  check Alcotest.int "allgather chunks" 8 (C.num_chunks ag);
+  check Alcotest.int "alltoall chunks" 56 (C.num_chunks (C.make C.AllToAll ~n:8 ~size:800.0))
+
+let test_invalid_args () =
+  Alcotest.check_raises "size <= 0" (Invalid_argument "Collective.make: size <= 0")
+    (fun () -> ignore (C.make C.AllGather ~n:4 ~size:0.0));
+  Alcotest.check_raises "n < 2" (Invalid_argument "Collective.make: n < 2")
+    (fun () -> ignore (C.make C.AllGather ~n:1 ~size:1.0));
+  Alcotest.check_raises "bad root" (Invalid_argument "Collective.make: root out of range")
+    (fun () -> ignore (C.make ~root:9 C.Broadcast ~n:4 ~size:1.0))
+
+let test_allgather_chunks () =
+  let ag = C.make C.AllGather ~n:4 ~size:400.0 in
+  let chunks = C.chunks ag in
+  check Alcotest.int "count" 4 (List.length chunks);
+  List.iteri
+    (fun i ch ->
+      match ch with
+      | C.Gather_chunk { id; size; src; dsts } ->
+          check Alcotest.int "id" i id;
+          check (Alcotest.float 1e-9) "size" 100.0 size;
+          check Alcotest.int "src" i src;
+          check Alcotest.(list int) "dsts"
+            (List.filter (fun v -> v <> i) [ 0; 1; 2; 3 ])
+            dsts
+      | C.Reduce_chunk _ -> Alcotest.fail "gather expected")
+    chunks
+
+let test_reducescatter_chunks () =
+  let rs = C.make C.ReduceScatter ~n:4 ~size:400.0 in
+  List.iteri
+    (fun i ch ->
+      match ch with
+      | C.Reduce_chunk { dst; srcs; _ } ->
+          check Alcotest.int "dst" i dst;
+          check Alcotest.int "srcs" 3 (List.length srcs)
+      | C.Gather_chunk _ -> Alcotest.fail "reduce expected")
+    (C.chunks rs)
+
+let test_allreduce_phases () =
+  let ar = C.make C.AllReduce ~n:8 ~size:64.0 in
+  match C.phases ar with
+  | [ p1; p2 ] ->
+      check Alcotest.string "phase1" "ReduceScatter" (C.kind_name p1.C.kind);
+      check Alcotest.string "phase2" "AllGather" (C.kind_name p2.C.kind)
+  | _ -> Alcotest.fail "two phases expected"
+
+let test_allreduce_chunks_raises () =
+  let ar = C.make C.AllReduce ~n:8 ~size:64.0 in
+  Alcotest.check_raises "chunks on AllReduce"
+    (Invalid_argument "Collective.chunks: decompose AllReduce via phases")
+    (fun () -> ignore (C.chunks ar))
+
+let decompose_covers_prop =
+  (* Decomposing an all-to-all collective into one-to-all primitives must
+     cover every chunk of the original demand. *)
+  QCheck.Test.make ~name:"decompose covers the demand" ~count:50
+    QCheck.(pair (int_range 2 12) (int_bound 2))
+    (fun (n, kind_idx) ->
+      let kind =
+        match kind_idx with
+        | 0 -> C.AllGather
+        | 1 -> C.AllToAll
+        | _ -> C.ReduceScatter
+      in
+      let coll = C.make kind ~n ~size:(float_of_int (n * 64)) in
+      let prims = C.decompose coll in
+      List.length prims = n
+      && List.for_all2
+           (fun p root -> p.C.p_root = root)
+           prims
+           (List.init n (fun i -> i))
+      && List.for_all
+           (fun p -> p.C.mirrored = C.is_reduce kind)
+           prims)
+
+let test_busbw_factors () =
+  let t = 1e-3 in
+  let ag = C.make C.AllGather ~n:4 ~size:1e6 in
+  check (Alcotest.float 1e-6) "allgather busbw"
+    (1e6 /. t /. 1e9 *. 0.75)
+    (C.busbw ag ~time:t);
+  let ar = C.make C.AllReduce ~n:4 ~size:1e6 in
+  check (Alcotest.float 1e-6) "allreduce busbw"
+    (1e6 /. t /. 1e9 *. 1.5)
+    (C.busbw ar ~time:t);
+  let bc = C.make C.Broadcast ~n:4 ~size:1e6 in
+  check (Alcotest.float 1e-6) "broadcast busbw" (1e6 /. t /. 1e9) (C.busbw bc ~time:t)
+
+let sendrecv_chunk_prop =
+  QCheck.Test.make ~name:"sendrecv has one chunk src->peer" ~count:50
+    QCheck.(pair (int_range 2 16) (int_range 2 16))
+    (fun (n, k) ->
+      let root = k mod n and peer = (k + 1) mod n in
+      if root = peer then true
+      else
+        let sr = C.make ~root ~peer C.SendRecv ~n ~size:10.0 in
+        match C.chunks sr with
+        | [ C.Gather_chunk { src; dsts; _ } ] -> src = root && dsts = [ peer ]
+        | _ -> false)
+
+let suite =
+  [
+    ("chunk sizes", `Quick, test_chunk_sizes);
+    ("invalid arguments", `Quick, test_invalid_args);
+    ("allgather chunks", `Quick, test_allgather_chunks);
+    ("reducescatter chunks", `Quick, test_reducescatter_chunks);
+    ("allreduce phases", `Quick, test_allreduce_phases);
+    ("allreduce chunks raises", `Quick, test_allreduce_chunks_raises);
+    qtest decompose_covers_prop;
+    ("busbw factors", `Quick, test_busbw_factors);
+    qtest sendrecv_chunk_prop;
+  ]

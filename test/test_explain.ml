@@ -1,0 +1,61 @@
+(* Tests for the human-readable sketch/combination reports (Appendix C). *)
+
+module Builders = Syccl_topology.Builders
+module C = Syccl_collective.Collective
+
+let contains = Astring_replacement.contains
+
+let test_sketch_report () =
+  let topo = Builders.fig3 () in
+  match Syccl.Search.run topo ~kind:`Broadcast ~root:0 with
+  | [] -> Alcotest.fail "sketches found"
+  | s :: _ ->
+      let text = Syccl.Explain.sketch topo s in
+      Alcotest.(check bool) "names the root" true (contains text "rooted at GPU 0");
+      Alcotest.(check bool) "uses the R_{k,d,g} notation" true (contains text "R_{0,");
+      Alcotest.(check bool) "summarizes workload" true
+        (contains text "per-dimension workload")
+
+let test_combo_report () =
+  let topo = Builders.h800 ~servers:2 in
+  let sketches = Syccl.Search.run topo ~kind:`Broadcast ~root:0 in
+  let sketches = List.filteri (fun i _ -> i < 4) sketches in
+  match Syccl.Combine.combos_all_to_all topo sketches with
+  | [] -> Alcotest.fail "combos"
+  | c :: _ ->
+      let text = Syccl.Explain.combo topo c in
+      Alcotest.(check bool) "states sketch/root counts" true
+        (contains text "sketches over 16 roots");
+      Alcotest.(check bool) "compares traffic to bandwidth" true
+        (contains text "of bandwidth")
+
+let test_outcome_report () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1e6 in
+  let cfg = { Syccl.Synthesizer.default_config with fast_only = true } in
+  let o = Syccl.Synthesizer.synthesize ~config:cfg topo coll in
+  let text = Syccl.Explain.outcome topo o in
+  Alcotest.(check bool) "has winner" true (contains text "winner:");
+  Alcotest.(check bool) "has busbw" true (contains text "GBps busbw");
+  Alcotest.(check bool) "has breakdown" true (contains text "coarse solve")
+
+let test_bottleneck_flag () =
+  (* A spine-only combination on a multirail topology must be flagged. *)
+  let topo = Builders.fig19 () in
+  let n = 28 in
+  let stage_of = Array.make n 0 and parent = Array.make n 0 and dim_of = Array.make n 2 in
+  stage_of.(0) <- -1;
+  parent.(0) <- -1;
+  dim_of.(0) <- -1;
+  let s = Syccl.Sketch.make ~root:0 ~kind:`Broadcast ~num_stages:1 ~stage_of ~parent ~dim_of in
+  let combo = { Syccl.Combine.sketches = [ (s, 1.0) ]; desc = "spine-only" } in
+  Alcotest.(check bool) "bottleneck flagged" true
+    (contains (Syccl.Explain.combo topo combo) "likely bottleneck")
+
+let suite =
+  [
+    ("sketch report", `Quick, test_sketch_report);
+    ("combo report", `Quick, test_combo_report);
+    ("outcome report", `Quick, test_outcome_report);
+    ("bottleneck flag", `Quick, test_bottleneck_flag);
+  ]

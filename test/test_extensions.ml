@@ -1,0 +1,203 @@
+(* Tests for the extension components: network profiler, vector collectives,
+   schedule analysis, degradation, and iteration-time adaptation. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module Link = Syccl_topology.Link
+module Profiler = Syccl_topology.Profiler
+module C = Syccl_collective.Collective
+module V = Syccl_collective.Vcollective
+module Analysis = Syccl_sim.Analysis
+module Sim = Syccl_sim.Sim
+module Xrand = Syccl_util.Xrand
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- Profiler --- *)
+
+let test_fit_exact () =
+  let link = Link.make ~alpha:3e-6 ~gbps:80.0 in
+  let fit = Profiler.fit_link ~probe:(fun s -> Link.transfer_time link s) () in
+  check (Alcotest.float 1e-9) "alpha" 3e-6 fit.Profiler.alpha;
+  check (Alcotest.float 1e-15) "beta" link.Link.beta fit.Profiler.beta;
+  Alcotest.(check bool) "tiny residual" true (fit.Profiler.residual < 1e-9)
+
+let profiler_noise_prop =
+  QCheck.Test.make ~name:"profiler recovers parameters under 5% noise" ~count:20
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let rng = Xrand.create seed in
+      let topo = Builders.h800 ~servers:2 in
+      let probe = Profiler.simulator_probe ~noise:(rng, 0.05) topo in
+      let fits = Profiler.profile ~repeats:5 ~probe topo in
+      List.for_all
+        (fun (d, (f : Profiler.fit)) ->
+          let truth = (T.dim topo d).T.link in
+          let bw_err =
+            Float.abs ((1.0 /. f.Profiler.beta) -. (1.0 /. truth.Link.beta))
+            /. (1.0 /. truth.Link.beta)
+          in
+          bw_err < 0.15)
+        fits)
+
+let test_refit_topology () =
+  let topo = Builders.h800 ~servers:2 in
+  let probe ~dim ~src ~dst ~size =
+    ignore (src, dst);
+    (* Pretend the rail actually runs at half the declared speed. *)
+    let link = (T.dim topo dim).T.link in
+    let link =
+      if dim = 1 then Link.make ~alpha:link.Link.alpha ~gbps:25.0 else link
+    in
+    Link.transfer_time link size
+  in
+  let refit = Profiler.refit_topology ~probe topo in
+  let rail_bw = Link.bandwidth_gbps (T.dim refit 1).T.link in
+  Alcotest.(check bool) "rail refit to ~25 GBps" true
+    (Float.abs (rail_bw -. 25.0) < 1.0);
+  check Alcotest.int "structure preserved" (T.num_dims topo) (T.num_dims refit)
+
+(* --- Vector collectives --- *)
+
+let test_vcollective_chunks () =
+  let v = V.make_allgatherv [| 10.0; 0.0; 30.0; 20.0 |] in
+  let chunks = V.chunks v in
+  check Alcotest.int "zero-size rank skipped" 3 (List.length chunks);
+  check (Alcotest.float 1e-9) "total" (60.0 *. 3.0) (V.total_bytes v);
+  check (Alcotest.float 1e-9) "base is min" 0.0 (V.symmetric_base v)
+
+let test_vcollective_validation () =
+  Alcotest.check_raises "negative" (Invalid_argument "Vcollective: negative size")
+    (fun () -> ignore (V.make_allgatherv [| 1.0; -1.0 |]));
+  Alcotest.check_raises "non-square"
+    (Invalid_argument "Vcollective: non-square matrix") (fun () ->
+      ignore (V.make_alltoallv [| [| 0.0; 1.0 |]; [| 1.0 |] |]))
+
+let test_vsynth_greedy_valid () =
+  let topo = Builders.h800 ~servers:2 in
+  let rng = Xrand.create 7 in
+  let sizes =
+    Array.init 16 (fun _ -> Array.init 16 (fun _ -> 1e4 +. Xrand.float rng 1e6))
+  in
+  Array.iteri (fun i row -> row.(i) <- 0.0) sizes;
+  let v = V.make_alltoallv sizes in
+  let o = Syccl.Vsynth.synthesize ~mode:`Greedy topo v in
+  (match Syccl.Vsynth.covers topo v o.Syccl.Vsynth.schedule with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  Alcotest.(check bool) "positive algbw" true (o.Syccl.Vsynth.algbw > 0.0)
+
+let test_vsynth_hybrid_valid_and_bases () =
+  let topo = Builders.h800 ~servers:2 in
+  let sizes = Array.init 16 (fun i -> 1e6 +. (float_of_int i *. 1e5)) in
+  let v = V.make_allgatherv sizes in
+  let cfg = { Syccl.Synthesizer.default_config with fast_only = true } in
+  let o = Syccl.Vsynth.synthesize ~mode:`Hybrid ~config:cfg topo v in
+  check Alcotest.bool "hybrid used" true (o.Syccl.Vsynth.mode_used = `Hybrid);
+  match Syccl.Vsynth.covers topo v o.Syccl.Vsynth.schedule with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_vsynth_hybrid_falls_back () =
+  let topo = Builders.h800 ~servers:2 in
+  (* One rank contributes (almost) nothing: no useful symmetric base. *)
+  let sizes = Array.init 16 (fun i -> if i = 0 then 1.0 else 1e6) in
+  let v = V.make_allgatherv sizes in
+  let o = Syccl.Vsynth.synthesize ~mode:`Hybrid topo v in
+  check Alcotest.bool "fell back to greedy" true (o.Syccl.Vsynth.mode_used = `Greedy)
+
+(* --- Analysis --- *)
+
+let test_analysis_ring () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  let s = Syccl_baselines.Ring.allgather ~channels:1 topo coll in
+  let a = Analysis.analyze topo s in
+  check (Alcotest.float 1e-6) "makespan = sim time" (Sim.time topo s) a.Analysis.makespan;
+  (* 240 transfers of 0.1 MB each. *)
+  check (Alcotest.float 1.0) "bytes" (240.0 *. 1e5) a.Analysis.total_bytes;
+  check (Alcotest.float 1e-9) "hops per delivery" 1.0 a.Analysis.avg_hops;
+  Alcotest.(check bool) "bottleneck exists" true (a.Analysis.bottleneck <> None);
+  (* A single-channel ring crosses the network twice per chunk round. *)
+  Alcotest.(check bool) "network traffic recorded" true (a.Analysis.dim_bytes.(1) > 0.0)
+
+let test_analysis_hierarchical_ratio () =
+  (* The §2.1 diagnosis: the rail-first hierarchical moves (G-1)x more bytes
+     over NVLink than over the network. *)
+  let topo = Builders.h800 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  let s = Syccl_baselines.Hierarchical.allgather_rail_first topo coll in
+  let a = Analysis.analyze topo s in
+  let ratio = a.Analysis.dim_bytes.(0) /. a.Analysis.dim_bytes.(1) in
+  check (Alcotest.float 1e-6) "14:1 NVLink to rail bytes" 14.0 ratio
+
+let test_analysis_reduce_schedule () =
+  (* Reduce-mode schedules account bytes and ports the same way. *)
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.ReduceScatter ~n:16 ~size:1.6e6 in
+  let s = Syccl_baselines.Ring.reducescatter ~channels:1 topo coll in
+  let a = Analysis.analyze topo s in
+  check (Alcotest.float 1.0) "bytes" (240.0 *. 1e5) a.Analysis.total_bytes;
+  (* Reduce deliveries are counted per contributor. *)
+  check (Alcotest.float 1e-9) "hops per contribution" 1.0 a.Analysis.avg_hops
+
+let test_profiler_default_sizes () =
+  Alcotest.(check bool) "sweep spans small to large" true
+    (List.length Profiler.default_sizes >= 8
+    && List.hd Profiler.default_sizes = 1024.0)
+
+let test_timeline_renders () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  let s = Syccl_baselines.Direct.allgather topo coll in
+  let text = Analysis.timeline ~limit:10 topo s in
+  Alcotest.(check bool) "has rows" true (String.length text > 100);
+  Alcotest.(check bool) "truncation note" true
+    (Astring_replacement.contains text "more)")
+
+(* --- Degradation --- *)
+
+let test_with_link () =
+  let topo = Builders.h800 ~servers:2 in
+  let slow = Link.make ~alpha:5e-6 ~gbps:10.0 in
+  let degraded = T.with_link topo ~dim:1 slow in
+  check (Alcotest.float 1e-9) "link replaced" 10.0
+    (Link.bandwidth_gbps (T.dim degraded 1).T.link);
+  check (Alcotest.float 1e-9) "others untouched" 180.0
+    (Link.bandwidth_gbps (T.dim degraded 0).T.link);
+  Alcotest.check_raises "bad dim"
+    (Invalid_argument "Topology.with_link: dimension out of range") (fun () ->
+      ignore (T.with_link topo ~dim:9 slow))
+
+let test_resynthesis_adapts () =
+  let topo = Builders.h800 ~servers:2 in
+  let degraded = T.with_link topo ~dim:1 (Link.make ~alpha:5e-6 ~gbps:10.0) in
+  let coll = C.make C.AllGather ~n:16 ~size:6.7108864e7 in
+  let cfg = { Syccl.Synthesizer.default_config with fast_only = true } in
+  let fresh = Syccl.Synthesizer.synthesize ~config:cfg degraded coll in
+  let stale = Syccl.Synthesizer.synthesize ~config:cfg topo coll in
+  let stale_t =
+    List.fold_left (fun acc s -> acc +. Sim.time degraded s) 0.0 stale.Syccl.Synthesizer.schedules
+  in
+  Alcotest.(check bool) "re-synthesis no worse than stale schedule" true
+    (fresh.Syccl.Synthesizer.time <= stale_t +. 1e-9)
+
+let suite =
+  [
+    ("profiler exact fit", `Quick, test_fit_exact);
+    qtest profiler_noise_prop;
+    ("profiler refit topology", `Quick, test_refit_topology);
+    ("vcollective chunks", `Quick, test_vcollective_chunks);
+    ("vcollective validation", `Quick, test_vcollective_validation);
+    ("vsynth greedy valid", `Quick, test_vsynth_greedy_valid);
+    ("vsynth hybrid valid", `Quick, test_vsynth_hybrid_valid_and_bases);
+    ("vsynth hybrid falls back", `Quick, test_vsynth_hybrid_falls_back);
+    ("analysis ring", `Quick, test_analysis_ring);
+    ("analysis hierarchical ratio", `Quick, test_analysis_hierarchical_ratio);
+    ("analysis reduce schedule", `Quick, test_analysis_reduce_schedule);
+    ("profiler default sizes", `Quick, test_profiler_default_sizes);
+    ("timeline renders", `Quick, test_timeline_renders);
+    ("with_link", `Quick, test_with_link);
+    ("resynthesis adapts", `Quick, test_resynthesis_adapts);
+  ]

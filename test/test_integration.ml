@@ -1,0 +1,122 @@
+(* Cross-module integration tests: the full synthesize → validate → simulate
+   pipeline on every evaluation topology, plus the paper's qualitative
+   claims at small scale. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module C = Syccl_collective.Collective
+module Sim = Syccl_sim.Sim
+module Validate = Syccl_sim.Validate
+module Synth = Syccl.Synthesizer
+
+let fast = { Synth.default_config with fast_only = true }
+
+let synth_and_validate topo coll =
+  let o = Synth.synthesize ~config:fast topo coll in
+  List.iter2
+    (fun s phase ->
+      match Validate.covers topo phase s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "invalid schedule: %s" e)
+    o.Synth.schedules (C.phases coll);
+  o
+
+let test_every_eval_topology () =
+  List.iter
+    (fun (name, topo) ->
+      let n = T.num_gpus topo in
+      let coll = C.make C.AllGather ~n ~size:(float_of_int n *. 65536.0) in
+      let o = synth_and_validate topo coll in
+      if o.Synth.busbw <= 0.0 then Alcotest.failf "%s: no progress" name)
+    [
+      ("a100-16", Builders.a100 ~servers:2);
+      ("h800-16", Builders.h800 ~servers:2);
+      ("fig3", Builders.fig3 ());
+      ("fig19", Builders.fig19 ());
+      ("fig20", Builders.fig20 ());
+    ]
+
+let test_crossover_small_vs_large () =
+  (* §2.1: synthesized schedules win by reducing hops at small sizes and by
+     rebalancing bandwidth at large sizes; NCCL's ring must lose both ends
+     on the A100 testbed. *)
+  let topo = Builders.a100 ~servers:2 in
+  List.iter
+    (fun size ->
+      let coll = C.make C.AllGather ~n:16 ~size in
+      let o = synth_and_validate topo coll in
+      let nccl = Syccl_baselines.Nccl.busbw topo coll in
+      if o.Synth.busbw <= nccl then
+        Alcotest.failf "size %.0f: SyCCL %.2f <= NCCL %.2f" size o.Synth.busbw nccl)
+    [ 4096.0; 1.073741824e9 ]
+
+let test_teccl_between_when_it_works () =
+  (* TECCL beats NCCL's fixed ring at small sizes on the testbed (Fig 14a). *)
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:65536.0 in
+  let teccl = Syccl_teccl.Teccl.synthesize ~restarts:1 ~milp_var_budget:0 topo coll in
+  match Syccl_teccl.Teccl.busbw topo coll teccl with
+  | None -> Alcotest.fail "teccl should not time out at 16 GPUs"
+  | Some b ->
+      let nccl = Syccl_baselines.Nccl.busbw topo coll in
+      Alcotest.(check bool)
+        (Printf.sprintf "TECCL %.2f vs NCCL %.2f at 64KB" b nccl)
+        true (b > nccl)
+
+let test_reduce_family_duality () =
+  (* ReduceScatter completion must equal AllGather of the mirrored schedule
+     within the simulator's scheduling tolerance. *)
+  let topo = Builders.h800 ~servers:2 in
+  let ag = C.make C.AllGather ~n:16 ~size:1.6e7 in
+  let rs = C.make C.ReduceScatter ~n:16 ~size:1.6e7 in
+  let oag = synth_and_validate topo ag in
+  let ors = synth_and_validate topo rs in
+  Alcotest.(check bool)
+    (Printf.sprintf "RS %.1f within 2x of AG %.1f" ors.Synth.busbw oag.Synth.busbw)
+    true
+    (ors.Synth.busbw >= oag.Synth.busbw /. 2.0)
+
+let test_inferred_topology_synthesis () =
+  (* Build edges, infer the topology, synthesize on it, validate. *)
+  let nv = Syccl_topology.Link.make ~alpha:1e-6 ~gbps:180.0 in
+  let rail = Syccl_topology.Link.make ~alpha:5e-6 ~gbps:50.0 in
+  let gpu s i = (s * 4) + i in
+  let edges = ref [] in
+  for s = 0 to 1 do
+    for i = 0 to 3 do
+      for j = i + 1 to 3 do
+        edges := (gpu s i, gpu s j, nv) :: !edges
+      done
+    done
+  done;
+  for i = 0 to 3 do
+    edges := (gpu 0 i, gpu 1 i, rail) :: !edges
+  done;
+  match Syccl_topology.Infer.infer ~n:8 !edges with
+  | None -> Alcotest.fail "inference"
+  | Some (topo, _) ->
+      let coll = C.make C.AllGather ~n:8 ~size:8e5 in
+      ignore (synth_and_validate topo coll)
+
+let test_e2e_workload_ordering () =
+  (* Table 6's qualitative result at 16 GPUs: SyCCL's iteration time is no
+     worse than NCCL's. *)
+  let topo = Builders.a100 ~servers:2 in
+  let w = Syccl_workload.Workload.gpt3_6_7b `TP16 in
+  let nccl coll = Syccl_baselines.Nccl.time topo coll in
+  let syccl coll = (Synth.synthesize ~config:fast topo coll).Synth.time in
+  let t_nccl = Syccl_workload.Workload.iteration_ms w ~comm_time:nccl in
+  let t_syccl = Syccl_workload.Workload.iteration_ms w ~comm_time:syccl in
+  Alcotest.(check bool)
+    (Printf.sprintf "SyCCL %.1fms <= NCCL %.1fms" t_syccl t_nccl)
+    true (t_syccl <= t_nccl +. 1e-6)
+
+let suite =
+  [
+    ("every eval topology", `Slow, test_every_eval_topology);
+    ("crossover small vs large", `Slow, test_crossover_small_vs_large);
+    ("teccl between", `Slow, test_teccl_between_when_it_works);
+    ("reduce family duality", `Slow, test_reduce_family_duality);
+    ("inferred topology synthesis", `Quick, test_inferred_topology_synthesis);
+    ("e2e workload ordering", `Slow, test_e2e_workload_ordering);
+  ]

@@ -1,0 +1,84 @@
+(* Tests for MSCCL XML emission (§6). *)
+
+module Builders = Syccl_topology.Builders
+module C = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+module Msccl = Syccl_sim.Msccl
+
+let check = Alcotest.check
+
+let count_substring hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub hay i nl = needle then go (i + 1) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let ring_xml () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  let s = Syccl_baselines.Ring.allgather ~channels:1 topo coll in
+  (coll, s, Msccl.to_xml ~coll s)
+
+let test_header () =
+  let coll, _, xml = ring_xml () in
+  ignore coll;
+  Alcotest.(check bool) "algo tag" true
+    (count_substring xml "<algo name=\"syccl\"" = 1);
+  Alcotest.(check bool) "coll name" true (count_substring xml "coll=\"allgather\"" = 1);
+  Alcotest.(check bool) "ngpus" true (count_substring xml "ngpus=\"16\"" = 1)
+
+let test_step_counts () =
+  let _, s, xml = ring_xml () in
+  (* Every transfer emits exactly one send and one receive step. *)
+  let nx = Schedule.num_xfers s in
+  check Alcotest.int "sends" nx (count_substring xml "type=\"s\"");
+  check Alcotest.int "recvs" nx (count_substring xml "type=\"r\"")
+
+let test_gpu_sections () =
+  let _, _, xml = ring_xml () in
+  check Alcotest.int "one gpu section per rank" 16 (count_substring xml "<gpu id=")
+
+let test_relay_dependencies () =
+  (* On a ring, every non-first hop send depends on a receive. *)
+  let _, s, xml = ring_xml () in
+  let nx = Schedule.num_xfers s in
+  let first_hops = 16 in
+  check Alcotest.int "dependent sends" (nx - first_hops)
+    (count_substring xml "hasdep=\"1\"");
+  Alcotest.(check bool) "some dep links resolved" true
+    (count_substring xml "deps=\"-1\"" < 2 * nx)
+
+let test_reduce_steps () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.ReduceScatter ~n:16 ~size:1.6e6 in
+  let s = Syccl_baselines.Ring.reducescatter ~channels:1 topo coll in
+  let xml = Msccl.to_xml ~coll s in
+  Alcotest.(check bool) "receive-reduce-copy steps" true
+    (count_substring xml "type=\"rrc\"" > 0)
+
+let test_channels () =
+  let _, s, _ = ring_xml () in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  let xml = Msccl.to_xml ~channels:2 ~coll s in
+  Alcotest.(check bool) "channel 1 used" true (count_substring xml "chan=\"1\"" > 0)
+
+let test_balanced_tags () =
+  let _, _, xml = ring_xml () in
+  check Alcotest.int "tb open/close balance" (count_substring xml "<tb ")
+    (count_substring xml "</tb>");
+  check Alcotest.int "gpu open/close balance" (count_substring xml "<gpu ")
+    (count_substring xml "</gpu>")
+
+let suite =
+  [
+    ("header", `Quick, test_header);
+    ("step counts", `Quick, test_step_counts);
+    ("gpu sections", `Quick, test_gpu_sections);
+    ("relay dependencies", `Quick, test_relay_dependencies);
+    ("reduce steps", `Quick, test_reduce_steps);
+    ("channels", `Quick, test_channels);
+    ("balanced tags", `Quick, test_balanced_tags);
+  ]

@@ -1,0 +1,88 @@
+(* Cross-cutting property tests: physical bounds, determinism, and duality
+   invariants of the whole pipeline. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module Link = Syccl_topology.Link
+module C = Syccl_collective.Collective
+module Sim = Syccl_sim.Sim
+module Synth = Syccl.Synthesizer
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let fast = { Synth.default_config with fast_only = true }
+
+(* busbw can never exceed the per-GPU port capacity of the fastest class on
+   a flat switch (each GPU must receive (n-1)/n of the data through one
+   ingress port, which is exactly what busbw normalizes to). *)
+let busbw_bounded_prop =
+  QCheck.Test.make ~name:"synthesized busbw within physical port bound" ~count:12
+    QCheck.(pair (int_range 4 10) (int_range 10 24))
+    (fun (n, log2size) ->
+      let gbps = 100.0 in
+      let topo = Builders.single_switch ~n ~link:(Link.make ~alpha:1e-6 ~gbps) () in
+      let size = Float.of_int (1 lsl log2size) in
+      let coll = C.make C.AllGather ~n ~size in
+      let o = Synth.synthesize ~config:fast topo coll in
+      o.Synth.busbw <= gbps +. 1e-6)
+
+let deterministic_prop =
+  QCheck.Test.make ~name:"synthesis is deterministic" ~count:6
+    QCheck.(int_range 10 22)
+    (fun log2size ->
+      let topo = Builders.h800 ~servers:2 in
+      let size = Float.of_int (1 lsl log2size) in
+      let coll = C.make C.AllGather ~n:16 ~size in
+      let a = Synth.synthesize ~config:fast topo coll in
+      let b = Synth.synthesize ~config:fast topo coll in
+      Float.equal a.Synth.time b.Synth.time && a.Synth.chosen = b.Synth.chosen)
+
+(* AllReduce = ReduceScatter + AllGather, so its simulated time must be at
+   least either phase alone. *)
+let allreduce_composition_prop =
+  QCheck.Test.make ~name:"allreduce at least as long as its phases" ~count:6
+    QCheck.(int_range 16 26)
+    (fun log2size ->
+      let topo = Builders.a100 ~servers:2 in
+      let size = Float.of_int (1 lsl log2size) in
+      let ar = Synth.synthesize ~config:fast topo (C.make C.AllReduce ~n:16 ~size) in
+      let ag = Synth.synthesize ~config:fast topo (C.make C.AllGather ~n:16 ~size) in
+      ar.Synth.time >= ag.Synth.time -. 1e-12)
+
+(* Bigger collectives take longer under the same schedule family. *)
+let size_monotone_prop =
+  QCheck.Test.make ~name:"synthesized time monotone in size (4x steps)" ~count:6
+    QCheck.(int_range 12 24)
+    (fun log2size ->
+      let topo = Builders.h800 ~servers:2 in
+      let t s =
+        (Synth.synthesize ~config:fast topo (C.make C.AllGather ~n:16 ~size:s)).Synth.time
+      in
+      let s = Float.of_int (1 lsl log2size) in
+      t s <= t (s *. 4.0) +. 1e-12)
+
+(* Faster links can only help. *)
+let bandwidth_monotone_prop =
+  QCheck.Test.make ~name:"more NVLink bandwidth never hurts" ~count:6
+    QCheck.(int_range 0 5)
+    (fun i ->
+      let mk gbps =
+        Builders.multi_rail ~servers:2 ~gpus_per_server:4
+          ~nvlink:(Link.make ~alpha:1e-6 ~gbps)
+          ~rail:(Link.make ~alpha:5e-6 ~gbps:50.0)
+          ()
+      in
+      let size = Float.of_int (1 lsl (14 + (2 * i))) in
+      let t gbps =
+        (Synth.synthesize ~config:fast (mk gbps) (C.make C.AllGather ~n:8 ~size)).Synth.time
+      in
+      t 200.0 <= t 100.0 +. 1e-12)
+
+let suite =
+  [
+    qtest busbw_bounded_prop;
+    qtest deterministic_prop;
+    qtest allreduce_composition_prop;
+    qtest size_monotone_prop;
+    qtest bandwidth_monotone_prop;
+  ]

@@ -1,0 +1,176 @@
+(* Tests for sketch search and its prunings. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module Sketch = Syccl.Sketch
+module Search = Syccl.Search
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let covers_all topo (s : Sketch.t) =
+  Array.for_all (fun st -> st >= 0) (Array.mapi (fun v st -> if v = s.Sketch.root then 0 else st) s.Sketch.stage_of)
+  && Sketch.check topo s = Ok ()
+
+let test_all_sketches_valid () =
+  let topo = Builders.h800 ~servers:4 in
+  let sketches = Search.run topo ~kind:`Broadcast ~root:0 in
+  Alcotest.(check bool) "non-empty" true (sketches <> []);
+  List.iter
+    (fun s ->
+      if not (covers_all topo s) then
+        Alcotest.failf "sketch does not cover or has bad edges")
+    sketches
+
+let test_finds_rail_first_hierarchical () =
+  (* The two-stage rail-then-NVLink decomposition must be discovered on a
+     multi-rail cluster (it is the backbone of Fig. 15a's winner). *)
+  let topo = Builders.h800 ~servers:8 in
+  let n = 64 in
+  let stage_of = Array.make n (-1) and parent = Array.make n (-1) and dim_of = Array.make n (-1) in
+  for v = 1 to n - 1 do
+    if v mod 8 = 0 then begin
+      stage_of.(v) <- 0;
+      parent.(v) <- 0;
+      dim_of.(v) <- 1
+    end
+    else begin
+      stage_of.(v) <- 1;
+      parent.(v) <- v / 8 * 8;
+      dim_of.(v) <- 0
+    end
+  done;
+  let manual = Sketch.make ~root:0 ~kind:`Broadcast ~num_stages:2 ~stage_of ~parent ~dim_of in
+  let target = Sketch.signature topo manual in
+  let sketches = Search.run topo ~kind:`Broadcast ~root:0 in
+  Alcotest.(check bool) "rail-first found" true
+    (List.exists (fun s -> Sketch.signature topo s = target) sketches)
+
+let test_isomorphism_pruning_reduces () =
+  let topo = Builders.fig19 () in
+  let base = Search.default topo `Broadcast in
+  let with_p = Search.run ~config:base topo ~kind:`Broadcast ~root:0 in
+  let without_p =
+    Search.run
+      ~config:{ base with prune_isomorphic = false; max_sketches = 4096 }
+      topo ~kind:`Broadcast ~root:0
+  in
+  Alcotest.(check bool) "pruning shrinks the sketch set" true
+    (List.length with_p < List.length without_p);
+  (* No two survivors share a signature. *)
+  let sigs = List.map (Sketch.signature topo) with_p in
+  check Alcotest.int "all signatures distinct" (List.length sigs)
+    (List.length (List.sort_uniq compare sigs))
+
+let test_consistency_pruning () =
+  let topo = Builders.fig19 () in
+  let base = Search.default topo `Broadcast in
+  let strict = Search.run ~config:base topo ~kind:`Broadcast ~root:0 in
+  let loose =
+    Search.run
+      ~config:{ base with prune_consistency = false }
+      topo ~kind:`Broadcast ~root:0
+  in
+  (* Without #2 at least as many sketches survive. *)
+  Alcotest.(check bool) "consistency pruning restricts" true
+    (List.length strict <= List.length loose)
+
+let test_scatter_relay_limit () =
+  let topo = Builders.h800 ~servers:4 in
+  let cfg = { (Search.default topo `Scatter) with relay_limit = Some 2 } in
+  let sketches = Search.run ~config:cfg topo ~kind:`Scatter ~root:0 in
+  Alcotest.(check bool) "non-empty" true (sketches <> []);
+  List.iter
+    (fun s ->
+      let d = Sketch.depth s in
+      Array.iter
+        (fun depth ->
+          if depth > 2 then Alcotest.failf "relay depth %d exceeds limit" depth)
+        d)
+    sketches
+
+let test_max_stages_respected () =
+  let topo = Builders.h800 ~servers:4 in
+  let cfg = { (Search.default topo `Broadcast) with max_stages = 2 } in
+  List.iter
+    (fun (s : Sketch.t) ->
+      Alcotest.(check bool) "stages <= 2" true (s.Sketch.num_stages <= 2))
+    (Search.run ~config:cfg topo ~kind:`Broadcast ~root:0)
+
+let root_invariance_prop =
+  (* Searching from any root yields the same number of non-isomorphic
+     sketches on a vertex-transitive topology. *)
+  QCheck.Test.make ~name:"search size is root-invariant" ~count:8
+    QCheck.(int_bound 15)
+    (fun root ->
+      let topo = Builders.h800 ~servers:2 in
+      let at r = List.length (Search.run topo ~kind:`Broadcast ~root:r) in
+      at root = at 0)
+
+let test_instantiate_balances () =
+  (* Re-instantiating with accumulated load steers next-stage sources to the
+     least-loaded groups (the §4.2 mapping). *)
+  let topo = Builders.fig19 () in
+  match Search.run topo ~kind:`Broadcast ~root:0 with
+  | [] -> Alcotest.fail "sketches found"
+  | s :: _ ->
+      let shape = Sketch.shape topo s in
+      let load =
+        Array.init (T.num_dims topo) (fun d ->
+            Array.make (T.groups_count topo ~dim:d) 0.0)
+      in
+      (match Search.instantiate topo ~kind:`Broadcast ~root:0 ~shape ~load with
+      | None -> Alcotest.fail "instantiable"
+      | Some s' ->
+          Alcotest.(check bool) "covers everything" true (Sketch.check topo s' = Ok ()))
+
+let test_max_sketches_cap () =
+  let topo = Builders.h800 ~servers:4 in
+  let cfg = { (Search.default topo `Broadcast) with max_sketches = 5 } in
+  check Alcotest.int "cap respected" 5
+    (List.length (Search.run ~config:cfg topo ~kind:`Broadcast ~root:0))
+
+let test_node_budget_degrades_gracefully () =
+  let topo = Builders.h800 ~servers:4 in
+  let cfg = { (Search.default topo `Broadcast) with node_budget = 50 } in
+  (* A starved budget still yields whatever completed, without crashing. *)
+  let sketches = Search.run ~config:cfg topo ~kind:`Broadcast ~root:0 in
+  Alcotest.(check bool) "no crash, bounded output" true (List.length sketches >= 0)
+
+let test_nonzero_root () =
+  let topo = Builders.h800 ~servers:2 in
+  let sketches = Search.run topo ~kind:`Broadcast ~root:13 in
+  Alcotest.(check bool) "non-empty" true (sketches <> []);
+  List.iter
+    (fun (s : Sketch.t) ->
+      check Alcotest.int "rooted correctly" 13 s.Sketch.root;
+      match Sketch.check topo s with Ok () -> () | Error e -> Alcotest.fail e)
+    sketches
+
+let test_single_switch_search () =
+  let topo =
+    Builders.single_switch ~n:8
+      ~link:(Syccl_topology.Link.make ~alpha:1e-6 ~gbps:100.0)
+      ()
+  in
+  let sketches = Search.run topo ~kind:`Broadcast ~root:0 in
+  Alcotest.(check bool) "flat topology searchable" true (sketches <> []);
+  (* The one-stage direct shape must exist. *)
+  Alcotest.(check bool) "one-stage shape found" true
+    (List.exists (fun (s : Sketch.t) -> s.Sketch.num_stages = 1) sketches)
+
+let suite =
+  [
+    ("max sketches cap", `Quick, test_max_sketches_cap);
+    ("node budget degrades gracefully", `Quick, test_node_budget_degrades_gracefully);
+    ("non-zero root", `Quick, test_nonzero_root);
+    ("single switch search", `Quick, test_single_switch_search);
+    ("all sketches valid", `Quick, test_all_sketches_valid);
+    ("finds rail-first hierarchical", `Quick, test_finds_rail_first_hierarchical);
+    ("isomorphism pruning reduces", `Quick, test_isomorphism_pruning_reduces);
+    ("consistency pruning", `Quick, test_consistency_pruning);
+    ("scatter relay limit", `Quick, test_scatter_relay_limit);
+    ("max stages respected", `Quick, test_max_stages_respected);
+    qtest root_invariance_prop;
+    ("instantiate balances", `Quick, test_instantiate_balances);
+  ]

@@ -1,0 +1,163 @@
+(* Tests for sketch representation, workloads, signatures, and mapping. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module Sketch = Syccl.Sketch
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+(* The Fig. 5 / Table 4 sketch on the Fig. 3 topology: stage 0 covers GPUs
+   1,2,3 via dim 0 and 4,8,12 via dim 1; stage 1 covers the rest via dim 0. *)
+let fig5_sketch () =
+  let n = 16 in
+  let stage_of = Array.make n (-1) in
+  let parent = Array.make n (-1) in
+  let dim_of = Array.make n (-1) in
+  List.iter
+    (fun v ->
+      stage_of.(v) <- 0;
+      parent.(v) <- 0;
+      dim_of.(v) <- if v < 4 then 0 else 1)
+    [ 1; 2; 3; 4; 8; 12 ];
+  List.iter
+    (fun v ->
+      stage_of.(v) <- 1;
+      parent.(v) <- v / 4 * 4;
+      dim_of.(v) <- 0)
+    [ 5; 6; 7; 9; 10; 11; 13; 14; 15 ];
+  Sketch.make ~root:0 ~kind:`Broadcast ~num_stages:2 ~stage_of ~parent ~dim_of
+
+let test_fig5_subdemands () =
+  let topo = Builders.fig3 () in
+  let s = fig5_sketch () in
+  (match Sketch.check topo s with Ok () -> () | Error e -> Alcotest.fail e);
+  let sds = Sketch.subdemands topo s in
+  (* Table 4: R_{0,0,0} = {0}->{1,2,3}, R_{0,1,0} = {0}->{4,8,12}, and three
+     stage-1 sub-demands. *)
+  check Alcotest.int "count" 5 (List.length sds);
+  let r000 =
+    List.find
+      (fun (sd : Sketch.subdemand) ->
+        sd.sd_stage = 0 && sd.sd_dim = 0)
+      sds
+  in
+  check Alcotest.(list int) "R000 srcs" [ 0 ] r000.Sketch.srcs;
+  check Alcotest.(list int) "R000 dsts" [ 1; 2; 3 ] r000.Sketch.dsts;
+  let r010 =
+    List.find (fun (sd : Sketch.subdemand) -> sd.sd_stage = 0 && sd.sd_dim = 1) sds
+  in
+  check Alcotest.(list int) "R010 dsts" [ 4; 8; 12 ] r010.Sketch.dsts
+
+let test_fig5_workload () =
+  let topo = Builders.fig3 () in
+  let s = fig5_sketch () in
+  let w = Sketch.dim_workload topo s in
+  (* Sketch 1 of Fig. 5: workload ratio 12:3 across dims 0 and 1 (§4.2). *)
+  check (Alcotest.float 1e-9) "dim0 workload" 12.0 w.(0);
+  check (Alcotest.float 1e-9) "dim1 workload" 3.0 w.(1)
+
+let test_descendants_and_depth () =
+  let s = fig5_sketch () in
+  let desc = Sketch.descendants s in
+  (* GPU 4 relays to 5,6,7. *)
+  check Alcotest.int "desc of 4" 3 desc.(4);
+  check Alcotest.int "desc of root" 15 desc.(0);
+  check Alcotest.int "desc of leaf" 0 desc.(15);
+  let d = Sketch.depth s in
+  check Alcotest.int "depth root" 0 d.(0);
+  check Alcotest.int "depth 4" 1 d.(4);
+  check Alcotest.int "depth 5" 2 d.(5)
+
+let test_make_validates () =
+  Alcotest.check_raises "parent covered too late"
+    (Invalid_argument "Sketch.make: parent covered too late") (fun () ->
+      let stage_of = [| -1; 0; 0 |] in
+      let parent = [| -1; 2; 1 |] in
+      (* 1's parent 2 is covered at the same stage. *)
+      let dim_of = [| -1; 0; 0 |] in
+      ignore (Sketch.make ~root:0 ~kind:`Broadcast ~num_stages:1 ~stage_of ~parent ~dim_of))
+
+let test_check_rejects_non_peers () =
+  let topo = Builders.h800 ~servers:2 in
+  let n = 16 in
+  let stage_of = Array.make n 0 in
+  let parent = Array.make n 0 in
+  let dim_of = Array.make n 0 in
+  stage_of.(0) <- -1;
+  parent.(0) <- -1;
+  dim_of.(0) <- -1;
+  (* GPU 9 is in the other server: not a dim-0 peer of GPU 0. *)
+  check Alcotest.bool "invalid edge flagged" true
+    (Result.is_error
+       (Sketch.check topo
+          (Sketch.make ~root:0 ~kind:`Broadcast ~num_stages:1 ~stage_of ~parent ~dim_of)))
+
+(* Mapping through an automorphism preserves signature and workload totals. *)
+let map_invariance_prop =
+  QCheck.Test.make ~name:"sketch map preserves signature and workload" ~count:60
+    QCheck.(int_bound 27)
+    (fun dst ->
+      let topo = Builders.fig19 () in
+      match Syccl.Search.run topo ~kind:`Broadcast ~root:0 with
+      | [] -> false
+      | s :: _ ->
+          let perm = T.automorphism_to topo ~src:0 ~dst in
+          let m = Sketch.map topo perm s in
+          m.Sketch.root = dst
+          && Sketch.signature topo m = Sketch.signature topo s
+          && Sketch.dim_workload topo m = Sketch.dim_workload topo s)
+
+let test_signature_distinguishes () =
+  (* Covering a same-server GPU vs a remote GPU over the network must give
+     different signatures (they are not isomorphic). *)
+  let topo = Builders.h800 ~servers:2 in
+  let n = 16 in
+  let mk dst_dim dst =
+    let stage_of = Array.make n (-1) and parent = Array.make n (-1) and dim_of = Array.make n (-1) in
+    stage_of.(dst) <- 0;
+    parent.(dst) <- 0;
+    dim_of.(dst) <- dst_dim;
+    (* complete the coverage in one extra spine stage *)
+    Array.iteri
+      (fun v _ ->
+        if v <> 0 && v <> dst then begin
+          stage_of.(v) <- 1;
+          parent.(v) <- 0;
+          dim_of.(v) <- 2
+        end)
+      stage_of;
+    Sketch.make ~root:0 ~kind:`Broadcast ~num_stages:2 ~stage_of ~parent ~dim_of
+  in
+  (* 2 is a same-server spine peer; 8 is the same-rail GPU one server over. *)
+  let a = mk 2 2 and b = mk 2 8 in
+  Alcotest.(check bool) "different structures, different signatures" true
+    (Sketch.signature topo a <> Sketch.signature topo b)
+
+let test_shape_roundtrip () =
+  let topo = Builders.fig3 () in
+  let s = fig5_sketch () in
+  let shape = Sketch.shape topo s in
+  check Alcotest.int "stages" 2 (Array.length shape);
+  Alcotest.(check bool) "stage 0 uses both dims" true
+    (List.mem (0, 3) shape.(0) && List.mem (1, 3) shape.(0));
+  (* Re-instantiating the shape covers everything again. *)
+  let load =
+    Array.init (T.num_dims topo) (fun d ->
+        Array.make (T.groups_count topo ~dim:d) 0.0)
+  in
+  match Syccl.Search.instantiate topo ~kind:`Broadcast ~root:0 ~shape ~load with
+  | None -> Alcotest.fail "shape re-instantiates"
+  | Some s' -> check Alcotest.int "same stage count" 2 s'.Sketch.num_stages
+
+let suite =
+  [
+    ("fig5 subdemands", `Quick, test_fig5_subdemands);
+    ("fig5 workload", `Quick, test_fig5_workload);
+    ("descendants and depth", `Quick, test_descendants_and_depth);
+    ("make validates", `Quick, test_make_validates);
+    ("check rejects non-peers", `Quick, test_check_rejects_non_peers);
+    qtest map_invariance_prop;
+    ("signature distinguishes", `Quick, test_signature_distinguishes);
+    ("shape roundtrip", `Quick, test_shape_roundtrip);
+  ]

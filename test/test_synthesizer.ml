@@ -1,0 +1,120 @@
+(* End-to-end tests of the synthesis driver. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module C = Syccl_collective.Collective
+module Validate = Syccl_sim.Validate
+module Synth = Syccl.Synthesizer
+
+let check = Alcotest.check
+
+let fast = { Synth.default_config with fast_only = true }
+
+let synth_valid topo coll =
+  let o = Synth.synthesize ~config:fast topo coll in
+  List.iter2
+    (fun s phase ->
+      match Validate.covers topo phase s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" (C.kind_name phase.C.kind) e)
+    o.Synth.schedules (C.phases coll);
+  o
+
+let test_allgather_valid_and_fast () =
+  let topo = Builders.a100 ~servers:2 in
+  let o = synth_valid topo (C.make C.AllGather ~n:16 ~size:1.6e6) in
+  Alcotest.(check bool) "positive busbw" true (o.Synth.busbw > 0.0);
+  Alcotest.(check bool) "synthesis under 30s" true (o.Synth.synth_time < 30.0)
+
+let test_beats_nccl_ring_large () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1e9 in
+  let o = synth_valid topo coll in
+  let nccl = Syccl_baselines.Nccl.busbw topo coll in
+  Alcotest.(check bool)
+    (Printf.sprintf "SyCCL %.1f vs NCCL %.1f" o.Synth.busbw nccl)
+    true (o.Synth.busbw > nccl)
+
+let test_beats_nccl_ring_small () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:4096.0 in
+  let o = synth_valid topo coll in
+  let nccl = Syccl_baselines.Nccl.busbw topo coll in
+  Alcotest.(check bool) "latency win at 4KB" true (o.Synth.busbw > nccl)
+
+let test_reducescatter_valid () =
+  let topo = Builders.a100 ~servers:2 in
+  ignore (synth_valid topo (C.make C.ReduceScatter ~n:16 ~size:1.6e7))
+
+let test_alltoall_valid () =
+  let topo = Builders.h800 ~servers:2 in
+  ignore (synth_valid topo (C.make C.AllToAll ~n:16 ~size:1.6e6))
+
+let test_allreduce_two_phases () =
+  let topo = Builders.a100 ~servers:2 in
+  let o = synth_valid topo (C.make C.AllReduce ~n:16 ~size:1.6e7) in
+  check Alcotest.int "phases" 2 (List.length o.Synth.schedules)
+
+let test_broadcast_rooted () =
+  let topo = Builders.h800 ~servers:2 in
+  ignore (synth_valid topo (C.make ~root:11 C.Broadcast ~n:16 ~size:1e6))
+
+let test_breakdown_accounted () =
+  let topo = Builders.a100 ~servers:2 in
+  let o = Synth.synthesize ~config:fast topo (C.make C.AllGather ~n:16 ~size:1e6) in
+  let b = o.Synth.breakdown in
+  let parts = b.Synth.search_s +. b.Synth.combine_s +. b.Synth.solve1_s +. b.Synth.solve2_s in
+  Alcotest.(check bool) "parts below total" true (parts <= o.Synth.synth_time +. 1e-3);
+  Alcotest.(check bool) "solve dominates or equals search" true (b.Synth.search_s >= 0.0)
+
+let test_gpu_count_mismatch () =
+  let topo = Builders.a100 ~servers:2 in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Synthesizer: collective/topology GPU count mismatch")
+    (fun () -> ignore (Synth.synthesize ~config:fast topo (C.make C.AllGather ~n:8 ~size:1e6)))
+
+let test_r2_limits_candidates () =
+  (* A tiny R2 must still produce a valid result. *)
+  let topo = Builders.h800 ~servers:2 in
+  let cfg = { fast with r2 = 1 } in
+  let o = Synth.synthesize ~config:cfg topo (C.make C.AllGather ~n:16 ~size:1e6) in
+  Alcotest.(check bool) "valid with r2=1" true (o.Synth.busbw > 0.0)
+
+let test_parallel_domains_same_result () =
+  let topo = Builders.h800 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1e6 in
+  let o1 = Synth.synthesize ~config:fast topo coll in
+  let o4 = Synth.synthesize ~config:{ fast with domains = 4 } topo coll in
+  check (Alcotest.float 1e-9) "deterministic across domain counts"
+    o1.Synth.time o4.Synth.time
+
+let test_sendrecv_direct_or_relay () =
+  let topo = Builders.h800 ~servers:2 in
+  (* Same rail: one hop expected. *)
+  let sr = C.make ~root:2 ~peer:10 C.SendRecv ~n:16 ~size:1e6 in
+  let o = synth_valid topo sr in
+  Alcotest.(check bool) "one transfer" true
+    (Syccl_sim.Schedule.num_xfers (List.hd o.Synth.schedules) <= 2);
+  (* Cross-rail: the relay through NVLink onto the destination rail should
+     beat the spine for large sizes only if spine is slower; here they tie,
+     so we only require validity and a sane transfer count. *)
+  let sr2 = C.make ~root:0 ~peer:9 C.SendRecv ~n:16 ~size:1e6 in
+  let o2 = synth_valid topo sr2 in
+  Alcotest.(check bool) "at most two hops" true
+    (Syccl_sim.Schedule.num_xfers (List.hd o2.Synth.schedules) <= 2)
+
+let suite =
+  [
+    ("sendrecv direct or relay", `Quick, test_sendrecv_direct_or_relay);
+    ("allgather valid and fast", `Quick, test_allgather_valid_and_fast);
+    ("beats nccl ring at 1GB", `Quick, test_beats_nccl_ring_large);
+    ("beats nccl ring at 4KB", `Quick, test_beats_nccl_ring_small);
+    ("reducescatter valid", `Quick, test_reducescatter_valid);
+    ("alltoall valid", `Quick, test_alltoall_valid);
+    ("allreduce two phases", `Quick, test_allreduce_two_phases);
+    ("broadcast rooted", `Quick, test_broadcast_rooted);
+    ("breakdown accounted", `Quick, test_breakdown_accounted);
+    ("gpu count mismatch", `Quick, test_gpu_count_mismatch);
+    ("r2 limits candidates", `Quick, test_r2_limits_candidates);
+    ("parallel domains same result", `Quick, test_parallel_domains_same_result);
+  ]

@@ -1,0 +1,234 @@
+(* Tests for the coordinate-space topology model, builders, automorphisms,
+   and dimension inference. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module Link = Syccl_topology.Link
+module Infer = Syccl_topology.Infer
+module Perm = Syccl_util.Perm
+module Xrand = Syccl_util.Xrand
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let test_link () =
+  let l = Link.make ~alpha:1e-6 ~gbps:100.0 in
+  check (Alcotest.float 1e-9) "bandwidth roundtrip" 100.0 (Link.bandwidth_gbps l);
+  check (Alcotest.float 1e-12) "transfer time" (1e-6 +. 1e-5) (Link.transfer_time l 1e6);
+  check (Alcotest.float 1e-12) "busy time" 1e-5 (Link.busy_time l 1e6)
+
+let test_multirail_groups () =
+  let topo = Builders.h800 ~servers:4 in
+  check Alcotest.int "gpus" 32 (T.num_gpus topo);
+  check Alcotest.int "dims" 3 (T.num_dims topo);
+  (* Dimension 0 = servers: 4 groups of 8 contiguous GPUs. *)
+  check Alcotest.(array int) "server 1"
+    [| 8; 9; 10; 11; 12; 13; 14; 15 |]
+    (T.gpus_in_group topo ~dim:0 ~group:1);
+  (* Dimension 1 = rails: GPUs with the same intra-server index. *)
+  check Alcotest.(array int) "rail 2" [| 2; 10; 18; 26 |]
+    (T.gpus_in_group topo ~dim:1 ~group:2);
+  (* Dimension 2 = spine: one group of everything. *)
+  check Alcotest.int "spine group count" 1 (T.groups_count topo ~dim:2);
+  check Alcotest.int "spine size" 32
+    (Array.length (T.gpus_in_group topo ~dim:2 ~group:0))
+
+let test_fig3_dims () =
+  (* The Fig. 3 example: dims 0..3 with 4/4/2/1 groups. *)
+  let topo = Builders.fig3 () in
+  check Alcotest.int "dims" 4 (T.num_dims topo);
+  check Alcotest.int "dim0 groups" 4 (T.groups_count topo ~dim:0);
+  check Alcotest.int "dim1 groups" 4 (T.groups_count topo ~dim:1);
+  check Alcotest.int "dim2 groups" 2 (T.groups_count topo ~dim:2);
+  check Alcotest.int "dim3 groups" 1 (T.groups_count topo ~dim:3);
+  (* Fig. 3's dim-2 group: GPUs 0,1,4,5,8,9,12,13. *)
+  check Alcotest.(array int) "dim2 group of GPU 0"
+    [| 0; 1; 4; 5; 8; 9; 12; 13 |]
+    (T.gpus_in_group topo ~dim:2 ~group:(T.group_of topo ~dim:2 0))
+
+let test_fig20_clos () =
+  let topo = Builders.fig20 () in
+  check Alcotest.int "gpus" 32 (T.num_gpus topo);
+  check Alcotest.int "dims" 4 (T.num_dims topo);
+  (* Fig. 20: dim 1 groups pairs of servers under one leaf. *)
+  check Alcotest.(array int) "leaf group"
+    [| 0; 1; 2; 3; 4; 5; 6; 7 |]
+    (T.gpus_in_group topo ~dim:1 ~group:0)
+
+let test_group_partition () =
+  let topo = Builders.a100 ~servers:4 in
+  for d = 0 to T.num_dims topo - 1 do
+    (* Groups of each dimension partition the GPU set. *)
+    let seen = Array.make (T.num_gpus topo) 0 in
+    for g = 0 to T.groups_count topo ~dim:d - 1 do
+      Array.iter (fun v -> seen.(v) <- seen.(v) + 1) (T.gpus_in_group topo ~dim:d ~group:g)
+    done;
+    Array.iteri
+      (fun v c -> if c <> 1 then Alcotest.failf "GPU %d in %d groups of dim %d" v c d)
+      seen
+  done
+
+let test_coords_roundtrip () =
+  let topo = Builders.h800 ~servers:8 in
+  for v = 0 to T.num_gpus topo - 1 do
+    check Alcotest.int "roundtrip" v (T.gpu_of_coords topo (T.coords topo v))
+  done
+
+let automorphism_prop =
+  QCheck.Test.make ~name:"axis permutations are automorphisms" ~count:100
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let topo = Builders.fig19 () in
+      let r = Xrand.create seed in
+      let perms =
+        Array.map
+          (fun size ->
+            let p = Array.init size (fun i -> i) in
+            Xrand.shuffle r p;
+            p)
+          topo.T.shape
+      in
+      let p = T.apply_axis_perms topo perms in
+      T.is_automorphism topo p)
+
+let automorphism_to_prop =
+  QCheck.Test.make ~name:"automorphism_to maps src to dst" ~count:100
+    QCheck.(pair (int_bound 27) (int_bound 27))
+    (fun (src, dst) ->
+      let topo = Builders.fig19 () in
+      let p = T.automorphism_to topo ~src ~dst in
+      p.(src) = dst && T.is_automorphism topo p)
+
+let test_non_automorphism () =
+  let topo = Builders.h800 ~servers:2 in
+  (* Swapping two GPUs of different rails within one server only is not
+     structure-preserving: rail groups break. *)
+  let p = Perm.identity 16 in
+  let p = Array.copy p in
+  p.(0) <- 1;
+  p.(1) <- 0;
+  check Alcotest.bool "broken rails detected" false (T.is_automorphism topo p)
+
+let test_bandwidth_share () =
+  let topo = Builders.h800 ~servers:8 in
+  let share = T.bandwidth_share topo in
+  (* NVLink 180 + NIC port group 50 => shares 0.783 / 0.217 / 0.217. *)
+  check (Alcotest.float 1e-3) "nvlink share" (180.0 /. 230.0) share.(0);
+  check (Alcotest.float 1e-3) "rail share" (50.0 /. 230.0) share.(1)
+
+let test_infer_multirail () =
+  let nv = Link.make ~alpha:1e-6 ~gbps:180.0 in
+  let rail = Link.make ~alpha:5e-6 ~gbps:50.0 in
+  let gpu s i = (s * 4) + i in
+  let edges = ref [] in
+  for s = 0 to 2 do
+    for i = 0 to 3 do
+      for j = i + 1 to 3 do
+        edges := (gpu s i, gpu s j, nv) :: !edges
+      done
+    done
+  done;
+  for i = 0 to 3 do
+    for s = 0 to 2 do
+      for s' = s + 1 to 2 do
+        edges := (gpu s i, gpu s' i, rail) :: !edges
+      done
+    done
+  done;
+  match Infer.infer ~n:12 !edges with
+  | None -> Alcotest.fail "inference should succeed on multirail"
+  | Some (topo, orig_of) ->
+      check Alcotest.int "gpus" 12 (T.num_gpus topo);
+      Alcotest.(check bool) "relabeling is a permutation" true (Perm.is_valid orig_of);
+      (* Some dimension must have 3 groups of 4 (servers) and some 4 groups
+         of 3 (rails). *)
+      let profiles =
+        List.init (T.num_dims topo) (fun d ->
+            (T.groups_count topo ~dim:d,
+             Array.length (T.gpus_in_group topo ~dim:d ~group:0)))
+      in
+      Alcotest.(check bool) "servers found" true (List.mem (3, 4) profiles);
+      Alcotest.(check bool) "rails found" true (List.mem (4, 3) profiles)
+
+let test_infer_rejects_unequal () =
+  let nv = Link.make ~alpha:1e-6 ~gbps:180.0 in
+  (* Two components of different sizes in one class. *)
+  let edges = [ (0, 1, nv); (1, 2, nv); (3, 4, nv) ] in
+  check Alcotest.bool "unequal groups rejected" true (Infer.infer ~n:5 edges = None)
+
+let test_make_validation () =
+  let link = Link.make ~alpha:1e-6 ~gbps:10.0 in
+  Alcotest.check_raises "empty free axes"
+    (Invalid_argument "Topology.make: empty free-axis list") (fun () ->
+      ignore (T.make ~name:"x" ~shape:[| 2; 2 |] ~dims:[ ("d", [], link, 0) ]));
+  Alcotest.check_raises "axis out of range"
+    (Invalid_argument "Topology.make: axis out of range") (fun () ->
+      ignore (T.make ~name:"x" ~shape:[| 2; 2 |] ~dims:[ ("d", [ 5 ], link, 0) ]));
+  Alcotest.check_raises "bad axis size"
+    (Invalid_argument "Topology.make: axis size <= 0") (fun () ->
+      ignore (T.make ~name:"x" ~shape:[| 2; 0 |] ~dims:[ ("d", [ 0 ], link, 0) ]))
+
+let test_peers () =
+  let topo = Builders.h800 ~servers:2 in
+  check Alcotest.(array int) "nvlink peers of 3"
+    [| 0; 1; 2; 4; 5; 6; 7 |]
+    (T.peers topo ~dim:0 3);
+  check Alcotest.(array int) "rail peers of 3" [| 11 |] (T.peers topo ~dim:1 3)
+
+let test_infer_clos_chain () =
+  (* Nested partitions (Clos-like): servers of 4 within pods of 8. *)
+  let nv = Link.make ~alpha:1e-6 ~gbps:180.0 in
+  let leaf = Link.make ~alpha:5e-6 ~gbps:50.0 in
+  let edges = ref [] in
+  for s = 0 to 3 do
+    for i = 0 to 3 do
+      for j = i + 1 to 3 do
+        edges := ((s * 4) + i, (s * 4) + j, nv) :: !edges
+      done
+    done
+  done;
+  (* Leaf connects server pairs (0,1) and (2,3). *)
+  List.iter
+    (fun (a, b) ->
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          edges := ((a * 4) + i, (b * 4) + j, leaf) :: !edges
+        done
+      done)
+    [ (0, 1); (2, 3) ];
+  match Infer.infer ~n:16 !edges with
+  | None -> Alcotest.fail "nested inference should succeed"
+  | Some (topo, _) ->
+      let profiles =
+        List.init (T.num_dims topo) (fun d ->
+            (T.groups_count topo ~dim:d,
+             Array.length (T.gpus_in_group topo ~dim:d ~group:0)))
+        |> List.sort compare
+      in
+      Alcotest.(check bool) "servers (4x4) found" true (List.mem (4, 4) profiles);
+      Alcotest.(check bool) "pods (2x8) found" true (List.mem (2, 8) profiles)
+
+let test_with_link_name () =
+  let topo = Builders.h800 ~servers:2 in
+  let t2 = T.with_link topo ~dim:0 (Link.make ~alpha:1e-6 ~gbps:90.0) in
+  Alcotest.(check bool) "renamed" true (t2.T.name <> topo.T.name)
+
+let suite =
+  [
+    ("make validation", `Quick, test_make_validation);
+    ("peers", `Quick, test_peers);
+    ("infer clos chain", `Quick, test_infer_clos_chain);
+    ("with_link rename", `Quick, test_with_link_name);
+    ("link math", `Quick, test_link);
+    ("multirail groups", `Quick, test_multirail_groups);
+    ("fig3 dims", `Quick, test_fig3_dims);
+    ("fig20 clos", `Quick, test_fig20_clos);
+    ("groups partition", `Quick, test_group_partition);
+    ("coords roundtrip", `Quick, test_coords_roundtrip);
+    qtest automorphism_prop;
+    qtest automorphism_to_prop;
+    ("non-automorphism detected", `Quick, test_non_automorphism);
+    ("bandwidth share", `Quick, test_bandwidth_share);
+    ("infer multirail", `Quick, test_infer_multirail);
+    ("infer rejects unequal groups", `Quick, test_infer_rejects_unequal);
+  ]

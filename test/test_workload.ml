@@ -1,0 +1,57 @@
+(* Tests for the training workload traces and iteration-time model. *)
+
+module W = Syccl_workload.Workload
+module C = Syccl_collective.Collective
+
+let check = Alcotest.check
+
+let test_all_configurations () =
+  let ws = W.all () in
+  check Alcotest.int "six Table-6 rows" 6 (List.length ws);
+  List.iter
+    (fun (w : W.t) ->
+      Alcotest.(check bool) "positive compute" true (w.W.compute_ms > 0.0);
+      Alcotest.(check bool) "overlap in [0,1)" true (w.W.overlap >= 0.0 && w.W.overlap < 1.0);
+      Alcotest.(check bool) "has calls" true (w.W.calls <> []);
+      List.iter
+        (fun (c : W.call) ->
+          Alcotest.(check bool) "positive sizes" true (c.W.size > 0.0 && c.W.count > 0))
+        w.W.calls)
+    ws
+
+let test_dp_moves_model_bytes () =
+  (* DP16 gradients: one ReduceScatter plus one AllGather of 2 bytes per
+     parameter each. *)
+  let w = W.gpt3_6_7b `DP16 in
+  let total =
+    List.fold_left (fun a (c : W.call) -> a +. (c.W.size *. float_of_int c.W.count)) 0.0 w.W.calls
+  in
+  check (Alcotest.float 1e-3) "2 x 2 bytes x params" (2.0 *. 2.0 *. 6.7e9) total
+
+let test_iteration_time_composition () =
+  let w = W.gpt3_6_7b `DP16 in
+  (* With a zero-time communication oracle, iteration time = compute. *)
+  check (Alcotest.float 1e-9) "compute only" w.W.compute_ms
+    (W.iteration_ms w ~comm_time:(fun _ -> 0.0));
+  (* Each second of exposed communication adds (1-overlap) * 1000 ms per call. *)
+  let calls = List.fold_left (fun a (c : W.call) -> a + c.W.count) 0 w.W.calls in
+  let t = W.iteration_ms w ~comm_time:(fun _ -> 1e-3) in
+  check (Alcotest.float 1e-6) "exposure model"
+    (w.W.compute_ms +. (float_of_int calls *. (1.0 -. w.W.overlap)))
+    t
+
+let test_faster_comm_faster_iteration () =
+  List.iter
+    (fun (w : W.t) ->
+      let slow = W.iteration_ms w ~comm_time:(fun c -> c.C.size /. 50e9) in
+      let fast = W.iteration_ms w ~comm_time:(fun c -> c.C.size /. 100e9) in
+      Alcotest.(check bool) w.W.wname true (fast < slow))
+    (W.all ())
+
+let suite =
+  [
+    ("all configurations", `Quick, test_all_configurations);
+    ("dp moves model bytes", `Quick, test_dp_moves_model_bytes);
+    ("iteration time composition", `Quick, test_iteration_time_composition);
+    ("faster comm faster iteration", `Quick, test_faster_comm_faster_iteration);
+  ]

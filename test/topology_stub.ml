@@ -1,0 +1,12 @@
+(* Tiny topology helpers shared by test modules. *)
+
+module Builders = Syccl_topology.Builders
+module Link = Syccl_topology.Link
+
+(* A 2-server × 2-GPU multirail cluster whose two dimensions have the given
+   bandwidths on separate port groups: bandwidth share is gbps0 : gbps1. *)
+let two_dim ~gbps0 ~gbps1 =
+  Builders.multi_rail ~name:"two-dim" ~servers:2 ~gpus_per_server:2
+    ~nvlink:(Link.make ~alpha:1e-6 ~gbps:gbps0)
+    ~rail:(Link.make ~alpha:1e-6 ~gbps:gbps1)
+    ()
