@@ -6,7 +6,8 @@
      dune exec bench/main.exe                 # every target, quick sweeps
      dune exec bench/main.exe -- fig14a tab5  # selected targets
      dune exec bench/main.exe -- --full       # full sweeps / budgets
-     dune exec bench/main.exe -- --micro      # add bechamel micro-benchmarks *)
+     dune exec bench/main.exe -- --micro      # add bechamel micro-benchmarks
+     dune exec bench/main.exe -- fig16c --smoke  # tiny CI-sized run *)
 
 module T = Syccl_topology.Topology
 module Builders = Syccl_topology.Builders
@@ -17,8 +18,24 @@ module Teccl = Syccl_teccl.Teccl
 module Nccl = Syccl_baselines.Nccl
 module Crafted = Syccl_baselines.Crafted
 module Stats = Syccl_util.Stats
+module Counters = Syccl_util.Counters
 
 let full = ref false
+let smoke = ref false
+
+(* Pool/cache activity footer for the synthesis-time figures. *)
+let runtime_stats () =
+  let v = Counters.value in
+  let rate hits misses =
+    let total = hits +. misses in
+    if total <= 0.0 then 0.0 else 100.0 *. hits /. total
+  in
+  let sh = v "cache.subsolve.hits" and sm = v "cache.subsolve.misses" in
+  Printf.printf
+    "   [pool: %.0f tasks, %.0f steals | subsolve cache: %.0f/%.0f hits \
+     (%.0f%%) | search cache: %.0f hits | combo cache: %.0f hits]\n%!"
+    (v "pool.tasks") (v "pool.steals") sh (sh +. sm) (rate sh sm)
+    (v "cache.search.hits") (v "cache.combo.hits")
 
 let sizes () =
   if !full then
@@ -170,6 +187,8 @@ let fig16a () =
 let fig16b () =
   Printf.printf
     "\n== Fig 16(b): SyCCL synthesis time breakdown (s), 32 A100 GPUs ==\n";
+  Counters.reset ();
+  Synth.reset_caches ();
   Printf.printf "%6s %5s | %8s %8s %8s %8s %8s\n" "size" "coll" "search" "combine"
     "solve1" "solve2" "total";
   let topo = Builders.a100 ~servers:4 in
@@ -183,24 +202,30 @@ let fig16b () =
           Printf.printf "%6s %5s | %8.3f %8.3f %8.3f %8.3f %8.3f\n%!" (pp_size size)
             kname b.Synth.search_s b.Synth.combine_s b.Synth.solve1_s
             b.Synth.solve2_s o.Synth.synth_time)
-        (sizes ()))
-    [ (C.AllGather, "AG"); (C.AllToAll, "A2A") ]
+        (if !smoke then [ 1.048576e6 ] else sizes ()))
+    [ (C.AllGather, "AG"); (C.AllToAll, "A2A") ];
+  runtime_stats ()
 
 let fig16c () =
   Printf.printf
     "\n== Fig 16(c): synthesis time (s) vs parallel solver instances ==\n";
-  let topo = Builders.h800 ~servers:8 in
-  let domain_counts = [ 1; 2; 4; 8 ] in
+  Counters.reset ();
+  Synth.reset_caches ();
+  let topo = if !smoke then Builders.h800 ~servers:2 else Builders.h800 ~servers:8 in
+  let n = T.num_gpus topo in
+  let domain_counts = if !smoke then [ 1; 2 ] else [ 1; 2; 4; 8 ] in
   Printf.printf "%6s %10s" "size" "TECCL";
   List.iter (fun d -> Printf.printf " %8s" (Printf.sprintf "SyCCL-%d" d)) domain_counts;
   print_newline ();
   List.iter
     (fun size ->
-      let coll = C.make C.AllGather ~n:64 ~size in
+      let coll = C.make C.AllGather ~n ~size in
       let t =
-        match teccl topo coll with
-        | Some e -> Printf.sprintf "%10.2f" e.synth
-        | None -> Printf.sprintf "%10s" "timeout"
+        if !smoke then Printf.sprintf "%10s" "skipped"
+        else
+          match teccl topo coll with
+          | Some e -> Printf.sprintf "%10.2f" e.synth
+          | None -> Printf.sprintf "%10s" "timeout"
       in
       Printf.printf "%6s %s" (pp_size size) t;
       List.iter
@@ -210,7 +235,8 @@ let fig16c () =
           Printf.printf " %8.2f%!" o.Synth.synth_time)
         domain_counts;
       print_newline ())
-    [ 1.048576e6; 1.6777216e7; 1.073741824e9 ]
+    (if !smoke then [ 1.048576e6 ] else [ 1.048576e6; 1.6777216e7; 1.073741824e9 ]);
+  runtime_stats ()
 
 let tab5 () =
   Printf.printf "\n== Table 5: synthesis time (s), min/max/mean over the sweep ==\n";
@@ -467,6 +493,7 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let flags, names = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
   if List.mem "--full" flags then full := true;
+  if List.mem "--smoke" flags then smoke := true;
   let chosen =
     if names = [] then targets
     else

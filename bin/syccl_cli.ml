@@ -69,6 +69,32 @@ let fast_arg =
     value & flag
     & info [ "fast" ] ~doc:"Skip the MILP refinement (fast solving only).")
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "d"; "domains" ] ~docv:"N"
+        ~doc:
+          "Parallel solver instances.  Served by a persistent work-stealing \
+           domain pool that is spawned once per level and reused across \
+           calls.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print runtime counters (pool tasks/steals, cache hits/misses, \
+           per-stage wall time) after synthesis.")
+
+let print_stats () =
+  Format.printf "--- stats ---@.";
+  List.iter
+    (fun (k, v) ->
+      if Float.is_integer v then Format.printf "%-28s %12.0f@." k v
+      else Format.printf "%-28s %12.4f@." k v)
+    (Syccl_util.Counters.snapshot ())
+
 let topo_cmd =
   let run name =
     let topo = topo_of_name name in
@@ -81,10 +107,12 @@ let topo_cmd =
     Term.(const run $ topo_arg)
 
 let synth_cmd =
-  let run tname cname size fast verbose =
+  let run tname cname size fast domains stats verbose =
     let topo = topo_of_name tname in
     let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
-    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
+    let config =
+      { Syccl.Synthesizer.default_config with fast_only = fast; domains }
+    in
     let o = Syccl.Synthesizer.synthesize ~config topo coll in
     Format.printf "collective: %a on %s@." C.pp coll tname;
     Format.printf "synthesis:  %.2fs (search %.2fs, combine %.2fs, solve1 %.2fs, solve2 %.2fs)@."
@@ -100,13 +128,16 @@ let synth_cmd =
         | Error e -> Format.printf "WARNING: schedule invalid: %s@." e)
       o.schedules;
     if verbose then
-      List.iter (fun s -> Format.printf "%a@." S.Schedule.pp s) o.schedules
+      List.iter (fun s -> Format.printf "%a@." S.Schedule.pp s) o.schedules;
+    if stats then print_stats ()
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump the schedule.")
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a schedule and report its performance.")
-    Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ verbose)
+    Term.(
+      const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ domains_arg
+      $ stats_arg $ verbose)
 
 let explain_cmd =
   let run tname cname size fast =
@@ -258,15 +289,20 @@ let export_cmd =
     Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ output)
 
 let sweep_cmd =
-  let run tname cname fast =
+  let run tname cname fast domains stats =
     let topo = topo_of_name tname in
     let n = T.Topology.num_gpus topo in
-    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
+    let config =
+      { Syccl.Synthesizer.default_config with fast_only = fast; domains }
+    in
+    let sizes = [ 1e3; 65536.0; 1048576.0; 1.6777e7; 2.68435e8; 1.073741824e9 ] in
+    let colls = List.map (fun size -> coll_of_name cname ~n ~size) sizes in
+    (* Sweep the whole series through the pool at once: sub-solve memoization
+       makes later sizes mostly cache hits of earlier ones. *)
+    let outcomes = Syccl.Synthesizer.synthesize_all ~config topo colls in
     Format.printf "%10s %12s %12s %12s@." "size" "SyCCL" "NCCL" "TECCL";
-    List.iter
-      (fun size ->
-        let coll = coll_of_name cname ~n ~size in
-        let o = Syccl.Synthesizer.synthesize ~config topo coll in
+    List.iter2
+      (fun coll (o : Syccl.Synthesizer.outcome) ->
         let nccl = Syccl_baselines.Nccl.busbw topo coll in
         let teccl =
           match
@@ -276,11 +312,13 @@ let sweep_cmd =
           | Some b -> Printf.sprintf "%.1f" b
           | None -> "timeout"
         in
-        Format.printf "%10.0f %12.1f %12.1f %12s@." size o.busbw nccl teccl)
-      [ 1e3; 65536.0; 1048576.0; 1.6777e7; 2.68435e8; 1.073741824e9 ]
+        Format.printf "%10.0f %12.1f %12.1f %12s@." coll.C.size o.busbw nccl
+          teccl)
+      colls outcomes;
+    if stats then print_stats ()
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Bus bandwidth vs data size, SyCCL vs baselines.")
-    Term.(const run $ topo_arg $ coll_arg $ fast_arg)
+    Term.(const run $ topo_arg $ coll_arg $ fast_arg $ domains_arg $ stats_arg)
 
 let () =
   let doc = "SyCCL: symmetry-guided collective communication schedule synthesis" in

@@ -137,11 +137,22 @@ let plan topo coll (combo : Combine.combo) =
 
 let size_key s = Printf.sprintf "%.6e" s
 
+(* Size-independent key: entry sizes as ratios of the demand's largest
+   entry.  Ratios are invariant under uniform scaling, so two demands that
+   differ only by chunk size canonicalize identically — the basis of the
+   cross-size sub-solve memoization. *)
+let max_entry_size demand =
+  let m = List.fold_left (fun a e -> Float.max a e.e_size) 0.0 demand.entries in
+  if m > 0.0 then m else 1.0
+
+let rel_key base s = Printf.sprintf "%.5f" (s /. base)
+
 (* Canonical intra-group position order: positions sorted by their multiset
    of roles across entries (1 round of refinement), ties by raw position.
    Good enough to align symmetric demands; a failed alignment is caught by
-   verification and re-solved directly. *)
-let canonical_positions topo demand =
+   verification and re-solved directly.  [sk] renders entry sizes into the
+   role keys: absolute by default, relative for cross-size matching. *)
+let canonical_positions ?(sk = size_key) topo demand =
   let members = Topology.gpus_in_group topo ~dim:demand.d_dim ~group:demand.d_group in
   let np = Array.length members in
   let pos_of = Hashtbl.create np in
@@ -152,7 +163,7 @@ let canonical_positions topo demand =
       (List.filter_map
          (fun e ->
            let s = List.mem v e.e_srcs and d = List.mem v e.e_dsts in
-           if s || d then Some (size_key e.e_size, s, d, List.length e.e_srcs, List.length e.e_dsts)
+           if s || d then Some (sk e.e_size, s, d, List.length e.e_srcs, List.length e.e_dsts)
            else None)
          demand.entries)
   in
@@ -167,17 +178,26 @@ let canonical_positions topo demand =
   Array.iteri (fun i p -> rank.(p) <- i) order;
   (members, pos_of, rank, order)
 
-let class_key topo demand =
-  let members, pos_of, rank, _ = canonical_positions topo demand in
-  ignore members;
+let class_key_with sk topo demand =
+  let members, pos_of, rank, _ = canonical_positions ~sk topo demand in
   let canon_gpu v = rank.(Hashtbl.find pos_of v) in
   let entry_key e =
-    ( size_key e.e_size,
+    ( sk e.e_size,
       List.sort compare (List.map canon_gpu e.e_srcs),
       List.sort compare (List.map canon_gpu e.e_dsts) )
   in
   let keys = List.sort compare (List.map entry_key demand.entries) in
-  Marshal.to_string (demand.d_dim, keys) []
+  Marshal.to_string (demand.d_dim, Array.length members, keys) []
+
+let class_key topo demand = class_key_with size_key topo demand
+
+let norm_class_key topo demand =
+  class_key_with (rel_key (max_entry_size demand)) topo demand
+
+let strategy_signature = function
+  | Fast_only -> "fast"
+  | Milp_refine { e; var_budget; node_limit; time_limit } ->
+      Printf.sprintf "milp:%g:%d:%d:%g" e var_budget node_limit time_limit
 
 (* --- Solving ---------------------------------------------------------- *)
 
@@ -194,7 +214,47 @@ let metas_of_demand demand =
          })
        demand.entries)
 
-let solve_demand strategy topo demand =
+(* Causal check per entry: following the entry's transfers from its source
+   set must deliver every destination, each exactly once. *)
+let verify topo demand xfers =
+  let ok = ref true in
+  List.iteri
+    (fun i e ->
+      let mine = List.filter (fun (x : Schedule.xfer) -> x.chunk = i) xfers in
+      let holders = Hashtbl.create 8 in
+      List.iter (fun v -> Hashtbl.replace holders v ()) e.e_srcs;
+      let received = Hashtbl.create 8 in
+      let remaining = ref mine and progress = ref true in
+      while !progress do
+        progress := false;
+        let still = ref [] in
+        List.iter
+          (fun (x : Schedule.xfer) ->
+            if Hashtbl.mem holders x.src then begin
+              if Hashtbl.mem received x.dst || Hashtbl.mem holders x.dst then ok := false;
+              Hashtbl.replace holders x.dst ();
+              Hashtbl.replace received x.dst ();
+              progress := true
+            end
+            else still := x :: !still)
+          !remaining;
+        remaining := !still
+      done;
+      if !remaining <> [] then ok := false;
+      List.iter (fun v -> if not (Hashtbl.mem holders v) then ok := false) e.e_dsts;
+      (* Transfers must stay inside the demand's group/dimension. *)
+      List.iter
+        (fun (x : Schedule.xfer) ->
+          if
+            x.dim <> demand.d_dim
+            || Topology.group_of topo ~dim:x.dim x.src <> demand.d_group
+            || Topology.group_of topo ~dim:x.dim x.dst <> demand.d_group
+          then ok := false)
+        mine)
+    demand.entries;
+  !ok
+
+let solve_demand ?warm strategy topo demand =
   let metas = metas_of_demand demand in
   let restrict = Greedy.Groups [ (demand.d_dim, demand.d_group) ] in
   (* Direct candidate: every destination served straight from a source,
@@ -243,6 +303,18 @@ let solve_demand strategy topo demand =
           else s
       | None -> failwith "Subsolver: greedy could not satisfy a sub-demand"
   in
+  (* Warm start: a known-good solution for this demand (e.g. the coarse
+     step's incumbent) supersedes the greedy baseline when it simulates
+     faster, so the fine MILP refines from the better of the two. *)
+  let greedy =
+    match warm with
+    | Some xfers when verify topo demand xfers ->
+        let w = { Schedule.chunks = metas; xfers } in
+        if Syccl_sim.Sim.time topo w < Syccl_sim.Sim.time topo greedy -. 1e-15
+        then w
+        else greedy
+    | _ -> greedy
+  in
   let refined =
     match strategy with
     | Fast_only -> greedy
@@ -287,66 +359,39 @@ let solve_demand strategy topo demand =
 
 (* --- Mapping representatives onto isomorphic demands ------------------ *)
 
-let verify topo demand xfers =
-  (* Causal check per entry: following the entry's transfers from its source
-     set must deliver every destination, each exactly once. *)
-  let ok = ref true in
-  List.iteri
-    (fun i e ->
-      let mine = List.filter (fun (x : Schedule.xfer) -> x.chunk = i) xfers in
-      let holders = Hashtbl.create 8 in
-      List.iter (fun v -> Hashtbl.replace holders v ()) e.e_srcs;
-      let received = Hashtbl.create 8 in
-      let remaining = ref mine and progress = ref true in
-      while !progress do
-        progress := false;
-        let still = ref [] in
-        List.iter
-          (fun (x : Schedule.xfer) ->
-            if Hashtbl.mem holders x.src then begin
-              if Hashtbl.mem received x.dst || Hashtbl.mem holders x.dst then ok := false;
-              Hashtbl.replace holders x.dst ();
-              Hashtbl.replace received x.dst ();
-              progress := true
-            end
-            else still := x :: !still)
-          !remaining;
-        remaining := !still
-      done;
-      if !remaining <> [] then ok := false;
-      List.iter (fun v -> if not (Hashtbl.mem holders v) then ok := false) e.e_dsts;
-      (* Transfers must stay inside the demand's group/dimension. *)
-      List.iter
-        (fun (x : Schedule.xfer) ->
-          if
-            x.dim <> demand.d_dim
-            || Topology.group_of topo ~dim:x.dim x.src <> demand.d_group
-            || Topology.group_of topo ~dim:x.dim x.dst <> demand.d_group
-          then ok := false)
-        mine)
-    demand.entries;
-  !ok
-
-let transfer topo ~rep ~rep_xfers demand =
-  let _, rep_pos, rep_rank, _ = canonical_positions topo rep in
-  let dem_members, _, _, dem_order = canonical_positions topo demand in
+let transfer ?(normalized = false) topo ~rep ~rep_xfers demand =
+  if rep.entries = demand.entries then
+    (* Identity mapping: the solution was produced (or already verified)
+       for these exact entries, so re-verification — a full simulation —
+       is redundant.  This is the common case for the representative's own
+       member and for repeated solves of the same problem. *)
+    Some rep_xfers
+  else
+  (* Cross-size hits use relative size keys (each demand normalized by its
+     own largest entry); same-size mapping keeps exact absolute keys. *)
+  let sk_rep = if normalized then rel_key (max_entry_size rep) else size_key in
+  let sk_dem = if normalized then rel_key (max_entry_size demand) else size_key in
+  let rep_members, rep_pos, rep_rank, _ = canonical_positions ~sk:sk_rep topo rep in
+  let dem_members, _, _, dem_order = canonical_positions ~sk:sk_dem topo demand in
+  if Array.length rep_members <> Array.length dem_members then None
+  else
   (* rep GPU -> canonical rank -> demand GPU. *)
   let gpu_map v = dem_members.(dem_order.(rep_rank.(Hashtbl.find rep_pos v))) in
   (* Entry correspondence: sort both entry lists by canonical key. *)
-  let entry_keyed d rank_of pos_of =
+  let entry_keyed sk d rank_of pos_of =
     List.mapi
       (fun i e ->
         let canon v = rank_of.(Hashtbl.find pos_of v) in
-        ( ( size_key e.e_size,
+        ( ( sk e.e_size,
             List.sort compare (List.map canon e.e_srcs),
             List.sort compare (List.map canon e.e_dsts) ),
           i ))
       d.entries
     |> List.sort compare
   in
-  let _, dem_pos, dem_rank, _ = canonical_positions topo demand in
-  let rep_entries = entry_keyed rep rep_rank rep_pos in
-  let dem_entries = entry_keyed demand dem_rank dem_pos in
+  let _, dem_pos, dem_rank, _ = canonical_positions ~sk:sk_dem topo demand in
+  let rep_entries = entry_keyed sk_rep rep rep_rank rep_pos in
+  let dem_entries = entry_keyed sk_dem demand dem_rank dem_pos in
   if List.map fst rep_entries <> List.map fst dem_entries then None
   else begin
     let chunk_map = Hashtbl.create 16 in

@@ -45,21 +45,39 @@ val class_key : Syccl_topology.Topology.t -> demand -> string
 (** Canonical isomorphism-class key: demands with equal keys are solved once
     (§5.3). *)
 
+val norm_class_key : Syccl_topology.Topology.t -> demand -> string
+(** Size-normalized class key: entry sizes enter as ratios of the demand's
+    largest entry, so demands that differ only by a uniform chunk-size
+    scale share a key.  Used (together with a size bucket and strategy
+    signature) by the cross-size sub-solve memoization. *)
+
+val strategy_signature : strategy -> string
+(** Stable textual fingerprint of a strategy, for cache keys. *)
+
 val solve_demand :
+  ?warm:Syccl_sim.Schedule.xfer list ->
   strategy ->
   Syccl_topology.Topology.t ->
   demand ->
   Syccl_sim.Schedule.xfer list
-(** Solve one sub-demand; transfers use {e local} chunk ids (entry order). *)
+(** Solve one sub-demand; transfers use {e local} chunk ids (entry order).
+    [warm], if given and valid for the demand, competes with the greedy
+    incumbent before MILP refinement (the fine step warm-starts from the
+    coarse step's solution this way). *)
 
 val transfer :
+  ?normalized:bool ->
   Syccl_topology.Topology.t ->
   rep:demand ->
   rep_xfers:Syccl_sim.Schedule.xfer list ->
   demand ->
   Syccl_sim.Schedule.xfer list option
 (** Map a representative's solution onto an isomorphic demand; [None] if the
-    mapped solution fails verification. *)
+    mapped solution fails verification.  When the two demands have
+    structurally equal entries the mapping is the identity and the
+    (simulation-based) verification is skipped.  With [~normalized:true]
+    entry sizes are matched as ratios (each demand scaled by its own
+    largest entry), enabling cross-size mapping of memoized solutions. *)
 
 val assemble :
   plan ->

@@ -2,7 +2,10 @@ module Topology = Syccl_topology.Topology
 module Collective = Syccl_collective.Collective
 module Schedule = Syccl_sim.Schedule
 module Sim = Syccl_sim.Sim
-module Parallel = Syccl_util.Parallel
+module Pool = Syccl_util.Pool
+module Cache = Syccl_util.Cache
+module Counters = Syccl_util.Counters
+module Clock = Syccl_util.Clock
 
 type config = {
   search_config : Search.config option;
@@ -66,13 +69,39 @@ let add_breakdown a b =
   }
 
 let timed f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   let r = f () in
-  (r, Unix.gettimeofday () -. t0)
+  (r, Clock.now () -. t0)
+
+(* Cross-size sub-solve memoization (bounded, domain-safe): solved class
+   representatives keyed by size-normalized class key, strategy signature
+   and a power-of-two chunk-size bucket.  Hits skip Subsolver.solve_demand
+   entirely — across combos, across the coarse/fine steps and across sweep
+   sizes whose epoch structure is size-independent. *)
+let subsolve_cache : (string, Subsolver.demand * Schedule.xfer list) Cache.t =
+  Cache.create ~capacity:4096 ~name:"cache.subsolve" ()
+
+let size_bucket (d : Subsolver.demand) =
+  let m =
+    List.fold_left
+      (fun a (e : Subsolver.entry) -> Float.max a e.Subsolver.e_size)
+      0.0 d.Subsolver.entries
+  in
+  if m <= 0.0 then 0
+  else int_of_float (Float.floor ((Float.log m /. Float.log 2.0) +. 1e-9))
+
+let memo_key strategy topo d =
+  Printf.sprintf "%s/%d/%s/%d/%s" topo.Topology.name (Topology.num_gpus topo)
+    (Subsolver.strategy_signature strategy)
+    (size_bucket d)
+    (Subsolver.norm_class_key topo d)
 
 (* Solve representatives of every isomorphism class appearing in [plans],
-   in parallel, and return a per-demand solution function. *)
-let solve_plans ~domains strategy topo (plans : Subsolver.plan list) =
+   in parallel on the pool, and return a per-demand solution function.
+   The memo probe runs sequentially before dispatch and insertions happen
+   after every solve returns, so which classes hit the cache — and hence
+   the produced schedules — cannot depend on pool size or scheduling. *)
+let solve_plans ~pool ?warm strategy topo (plans : Subsolver.plan list) =
   let classes = Hashtbl.create 64 in
   List.iter
     (fun (p : Subsolver.plan) ->
@@ -84,11 +113,40 @@ let solve_plans ~domains strategy topo (plans : Subsolver.plan list) =
     plans;
   let keys = Array.of_seq (Hashtbl.to_seq_keys classes) in
   let reps = Array.map (Hashtbl.find classes) keys in
-  let sols =
-    Parallel.map ~domains (fun d -> Subsolver.solve_demand strategy topo d) reps
+  let nclass = Array.length reps in
+  let mkeys = Array.map (memo_key strategy topo) reps in
+  let sols = Array.make nclass None in
+  Array.iteri
+    (fun i rep ->
+      match Cache.find_opt subsolve_cache mkeys.(i) with
+      | Some (crep, cxfers) -> (
+          match
+            Subsolver.transfer ~normalized:true topo ~rep:crep
+              ~rep_xfers:cxfers rep
+          with
+          | Some xfers -> sols.(i) <- Some xfers
+          | None -> Counters.bump "cache.subsolve.transfer_fail")
+      | None -> ())
+    reps;
+  let todo =
+    Array.of_list
+      (List.filter (fun i -> sols.(i) = None) (List.init nclass Fun.id))
   in
-  let table = Hashtbl.create (Array.length keys) in
-  Array.iteri (fun i k -> Hashtbl.replace table k (reps.(i), sols.(i))) keys;
+  let solved =
+    Pool.map pool
+      (fun i ->
+        let rep = reps.(i) in
+        let w = match warm with None -> None | Some f -> f rep in
+        Subsolver.solve_demand ?warm:w strategy topo rep)
+      todo
+  in
+  Array.iteri
+    (fun j i ->
+      sols.(i) <- Some solved.(j);
+      Cache.put subsolve_cache mkeys.(i) (reps.(i), solved.(j)))
+    todo;
+  let table = Hashtbl.create nclass in
+  Array.iteri (fun i k -> Hashtbl.replace table k (reps.(i), Option.get sols.(i))) keys;
   fun (d : Subsolver.demand) ->
     let key = Subsolver.class_key topo d in
     match Hashtbl.find_opt table key with
@@ -110,9 +168,19 @@ let strategy_of cfg ~e =
       }
 
 (* Sketch search depends only on (topology, kind, root, config) — not on the
-   data size — so sweeps over sizes reuse it. *)
-let search_cache : (string, Sketch.t list) Hashtbl.t = Hashtbl.create 16
-let combo_cache : (string, Combine.combo list) Hashtbl.t = Hashtbl.create 16
+   data size — so sweeps over sizes reuse it.  Both caches are bounded and
+   mutex-protected: concurrent synthesize calls (the parallel sweep driver)
+   share them safely. *)
+let search_cache : (string, Sketch.t list) Cache.t =
+  Cache.create ~capacity:256 ~name:"cache.search" ()
+
+let combo_cache : (string, Combine.combo list) Cache.t =
+  Cache.create ~capacity:256 ~name:"cache.combo" ()
+
+let reset_caches () =
+  Cache.clear search_cache;
+  Cache.clear combo_cache;
+  Cache.clear subsolve_cache
 
 let cached_search topo ~config ~kind ~root =
   let key =
@@ -124,12 +192,8 @@ let cached_search topo ~config ~kind ~root =
       (Option.value config.Search.relay_limit ~default:(-1))
       config.Search.max_sketches
   in
-  match Hashtbl.find_opt search_cache key with
-  | Some s -> s
-  | None ->
-      let s = Search.run ~config topo ~kind ~root in
-      Hashtbl.replace search_cache key s;
-      s
+  Cache.find_or_compute search_cache key (fun () ->
+      Search.run ~config topo ~kind ~root)
 
 (* SendRecv needs no sketch machinery: one chunk, one destination.  Compare
    the direct path (each shared dimension) against two-hop relays and keep
@@ -189,7 +253,7 @@ let synth_sendrecv cfg topo (phase : Collective.t) =
 
 (* Synthesize one non-AllReduce phase; returns (schedule, simulated time,
    stats).  The schedule is already mirrored for reduce-family phases. *)
-let synth_phase cfg topo (phase : Collective.t) =
+let synth_phase ~pool cfg topo (phase : Collective.t) =
   if phase.Collective.kind = Collective.SendRecv then synth_sendrecv cfg topo phase
   else
   let primitives = Collective.decompose phase in
@@ -298,20 +362,14 @@ let synth_phase cfg topo (phase : Collective.t) =
               List.iter (fun s -> Format.fprintf fmt "%x." (Sketch.signature topo s)) l)
             sketches
         in
-        match Hashtbl.find_opt combo_cache key with
-        | Some c -> c
-        | None ->
-            let c =
-              if List.length primitives > 1 then
-                Combine.combos_all_to_all ~max_combos topo sketches
-              else Combine.combos_one_to_all ~max_combos topo sketches
-            in
-            Hashtbl.replace combo_cache key c;
-            c)
+        Cache.find_or_compute combo_cache key (fun () ->
+            if List.length primitives > 1 then
+              Combine.combos_all_to_all ~max_combos topo sketches
+            else Combine.combos_one_to_all ~max_combos topo sketches))
   in
   let plans = List.map (fun c -> (c, Subsolver.plan topo phase c)) combos in
   (* Step 1: fast solving of every combination, then filtering (§5.3). *)
-  let step1, solve1_s =
+  let (step1, solution1), solve1_s =
     timed (fun () ->
         let strategy =
           if cfg.fast_only then Subsolver.Fast_only
@@ -326,19 +384,20 @@ let synth_phase cfg topo (phase : Collective.t) =
                 time_limit = Float.min 2.0 cfg.milp_time_limit;
               }
         in
-        let solution = solve_plans ~domains:cfg.domains strategy topo (List.map snd plans) in
+        let solution = solve_plans ~pool strategy topo (List.map snd plans) in
         (* Coarse screening simulates with few blocks; survivors get the
            full-fidelity simulation in step 2.  Candidates are independent,
-           so assembly + simulation also spread across the solver domains
-           (the class-solution table is read-only by now). *)
+           so assembly + simulation also spread across the pool (the
+           class-solution table is read-only by now). *)
         let screen_blocks = min 2 cfg.blocks in
-        Array.to_list
-          (Parallel.map ~domains:cfg.domains
-             (fun (c, p) ->
-               let s = Subsolver.assemble p ~solution in
-               let s = if mirrored then Schedule.reverse s else s in
-               (c, p, s, Sim.time ~blocks:screen_blocks topo s))
-             (Array.of_list plans)))
+        ( Array.to_list
+            (Pool.map pool
+               (fun (c, p) ->
+                 let s = Subsolver.assemble p ~solution in
+                 let s = if mirrored then Schedule.reverse s else s in
+                 (c, p, s, Sim.time ~blocks:screen_blocks topo s))
+               (Array.of_list plans)),
+          solution ))
   in
   (* Very large schedules are simulated with coarser pipelining: block count
      barely moves the makespan once chunks are megabytes, but event counts
@@ -365,8 +424,10 @@ let synth_phase cfg topo (phase : Collective.t) =
             survivors
         else begin
           let strategy = strategy_of cfg ~e:cfg.e2 in
+          (* Fine solves warm-start from the coarse incumbent for the same
+             demand (step 1's class table is read-only by now). *)
           let solution =
-            solve_plans ~domains:cfg.domains strategy topo
+            solve_plans ~pool ~warm:(fun d -> Some (solution1 d)) strategy topo
               (List.map (fun (_, p, _, _) -> p) survivors)
           in
           List.map
@@ -399,11 +460,12 @@ let synth_phase cfg topo (phase : Collective.t) =
     combo.Combine.desc )
 
 let synthesize ?(config = default_config) topo coll =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now () in
   if coll.Collective.n <> Topology.num_gpus topo then
     invalid_arg "Synthesizer: collective/topology GPU count mismatch";
+  let pool = Pool.get config.domains in
   let phases = Collective.phases coll in
-  let results = List.map (synth_phase config topo) phases in
+  let results = List.map (synth_phase ~pool config topo) phases in
   let schedules = List.map (fun (s, _, _, _, _, _) -> s) results in
   let time = List.fold_left (fun a (_, t, _, _, _, _) -> a +. t) 0.0 results in
   let breakdown =
@@ -412,13 +474,37 @@ let synthesize ?(config = default_config) topo coll =
   let num_sketches = List.fold_left (fun a (_, _, _, s, _, _) -> a + s) 0 results in
   let num_combos = List.fold_left (fun a (_, _, _, _, c, _) -> a + c) 0 results in
   let chosen = String.concat " + " (List.map (fun (_, _, _, _, _, d) -> d) results) in
+  let synth_time = Clock.now () -. t0 in
+  Counters.bump "synth.calls";
+  Counters.addf "synth.total_s" synth_time;
+  Counters.addf "synth.search_s" breakdown.search_s;
+  Counters.addf "synth.combine_s" breakdown.combine_s;
+  Counters.addf "synth.solve1_s" breakdown.solve1_s;
+  Counters.addf "synth.solve2_s" breakdown.solve2_s;
   {
     schedules;
     time;
     busbw = Collective.busbw coll ~time;
-    synth_time = Unix.gettimeofday () -. t0;
+    synth_time;
     breakdown;
     num_sketches;
     num_combos;
     chosen;
   }
+
+(* Parallel sweep driver: synthesize a whole size/collective series
+   concurrently on the same pool the per-call solves use.  Awaiting helps,
+   so the nested parallel regions inside each synthesize cannot deadlock;
+   with [config.domains <= 1] this degrades to a sequential List.map. *)
+let synthesize_all ?(config = default_config) topo colls =
+  match colls with
+  | [] -> []
+  | [ coll ] -> [ synthesize ~config topo coll ]
+  | _ ->
+      let pool = Pool.get config.domains in
+      let futures =
+        List.map
+          (fun coll -> Pool.submit pool (fun () -> synthesize ~config topo coll))
+          colls
+      in
+      List.map Pool.await futures

@@ -14,7 +14,9 @@ type config = {
   milp_time_limit : float;  (** per-model solver budget, seconds *)
   max_shapes : int;  (** sketches kept (by α-β estimate) for combination *)
   max_combos : int;
-  domains : int;  (** parallel solver instances (§5.3) *)
+  domains : int;
+      (** parallel solver instances (§5.3); served by a persistent
+          work-stealing pool ({!Syccl_util.Pool}) spawned once per level *)
   blocks : int;  (** simulator pipelining blocks *)
 }
 
@@ -46,4 +48,24 @@ val synthesize :
   Syccl_collective.Collective.t ->
   outcome
 (** Synthesize a schedule for the collective on the topology.  AllReduce is
-    synthesized as ReduceScatter followed by AllGather (§4.3). *)
+    synthesized as ReduceScatter followed by AllGather (§4.3).
+
+    Deterministic in [config.domains]: the same inputs produce the same
+    schedule (and simulated time) for any pool size.  Solved sub-demand
+    classes are memoized in a bounded cache keyed by normalized class key,
+    strategy and chunk-size bucket, so repeated or swept calls skip
+    sub-solves; counters under ["cache.*"], ["pool.*"] and ["synth.*"]
+    ({!Syccl_util.Counters}) record activity. *)
+
+val synthesize_all :
+  ?config:config ->
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t list ->
+  outcome list
+(** Synthesize a series (e.g. a size sweep) concurrently on the persistent
+    pool, preserving order.  With [config.domains <= 1] this is a
+    sequential map. *)
+
+val reset_caches : unit -> unit
+(** Drop the sketch-search, combination and sub-solve caches (used by
+    benchmarks/tests that need cold-start behaviour). *)

@@ -89,7 +89,7 @@ let residual_schedule topo v ~base =
     | None -> failwith "Vsynth: greedy could not satisfy the residual demand"
 
 let synthesize ?(mode = `Hybrid) ?config topo v =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Syccl_util.Clock.now () in
   let n = Vcollective.num_gpus v in
   if n <> Topology.num_gpus topo then
     invalid_arg "Vsynth: demand/topology GPU count mismatch";
@@ -126,7 +126,7 @@ let synthesize ?(mode = `Hybrid) ?config topo v =
     schedule;
     time;
     algbw = Vcollective.algbw v ~time;
-    synth_time = Unix.gettimeofday () -. t0;
+    synth_time = Syccl_util.Clock.now () -. t0;
     mode_used = effective_mode;
   }
 

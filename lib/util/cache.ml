@@ -1,0 +1,93 @@
+(* Bounded, mutex-protected cache with approximate-LRU eviction.
+
+   Replaces the plain global Hashtbls that the synthesizer used to mutate
+   with no synchronization (a latent race once synthesize calls run
+   concurrently).  Entries carry a last-use tick from a global counter;
+   when the table outgrows its capacity the least-recently-used half is
+   dropped in one batch, keeping eviction cost amortized O(1) per
+   insertion.  Hit/miss/eviction counts are recorded in {!Counters} under
+   the cache's name. *)
+
+type ('k, 'v) t = {
+  lock : Mutex.t;
+  tbl : ('k, 'v * int ref) Hashtbl.t;
+  capacity : int;
+  tick : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+let create ?(capacity = 1024) ~name () =
+  {
+    lock = Mutex.create ();
+    tbl = Hashtbl.create (min 64 capacity);
+    capacity = max 8 capacity;
+    tick = Atomic.make 0;
+    hits = Counters.int_counter (name ^ ".hits");
+    misses = Counters.int_counter (name ^ ".misses");
+    evictions = Counters.int_counter (name ^ ".evictions");
+  }
+
+let touch c slot = slot := Atomic.fetch_and_add c.tick 1
+
+let find_opt c k =
+  Mutex.lock c.lock;
+  let r =
+    match Hashtbl.find_opt c.tbl k with
+    | Some (v, slot) ->
+        touch c slot;
+        Atomic.incr c.hits;
+        Some v
+    | None ->
+        Atomic.incr c.misses;
+        None
+  in
+  Mutex.unlock c.lock;
+  r
+
+(* Caller holds [c.lock]. *)
+let evict_locked c =
+  let len = Hashtbl.length c.tbl in
+  if len > c.capacity then begin
+    let items = Hashtbl.fold (fun k (_, slot) acc -> (!slot, k) :: acc) c.tbl [] in
+    let sorted = List.sort compare items in
+    let drop = len - max 1 (c.capacity / 2) in
+    List.iteri
+      (fun i (_, k) ->
+        if i < drop then begin
+          Hashtbl.remove c.tbl k;
+          Atomic.incr c.evictions
+        end)
+      sorted
+  end
+
+let put c k v =
+  Mutex.lock c.lock;
+  let slot = ref 0 in
+  touch c slot;
+  Hashtbl.replace c.tbl k (v, slot);
+  evict_locked c;
+  Mutex.unlock c.lock
+
+(* The computation runs outside the lock: concurrent callers may compute
+   the same value twice, but never block each other on a slow miss, and
+   [Hashtbl.replace] keeps the table consistent either way. *)
+let find_or_compute c k f =
+  match find_opt c k with
+  | Some v -> v
+  | None ->
+      let v = f () in
+      put c k v;
+      v
+
+let length c =
+  Mutex.lock c.lock;
+  let n = Hashtbl.length c.tbl in
+  Mutex.unlock c.lock;
+  n
+
+let clear c =
+  Mutex.lock c.lock;
+  Hashtbl.reset c.tbl;
+  Mutex.unlock c.lock

@@ -1,0 +1,27 @@
+(** Bounded, domain-safe cache with approximate-LRU eviction.
+
+    All operations are mutex-protected, so the cache can back memoization
+    on paths that run concurrently (parallel sweeps, pooled solves).
+    Capacity is enforced by batch-evicting the least-recently-used half
+    when exceeded.  Hits, misses and evictions are published through
+    {!Counters} as ["<name>.hits"], ["<name>.misses"],
+    ["<name>.evictions"]. *)
+
+type ('k, 'v) t
+
+val create : ?capacity:int -> name:string -> unit -> ('k, 'v) t
+(** [create ~capacity ~name ()] — capacity defaults to 1024, floors at 8. *)
+
+val find_opt : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; refreshes recency and counts a hit or miss. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert/replace, evicting the LRU half if the table outgrew capacity. *)
+
+val find_or_compute : ('k, 'v) t -> 'k -> (unit -> 'v) -> 'v
+(** Lookup, or compute-and-insert on miss.  The computation runs outside
+    the lock; concurrent misses on the same key may compute twice (the
+    results race benignly via replace). *)
+
+val length : ('k, 'v) t -> int
+val clear : ('k, 'v) t -> unit

@@ -1,0 +1,14 @@
+(* Monotonicized wall clock.  The stdlib has no monotonic clock before
+   OCaml 5.2 and mtime is not vendored, so we clamp [Unix.gettimeofday]
+   to be non-decreasing across all domains: a backwards NTP step can at
+   worst freeze measured durations at zero, never make them negative. *)
+
+let last = Atomic.make 0.0
+
+let rec now () =
+  let t = Unix.gettimeofday () in
+  let prev = Atomic.get last in
+  if t >= prev then if Atomic.compare_and_set last prev t then t else now ()
+  else prev
+
+let elapsed t0 = now () -. t0

@@ -1,0 +1,12 @@
+(** Monotonic (non-decreasing) wall clock, shared across domains.
+
+    Synthesis-time accounting must survive wall-clock adjustments; [now]
+    returns [Unix.gettimeofday] clamped to never run backwards. *)
+
+val now : unit -> float
+(** Current time in seconds.  Guaranteed non-decreasing process-wide, even
+    if the system clock steps backwards. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0]; non-negative when [t0] came from
+    {!now}. *)

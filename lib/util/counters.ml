@@ -1,0 +1,59 @@
+(* Global, domain-safe named counters.  Registration takes a mutex; the hot
+   path is a plain [Atomic] operation on the returned cell. *)
+
+let lock = Mutex.create ()
+let ints : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 32
+let floats : (string, float Atomic.t) Hashtbl.t = Hashtbl.create 32
+
+let registered tbl name mk =
+  Mutex.lock lock;
+  let c =
+    match Hashtbl.find_opt tbl name with
+    | Some c -> c
+    | None ->
+        let c = mk () in
+        Hashtbl.replace tbl name c;
+        c
+  in
+  Mutex.unlock lock;
+  c
+
+let int_counter name = registered ints name (fun () -> Atomic.make 0)
+let float_counter name = registered floats name (fun () -> Atomic.make 0.0)
+let bump name = Atomic.incr (int_counter name)
+
+(* [Atomic.t float] holds a boxed float; CAS compares the box we just read,
+   so the usual retry loop is safe. *)
+let rec atomic_addf cell x =
+  let v = Atomic.get cell in
+  if not (Atomic.compare_and_set cell v (v +. x)) then atomic_addf cell x
+
+let addf name x = atomic_addf (float_counter name) x
+
+let value name =
+  Mutex.lock lock;
+  let v =
+    match Hashtbl.find_opt ints name with
+    | Some c -> float_of_int (Atomic.get c)
+    | None -> (
+        match Hashtbl.find_opt floats name with
+        | Some c -> Atomic.get c
+        | None -> 0.0)
+  in
+  Mutex.unlock lock;
+  v
+
+let snapshot () =
+  Mutex.lock lock;
+  let acc =
+    Hashtbl.fold (fun k c acc -> (k, float_of_int (Atomic.get c)) :: acc) ints []
+  in
+  let acc = Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) floats acc in
+  Mutex.unlock lock;
+  List.sort compare acc
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0) ints;
+  Hashtbl.iter (fun _ c -> Atomic.set c 0.0) floats;
+  Mutex.unlock lock

@@ -1,0 +1,28 @@
+(** Lightweight global instrumentation counters.
+
+    Every counter is a named [Atomic] cell in a process-wide registry; the
+    pool, the bounded caches, and the synthesizer stages record into it, and
+    [syccl_cli synth --stats] / the bench harness print {!snapshot}.  Safe to
+    use from any domain. *)
+
+val int_counter : string -> int Atomic.t
+(** Return (registering on first use) the named integer counter.  Cache the
+    cell and use [Atomic.incr]/[Atomic.fetch_and_add] on hot paths. *)
+
+val float_counter : string -> float Atomic.t
+(** Same, for float accumulators (e.g. per-stage wall time). *)
+
+val bump : string -> unit
+(** One-shot increment by name (registry lookup per call). *)
+
+val addf : string -> float -> unit
+(** Atomically add to the named float accumulator. *)
+
+val value : string -> float
+(** Current value of a counter (ints widened to float); 0 if unknown. *)
+
+val snapshot : unit -> (string * float) list
+(** All counters, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered counter (the registry itself is kept). *)

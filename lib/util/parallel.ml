@@ -1,33 +1,10 @@
 let num_recommended () = max 1 (Domain.recommended_domain_count () - 1)
 
+(* Thin facade over the persistent pool: callers keep the historical
+   [map ~domains] interface, but domains are spawned once per level and
+   reused (see Pool). *)
 let map ?domains f xs =
-  let n = Array.length xs in
-  let domains = match domains with Some d -> max 1 d | None -> num_recommended () in
-  if domains <= 1 || n <= 1 then Array.map f xs
-  else begin
-    let k = min domains n in
-    let results = Array.make n None in
-    (* Static block partition: slice i handles [lo, hi). *)
-    let slice i =
-      let per = n / k and rem = n mod k in
-      let lo = (i * per) + min i rem in
-      let hi = lo + per + (if i < rem then 1 else 0) in
-      (lo, hi)
-    in
-    let run i () =
-      let lo, hi = slice i in
-      for j = lo to hi - 1 do
-        results.(j) <- Some (f xs.(j))
-      done
-    in
-    let handles = Array.init k (fun i -> Domain.spawn (run i)) in
-    let first_error = ref None in
-    Array.iter
-      (fun h ->
-        match Domain.join h with
-        | () -> ()
-        | exception e -> if !first_error = None then first_error := Some e)
-      handles;
-    (match !first_error with Some e -> raise e | None -> ());
-    Array.map (function Some v -> v | None -> assert false) results
-  end
+  let domains =
+    match domains with Some d -> max 1 d | None -> num_recommended ()
+  in
+  Pool.map (Pool.get domains) f xs

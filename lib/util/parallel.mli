@@ -1,8 +1,9 @@
 (** Data-parallel map over OCaml 5 domains.
 
-    SyCCL solves independent sub-demands in parallel (§5.3); this module
-    provides the worker pool.  Work items are split statically into
-    [num_domains] slices; each slice runs on its own domain. *)
+    SyCCL solves independent sub-demands in parallel (§5.3).  Since the
+    domain-pool rework this is a facade over {!Pool}: [map ~domains]
+    reuses the persistent pool for that parallelism level instead of
+    spawning and joining fresh domains per call. *)
 
 val num_recommended : unit -> int
 (** Recommended domain count for this machine. *)
@@ -10,4 +11,6 @@ val num_recommended : unit -> int
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map ~domains f xs] applies [f] to every element, preserving order.
     With [domains <= 1] (or a single element) it degrades to a plain
-    sequential map.  Exceptions raised by [f] are re-raised in the caller. *)
+    sequential map.  Exceptions raised by [f] are re-raised in the
+    caller; the lowest failing index wins, so behaviour matches
+    [Array.map] for any domain count. *)

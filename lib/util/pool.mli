@@ -1,0 +1,53 @@
+(** Persistent work-stealing domain pool.
+
+    SyCCL's synthesis hot path runs 4+ parallel regions per phase and one
+    per size in a sweep; spawning and joining domains each time wastes
+    milliseconds per region.  A pool spawns its [domains - 1] worker
+    domains once and reuses them: each worker owns a deque (owner LIFO,
+    thieves FIFO), external submissions go through a shared injector, and
+    idle workers steal.  Counters ["pool.tasks"] and ["pool.steals"] in
+    {!Counters} record activity.
+
+    Determinism: [map] writes results by index and reports the exception
+    of the {e lowest} failing index, so observable behaviour is identical
+    for every pool size.  [await] helps (executes other pool tasks while
+    blocked), so nested parallel regions cannot deadlock. *)
+
+type t
+type 'a future
+
+val get : int -> t
+(** [get domains] returns the process-wide persistent pool with logical
+    parallelism [domains] (clamped to 32), spawning its workers on first
+    use and reusing them for every later call.  The calling domain counts
+    toward the width, and the number of spawned workers is additionally
+    clamped to [Domain.recommended_domain_count () - 1]: domains beyond
+    the hardware add no throughput but tax every minor GC with a larger
+    stop-the-world barrier.  Pools are joined automatically at process
+    exit. *)
+
+val create : domains:int -> unit -> t
+(** Build a private pool (prefer {!get}).  With [domains <= 1] — or on a
+    single-core machine — no worker domains are spawned and every
+    operation degrades to sequential execution, with results (including
+    raised exceptions) unchanged. *)
+
+val shutdown : t -> unit
+(** Stop and join the workers.  Idempotent.  Only needed for pools from
+    {!create}; registry pools are shut down at exit. *)
+
+val size : t -> int
+(** Total parallelism of the pool, submitting caller included. *)
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Schedule a task.  From a worker of the same pool the task goes to its
+    own deque (LIFO); otherwise to the shared injector. *)
+
+val await : 'a future -> 'a
+(** Wait for completion, executing other pool tasks meanwhile.  Re-raises
+    the task's exception. *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map, chunked over the pool.  Semantically
+    equal to [Array.map] — including which exception is raised — for any
+    pool size. *)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "syccl"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("topology", Test_topology.suite);
       ("collective", Test_collective.suite);
       ("milp", Test_milp.suite);

@@ -80,13 +80,60 @@ let test_r2_limits_candidates () =
   let o = Synth.synthesize ~config:cfg topo (C.make C.AllGather ~n:16 ~size:1e6) in
   Alcotest.(check bool) "valid with r2=1" true (o.Synth.busbw > 0.0)
 
+let env_domains =
+  match Sys.getenv_opt "SYCCL_TEST_DOMAINS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 4)
+  | None -> 4
+
 let test_parallel_domains_same_result () =
   let topo = Builders.h800 ~servers:2 in
   let coll = C.make C.AllGather ~n:16 ~size:1e6 in
   let o1 = Synth.synthesize ~config:fast topo coll in
   let o4 = Synth.synthesize ~config:{ fast with domains = 4 } topo coll in
   check (Alcotest.float 1e-9) "deterministic across domain counts"
-    o1.Synth.time o4.Synth.time
+    o1.Synth.time o4.Synth.time;
+  check Alcotest.string "same winner" o1.Synth.chosen o4.Synth.chosen;
+  let oe = Synth.synthesize ~config:{ fast with domains = env_domains } topo coll in
+  check (Alcotest.float 1e-9) "deterministic at SYCCL_TEST_DOMAINS"
+    o1.Synth.time oe.Synth.time
+
+let test_repeat_synthesize_hits_cache () =
+  let topo = Builders.h800 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1e6 in
+  let cfg = { fast with domains = env_domains } in
+  Synth.reset_caches ();
+  let o1 = Synth.synthesize ~config:cfg topo coll in
+  let h0 = Syccl_util.Counters.value "cache.subsolve.hits" in
+  let o2 = Synth.synthesize ~config:cfg topo coll in
+  let h1 = Syccl_util.Counters.value "cache.subsolve.hits" in
+  Alcotest.(check bool) "second run hits the sub-solve cache" true (h1 > h0);
+  check (Alcotest.float 1e-12) "identical simulated time" o1.Synth.time
+    o2.Synth.time;
+  check Alcotest.string "identical winner" o1.Synth.chosen o2.Synth.chosen
+
+let test_sweep_reuses_subsolves () =
+  let topo = Builders.h800 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1e6 in
+  let cfg = { fast with domains = env_domains } in
+  Synth.reset_caches ();
+  (* Warm the sub-solve cache, then sweep the same problem concurrently:
+     the repeats must be mostly cache hits and byte-identical outcomes. *)
+  let base = Synth.synthesize ~config:cfg topo coll in
+  let h0 = Syccl_util.Counters.value "cache.subsolve.hits"
+  and m0 = Syccl_util.Counters.value "cache.subsolve.misses" in
+  let outs = Synth.synthesize_all ~config:cfg topo [ coll; coll; coll ] in
+  check Alcotest.int "three outcomes" 3 (List.length outs);
+  List.iter
+    (fun o ->
+      check (Alcotest.float 1e-12) "sweep deterministic" base.Synth.time
+        o.Synth.time)
+    outs;
+  let dh = Syccl_util.Counters.value "cache.subsolve.hits" -. h0
+  and dm = Syccl_util.Counters.value "cache.subsolve.misses" -. m0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "sub-solve hit rate >= 50%% (%.0f hits, %.0f misses)" dh dm)
+    true
+    (dh > 0.0 && dh /. (dh +. dm) >= 0.5)
 
 let test_sendrecv_direct_or_relay () =
   let topo = Builders.h800 ~servers:2 in
@@ -117,4 +164,6 @@ let suite =
     ("gpu count mismatch", `Quick, test_gpu_count_mismatch);
     ("r2 limits candidates", `Quick, test_r2_limits_candidates);
     ("parallel domains same result", `Quick, test_parallel_domains_same_result);
+    ("repeat synthesize hits cache", `Quick, test_repeat_synthesize_hits_cache);
+    ("sweep reuses subsolves", `Quick, test_sweep_reuses_subsolves);
   ]
