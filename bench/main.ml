@@ -230,6 +230,10 @@ let fig16c () =
       Printf.printf "%6s %s" (pp_size size) t;
       List.iter
         (fun d ->
+          (* Every domain count must measure a cold solve: without this the
+             domains=1 run would populate the sub-solve cache and the later
+             columns would time cache transfers, not parallel solving. *)
+          Synth.reset_caches ();
           let cfg = { syccl_cfg with domains = d } in
           let o = syccl_outcome topo coll cfg in
           Printf.printf " %8.2f%!" o.Synth.synth_time)

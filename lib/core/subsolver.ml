@@ -254,38 +254,45 @@ let verify topo demand xfers =
     demand.entries;
   !ok
 
+(* Direct candidate: every destination served straight from a source,
+   round-robin with rotated ordering so ingress ports fill evenly.
+   Optimal in saturated groups, where store-and-forward relays only add
+   load; the greedy wins when relaying genuinely helps. *)
+let direct_candidate demand metas =
+  let xfers = ref [] in
+  List.iteri
+    (fun c (e : entry) ->
+      let srcs = Array.of_list (List.sort compare e.e_srcs) in
+      List.iteri
+        (fun i dst ->
+          let src = srcs.((i + c) mod Array.length srcs) in
+          xfers :=
+            {
+              Schedule.chunk = c;
+              src;
+              dst;
+              dim = demand.d_dim;
+              prio = i;
+            }
+            :: !xfers)
+        (* Rotate destination order per chunk so sources do not all hit the
+           same ingress first. *)
+        (let d = Array.of_list e.e_dsts in
+         let nd = Array.length d in
+         List.init nd (fun i -> d.((i + c) mod nd))))
+    demand.entries;
+  { Schedule.chunks = metas; xfers = List.rev !xfers }
+
+let no_worse_than_direct topo demand xfers =
+  let metas = metas_of_demand demand in
+  let cand = { Schedule.chunks = metas; xfers } in
+  let direct = direct_candidate demand metas in
+  Syccl_sim.Sim.time topo cand <= Syccl_sim.Sim.time topo direct +. 1e-15
+
 let solve_demand ?warm strategy topo demand =
   let metas = metas_of_demand demand in
   let restrict = Greedy.Groups [ (demand.d_dim, demand.d_group) ] in
-  (* Direct candidate: every destination served straight from a source,
-     round-robin with rotated ordering so ingress ports fill evenly.
-     Optimal in saturated groups, where store-and-forward relays only add
-     load; the greedy wins when relaying genuinely helps. *)
-  let direct =
-    let xfers = ref [] in
-    List.iteri
-      (fun c (e : entry) ->
-        let srcs = Array.of_list (List.sort compare e.e_srcs) in
-        List.iteri
-          (fun i dst ->
-            let src = srcs.((i + c) mod Array.length srcs) in
-            xfers :=
-              {
-                Schedule.chunk = c;
-                src;
-                dst;
-                dim = demand.d_dim;
-                prio = i;
-              }
-              :: !xfers)
-          (* Rotate destination order per chunk so sources do not all hit the
-             same ingress first. *)
-          (let d = Array.of_list e.e_dsts in
-           let nd = Array.length d in
-           List.init nd (fun i -> d.((i + c) mod nd))))
-      demand.entries;
-    { Schedule.chunks = metas; xfers = List.rev !xfers }
-  in
+  let direct = direct_candidate demand metas in
   (* Saturated demands (every GPU pushing many chunks) gain nothing from
      store-and-forward search and make the greedy quadratic; go direct. *)
   let deliveries =
@@ -360,11 +367,17 @@ let solve_demand ?warm strategy topo demand =
 (* --- Mapping representatives onto isomorphic demands ------------------ *)
 
 let transfer ?(normalized = false) topo ~rep ~rep_xfers demand =
-  if rep.entries = demand.entries then
+  if
+    rep.d_dim = demand.d_dim && rep.d_group = demand.d_group
+    && rep.entries = demand.entries
+  then
     (* Identity mapping: the solution was produced (or already verified)
-       for these exact entries, so re-verification — a full simulation —
-       is redundant.  This is the common case for the representative's own
-       member and for repeated solves of the same problem. *)
+       for these exact entries in the same group of the same dimension, so
+       re-verification — a full simulation — is redundant.  This is the
+       common case for the representative's own member and for repeated
+       solves of the same problem.  Structurally equal entries under a
+       different dim/group must take the general (verified) path: the
+       rep's xfers carry its own dim. *)
     Some rep_xfers
   else
   (* Cross-size hits use relative size keys (each demand normalized by its

@@ -65,6 +65,19 @@ val solve_demand :
     incumbent before MILP refinement (the fine step warm-starts from the
     coarse step's solution this way). *)
 
+val no_worse_than_direct :
+  Syccl_topology.Topology.t ->
+  demand ->
+  Syccl_sim.Schedule.xfer list ->
+  bool
+(** [true] iff [xfers] — a candidate solution for [demand], local chunk
+    ids — simulates no slower than the cheap direct candidate that
+    {!solve_demand} always constructs.  The synthesizer uses this to guard
+    memoized cross-size transfers: a cached solution refined for a
+    different chunk size is only reused when it at least matches the
+    direct baseline, so cache warmth can never regress schedule quality
+    below it. *)
+
 val transfer :
   ?normalized:bool ->
   Syccl_topology.Topology.t ->
@@ -73,11 +86,13 @@ val transfer :
   demand ->
   Syccl_sim.Schedule.xfer list option
 (** Map a representative's solution onto an isomorphic demand; [None] if the
-    mapped solution fails verification.  When the two demands have
-    structurally equal entries the mapping is the identity and the
-    (simulation-based) verification is skipped.  With [~normalized:true]
-    entry sizes are matched as ratios (each demand scaled by its own
-    largest entry), enabling cross-size mapping of memoized solutions. *)
+    mapped solution fails verification.  When the two demands live in the
+    same group of the same dimension and have structurally equal entries
+    the mapping is the identity and the (simulation-based) verification is
+    skipped; equal entries under a different dim/group take the general,
+    verified path.  With [~normalized:true] entry sizes are matched as
+    ratios (each demand scaled by its own largest entry), enabling
+    cross-size mapping of memoized solutions. *)
 
 val assemble :
   plan ->

@@ -96,12 +96,28 @@ let memo_key strategy topo d =
     (size_bucket d)
     (Subsolver.norm_class_key topo d)
 
+(* A view of the sub-solve memo.  [live_memo] reads and writes the shared
+   bounded cache directly; [synthesize_all] gives each sweep element a
+   snapshot-overlay view instead, so a sweep's results depend only on the
+   cache state at sweep start — never on sibling elements' mid-flight
+   insertions (see [synthesize_all]). *)
+type memo_view = {
+  memo_find : string -> (Subsolver.demand * Schedule.xfer list) option;
+  memo_put : string -> Subsolver.demand * Schedule.xfer list -> unit;
+}
+
+let live_memo =
+  {
+    memo_find = (fun k -> Cache.find_opt subsolve_cache k);
+    memo_put = (fun k v -> Cache.put subsolve_cache k v);
+  }
+
 (* Solve representatives of every isomorphism class appearing in [plans],
    in parallel on the pool, and return a per-demand solution function.
    The memo probe runs sequentially before dispatch and insertions happen
    after every solve returns, so which classes hit the cache — and hence
    the produced schedules — cannot depend on pool size or scheduling. *)
-let solve_plans ~pool ?warm strategy topo (plans : Subsolver.plan list) =
+let solve_plans ~pool ~memo ?warm strategy topo (plans : Subsolver.plan list) =
   let classes = Hashtbl.create 64 in
   List.iter
     (fun (p : Subsolver.plan) ->
@@ -118,13 +134,27 @@ let solve_plans ~pool ?warm strategy topo (plans : Subsolver.plan list) =
   let sols = Array.make nclass None in
   Array.iteri
     (fun i rep ->
-      match Cache.find_opt subsolve_cache mkeys.(i) with
+      match memo.memo_find mkeys.(i) with
       | Some (crep, cxfers) -> (
           match
             Subsolver.transfer ~normalized:true topo ~rep:crep
               ~rep_xfers:cxfers rep
           with
-          | Some xfers -> sols.(i) <- Some xfers
+          | Some xfers ->
+              (* An identity hit returns the xfers solved for these exact
+                 entries; anything else is a cross-size/cross-group mapping
+                 whose quality is only bounded by the direct-baseline
+                 guard — a cached solution refined for a different chunk
+                 size may be valid yet slower than solving here, so reuse
+                 it only when it at least matches the direct candidate. *)
+              let identical =
+                crep.Subsolver.d_dim = rep.Subsolver.d_dim
+                && crep.Subsolver.d_group = rep.Subsolver.d_group
+                && crep.Subsolver.entries = rep.Subsolver.entries
+              in
+              if identical || Subsolver.no_worse_than_direct topo rep xfers
+              then sols.(i) <- Some xfers
+              else Counters.bump "cache.subsolve.quality_fail"
           | None -> Counters.bump "cache.subsolve.transfer_fail")
       | None -> ())
     reps;
@@ -143,7 +173,7 @@ let solve_plans ~pool ?warm strategy topo (plans : Subsolver.plan list) =
   Array.iteri
     (fun j i ->
       sols.(i) <- Some solved.(j);
-      Cache.put subsolve_cache mkeys.(i) (reps.(i), solved.(j)))
+      memo.memo_put mkeys.(i) (reps.(i), solved.(j)))
     todo;
   let table = Hashtbl.create nclass in
   Array.iteri (fun i k -> Hashtbl.replace table k (reps.(i), Option.get sols.(i))) keys;
@@ -253,7 +283,7 @@ let synth_sendrecv cfg topo (phase : Collective.t) =
 
 (* Synthesize one non-AllReduce phase; returns (schedule, simulated time,
    stats).  The schedule is already mirrored for reduce-family phases. *)
-let synth_phase ~pool cfg topo (phase : Collective.t) =
+let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
   if phase.Collective.kind = Collective.SendRecv then synth_sendrecv cfg topo phase
   else
   let primitives = Collective.decompose phase in
@@ -384,7 +414,7 @@ let synth_phase ~pool cfg topo (phase : Collective.t) =
                 time_limit = Float.min 2.0 cfg.milp_time_limit;
               }
         in
-        let solution = solve_plans ~pool strategy topo (List.map snd plans) in
+        let solution = solve_plans ~pool ~memo strategy topo (List.map snd plans) in
         (* Coarse screening simulates with few blocks; survivors get the
            full-fidelity simulation in step 2.  Candidates are independent,
            so assembly + simulation also spread across the pool (the
@@ -427,7 +457,8 @@ let synth_phase ~pool cfg topo (phase : Collective.t) =
           (* Fine solves warm-start from the coarse incumbent for the same
              demand (step 1's class table is read-only by now). *)
           let solution =
-            solve_plans ~pool ~warm:(fun d -> Some (solution1 d)) strategy topo
+            solve_plans ~pool ~memo ~warm:(fun d -> Some (solution1 d)) strategy
+              topo
               (List.map (fun (_, p, _, _) -> p) survivors)
           in
           List.map
@@ -459,13 +490,13 @@ let synth_phase ~pool cfg topo (phase : Collective.t) =
     List.length combos,
     combo.Combine.desc )
 
-let synthesize ?(config = default_config) topo coll =
+let synthesize_memo ~config ~memo topo coll =
   let t0 = Clock.now () in
   if coll.Collective.n <> Topology.num_gpus topo then
     invalid_arg "Synthesizer: collective/topology GPU count mismatch";
   let pool = Pool.get config.domains in
   let phases = Collective.phases coll in
-  let results = List.map (synth_phase ~pool config topo) phases in
+  let results = List.map (synth_phase ~pool ~memo config topo) phases in
   let schedules = List.map (fun (s, _, _, _, _, _) -> s) results in
   let time = List.fold_left (fun a (_, t, _, _, _, _) -> a +. t) 0.0 results in
   let breakdown =
@@ -492,19 +523,70 @@ let synthesize ?(config = default_config) topo coll =
     chosen;
   }
 
+let synthesize ?(config = default_config) topo coll =
+  synthesize_memo ~config ~memo:live_memo topo coll
+
 (* Parallel sweep driver: synthesize a whole size/collective series
    concurrently on the same pool the per-call solves use.  Awaiting helps,
    so the nested parallel regions inside each synthesize cannot deadlock;
-   with [config.domains <= 1] this degrades to a sequential List.map. *)
+   with [config.domains <= 1] this degrades to a sequential List.map.
+
+   Snapshot isolation: concurrent elements sharing the live sub-solve cache
+   would make results depend on scheduling — which entries are present when
+   an element probes depends on how far its siblings have run, and a
+   normalized transfer hit yields different (valid but not identical)
+   xfers than a direct solve.  Instead every element probes a frozen
+   sweep-start snapshot plus its own insertions, so its schedule is
+   exactly what a standalone [synthesize] would produce from the same
+   starting cache state, for any pool size and any schedule of the
+   workers.  Each overlay is only ever touched from within its own
+   element's (single) task body — helping runs a whole task on one worker,
+   never parts of one task on two — so the overlays need no locking.
+   Insertions are merged back into the shared cache in list order after
+   the whole sweep completes. *)
 let synthesize_all ?(config = default_config) topo colls =
   match colls with
   | [] -> []
   | [ coll ] -> [ synthesize ~config topo coll ]
   | _ ->
       let pool = Pool.get config.domains in
-      let futures =
+      let snap = Hashtbl.create 256 in
+      List.iter
+        (fun (k, v) -> Hashtbl.replace snap k v)
+        (Cache.bindings subsolve_cache);
+      let jobs =
         List.map
-          (fun coll -> Pool.submit pool (fun () -> synthesize ~config topo coll))
+          (fun coll ->
+            let overlay = Hashtbl.create 64 in
+            let inserts = ref [] in
+            let memo =
+              {
+                memo_find =
+                  (fun k ->
+                    let r =
+                      match Hashtbl.find_opt overlay k with
+                      | Some _ as r -> r
+                      | None -> Hashtbl.find_opt snap k
+                    in
+                    (match r with
+                    | Some _ -> Counters.bump "cache.subsolve.hits"
+                    | None -> Counters.bump "cache.subsolve.misses");
+                    r);
+                memo_put =
+                  (fun k v ->
+                    Hashtbl.replace overlay k v;
+                    inserts := (k, v) :: !inserts);
+              }
+            in
+            ( Pool.submit pool (fun () -> synthesize_memo ~config ~memo topo coll),
+              inserts ))
           colls
       in
-      List.map Pool.await futures
+      let outs = List.map (fun (fut, _) -> Pool.await fut) jobs in
+      List.iter
+        (fun (_, inserts) ->
+          List.iter
+            (fun (k, v) -> Cache.put subsolve_cache k v)
+            (List.rev !inserts))
+        jobs;
+      outs

@@ -50,11 +50,16 @@ val synthesize :
 (** Synthesize a schedule for the collective on the topology.  AllReduce is
     synthesized as ReduceScatter followed by AllGather (§4.3).
 
-    Deterministic in [config.domains]: the same inputs produce the same
-    schedule (and simulated time) for any pool size.  Solved sub-demand
-    classes are memoized in a bounded cache keyed by normalized class key,
-    strategy and chunk-size bucket, so repeated or swept calls skip
-    sub-solves; counters under ["cache.*"], ["pool.*"] and ["synth.*"]
+    Deterministic in [config.domains]: for a fixed sub-solve cache state,
+    the same inputs produce the same schedule (and simulated time) for any
+    pool size.  Solved sub-demand classes are memoized in a bounded cache
+    keyed by normalized class key, strategy and chunk-size bucket, so
+    repeated or swept calls skip sub-solves.  A cross-size hit is reused
+    only after {!Subsolver.no_worse_than_direct} accepts it, so cache
+    warmth can never push a sub-schedule below the direct baseline — but
+    the (valid) schedule returned may still differ with what was solved
+    earlier in the process; {!reset_caches} restores cold-start behaviour.
+    Counters under ["cache.*"], ["pool.*"] and ["synth.*"]
     ({!Syccl_util.Counters}) record activity. *)
 
 val synthesize_all :
@@ -64,7 +69,14 @@ val synthesize_all :
   outcome list
 (** Synthesize a series (e.g. a size sweep) concurrently on the persistent
     pool, preserving order.  With [config.domains <= 1] this is a
-    sequential map. *)
+    sequential map.
+
+    Snapshot isolation: every element probes the sub-solve cache as it was
+    when the sweep started, plus its own insertions — never a sibling's
+    mid-flight insertions — so each element's outcome equals a standalone
+    {!synthesize} from the same starting cache state, independent of pool
+    size and worker scheduling.  Insertions are merged back into the
+    shared cache, in list order, after the sweep completes. *)
 
 val reset_caches : unit -> unit
 (** Drop the sketch-search, combination and sub-solve caches (used by

@@ -88,11 +88,17 @@ let env_domains =
 let test_parallel_domains_same_result () =
   let topo = Builders.h800 ~servers:2 in
   let coll = C.make C.AllGather ~n:16 ~size:1e6 in
+  (* Reset between runs: otherwise the first call warms the sub-solve cache
+     and the later domain counts resolve everything by identity transfer,
+     never exercising the parallel solve path they are meant to check. *)
+  Synth.reset_caches ();
   let o1 = Synth.synthesize ~config:fast topo coll in
+  Synth.reset_caches ();
   let o4 = Synth.synthesize ~config:{ fast with domains = 4 } topo coll in
   check (Alcotest.float 1e-9) "deterministic across domain counts"
     o1.Synth.time o4.Synth.time;
   check Alcotest.string "same winner" o1.Synth.chosen o4.Synth.chosen;
+  Synth.reset_caches ();
   let oe = Synth.synthesize ~config:{ fast with domains = env_domains } topo coll in
   check (Alcotest.float 1e-9) "deterministic at SYCCL_TEST_DOMAINS"
     o1.Synth.time oe.Synth.time
@@ -135,6 +141,33 @@ let test_sweep_reuses_subsolves () =
     true
     (dh > 0.0 && dh /. (dh +. dm) >= 0.5)
 
+let test_sweep_distinct_sizes_deterministic () =
+  (* No pre-warming: a cold sweep over distinct sizes must, thanks to the
+     snapshot isolation of synthesize_all, give every element exactly the
+     outcome of a standalone cold synthesize — regardless of pool size or
+     of how far sibling elements have progressed. *)
+  let topo = Builders.h800 ~servers:2 in
+  let colls =
+    List.map (fun size -> C.make C.AllGather ~n:16 ~size) [ 2.5e5; 1e6; 4e6 ]
+  in
+  let cfg = { fast with domains = env_domains } in
+  Synth.reset_caches ();
+  let outs = Synth.synthesize_all ~config:cfg topo colls in
+  let solo =
+    List.map
+      (fun coll ->
+        Synth.reset_caches ();
+        Synth.synthesize ~config:fast topo coll)
+      colls
+  in
+  List.iter2
+    (fun (o : Synth.outcome) (s : Synth.outcome) ->
+      check (Alcotest.float 1e-12) "sweep element equals cold standalone solve"
+        s.Synth.time o.Synth.time;
+      check Alcotest.string "same winner" s.Synth.chosen o.Synth.chosen)
+    outs solo;
+  Synth.reset_caches ()
+
 let test_sendrecv_direct_or_relay () =
   let topo = Builders.h800 ~servers:2 in
   (* Same rail: one hop expected. *)
@@ -166,4 +199,5 @@ let suite =
     ("parallel domains same result", `Quick, test_parallel_domains_same_result);
     ("repeat synthesize hits cache", `Quick, test_repeat_synthesize_hits_cache);
     ("sweep reuses subsolves", `Quick, test_sweep_reuses_subsolves);
+    ("sweep distinct sizes deterministic", `Quick, test_sweep_distinct_sizes_deterministic);
   ]
