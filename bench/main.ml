@@ -191,6 +191,7 @@ let fig16b () =
   Synth.reset_caches ();
   Printf.printf "%6s %5s | %8s %8s %8s %8s %8s\n" "size" "coll" "search" "combine"
     "solve1" "solve2" "total";
+  let hits = ref 0 and misses = ref 0 and solves = ref 0 and nodes = ref 0 in
   let topo = Builders.a100 ~servers:4 in
   List.iter
     (fun (kind, kname) ->
@@ -201,9 +202,18 @@ let fig16b () =
           let b = o.Synth.breakdown in
           Printf.printf "%6s %5s | %8.3f %8.3f %8.3f %8.3f %8.3f\n%!" (pp_size size)
             kname b.Synth.search_s b.Synth.combine_s b.Synth.solve1_s
-            b.Synth.solve2_s o.Synth.synth_time)
+            b.Synth.solve2_s o.Synth.synth_time;
+          hits := !hits + b.Synth.cache_hits;
+          misses := !misses + b.Synth.cache_misses;
+          solves := !solves + b.Synth.milp_solves;
+          nodes := !nodes + b.Synth.milp_nodes)
         (if !smoke then [ 1.048576e6 ] else sizes ()))
     [ (C.AllGather, "AG"); (C.AllToAll, "A2A") ];
+  (* Per-call breakdowns now carry solver/cache activity directly, so the
+     footer no longer has to grep counter names. *)
+  Printf.printf
+    "   [solver: %d memo hits / %d misses, %d MILP models, %d B&B nodes]\n%!"
+    !hits !misses !solves !nodes;
   runtime_stats ()
 
 let fig16c () =
@@ -279,14 +289,15 @@ let tab5 () =
             | None -> te_timeout := true)
         szs;
       let fmt l =
-        if l = [] then Printf.sprintf "%28s" "timeout"
-        else
-          let lo, hi = Stats.min_max l in
-          Printf.sprintf "%9.1f/%9.1f/%7.1f" lo hi (Stats.mean l)
+        match (Stats.min_max_opt l, Stats.mean_opt l) with
+        | Some (lo, hi), Some m -> Printf.sprintf "%9.1f/%9.1f/%7.1f" lo hi m
+        | _ -> Printf.sprintf "%28s" "timeout"
       in
       let speed =
-        if !te = [] || !sy = [] then "      N/A"
-        else Printf.sprintf "%8.0fx" (Stats.mean !te /. Stats.mean !sy)
+        match (Stats.mean_opt !te, Stats.mean_opt !sy) with
+        | Some te_m, Some sy_m when sy_m > 0.0 ->
+            Printf.sprintf "%8.0fx" (te_m /. sy_m)
+        | _ -> "      N/A"
       in
       let te_str = if run_teccl then fmt !te else Printf.sprintf "%28s" "timeout" in
       Printf.printf "%-16s %s %s %s%s\n%!" name te_str (fmt !sy) speed
@@ -482,6 +493,57 @@ let micro () =
         (Test.elements test))
     tests
 
+(* --- Trace emission (--trace=FILE) -------------------------------------- *)
+
+(* Record the bench run, then append a small traced 8-GPU AllGather
+   simulation (so the export always contains simulator timeline tracks),
+   write Chrome trace-event JSON and fail the process if the file does not
+   round-trip through the JSON parser with both synthesis spans and sim
+   events present.  `dune runtest` drives this to catch trace-format
+   regressions. *)
+let emit_and_check_trace path =
+  let module Trace = Syccl_util.Trace in
+  let module Json = Syccl_util.Json in
+  let topo = Builders.h800_scaled ~servers:1 ~gpus_per_server:8 in
+  let coll = C.make C.AllGather ~n:8 ~size:1.048576e6 in
+  let o = Synth.synthesize ~config:syccl_cfg topo coll in
+  Trace.set_process_name ~pid:Trace.synthesis_pid "synthesis";
+  List.iteri
+    (fun i s ->
+      let pid = Trace.sim_pid + i in
+      Trace.set_process_name ~pid (Printf.sprintf "sim phase %d" i);
+      ignore (Sim.run ~trace_pid:pid topo s))
+    o.Synth.schedules;
+  Trace.disable ();
+  Trace.export_file path;
+  let ic = open_in path in
+  let text = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let evs =
+    match Json.of_string text with
+    | Json.Obj kvs -> (
+        match List.assoc_opt "traceEvents" kvs with
+        | Some (Json.List l) -> l
+        | _ -> failwith "trace check: no traceEvents array")
+    | _ -> failwith "trace check: not a JSON object"
+  in
+  let is_span p e =
+    match e with
+    | Json.Obj kvs ->
+        List.assoc_opt "ph" kvs = Some (Json.Str "X")
+        && (match List.assoc_opt "pid" kvs with
+           | Some (Json.Num v) -> int_of_float v = p
+           | _ -> false)
+    | _ -> false
+  in
+  if evs = [] then failwith "trace check: empty traceEvents";
+  if not (List.exists (is_span Trace.synthesis_pid) evs) then
+    failwith "trace check: no synthesis spans";
+  if not (List.exists (is_span Trace.sim_pid) evs) then
+    failwith "trace check: no simulator timeline events";
+  Printf.printf "\ntrace: wrote %s (%d events, round-trip OK)\n%!" path
+    (List.length evs)
+
 (* --- Driver ------------------------------------------------------------- *)
 
 let targets =
@@ -498,6 +560,15 @@ let () =
   let flags, names = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
   if List.mem "--full" flags then full := true;
   if List.mem "--smoke" flags then smoke := true;
+  let trace_out =
+    List.find_map
+      (fun f ->
+        if String.length f > 8 && String.sub f 0 8 = "--trace=" then
+          Some (String.sub f 8 (String.length f - 8))
+        else None)
+      flags
+  in
+  if trace_out <> None then Syccl_util.Trace.enable ();
   let chosen =
     if names = [] then targets
     else
@@ -514,4 +585,5 @@ let () =
   let t0 = Unix.gettimeofday () in
   List.iter (fun (_, f) -> f ()) chosen;
   if List.mem "--micro" flags then micro ();
+  Option.iter emit_and_check_trace trace_out;
   Printf.printf "\nbench completed in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -87,6 +87,26 @@ let stats_arg =
           "Print runtime counters (pool tasks/steals, cache hits/misses, \
            per-stage wall time) after synthesis.")
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print histogram metrics (sub-solve / MILP solve latencies, simplex \
+           pivots, branch-and-bound nodes, cache lookup latencies, pool queue \
+           latency) after the run.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record synthesis spans (and, for $(b,synth), a simulated \
+           link-occupancy timeline of the winning schedule) and write Chrome \
+           trace-event JSON to $(docv).  Load it at ui.perfetto.dev or \
+           chrome://tracing.")
+
 let print_stats () =
   Format.printf "--- stats ---@.";
   List.iter
@@ -94,6 +114,80 @@ let print_stats () =
       if Float.is_integer v then Format.printf "%-28s %12.0f@." k v
       else Format.printf "%-28s %12.4f@." k v)
     (Syccl_util.Counters.snapshot ())
+
+let print_metrics () =
+  Format.printf "--- histograms ---@.";
+  Format.printf "%-26s %8s %11s %11s %11s %11s %11s@." "histogram" "n" "mean"
+    "p50" "p90" "p99" "max";
+  List.iter
+    (fun (k, (h : Syccl_util.Counters.hist_stats)) ->
+      Format.printf "%-26s %8d %11.3e %11.3e %11.3e %11.3e %11.3e@." k h.n
+        h.mean h.p50 h.p90 h.p99 h.hmax)
+    (Syccl_util.Counters.hist_snapshot ())
+
+(* Machine-readable run report: outcome + breakdown + every counter and
+   histogram, as one JSON object. *)
+let stats_json (o : Syccl.Synthesizer.outcome) =
+  let open Syccl_util.Json in
+  let b = o.breakdown in
+  let int i = Num (float_of_int i) in
+  let counters =
+    List.map (fun (k, v) -> (k, Num v)) (Syccl_util.Counters.snapshot ())
+  in
+  let hists =
+    List.map
+      (fun (k, (h : Syccl_util.Counters.hist_stats)) ->
+        ( k,
+          Obj
+            [
+              ("n", int h.n); ("sum", Num h.sum); ("mean", Num h.mean);
+              ("min", Num h.hmin); ("max", Num h.hmax); ("p50", Num h.p50);
+              ("p90", Num h.p90); ("p99", Num h.p99);
+            ] ))
+      (Syccl_util.Counters.hist_snapshot ())
+  in
+  Obj
+    [
+      ("time_s", Num o.time);
+      ("busbw_gbps", Num o.busbw);
+      ("synth_time_s", Num o.synth_time);
+      ("num_sketches", int o.num_sketches);
+      ("num_combos", int o.num_combos);
+      ("chosen", Str o.chosen);
+      ( "breakdown",
+        Obj
+          [
+            ("search_s", Num b.search_s);
+            ("combine_s", Num b.combine_s);
+            ("solve1_s", Num b.solve1_s);
+            ("solve2_s", Num b.solve2_s);
+            ("cache_hits", int b.cache_hits);
+            ("cache_misses", int b.cache_misses);
+            ("milp_solves", int b.milp_solves);
+            ("milp_nodes", int b.milp_nodes);
+          ] );
+      ("counters", Obj counters);
+      ("histograms", Obj hists);
+    ]
+
+let write_stats_json path o =
+  let text = Syccl_util.Json.to_string ~pretty:true (stats_json o) ^ "\n" in
+  if path = "-" then print_string text
+  else begin
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc;
+    Format.printf "stats-json: wrote %s@." path
+  end
+
+let export_trace path =
+  Syccl_util.Trace.disable ();
+  Syccl_util.Trace.export_file path;
+  Format.printf "trace:      wrote %s (%d events, %d dropped) — load in \
+                 ui.perfetto.dev@."
+    path
+    (List.length (Syccl_util.Trace.events ()))
+    (Syccl_util.Trace.dropped ())
 
 let topo_cmd =
   let run name =
@@ -107,17 +201,21 @@ let topo_cmd =
     Term.(const run $ topo_arg)
 
 let synth_cmd =
-  let run tname cname size fast domains stats verbose =
+  let run tname cname size fast domains stats verbose trace metrics sjson =
     let topo = topo_of_name tname in
     let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
     let config =
       { Syccl.Synthesizer.default_config with fast_only = fast; domains }
     in
+    if trace <> None then Syccl_util.Trace.enable ();
     let o = Syccl.Synthesizer.synthesize ~config topo coll in
     Format.printf "collective: %a on %s@." C.pp coll tname;
     Format.printf "synthesis:  %.2fs (search %.2fs, combine %.2fs, solve1 %.2fs, solve2 %.2fs)@."
       o.synth_time o.breakdown.search_s o.breakdown.combine_s
       o.breakdown.solve1_s o.breakdown.solve2_s;
+    Format.printf "solver:     %d memo hits / %d misses, %d MILP models, %d B&B nodes@."
+      o.breakdown.cache_hits o.breakdown.cache_misses o.breakdown.milp_solves
+      o.breakdown.milp_nodes;
     Format.printf "sketches:   %d explored, %d combinations, winner: %s@."
       o.num_sketches o.num_combos o.chosen;
     Format.printf "predicted:  %.1f us, busbw %.1f GBps@." (o.time *. 1e6) o.busbw;
@@ -129,15 +227,41 @@ let synth_cmd =
       o.schedules;
     if verbose then
       List.iter (fun s -> Format.printf "%a@." S.Schedule.pp s) o.schedules;
-    if stats then print_stats ()
+    (match trace with
+    | None -> ()
+    | Some path ->
+        (* Re-simulate the winning schedules with timeline export on: one
+           Perfetto process per phase, one track per active port. *)
+        Syccl_util.Trace.set_process_name ~pid:Syccl_util.Trace.synthesis_pid
+          "synthesis";
+        List.iteri
+          (fun i s ->
+            let pid = Syccl_util.Trace.sim_pid + i in
+            Syccl_util.Trace.set_process_name ~pid
+              (Printf.sprintf "sim phase %d (virtual time)" i);
+            ignore (S.Sim.run ~blocks:config.blocks ~trace_pid:pid topo s))
+          o.schedules;
+        export_trace path);
+    if stats then print_stats ();
+    if metrics then print_metrics ();
+    Option.iter (fun p -> write_stats_json p o) sjson
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump the schedule.")
   in
+  let sjson =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the outcome, per-stage breakdown, counters and histograms \
+             as JSON to $(docv) ($(b,-) for stdout).")
+  in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a schedule and report its performance.")
     Term.(
       const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ domains_arg
-      $ stats_arg $ verbose)
+      $ stats_arg $ verbose $ trace_arg $ metrics_arg $ sjson)
 
 let explain_cmd =
   let run tname cname size fast =
@@ -289,8 +413,9 @@ let export_cmd =
     Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ output)
 
 let sweep_cmd =
-  let run tname cname fast domains stats =
+  let run tname cname fast domains stats trace metrics =
     let topo = topo_of_name tname in
+    if trace <> None then Syccl_util.Trace.enable ();
     let n = T.Topology.num_gpus topo in
     let config =
       { Syccl.Synthesizer.default_config with fast_only = fast; domains }
@@ -315,10 +440,19 @@ let sweep_cmd =
         Format.printf "%10.0f %12.1f %12.1f %12s@." coll.C.size o.busbw nccl
           teccl)
       colls outcomes;
-    if stats then print_stats ()
+    (match trace with
+    | None -> ()
+    | Some path ->
+        Syccl_util.Trace.set_process_name ~pid:Syccl_util.Trace.synthesis_pid
+          "synthesis";
+        export_trace path);
+    if stats then print_stats ();
+    if metrics then print_metrics ()
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Bus bandwidth vs data size, SyCCL vs baselines.")
-    Term.(const run $ topo_arg $ coll_arg $ fast_arg $ domains_arg $ stats_arg)
+    Term.(
+      const run $ topo_arg $ coll_arg $ fast_arg $ domains_arg $ stats_arg
+      $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "SyCCL: symmetry-guided collective communication schedule synthesis" in

@@ -220,10 +220,16 @@ let build_combos ~max_combos topo bases expand =
   else List.filteri (fun i _ -> i < max_combos) all
 
 let combos_one_to_all ?(max_combos = 48) topo sketches =
+  Syccl_util.Trace.with_span ~cat:"combine" "combine.one_to_all"
+    ~args:[ ("sketches", string_of_int (List.length sketches)) ]
+  @@ fun () ->
   build_combos ~max_combos topo sketches (fun ~balance base ->
       if balance then replicate_balanced topo base else [ base ])
 
 let combos_all_to_all ?(max_combos = 48) topo sketches =
+  Syccl_util.Trace.with_span ~cat:"combine" "combine.all_to_all"
+    ~args:[ ("sketches", string_of_int (List.length sketches)) ]
+  @@ fun () ->
   build_combos ~max_combos topo sketches (fun ~balance base ->
       ignore balance;
       (* Rotating the root through every GPU already spreads group workload

@@ -79,11 +79,14 @@ let outcome _topo (o : Synthesizer.outcome) =
   Printf.sprintf
     "winner: %s\npredicted: %.1f us, %.1f GBps busbw\nsynthesis: %.2fs \
      (search %.2fs, combine %.2fs, coarse solve %.2fs, fine solve %.2fs)\n\
-     explored: %d sketches, %d combinations\nschedule: %s\n"
+     explored: %d sketches, %d combinations\n\
+     solver: %d sub-solve memo hits / %d misses, %d MILP models, %d B&B nodes\n\
+     schedule: %s\n"
     o.Synthesizer.chosen (o.Synthesizer.time *. 1e6) o.Synthesizer.busbw
     o.Synthesizer.synth_time b.Synthesizer.search_s b.Synthesizer.combine_s
     b.Synthesizer.solve1_s b.Synthesizer.solve2_s o.Synthesizer.num_sketches
-    o.Synthesizer.num_combos
+    o.Synthesizer.num_combos b.Synthesizer.cache_hits b.Synthesizer.cache_misses
+    b.Synthesizer.milp_solves b.Synthesizer.milp_nodes
     (String.concat " + "
        (List.map
           (fun s -> Printf.sprintf "%d transfers" (Syccl_sim.Schedule.num_xfers s))

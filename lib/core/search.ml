@@ -33,6 +33,14 @@ let fanout_options m =
 exception Done
 
 let run ?config topo ~kind ~root =
+  Syccl_util.Trace.with_span ~cat:"search" "search.run"
+    ~args:
+      [
+        ("topo", topo.Topology.name);
+        ("kind", (match kind with `Broadcast -> "broadcast" | `Scatter -> "scatter"));
+        ("root", string_of_int root);
+      ]
+  @@ fun () ->
   let n = Topology.num_gpus topo in
   let nd = Topology.num_dims topo in
   let cfg = match config with Some c -> c | None -> default topo kind in

@@ -289,7 +289,21 @@ let no_worse_than_direct topo demand xfers =
   let direct = direct_candidate demand metas in
   Syccl_sim.Sim.time topo cand <= Syccl_sim.Sim.time topo direct +. 1e-15
 
+let h_solve_s = Syccl_util.Counters.histogram "subsolve.solve_s"
+
 let solve_demand ?warm strategy topo demand =
+  Syccl_util.Trace.with_span ~cat:"subsolve" "subsolver.solve_demand"
+    ~args:
+      [
+        ("stage", string_of_int demand.d_stage);
+        ("dim", string_of_int demand.d_dim);
+        ("group", string_of_int demand.d_group);
+        ("entries", string_of_int (List.length demand.entries));
+        ("strategy", strategy_signature strategy);
+      ]
+  @@ fun () ->
+  let t_solve = Syccl_util.Clock.now () in
+  let result =
   let metas = metas_of_demand demand in
   let restrict = Greedy.Groups [ (demand.d_dim, demand.d_group) ] in
   let direct = direct_candidate demand metas in
@@ -363,6 +377,9 @@ let solve_demand ?warm strategy topo demand =
             end)
   in
   refined.Schedule.xfers
+  in
+  Syccl_util.Counters.record h_solve_s (Syccl_util.Clock.elapsed t_solve);
+  result
 
 (* --- Mapping representatives onto isomorphic demands ------------------ *)
 

@@ -6,6 +6,7 @@ module Pool = Syccl_util.Pool
 module Cache = Syccl_util.Cache
 module Counters = Syccl_util.Counters
 module Clock = Syccl_util.Clock
+module Trace = Syccl_util.Trace
 
 type config = {
   search_config : Search.config option;
@@ -45,6 +46,10 @@ type breakdown = {
   combine_s : float;
   solve1_s : float;
   solve2_s : float;
+  cache_hits : int;
+  cache_misses : int;
+  milp_solves : int;
+  milp_nodes : int;
 }
 
 type outcome = {
@@ -58,7 +63,17 @@ type outcome = {
   chosen : string;
 }
 
-let zero_breakdown = { search_s = 0.0; combine_s = 0.0; solve1_s = 0.0; solve2_s = 0.0 }
+let zero_breakdown =
+  {
+    search_s = 0.0;
+    combine_s = 0.0;
+    solve1_s = 0.0;
+    solve2_s = 0.0;
+    cache_hits = 0;
+    cache_misses = 0;
+    milp_solves = 0;
+    milp_nodes = 0;
+  }
 
 let add_breakdown a b =
   {
@@ -66,6 +81,10 @@ let add_breakdown a b =
     combine_s = a.combine_s +. b.combine_s;
     solve1_s = a.solve1_s +. b.solve1_s;
     solve2_s = a.solve2_s +. b.solve2_s;
+    cache_hits = a.cache_hits + b.cache_hits;
+    cache_misses = a.cache_misses + b.cache_misses;
+    milp_solves = a.milp_solves + b.milp_solves;
+    milp_nodes = a.milp_nodes + b.milp_nodes;
   }
 
 let timed f =
@@ -284,6 +303,9 @@ let synth_sendrecv cfg topo (phase : Collective.t) =
 (* Synthesize one non-AllReduce phase; returns (schedule, simulated time,
    stats).  The schedule is already mirrored for reduce-family phases. *)
 let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
+  Trace.with_span ~cat:"stage" "synth.phase"
+    ~args:[ ("collective", Format.asprintf "%a" Collective.pp phase) ]
+  @@ fun () ->
   if phase.Collective.kind = Collective.SendRecv then synth_sendrecv cfg topo phase
   else
   let primitives = Collective.decompose phase in
@@ -295,7 +317,8 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
   in
   let sketches, search_s =
     timed (fun () ->
-        cached_search topo ~config:search_cfg ~kind ~root:p0.Collective.p_root)
+        Trace.with_span ~cat:"stage" "synth.search" (fun () ->
+            cached_search topo ~config:search_cfg ~kind ~root:p0.Collective.p_root))
   in
   if sketches = [] then failwith "Synthesizer: no sketch covers the demand";
   (* Rank shapes by an α-β estimate and keep the most promising; the
@@ -376,6 +399,7 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
   in
   let combos, combine_s =
     timed (fun () ->
+        Trace.with_span ~cat:"stage" "synth.combine" @@ fun () ->
         (* Combinations are also size-independent (fractions are ratios);
            key by the kept shapes' signatures.  At production scale every
            combo costs seconds to plan/simulate, so fewer are kept. *)
@@ -401,6 +425,7 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
   (* Step 1: fast solving of every combination, then filtering (§5.3). *)
   let (step1, solution1), solve1_s =
     timed (fun () ->
+        Trace.with_span ~cat:"stage" "synth.solve1" @@ fun () ->
         let strategy =
           if cfg.fast_only then Subsolver.Fast_only
           else
@@ -447,6 +472,7 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
      surviving candidates. *)
   let step2, solve2_s =
     timed (fun () ->
+        Trace.with_span ~cat:"stage" "synth.solve2" @@ fun () ->
         if cfg.fast_only then
           List.map
             (fun (c, p, s1, _) ->
@@ -480,20 +506,30 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
   in
   ( sched,
     t,
-    {
-      search_s;
-      combine_s;
-      solve1_s;
-      solve2_s;
-    },
+    { zero_breakdown with search_s; combine_s; solve1_s; solve2_s },
     List.length sketches,
     List.length combos,
     combo.Combine.desc )
 
 let synthesize_memo ~config ~memo topo coll =
+  Trace.with_span ~cat:"stage" "synthesize"
+    ~args:
+      [
+        ("collective", Format.asprintf "%a" Collective.pp coll);
+        ("topo", topo.Topology.name);
+      ]
+  @@ fun () ->
   let t0 = Clock.now () in
   if coll.Collective.n <> Topology.num_gpus topo then
     invalid_arg "Synthesizer: collective/topology GPU count mismatch";
+  (* Solver/cache activity attributed to this call: deltas of the shared
+     process-wide counters (see the breakdown doc for concurrency caveats). *)
+  let activity0 =
+    ( Counters.value "cache.subsolve.hits",
+      Counters.value "cache.subsolve.misses",
+      Counters.value "milp.solves",
+      Counters.value "milp.nodes" )
+  in
   let pool = Pool.get config.domains in
   let phases = Collective.phases coll in
   let results = List.map (synth_phase ~pool ~memo config topo) phases in
@@ -501,6 +537,17 @@ let synthesize_memo ~config ~memo topo coll =
   let time = List.fold_left (fun a (_, t, _, _, _, _) -> a +. t) 0.0 results in
   let breakdown =
     List.fold_left (fun a (_, _, b, _, _, _) -> add_breakdown a b) zero_breakdown results
+  in
+  let breakdown =
+    let h0, m0, s0, n0 = activity0 in
+    let d now before = int_of_float (now -. before) in
+    {
+      breakdown with
+      cache_hits = d (Counters.value "cache.subsolve.hits") h0;
+      cache_misses = d (Counters.value "cache.subsolve.misses") m0;
+      milp_solves = d (Counters.value "milp.solves") s0;
+      milp_nodes = d (Counters.value "milp.nodes") n0;
+    }
   in
   let num_sketches = List.fold_left (fun a (_, _, _, s, _, _) -> a + s) 0 results in
   let num_combos = List.fold_left (fun a (_, _, _, _, c, _) -> a + c) 0 results in

@@ -28,8 +28,16 @@ type breakdown = {
   combine_s : float;
   solve1_s : float;
   solve2_s : float;
+  cache_hits : int;  (** sub-solve memo hits during this call *)
+  cache_misses : int;  (** sub-solve memo misses during this call *)
+  milp_solves : int;  (** MILP models solved during this call *)
+  milp_nodes : int;  (** branch-and-bound nodes explored during this call *)
 }
-(** Wall-clock per synthesis step (Fig. 16b). *)
+(** Wall-clock per synthesis step (Fig. 16b) plus solver/cache activity.
+    The activity fields are deltas of the process-wide {!Syccl_util.Counters}
+    cells taken around the call: exact for a lone [synthesize], attributed
+    to the whole sweep element when calls run concurrently (the counters
+    are shared). *)
 
 type outcome = {
   schedules : Syccl_sim.Schedule.t list;  (** one per collective phase *)

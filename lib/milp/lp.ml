@@ -51,7 +51,7 @@ let pivot t r c =
 (* One simplex phase on the current reduced-cost row.  Dantzig pricing with a
    switch to Bland's rule after [bland_after] pivots to guarantee finiteness.
    Returns [`Optimal], [`Unbounded] or [`Iter_limit]. *)
-let run_phase t ~max_iters =
+let run_phase t ~max_iters ~pivots =
   let bland_after = max 200 (2 * (t.m + t.cols)) in
   let obj = t.tab.(t.m) in
   let rec loop iter =
@@ -106,6 +106,7 @@ let run_phase t ~max_iters =
         if !leave < 0 then `Unbounded
         else begin
           pivot t !leave entering;
+          incr pivots;
           loop (iter + 1)
         end
       end
@@ -113,8 +114,13 @@ let run_phase t ~max_iters =
   in
   loop 0
 
+(* Total pivots per [solve] call, across both phases; the distribution
+   feeds the solver-scaling breakdowns (--metrics). *)
+let h_pivots = Syccl_util.Counters.histogram "lp.pivots_per_solve"
+
 let solve ?max_iters { num_vars; objective; rows } =
   assert (Array.length objective = num_vars);
+  let pivots = ref 0 in
   let rows = Array.of_list rows in
   let m = Array.length rows in
   (* Normalize to b >= 0. *)
@@ -194,9 +200,10 @@ let solve ?max_iters { num_vars; objective; rows } =
             obj.(j) <- obj.(j) -. t.tab.(i).(j)
           done
       done;
-      run_phase t ~max_iters
+      run_phase t ~max_iters ~pivots
     end
   in
+  let result =
   match status1 with
   | `Iter_limit -> Iter_limit
   | `Unbounded -> Infeasible (* phase 1 is bounded below by 0 *)
@@ -233,7 +240,7 @@ let solve ?max_iters { num_vars; objective; rows } =
               done
           end
         done;
-        (match run_phase t ~max_iters with
+        (match run_phase t ~max_iters ~pivots with
         | `Iter_limit -> Iter_limit
         | `Unbounded -> Unbounded
         | `Optimal ->
@@ -246,3 +253,6 @@ let solve ?max_iters { num_vars; objective; rows } =
             Array.iteri (fun j c -> objv := !objv +. (c *. x.(j))) objective;
             Optimal { x; obj = !objv })
       end
+  in
+  Syccl_util.Counters.record h_pivots (float_of_int !pivots);
+  result

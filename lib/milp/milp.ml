@@ -64,8 +64,22 @@ let check_feasible m x =
 (* A branch-and-bound node is a set of extra variable bounds. *)
 type node = { extra : (int * Lp.cmp * float) list; lp_bound : float; depth : int }
 
+let h_nodes = Syccl_util.Counters.histogram "milp.nodes_per_solve"
+let h_solve_s = Syccl_util.Counters.histogram "milp.solve_s"
+let c_solves = Syccl_util.Counters.int_counter "milp.solves"
+let c_nodes = Syccl_util.Counters.int_counter "milp.nodes"
+
 let solve ?(node_limit = 2000) ?(time_limit = infinity) ?(lp_iter_limit = 4000)
     ?incumbent m =
+  Syccl_util.Trace.with_span ~cat:"milp" "milp.solve"
+    ~args:
+      [
+        ("vars", string_of_int m.nvars);
+        ("rows", string_of_int (List.length m.rows));
+        ("node_limit", string_of_int node_limit);
+      ]
+  @@ fun () ->
+  let t_solve = Syccl_util.Clock.now () in
   let vs = vars_array m in
   let base_rows =
     List.rev m.rows
@@ -182,4 +196,8 @@ let solve ?(node_limit = 2000) ?(time_limit = infinity) ?(lp_iter_limit = 4000)
     else if !hit_limit then Feasible
     else Optimal
   in
+  Atomic.incr c_solves;
+  ignore (Atomic.fetch_and_add c_nodes !nodes);
+  Syccl_util.Counters.record h_nodes (float_of_int !nodes);
+  Syccl_util.Counters.record h_solve_s (Syccl_util.Clock.elapsed t_solve);
   { status; x; obj = !best_obj; nodes = !nodes }

@@ -1,5 +1,6 @@
 module Topology = Syccl_topology.Topology
 module Pqueue = Syccl_util.Pqueue
+module Trace = Syccl_util.Trace
 
 type report = { time : float; events : int; xfer_finish : float array }
 
@@ -7,7 +8,7 @@ type report = { time : float; events : int; xfer_finish : float array }
    resolved; [avail] is when the source can first inject it. *)
 type entry = { avail : float; prio : int; xid : int; block : int }
 
-let run ?(blocks = 8) topo (s : Schedule.t) =
+let run ?(blocks = 8) ?trace_pid topo (s : Schedule.t) =
   let xa = Array.of_list s.xfers in
   let nx = Array.length xa in
   let nc = Array.length s.chunks in
@@ -151,6 +152,45 @@ let run ?(blocks = 8) topo (s : Schedule.t) =
         let c = compare a.xid b.xid in
         if c <> 0 then c else compare a.block b.block
   in
+  (* Timeline export: every executed block becomes one span on the egress
+     port's track and one on the ingress port's track (virtual simulated
+     time), so the schedule renders as a link-occupancy Gantt chart in
+     Perfetto.  Tracks are numbered by port id and named on first use. *)
+  let tracing =
+    match trace_pid with
+    | Some pid when Trace.enabled () -> Some pid
+    | _ -> None
+  in
+  let port_seen = Array.make nports false in
+  let mark_port pid p =
+    if not port_seen.(p) then begin
+      port_seen.(p) <- true;
+      let gp = p lsr 1 in
+      Trace.set_track_name ~pid ~tid:p ~sort_index:p
+        (Printf.sprintf "gpu%d pg%d %s" (gp / npg) (gp mod npg)
+           (if p land 1 = 0 then "out" else "in"))
+    end
+  in
+  let trace_block e (x : Schedule.xfer) ~egp ~igp ~start ~busy =
+    match tracing with
+    | None -> ()
+    | Some pid ->
+        mark_port pid egp;
+        mark_port pid igp;
+        let name = Printf.sprintf "c%d.b%d %d>%d" x.chunk e.block x.src x.dst in
+        let args =
+          [
+            ("xfer", string_of_int e.xid);
+            ("chunk", string_of_int x.chunk);
+            ("block", string_of_int e.block);
+            ("src", string_of_int x.src);
+            ("dst", string_of_int x.dst);
+            ("dim", string_of_int x.dim);
+          ]
+        in
+        Trace.emit ~pid ~tid:egp ~cat:"sim" ~args ~name ~ts:start ~dur:busy ();
+        Trace.emit ~pid ~tid:igp ~cat:"sim" ~args ~name ~ts:start ~dur:busy ()
+  in
   let waiters = Array.init nports (fun _ -> Pqueue.create ~cmp:entry_cmp) in
   let promoted = Array.make nports false in
   (* Which port a promoted entry represents, keyed by (xid, block). *)
@@ -210,6 +250,7 @@ let run ?(blocks = 8) topo (s : Schedule.t) =
           let busy = Syccl_topology.Link.busy_time link sb in
           egress.(egp lsr 1) <- start +. busy;
           ingress.(igp lsr 1) <- start +. busy;
+          trace_block e x ~egp ~igp ~start ~busy;
           let arrival = start +. Syccl_topology.Link.transfer_time link sb in
           on_arrival e.xid e.block arrival;
           promote egp;

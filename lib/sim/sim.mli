@@ -13,11 +13,20 @@ type report = {
   xfer_finish : float array;  (** finish time of each transfer (last block) *)
 }
 
-val run : ?blocks:int -> Syccl_topology.Topology.t -> Schedule.t -> report
+val run :
+  ?blocks:int -> ?trace_pid:int -> Syccl_topology.Topology.t -> Schedule.t ->
+  report
 (** Simulate.  [blocks] defaults to 8; it is clamped so blocks are at least
     one byte.  Raises [Invalid_argument] if a transfer references a missing
     chunk or its endpoints are not peers in its dimension, and [Failure] if
-    the schedule deadlocks (a transfer's data dependency never resolves). *)
+    the schedule deadlocks (a transfer's data dependency never resolves).
+
+    With [trace_pid] (and {!Syccl_util.Trace.enabled}), every executed
+    block is exported as a virtual-time span on a per-(GPU, port group,
+    direction) track under that trace pid — one track per active port,
+    numbered and named ["gpu<g> pg<p> out|in"] — so the schedule renders
+    as a link-occupancy Gantt chart in Perfetto.  Use a distinct pid per
+    simulated schedule (e.g. per phase) to keep timelines separate. *)
 
 val time : ?blocks:int -> Syccl_topology.Topology.t -> Schedule.t -> float
 (** [time topo s] = [(run topo s).time]. *)

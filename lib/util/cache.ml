@@ -16,6 +16,9 @@ type ('k, 'v) t = {
   hits : int Atomic.t;
   misses : int Atomic.t;
   evictions : int Atomic.t;
+  h_hit : Counters.hist;  (* lookup latency of hits (lock wait included) *)
+  h_miss : Counters.hist;  (* lookup latency of misses *)
+  h_compute : Counters.hist;  (* find_or_compute miss-path compute time *)
 }
 
 let create ?(capacity = 1024) ~name () =
@@ -27,11 +30,15 @@ let create ?(capacity = 1024) ~name () =
     hits = Counters.int_counter (name ^ ".hits");
     misses = Counters.int_counter (name ^ ".misses");
     evictions = Counters.int_counter (name ^ ".evictions");
+    h_hit = Counters.histogram (name ^ ".hit_s");
+    h_miss = Counters.histogram (name ^ ".miss_s");
+    h_compute = Counters.histogram (name ^ ".compute_s");
   }
 
 let touch c slot = slot := Atomic.fetch_and_add c.tick 1
 
 let find_opt c k =
+  let t0 = Clock.now () in
   Mutex.lock c.lock;
   let r =
     match Hashtbl.find_opt c.tbl k with
@@ -44,6 +51,7 @@ let find_opt c k =
         None
   in
   Mutex.unlock c.lock;
+  Counters.record (if Option.is_none r then c.h_miss else c.h_hit) (Clock.elapsed t0);
   r
 
 (* Caller holds [c.lock]. *)
@@ -77,7 +85,9 @@ let find_or_compute c k f =
   match find_opt c k with
   | Some v -> v
   | None ->
+      let t0 = Clock.now () in
       let v = f () in
+      Counters.record c.h_compute (Clock.elapsed t0);
       put c k v;
       v
 

@@ -5,7 +5,9 @@
     Capacity is enforced by batch-evicting the least-recently-used half
     when exceeded.  Hits, misses and evictions are published through
     {!Counters} as ["<name>.hits"], ["<name>.misses"],
-    ["<name>.evictions"]. *)
+    ["<name>.evictions"]; lookup-latency distributions as the
+    ["<name>.hit_s"] / ["<name>.miss_s"] histograms, and the
+    {!find_or_compute} miss-path compute time as ["<name>.compute_s"]. *)
 
 type ('k, 'v) t
 

@@ -1,5 +1,6 @@
-(* Global, domain-safe named counters.  Registration takes a mutex; the hot
-   path is a plain [Atomic] operation on the returned cell. *)
+(* Global, domain-safe named counters and log-bucketed histograms.
+   Registration takes a mutex; the hot path is a plain [Atomic] operation
+   on the returned cell. *)
 
 let lock = Mutex.create ()
 let ints : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 32
@@ -21,6 +22,7 @@ let registered tbl name mk =
 let int_counter name = registered ints name (fun () -> Atomic.make 0)
 let float_counter name = registered floats name (fun () -> Atomic.make 0.0)
 let bump name = Atomic.incr (int_counter name)
+let add name k = ignore (Atomic.fetch_and_add (int_counter name) k)
 
 (* [Atomic.t float] holds a boxed float; CAS compares the box we just read,
    so the usual retry loop is safe. *)
@@ -52,8 +54,157 @@ let snapshot () =
   Mutex.unlock lock;
   List.sort compare acc
 
+(* --- histograms --------------------------------------------------------- *)
+
+(* 4 buckets per octave over [2^-30, 2^34): bucket i covers
+   [2^((i-120)/4), 2^((i-119)/4)), so the geometric midpoint represents any
+   member with <= 2^(1/8)-1 ~ 9% relative error.  min/max are kept exactly
+   so p=0/p=1 reconstruct exactly. *)
+
+let num_buckets = 256
+let bucket_bias = 120
+
+type hist = {
+  buckets : int Atomic.t array;
+  h_n : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
+}
+
+let hists : (string, hist) Hashtbl.t = Hashtbl.create 16
+
+let histogram name =
+  registered hists name (fun () ->
+      {
+        buckets = Array.init num_buckets (fun _ -> Atomic.make 0);
+        h_n = Atomic.make 0;
+        h_sum = Atomic.make 0.0;
+        h_min = Atomic.make infinity;
+        h_max = Atomic.make neg_infinity;
+      })
+
+let bucket_of v =
+  if v <= 0.0 then 0
+  else
+    let i = bucket_bias + int_of_float (Float.floor (4.0 *. Float.log2 v)) in
+    if i < 0 then 0 else if i >= num_buckets then num_buckets - 1 else i
+
+let bucket_mid i = Float.pow 2.0 ((float_of_int (i - bucket_bias) +. 0.5) /. 4.0)
+
+let rec atomic_minf cell x =
+  let v = Atomic.get cell in
+  if x < v && not (Atomic.compare_and_set cell v x) then atomic_minf cell x
+
+let rec atomic_maxf cell x =
+  let v = Atomic.get cell in
+  if x > v && not (Atomic.compare_and_set cell v x) then atomic_maxf cell x
+
+let record h v =
+  Atomic.incr h.buckets.(bucket_of v);
+  Atomic.incr h.h_n;
+  atomic_addf h.h_sum v;
+  atomic_minf h.h_min v;
+  atomic_maxf h.h_max v
+
+let observe name v = record (histogram name) v
+
+let hist_count h = Atomic.get h.h_n
+
+let hist_percentile h p =
+  let n = Atomic.get h.h_n in
+  if n = 0 then nan
+  else begin
+    let p = Float.max 0.0 (Float.min 1.0 p) in
+    (* Nearest rank, matching Stats.percentile's index on a sorted array. *)
+    let rank = int_of_float (Float.round (p *. float_of_int (n - 1))) in
+    let rank = max 0 (min (n - 1) rank) in
+    if rank = 0 then Atomic.get h.h_min
+    else if rank = n - 1 then Atomic.get h.h_max
+    else begin
+      let rec find i cum =
+        if i >= num_buckets then num_buckets - 1
+        else
+          let cum = cum + Atomic.get h.buckets.(i) in
+          if cum > rank then i else find (i + 1) cum
+      in
+      let v = bucket_mid (find 0 0) in
+      Float.max (Atomic.get h.h_min) (Float.min (Atomic.get h.h_max) v)
+    end
+  end
+
+type hist_stats = {
+  n : int;
+  sum : float;
+  mean : float;
+  hmin : float;
+  hmax : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+let hist_stats h =
+  let n = Atomic.get h.h_n in
+  let sum = Atomic.get h.h_sum in
+  {
+    n;
+    sum;
+    mean = (if n = 0 then nan else sum /. float_of_int n);
+    hmin = (if n = 0 then nan else Atomic.get h.h_min);
+    hmax = (if n = 0 then nan else Atomic.get h.h_max);
+    p50 = hist_percentile h 0.5;
+    p90 = hist_percentile h 0.9;
+    p99 = hist_percentile h 0.99;
+  }
+
+let hist_snapshot () =
+  Mutex.lock lock;
+  let acc = Hashtbl.fold (fun k h acc -> (k, h) :: acc) hists [] in
+  Mutex.unlock lock;
+  List.filter_map
+    (fun (k, h) -> if hist_count h = 0 then None else Some (k, hist_stats h))
+    acc
+  |> List.sort compare
+
+(* --- reset -------------------------------------------------------------- *)
+
+let quiescence_checks : (string * (unit -> bool)) list ref = ref []
+
+let register_quiescence_check name f =
+  Mutex.lock lock;
+  quiescence_checks := (name, f) :: !quiescence_checks;
+  Mutex.unlock lock
+
 let reset () =
+  (* Checks run outside the registry lock: they may take other locks (the
+     pool registry), and zeroing never needs them. *)
+  Mutex.lock lock;
+  let checks = !quiescence_checks in
+  Mutex.unlock lock;
+  List.iter
+    (fun (name, f) ->
+      let debug =
+        match Sys.getenv_opt "SYCCL_DEBUG" with
+        | Some s -> s <> ""
+        | None -> false
+      in
+      if not (f ()) && debug then
+        failwith
+          (Printf.sprintf
+             "Counters.reset: quiescence check %S failed (resetting while \
+              recorders run tears related counters)"
+             name))
+    checks;
   Mutex.lock lock;
   Hashtbl.iter (fun _ c -> Atomic.set c 0) ints;
   Hashtbl.iter (fun _ c -> Atomic.set c 0.0) floats;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.iter (fun b -> Atomic.set b 0) h.buckets;
+      Atomic.set h.h_n 0;
+      Atomic.set h.h_sum 0.0;
+      Atomic.set h.h_min infinity;
+      Atomic.set h.h_max neg_infinity)
+    hists;
   Mutex.unlock lock

@@ -1,9 +1,11 @@
-(** Lightweight global instrumentation counters.
+(** Lightweight global instrumentation: named counters and log-bucketed
+    histograms.
 
-    Every counter is a named [Atomic] cell in a process-wide registry; the
-    pool, the bounded caches, and the synthesizer stages record into it, and
-    [syccl_cli synth --stats] / the bench harness print {!snapshot}.  Safe to
-    use from any domain. *)
+    Every cell is a named [Atomic] in a process-wide registry; the pool,
+    the bounded caches, the MILP solver and the synthesizer stages record
+    into it, and [syccl_cli synth --stats]/[--metrics] and the bench
+    harness print {!snapshot} / {!hist_snapshot}.  Safe to use from any
+    domain. *)
 
 val int_counter : string -> int Atomic.t
 (** Return (registering on first use) the named integer counter.  Cache the
@@ -18,11 +20,78 @@ val bump : string -> unit
 val addf : string -> float -> unit
 (** Atomically add to the named float accumulator. *)
 
+val add : string -> int -> unit
+(** Atomically add to the named integer counter. *)
+
 val value : string -> float
 (** Current value of a counter (ints widened to float); 0 if unknown. *)
 
 val snapshot : unit -> (string * float) list
 (** All counters, sorted by name. *)
 
+(** {1 Histograms}
+
+    Log-bucketed distribution cells: 4 buckets per power of two over
+    [2^-30, 2^34) (sub-nanosecond to ~10^10), so any recorded value is
+    represented with at most ~9% relative error.  Values ≤ 0 land in the
+    lowest bucket.  [record] touches a handful of [Atomic]s and is safe
+    from any domain. *)
+
+type hist
+
+val histogram : string -> hist
+(** Return (registering on first use) the named histogram.  Cache the cell
+    on hot paths. *)
+
+val record : hist -> float -> unit
+(** Add one sample. *)
+
+val observe : string -> float -> unit
+(** One-shot [record] by name (registry lookup per call). *)
+
+val hist_count : hist -> int
+
+val hist_percentile : hist -> float -> float
+(** [hist_percentile h p] with [p] in [\[0,1\]]: nearest-rank percentile
+    reconstructed from the buckets — the bucket's geometric midpoint,
+    clamped into the histogram's exact [min, max].  Agrees with
+    {!Stats.percentile} on the same samples up to the bucket resolution
+    (≤ ~9% relative error; exact at [p = 0] and [p = 1]).  [nan] when the
+    histogram is empty. *)
+
+type hist_stats = {
+  n : int;
+  sum : float;
+  mean : float;
+  hmin : float;
+  hmax : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val hist_stats : hist -> hist_stats
+(** Summary of one histogram ([nan] percentiles/extrema when empty). *)
+
+val hist_snapshot : unit -> (string * hist_stats) list
+(** All non-empty histograms, sorted by name. *)
+
+(** {1 Reset and quiescence} *)
+
+val register_quiescence_check : string -> (unit -> bool) -> unit
+(** Register a named predicate that must hold for {!reset} to be
+    race-free (e.g. "no pool task in flight", registered by {!Pool}). *)
+
 val reset : unit -> unit
-(** Zero every registered counter (the registry itself is kept). *)
+(** Zero every registered counter and histogram (the registry itself is
+    kept).
+
+    Cells are zeroed one by one, {e not} atomically as a set: a [bump] or
+    [record] racing with [reset] may land before or after the zeroing of
+    its cell, so counters read afterwards can tear (one counter reflecting
+    the racing operation, a related one not).  The supported pattern is to
+    reset — and later {!snapshot} — only while recording parties are
+    quiescent (no pool task in flight, no concurrent synthesis).  The
+    registered quiescence checks are evaluated first; a failing check
+    raises [Failure] when the [SYCCL_DEBUG] environment variable is set
+    and is ignored (documented tear semantics) otherwise. *)

@@ -73,6 +73,7 @@ type t = {
   ilock : Mutex.t;
   work_cond : Condition.t;
   pending : int Atomic.t; (* submitted-but-unclaimed tasks *)
+  active : int Atomic.t; (* claimed tasks currently executing *)
   mutable live : bool;
   mutable doms : unit Domain.t array;
   c_tasks : int Atomic.t;
@@ -91,7 +92,16 @@ let my_worker pool =
   | Some (p, i) when p == pool -> Some i
   | _ -> None
 
+(* Time from submission to execution start: scheduling delay as seen by the
+   work, including time spent parked in a deque or the injector. *)
+let h_queue_latency = Counters.histogram "pool.queue_latency_s"
+
 let submit_task pool task =
+  let t_sub = Clock.now () in
+  let task () =
+    Counters.record h_queue_latency (Clock.elapsed t_sub);
+    Trace.with_span ~cat:"pool" "pool.task" task
+  in
   (match my_worker pool with
   | Some i -> deque_push pool.deques.(i) task
   | None ->
@@ -147,7 +157,8 @@ let try_claim pool self =
 let run_one pool self =
   match try_claim pool self with
   | Some task ->
-      task ();
+      Atomic.incr pool.active;
+      Fun.protect ~finally:(fun () -> Atomic.decr pool.active) task;
       true
   | None -> false
 
@@ -184,6 +195,7 @@ let create ~domains () =
       ilock = Mutex.create ();
       work_cond = Condition.create ();
       pending = Atomic.make 0;
+      active = Atomic.make 0;
       live = true;
       doms = [||];
       c_tasks = Counters.int_counter "pool.tasks";
@@ -233,6 +245,20 @@ let () =
       Hashtbl.iter (fun _ p -> shutdown p) registry;
       Hashtbl.reset registry;
       Mutex.unlock reg_lock)
+
+(* Counters.reset is only race-free while no pool task is queued or
+   executing; let it verify that (see Counters.reset's tear semantics). *)
+let () =
+  Counters.register_quiescence_check "pool.quiescent" (fun () ->
+      Mutex.lock reg_lock;
+      let ok =
+        Hashtbl.fold
+          (fun _ p acc ->
+            acc && Atomic.get p.pending = 0 && Atomic.get p.active = 0)
+          registry true
+      in
+      Mutex.unlock reg_lock;
+      ok)
 
 (* --- futures ----------------------------------------------------------- *)
 

@@ -1,21 +1,38 @@
-let mean = function
-  | [] -> 0.0
-  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+let mean_opt = function
+  | [] -> None
+  | xs -> Some (List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs))
 
-let min_max = function
-  | [] -> invalid_arg "Stats.min_max: empty"
+let mean xs = Option.value (mean_opt xs) ~default:0.0
+
+let min_max_opt = function
+  | [] -> None
   | x :: xs ->
-      List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+      Some
+        (List.fold_left
+           (fun (lo, hi) v -> (Float.min lo v, Float.max hi v))
+           (x, x) xs)
 
-let percentile p = function
-  | [] -> invalid_arg "Stats.percentile: empty"
+let min_max xs =
+  match min_max_opt xs with
+  | Some r -> r
+  | None -> invalid_arg "Stats.min_max: empty"
+
+let percentile_opt p xs =
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Stats.percentile: p outside [0, 1]";
+  match xs with
+  | [] -> None
   | xs ->
-      assert (p >= 0.0 && p <= 1.0);
       let sorted = List.sort Float.compare xs in
       let a = Array.of_list sorted in
       let n = Array.length a in
       let idx = int_of_float (Float.round (p *. float_of_int (n - 1))) in
-      a.(idx)
+      Some a.(max 0 (min (n - 1) idx))
+
+let percentile p xs =
+  match percentile_opt p xs with
+  | Some v -> v
+  | None -> invalid_arg "Stats.percentile: empty"
 
 let stddev xs =
   match xs with

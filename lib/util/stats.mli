@@ -1,14 +1,30 @@
-(** Summary statistics over float samples. *)
+(** Summary statistics over float samples.
+
+    Each statistic comes in two flavours: a total function returning
+    [option] on possibly-empty input ([*_opt]), and a convenience wrapper
+    with the historical behaviour (0 for {!mean}, [Invalid_argument] for
+    {!min_max} / {!percentile}).  New callers should prefer the [*_opt]
+    variants. *)
+
+val mean_opt : float list -> float option
+(** Arithmetic mean; [None] on the empty list. *)
 
 val mean : float list -> float
 (** Arithmetic mean; 0 on the empty list. *)
 
+val min_max_opt : float list -> (float * float) option
+(** Smallest and largest sample; [None] on the empty list. *)
+
 val min_max : float list -> float * float
 (** Smallest and largest sample.  Raises [Invalid_argument] on empty input. *)
 
+val percentile_opt : float -> float list -> float option
+(** [percentile_opt p xs] with [p] in [\[0,1\]], nearest-rank on the sorted
+    samples ([p = 0] is the minimum, [p = 1] the maximum); [None] on the
+    empty list.  Raises [Invalid_argument] when [p] is outside [\[0,1\]]. *)
+
 val percentile : float -> float list -> float
-(** [percentile p xs] with [p] in [\[0,1\]], nearest-rank on the sorted
-    samples.  Raises [Invalid_argument] on empty input. *)
+(** Like {!percentile_opt} but raises [Invalid_argument] on empty input. *)
 
 val stddev : float list -> float
 (** Population standard deviation; 0 on lists shorter than 2. *)

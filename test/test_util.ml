@@ -169,6 +169,56 @@ let test_stats () =
   check (Alcotest.float 1e-9) "median" 2.0 (Stats.percentile 0.5 [ 3.0; 1.0; 2.0 ]);
   check (Alcotest.float 1e-9) "stddev of constant" 0.0 (Stats.stddev [ 4.0; 4.0 ])
 
+let test_stats_empty () =
+  check Alcotest.(option (float 1e-9)) "mean_opt empty" None (Stats.mean_opt []);
+  check
+    Alcotest.(option (pair (float 1e-9) (float 1e-9)))
+    "min_max_opt empty" None (Stats.min_max_opt []);
+  check Alcotest.(option (float 1e-9)) "percentile_opt empty" None
+    (Stats.percentile_opt 0.5 []);
+  (* Historical wrappers: mean degrades to 0, the others raise. *)
+  check (Alcotest.float 1e-9) "mean [] = 0" 0.0 (Stats.mean []);
+  Alcotest.check_raises "min_max [] raises"
+    (Invalid_argument "Stats.min_max: empty") (fun () ->
+      ignore (Stats.min_max []));
+  Alcotest.check_raises "percentile [] raises"
+    (Invalid_argument "Stats.percentile: empty") (fun () ->
+      ignore (Stats.percentile 0.5 []))
+
+let test_stats_singleton_and_extremes () =
+  check Alcotest.(option (float 1e-9)) "mean_opt singleton" (Some 7.0)
+    (Stats.mean_opt [ 7.0 ]);
+  check
+    Alcotest.(option (pair (float 1e-9) (float 1e-9)))
+    "min_max_opt singleton"
+    (Some (7.0, 7.0))
+    (Stats.min_max_opt [ 7.0 ]);
+  List.iter
+    (fun p ->
+      check
+        Alcotest.(option (float 1e-9))
+        (Printf.sprintf "singleton p=%.1f" p) (Some 7.0)
+        (Stats.percentile_opt p [ 7.0 ]))
+    [ 0.0; 0.5; 1.0 ];
+  let xs = [ 9.0; 1.0; 5.0; 3.0 ] in
+  check Alcotest.(option (float 1e-9)) "p=0 is min" (Some 1.0)
+    (Stats.percentile_opt 0.0 xs);
+  check Alcotest.(option (float 1e-9)) "p=1 is max" (Some 9.0)
+    (Stats.percentile_opt 1.0 xs)
+
+let test_stats_percentile_range () =
+  (* Out-of-range p raises even on the empty list: the range check is not
+     gated behind a non-empty input. *)
+  List.iter
+    (fun xs ->
+      Alcotest.check_raises "p out of range raises"
+        (Invalid_argument "Stats.percentile: p outside [0, 1]") (fun () ->
+          ignore (Stats.percentile_opt 1.5 xs));
+      Alcotest.check_raises "negative p raises"
+        (Invalid_argument "Stats.percentile: p outside [0, 1]") (fun () ->
+          ignore (Stats.percentile_opt (-0.1) xs)))
+    [ []; [ 1.0; 2.0 ] ]
+
 (* --- Parallel --- *)
 
 let test_parallel_map_order () =
@@ -202,6 +252,9 @@ let suite =
     ("perm rotation", `Quick, test_perm_rotation);
     ("perm cycle", `Quick, test_perm_cycle);
     ("stats", `Quick, test_stats);
+    ("stats empty", `Quick, test_stats_empty);
+    ("stats singleton and extremes", `Quick, test_stats_singleton_and_extremes);
+    ("stats percentile range", `Quick, test_stats_percentile_range);
     ("parallel map order", `Quick, test_parallel_map_order);
     ("parallel map exn", `Quick, test_parallel_map_exn);
   ]
