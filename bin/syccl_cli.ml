@@ -79,6 +79,17 @@ let domains_arg =
            domain pool that is spawned once per level and reused across \
            calls.")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"SECONDS"
+        ~doc:
+          "Wall-clock budget for the whole synthesis (or sweep).  When it \
+           is too tight, synthesis degrades gracefully — truncated search, \
+           skipped MILP refinement, precomputed-baseline fallback — instead \
+           of overshooting; the chosen ladder rung is reported.")
+
 let stats_arg =
   Arg.(
     value & flag
@@ -154,6 +165,9 @@ let stats_json (o : Syccl.Synthesizer.outcome) =
       ("num_sketches", int o.num_sketches);
       ("num_combos", int o.num_combos);
       ("chosen", Str o.chosen);
+      ("degraded", Str (Syccl.Synthesizer.level_name o.degraded));
+      ( "degrade_reason",
+        match o.degrade_reason with None -> Null | Some r -> Str r );
       ( "breakdown",
         Obj
           [
@@ -201,11 +215,13 @@ let topo_cmd =
     Term.(const run $ topo_arg)
 
 let synth_cmd =
-  let run tname cname size fast domains stats verbose trace metrics sjson =
+  let run tname cname size fast domains deadline stats verbose trace metrics
+      sjson =
     let topo = topo_of_name tname in
     let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
     let config =
-      { Syccl.Synthesizer.default_config with fast_only = fast; domains }
+      { Syccl.Synthesizer.default_config with fast_only = fast; domains;
+        deadline }
     in
     if trace <> None then Syccl_util.Trace.enable ();
     let o = Syccl.Synthesizer.synthesize ~config topo coll in
@@ -218,13 +234,13 @@ let synth_cmd =
       o.breakdown.milp_nodes;
     Format.printf "sketches:   %d explored, %d combinations, winner: %s@."
       o.num_sketches o.num_combos o.chosen;
+    Format.printf "ladder:     %s%s@."
+      (Syccl.Synthesizer.level_name o.degraded)
+      (match o.degrade_reason with None -> "" | Some r -> " (" ^ r ^ ")");
     Format.printf "predicted:  %.1f us, busbw %.1f GBps@." (o.time *. 1e6) o.busbw;
-    List.iter
-      (fun s ->
-        match S.Validate.covers topo coll s with
-        | Ok () -> ()
-        | Error e -> Format.printf "WARNING: schedule invalid: %s@." e)
-      o.schedules;
+    (match S.Validate.validate topo coll o.schedules with
+    | Ok () -> ()
+    | Error e -> Format.printf "WARNING: schedule invalid: %s@." e);
     if verbose then
       List.iter (fun s -> Format.printf "%a@." S.Schedule.pp s) o.schedules;
     (match trace with
@@ -261,7 +277,7 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a schedule and report its performance.")
     Term.(
       const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ domains_arg
-      $ stats_arg $ verbose $ trace_arg $ metrics_arg $ sjson)
+      $ deadline_arg $ stats_arg $ verbose $ trace_arg $ metrics_arg $ sjson)
 
 let explain_cmd =
   let run tname cname size fast =
@@ -413,19 +429,21 @@ let export_cmd =
     Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ output)
 
 let sweep_cmd =
-  let run tname cname fast domains stats trace metrics =
+  let run tname cname fast domains deadline stats trace metrics =
     let topo = topo_of_name tname in
     if trace <> None then Syccl_util.Trace.enable ();
     let n = T.Topology.num_gpus topo in
     let config =
-      { Syccl.Synthesizer.default_config with fast_only = fast; domains }
+      { Syccl.Synthesizer.default_config with fast_only = fast; domains;
+        deadline }
     in
     let sizes = [ 1e3; 65536.0; 1048576.0; 1.6777e7; 2.68435e8; 1.073741824e9 ] in
     let colls = List.map (fun size -> coll_of_name cname ~n ~size) sizes in
     (* Sweep the whole series through the pool at once: sub-solve memoization
        makes later sizes mostly cache hits of earlier ones. *)
     let outcomes = Syccl.Synthesizer.synthesize_all ~config topo colls in
-    Format.printf "%10s %12s %12s %12s@." "size" "SyCCL" "NCCL" "TECCL";
+    Format.printf "%10s %12s %12s %12s %10s@." "size" "SyCCL" "NCCL" "TECCL"
+      "ladder";
     List.iter2
       (fun coll (o : Syccl.Synthesizer.outcome) ->
         let nccl = Syccl_baselines.Nccl.busbw topo coll in
@@ -437,8 +455,9 @@ let sweep_cmd =
           | Some b -> Printf.sprintf "%.1f" b
           | None -> "timeout"
         in
-        Format.printf "%10.0f %12.1f %12.1f %12s@." coll.C.size o.busbw nccl
-          teccl)
+        Format.printf "%10.0f %12.1f %12.1f %12s %10s@." coll.C.size o.busbw
+          nccl teccl
+          (Syccl.Synthesizer.level_name o.degraded))
       colls outcomes;
     (match trace with
     | None -> ()
@@ -451,8 +470,8 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Bus bandwidth vs data size, SyCCL vs baselines.")
     Term.(
-      const run $ topo_arg $ coll_arg $ fast_arg $ domains_arg $ stats_arg
-      $ trace_arg $ metrics_arg)
+      const run $ topo_arg $ coll_arg $ fast_arg $ domains_arg $ deadline_arg
+      $ stats_arg $ trace_arg $ metrics_arg)
 
 let () =
   let doc = "SyCCL: symmetry-guided collective communication schedule synthesis" in

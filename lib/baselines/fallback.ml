@@ -1,0 +1,79 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+module Validate = Syccl_sim.Validate
+
+(* Precomputed-baseline rung of the degradation ladder.
+
+   Unlike Nccl.schedule, which simulates candidates to pick the fastest,
+   this module is deliberately simulator-free: the fallback must keep
+   working when the simulator itself is the failing component (the
+   "sim.crash" fault point, or a deadline too tight to simulate).  The
+   per-kind choice is therefore fixed — the structurally robust generator
+   first, Direct as the last resort — and each candidate is accepted only
+   after Validate.validate passes, so a generator bug can never leak an
+   invalid schedule out of the ladder's last rung. *)
+
+let candidates topo (coll : Collective.t) =
+  let clustered = Common.server_dim topo <> None in
+  match coll.Collective.kind with
+  | Collective.AllGather ->
+      (* Rail-first hierarchical wants a clustered, rail-connected
+         topology; ring handles anything with a Hamiltonian server order;
+         direct always exists. *)
+      (if clustered then
+         [ (fun () -> [ Hierarchical.allgather_rail_first topo coll ]) ]
+       else [])
+      @ [
+          (fun () -> [ Ring.allgather topo coll ]);
+          (fun () -> [ Direct.allgather topo coll ]);
+        ]
+  | Collective.ReduceScatter ->
+      [
+        (fun () -> [ Ring.reducescatter topo coll ]);
+        (fun () -> [ Direct.reducescatter topo coll ]);
+      ]
+  | Collective.AllReduce ->
+      let n = coll.Collective.n and size = coll.Collective.size in
+      let rs = Collective.make Collective.ReduceScatter ~n ~size in
+      let ag = Collective.make Collective.AllGather ~n ~size in
+      [
+        (fun () -> [ Ring.reducescatter topo rs; Ring.allgather topo ag ]);
+        (fun () -> [ Direct.reducescatter topo rs; Direct.allgather topo ag ]);
+      ]
+  | Collective.AllToAll ->
+      (if Common.rail_structure topo <> None then
+         [ (fun () -> [ Pxn.alltoall topo coll ]) ]
+       else [])
+      @ [ (fun () -> [ Direct.alltoall topo coll ]) ]
+  | Collective.Broadcast ->
+      [
+        (fun () -> [ Tree.broadcast topo coll ]);
+        (fun () -> [ Direct.broadcast topo coll ]);
+      ]
+  | Collective.Reduce -> [ (fun () -> [ Tree.reduce topo coll ]) ]
+  | Collective.Gather ->
+      (* Built forward from the gather demand (each source sends its chunk
+         one-hop to the root) rather than via Nccl's reversed-scatter trick,
+         whose Reduce-mode chunks fail strict demand validation. *)
+      [ (fun () -> [ Direct.from_chunks topo (Direct.gather_metas coll) ]) ]
+  | Collective.SendRecv | Collective.Scatter ->
+      [ (fun () -> Nccl.schedule topo coll) ]
+(* SendRecv/Scatter take Nccl.schedule's single-candidate paths, which
+   involve no simulation. *)
+
+let schedule topo coll =
+  let rec first_valid last_err = function
+    | [] ->
+        failwith
+          (Printf.sprintf "Fallback.schedule: no valid baseline (%s)"
+             (Option.value last_err ~default:"no candidate applies"))
+    | gen :: rest -> (
+        match gen () with
+        | exception e -> first_valid (Some (Printexc.to_string e)) rest
+        | phases -> (
+            match Validate.validate topo coll phases with
+            | Ok () -> phases
+            | Error e -> first_valid (Some e) rest))
+  in
+  first_valid None (candidates topo coll)

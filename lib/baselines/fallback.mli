@@ -1,0 +1,18 @@
+(** Simulator-free baseline schedules for the degradation ladder.
+
+    The synthesizer's last rung: when the deadline leaves no room to
+    synthesize (or synthesis crashed), return a precomputed baseline
+    schedule instead of failing.  Candidates are fixed per collective kind
+    — hierarchical/ring first, one-hop direct as the final resort — and
+    {e no simulation} is involved in choosing between them (unlike
+    {!Nccl.schedule}), so the fallback keeps working when the simulator is
+    the faulty or too-slow component.  Every candidate is accepted only
+    after {!Syccl_sim.Validate.validate} passes. *)
+
+val schedule :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t list
+(** One validated schedule per collective phase.  Raises [Failure] only if
+    every applicable generator fails validation — which indicates a
+    generator bug, not a property of the input. *)

@@ -134,11 +134,22 @@ let set_dim_workload topo replicas =
     replicas;
   acc
 
+exception Out_of_time
+
 (* [expand ~balance base] yields the replica set of one base sketch: without
    balance, the minimal set (one sketch per root); with balance, the
-   group-balanced set of §4.2 step 1. *)
-let build_combos ~max_combos topo bases expand =
+   group-balanced set of §4.2 step 1.  Combo generation is monotone — each
+   step appends candidates — so deadline expiry simply stops generating and
+   returns the combos built so far (solo combos first, so a tight budget
+   still yields the latency-optimal candidates). *)
+let build_combos ~max_combos ~budget topo bases expand =
   let combos = ref [] in
+  let check_budget () =
+    if Syccl_util.Budget.expired budget then begin
+      Syccl_util.Budget.mark_degraded budget;
+      raise Out_of_time
+    end
+  in
   (* Solo combos: a single sketch per root, carrying the whole chunk — the
      latency-optimal option for small sizes (§4.2). *)
   List.iteri
@@ -150,9 +161,14 @@ let build_combos ~max_combos topo bases expand =
         }
         :: !combos)
     bases;
+  (try
   (* Balanced replica combos (step 1). *)
   let balanced_sets =
-    List.mapi (fun i base -> (i, expand ~balance:true base)) bases
+    List.mapi
+      (fun i base ->
+        check_budget ();
+        (i, expand ~balance:true base))
+      bases
   in
   List.iter
     (fun (i, replicas) ->
@@ -175,6 +191,7 @@ let build_combos ~max_combos topo bases expand =
   let set_wl = Array.map (fun (_, reps) -> set_dim_workload topo reps) sets in
   let set_copies = Array.map (fun (_, reps) -> copies_per_root reps) sets in
   let try_tuple idxs =
+    check_budget ();
     let wl = List.map (fun i -> set_wl.(i)) idxs in
     match allocate topo wl with
     | None -> ()
@@ -214,23 +231,26 @@ let build_combos ~max_combos topo bases expand =
           try_tuple [ i; j; l ]
         done
       done
-    done;
+    done
+  with Out_of_time -> ());
   let all = List.rev !combos in
   if List.length all <= max_combos then all
   else List.filteri (fun i _ -> i < max_combos) all
 
-let combos_one_to_all ?(max_combos = 48) topo sketches =
+let combos_one_to_all ?(max_combos = 48)
+    ?(budget = Syccl_util.Budget.unlimited) topo sketches =
   Syccl_util.Trace.with_span ~cat:"combine" "combine.one_to_all"
     ~args:[ ("sketches", string_of_int (List.length sketches)) ]
   @@ fun () ->
-  build_combos ~max_combos topo sketches (fun ~balance base ->
+  build_combos ~max_combos ~budget topo sketches (fun ~balance base ->
       if balance then replicate_balanced topo base else [ base ])
 
-let combos_all_to_all ?(max_combos = 48) topo sketches =
+let combos_all_to_all ?(max_combos = 48)
+    ?(budget = Syccl_util.Budget.unlimited) topo sketches =
   Syccl_util.Trace.with_span ~cat:"combine" "combine.all_to_all"
     ~args:[ ("sketches", string_of_int (List.length sketches)) ]
   @@ fun () ->
-  build_combos ~max_combos topo sketches (fun ~balance base ->
+  build_combos ~max_combos ~budget topo sketches (fun ~balance base ->
       ignore balance;
       (* Rotating the root through every GPU already spreads group workload
          evenly on the symmetric topologies we target. *)

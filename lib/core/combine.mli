@@ -30,11 +30,22 @@ val all_to_all_replicas :
     decomposition. *)
 
 val combos_one_to_all :
-  ?max_combos:int -> Syccl_topology.Topology.t -> Sketch.t list -> combo list
+  ?max_combos:int ->
+  ?budget:Syccl_util.Budget.t ->
+  Syccl_topology.Topology.t ->
+  Sketch.t list ->
+  combo list
 (** Single-sketch combos (small sizes), balanced replica combos, and
-    dimension-balanced integrations of pairs/triples of replica combos. *)
+    dimension-balanced integrations of pairs/triples of replica combos.
+    When [budget] expires mid-generation the combos built so far are
+    returned (solo combos are generated first, so a tight deadline still
+    yields candidates). *)
 
 val combos_all_to_all :
-  ?max_combos:int -> Syccl_topology.Topology.t -> Sketch.t list -> combo list
+  ?max_combos:int ->
+  ?budget:Syccl_util.Budget.t ->
+  Syccl_topology.Topology.t ->
+  Sketch.t list ->
+  combo list
 (** Same construction where each base sketch is first expanded to its N
     per-root replicas. *)

@@ -32,7 +32,8 @@ let fanout_options m =
 
 exception Done
 
-let run ?config topo ~kind ~root =
+let run ?config ?(budget = Syccl_util.Budget.unlimited) ?truncated topo ~kind
+    ~root =
   Syccl_util.Trace.with_span ~cat:"search" "search.run"
     ~args:
       [
@@ -209,8 +210,20 @@ let run ?config topo ~kind ~root =
     else Some undo
   in
   let stage_limit = ref cfg.max_stages in
+  (* Deadline check amortized over enumeration nodes: expiry aborts the
+     whole deepening loop (not just the current subtree) and marks the
+     result truncated so callers know the sketch set is scheduling-
+     dependent and must not be cached. *)
+  let check_budget () =
+    if !nodes land 31 = 0 && Syccl_util.Budget.expired budget then begin
+      (match truncated with Some r -> r := true | None -> ());
+      Syccl_util.Budget.mark_degraded budget;
+      raise Done
+    end
+  in
   let rec explore k =
     incr nodes;
+    check_budget ();
     if !nodes > cfg.node_budget then ()
     else if !num_covered = n then emit stage_of parent dim_of k
     else if

@@ -21,11 +21,17 @@ val default : Syccl_topology.Topology.t -> Sketch.kind -> config
 
 val run :
   ?config:config ->
+  ?budget:Syccl_util.Budget.t ->
+  ?truncated:bool ref ->
   Syccl_topology.Topology.t ->
   kind:Sketch.kind ->
   root:int ->
   Sketch.t list
-(** Enumerate sketches rooted at [root] covering every GPU. *)
+(** Enumerate sketches rooted at [root] covering every GPU.  [budget] is
+    checked every few dozen enumeration nodes; on expiry the search stops
+    and returns the sketches emitted so far, setting [truncated] (if
+    given).  A truncated sketch list depends on where the deadline fell,
+    so callers must not memoize it. *)
 
 val instantiate :
   Syccl_topology.Topology.t ->

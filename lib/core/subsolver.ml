@@ -290,8 +290,23 @@ let no_worse_than_direct topo demand xfers =
   Syccl_sim.Sim.time topo cand <= Syccl_sim.Sim.time topo direct +. 1e-15
 
 let h_solve_s = Syccl_util.Counters.histogram "subsolve.solve_s"
+let h_milp_s = Syccl_util.Counters.histogram "milp.solve_s"
+let c_budget_skips = Syccl_util.Counters.int_counter "subsolve.budget_skips"
 
-let solve_demand ?warm strategy topo demand =
+(* Estimated wall time of one MILP refinement, from the process-wide solve
+   history: the p90 of "milp.solve_s" with a floor.  Until enough history
+   accumulates, assume the floor — optimistic, but the budget is still
+   honoured between pivots inside the solve itself. *)
+let estimated_milp_s () =
+  let est =
+    if Syccl_util.Counters.hist_count h_milp_s >= 8 then
+      Syccl_util.Counters.hist_percentile h_milp_s 0.9
+    else 0.0
+  in
+  Float.max 0.01 est
+
+let solve_demand ?warm ?(budget = Syccl_util.Budget.unlimited) strategy topo
+    demand =
   Syccl_util.Trace.with_span ~cat:"subsolve" "subsolver.solve_demand"
     ~args:
       [
@@ -302,11 +317,25 @@ let solve_demand ?warm strategy topo demand =
         ("strategy", strategy_signature strategy);
       ]
   @@ fun () ->
+  Syccl_util.Faultpoint.inject "subsolver.crash";
   let t_solve = Syccl_util.Clock.now () in
+  let skip reason =
+    Syccl_util.Budget.mark_degraded budget;
+    Atomic.incr c_budget_skips;
+    Syccl_util.Trace.instant "subsolve.budget_skip"
+      ~args:[ ("reason", reason) ]
+  in
   let result =
   let metas = metas_of_demand demand in
   let restrict = Greedy.Groups [ (demand.d_dim, demand.d_group) ] in
   let direct = direct_candidate demand metas in
+  if Syccl_util.Budget.expired budget then begin
+    (* Past the deadline: the direct candidate is always valid and costs
+       nothing to build — return it rather than starting a greedy run. *)
+    skip "expired";
+    direct.Schedule.xfers
+  end
+  else begin
   (* Saturated demands (every GPU pushing many chunks) gain nothing from
      store-and-forward search and make the greedy quadratic; go direct. *)
   let deliveries =
@@ -315,14 +344,21 @@ let solve_demand ?warm strategy topo demand =
   let greedy =
     if deliveries > 256 then direct
     else
-      match Greedy.solve ~restrict topo metas with
+      match Greedy.solve ~restrict ~budget topo metas with
       | Some s ->
           if
             Syccl_sim.Sim.time topo direct
             < Syccl_sim.Sim.time topo s -. 1e-15
           then direct
           else s
-      | None -> failwith "Subsolver: greedy could not satisfy a sub-demand"
+      | None ->
+          if Syccl_util.Budget.expired budget then begin
+            (* The greedy was cut off by the deadline, not by an
+               unsatisfiable demand. *)
+            skip "greedy_timeout";
+            direct
+          end
+          else failwith "Subsolver: greedy could not satisfy a sub-demand"
   in
   (* Warm start: a known-good solution for this demand (e.g. the coarse
      step's incumbent) supersedes the greedy baseline when it simulates
@@ -363,9 +399,20 @@ let solve_demand ?warm strategy topo demand =
                   * (h + 1)))
             in
             if approx_vars > var_budget then greedy
+            else if
+              Syccl_util.Budget.has_deadline budget
+              && Syccl_util.Budget.remaining budget < estimated_milp_s ()
+            then begin
+              (* Not enough budget left for a typical MILP solve: keep the
+                 greedy incumbent instead of starting a refinement that
+                 would be cut off before it improves anything. *)
+              skip "milp_estimate";
+              greedy
+            end
             else begin
               match
-                Epoch_model.solve ~node_limit ~time_limit ~incumbent:greedy spec
+                Epoch_model.solve ~node_limit ~time_limit ~budget
+                  ~incumbent:greedy spec
               with
               | Some (s, _) ->
                   if
@@ -377,6 +424,7 @@ let solve_demand ?warm strategy topo demand =
             end)
   in
   refined.Schedule.xfers
+  end
   in
   Syccl_util.Counters.record h_solve_s (Syccl_util.Clock.elapsed t_solve);
   result

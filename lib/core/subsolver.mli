@@ -56,6 +56,7 @@ val strategy_signature : strategy -> string
 
 val solve_demand :
   ?warm:Syccl_sim.Schedule.xfer list ->
+  ?budget:Syccl_util.Budget.t ->
   strategy ->
   Syccl_topology.Topology.t ->
   demand ->
@@ -63,7 +64,15 @@ val solve_demand :
 (** Solve one sub-demand; transfers use {e local} chunk ids (entry order).
     [warm], if given and valid for the demand, competes with the greedy
     incumbent before MILP refinement (the fine step warm-starts from the
-    coarse step's solution this way). *)
+    coarse step's solution this way).
+
+    Deadline behaviour: an already-expired [budget] returns the (valid,
+    unoptimized) direct candidate immediately; MILP refinement is skipped
+    when the remaining budget is below the estimated solve time (p90 of
+    the process-wide ["milp.solve_s"] history).  Every budget-forced
+    shortcut bumps ["subsolve.budget_skips"] and marks the budget degraded
+    ({!Syccl_util.Budget.mark_degraded}).  The ["subsolver.crash"]
+    {!Syccl_util.Faultpoint} probe fires at entry. *)
 
 val no_worse_than_direct :
   Syccl_topology.Topology.t ->

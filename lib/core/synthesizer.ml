@@ -7,6 +7,7 @@ module Cache = Syccl_util.Cache
 module Counters = Syccl_util.Counters
 module Clock = Syccl_util.Clock
 module Trace = Syccl_util.Trace
+module Budget = Syccl_util.Budget
 
 type config = {
   search_config : Search.config option;
@@ -22,6 +23,7 @@ type config = {
   max_combos : int;
   domains : int;
   blocks : int;
+  deadline : float option;
 }
 
 let default_config =
@@ -39,7 +41,15 @@ let default_config =
     max_combos = 64;
     domains = 1;
     blocks = 8;
+    deadline = None;
   }
+
+type level = Full | Fast | Fallback
+
+let level_name = function
+  | Full -> "full"
+  | Fast -> "fast"
+  | Fallback -> "fallback"
 
 type breakdown = {
   search_s : float;
@@ -61,6 +71,8 @@ type outcome = {
   num_sketches : int;
   num_combos : int;
   chosen : string;
+  degraded : level;
+  degrade_reason : string option;
 }
 
 let zero_breakdown =
@@ -136,7 +148,8 @@ let live_memo =
    The memo probe runs sequentially before dispatch and insertions happen
    after every solve returns, so which classes hit the cache — and hence
    the produced schedules — cannot depend on pool size or scheduling. *)
-let solve_plans ~pool ~memo ?warm strategy topo (plans : Subsolver.plan list) =
+let solve_plans ~pool ~memo ~budget ?warm strategy topo
+    (plans : Subsolver.plan list) =
   let classes = Hashtbl.create 64 in
   List.iter
     (fun (p : Subsolver.plan) ->
@@ -186,13 +199,23 @@ let solve_plans ~pool ~memo ?warm strategy topo (plans : Subsolver.plan list) =
       (fun i ->
         let rep = reps.(i) in
         let w = match warm with None -> None | Some f -> f rep in
-        Subsolver.solve_demand ?warm:w strategy topo rep)
+        (* Each solve gets a detached view of the element's budget (same
+           deadline, own degradation mark) so we can tell, per class, whether
+           the deadline forced a degraded solution. *)
+        let b = Budget.detach budget in
+        let xfers = Subsolver.solve_demand ?warm:w ~budget:b strategy topo rep in
+        if Budget.degraded b then Budget.mark_degraded budget;
+        (xfers, Budget.degraded b))
       todo
   in
   Array.iteri
     (fun j i ->
-      sols.(i) <- Some solved.(j);
-      memo.memo_put mkeys.(i) (reps.(i), solved.(j)))
+      let xfers, was_degraded = solved.(j) in
+      sols.(i) <- Some xfers;
+      (* A deadline-degraded sub-solve (skipped MILP, greedy cut short)
+         must not be memoized: the memo outlives the deadline and would
+         replay the degraded solution into later unconstrained runs. *)
+      if not was_degraded then memo.memo_put mkeys.(i) (reps.(i), xfers))
     todo;
   let table = Hashtbl.create nclass in
   Array.iteri (fun i k -> Hashtbl.replace table k (reps.(i), Option.get sols.(i))) keys;
@@ -202,8 +225,8 @@ let solve_plans ~pool ~memo ?warm strategy topo (plans : Subsolver.plan list) =
     | Some (rep, rep_xfers) -> (
         match Subsolver.transfer topo ~rep ~rep_xfers d with
         | Some xfers -> xfers
-        | None -> Subsolver.solve_demand strategy topo d)
-    | None -> Subsolver.solve_demand strategy topo d
+        | None -> Subsolver.solve_demand ~budget strategy topo d)
+    | None -> Subsolver.solve_demand ~budget strategy topo d
 
 let strategy_of cfg ~e =
   if cfg.fast_only then Subsolver.Fast_only
@@ -231,7 +254,7 @@ let reset_caches () =
   Cache.clear combo_cache;
   Cache.clear subsolve_cache
 
-let cached_search topo ~config ~kind ~root =
+let cached_search ~budget topo ~config ~kind ~root =
   let key =
     Format.asprintf "%s/%d/%s/%d/%d/%b/%b/%d/%d"
       topo.Topology.name (Topology.num_gpus topo)
@@ -241,8 +264,15 @@ let cached_search topo ~config ~kind ~root =
       (Option.value config.Search.relay_limit ~default:(-1))
       config.Search.max_sketches
   in
-  Cache.find_or_compute search_cache key (fun () ->
-      Search.run ~config topo ~kind ~root)
+  match Cache.find_opt search_cache key with
+  | Some r -> r
+  | None ->
+      (* A deadline-truncated sketch list depends on where the deadline
+         fell; the cache outlives the deadline, so never memoize one. *)
+      let truncated = ref false in
+      let r = Search.run ~config ~budget ~truncated topo ~kind ~root in
+      if not !truncated then Cache.put search_cache key r;
+      r
 
 (* SendRecv needs no sketch machinery: one chunk, one destination.  Compare
    the direct path (each shared dimension) against two-hop relays and keep
@@ -302,7 +332,7 @@ let synth_sendrecv cfg topo (phase : Collective.t) =
 
 (* Synthesize one non-AllReduce phase; returns (schedule, simulated time,
    stats).  The schedule is already mirrored for reduce-family phases. *)
-let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
+let synth_phase ~pool ~memo ~budget cfg topo (phase : Collective.t) =
   Trace.with_span ~cat:"stage" "synth.phase"
     ~args:[ ("collective", Format.asprintf "%a" Collective.pp phase) ]
   @@ fun () ->
@@ -318,7 +348,8 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
   let sketches, search_s =
     timed (fun () ->
         Trace.with_span ~cat:"stage" "synth.search" (fun () ->
-            cached_search topo ~config:search_cfg ~kind ~root:p0.Collective.p_root))
+            cached_search ~budget topo ~config:search_cfg ~kind
+              ~root:p0.Collective.p_root))
   in
   if sketches = [] then failwith "Synthesizer: no sketch covers the demand";
   (* Rank shapes by an α-β estimate and keep the most promising; the
@@ -416,10 +447,18 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
               List.iter (fun s -> Format.fprintf fmt "%x." (Sketch.signature topo s)) l)
             sketches
         in
-        Cache.find_or_compute combo_cache key (fun () ->
-            if List.length primitives > 1 then
-              Combine.combos_all_to_all ~max_combos topo sketches
-            else Combine.combos_one_to_all ~max_combos topo sketches))
+        match Cache.find_opt combo_cache key with
+        | Some r -> r
+        | None ->
+            let r =
+              if List.length primitives > 1 then
+                Combine.combos_all_to_all ~max_combos ~budget topo sketches
+              else Combine.combos_one_to_all ~max_combos ~budget topo sketches
+            in
+            (* An expired budget may have truncated generation mid-way;
+               where it stopped is timing-dependent, so don't memoize. *)
+            if not (Budget.expired budget) then Cache.put combo_cache key r;
+            r)
   in
   let plans = List.map (fun c -> (c, Subsolver.plan topo phase c)) combos in
   (* Step 1: fast solving of every combination, then filtering (§5.3). *)
@@ -439,7 +478,9 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
                 time_limit = Float.min 2.0 cfg.milp_time_limit;
               }
         in
-        let solution = solve_plans ~pool ~memo strategy topo (List.map snd plans) in
+        let solution =
+          solve_plans ~pool ~memo ~budget strategy topo (List.map snd plans)
+        in
         (* Coarse screening simulates with few blocks; survivors get the
            full-fidelity simulation in step 2.  Candidates are independent,
            so assembly + simulation also spread across the pool (the
@@ -473,7 +514,13 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
   let step2, solve2_s =
     timed (fun () ->
         Trace.with_span ~cat:"stage" "synth.solve2" @@ fun () ->
-        if cfg.fast_only then
+        if Budget.expired budget then begin
+          (* No time left to refine or re-simulate: keep the survivors at
+             their coarse screening fidelity. *)
+          Budget.mark_degraded budget;
+          survivors
+        end
+        else if cfg.fast_only then
           List.map
             (fun (c, p, s1, _) ->
               (c, p, s1, Sim.time ~blocks:(fidelity_blocks s1) topo s1))
@@ -483,8 +530,9 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
           (* Fine solves warm-start from the coarse incumbent for the same
              demand (step 1's class table is read-only by now). *)
           let solution =
-            solve_plans ~pool ~memo ~warm:(fun d -> Some (solution1 d)) strategy
-              topo
+            solve_plans ~pool ~memo ~budget
+              ~warm:(fun d -> Some (solution1 d))
+              strategy topo
               (List.map (fun (_, p, _, _) -> p) survivors)
           in
           List.map
@@ -511,7 +559,7 @@ let synth_phase ~pool ~memo cfg topo (phase : Collective.t) =
     List.length combos,
     combo.Combine.desc )
 
-let synthesize_memo ~config ~memo topo coll =
+let synthesize_memo ~config ~memo ~budget topo coll =
   Trace.with_span ~cat:"stage" "synthesize"
     ~args:
       [
@@ -532,7 +580,7 @@ let synthesize_memo ~config ~memo topo coll =
   in
   let pool = Pool.get config.domains in
   let phases = Collective.phases coll in
-  let results = List.map (synth_phase ~pool ~memo config topo) phases in
+  let results = List.map (synth_phase ~pool ~memo ~budget config topo) phases in
   let schedules = List.map (fun (s, _, _, _, _, _) -> s) results in
   let time = List.fold_left (fun a (_, t, _, _, _, _) -> a +. t) 0.0 results in
   let breakdown =
@@ -568,10 +616,92 @@ let synthesize_memo ~config ~memo topo coll =
     num_sketches;
     num_combos;
     chosen;
+    degraded = Full;
+    degrade_reason = None;
   }
 
+let budget_of_config config =
+  match config.deadline with
+  | None -> Budget.unlimited
+  | Some s -> Budget.create ~seconds:s ()
+
+(* Last rung of the degradation ladder: a validated precomputed baseline
+   ({!Syccl_baselines.Fallback}).  Simulation is best-effort here — when the
+   simulator is the faulty or too-slow component, [time]/[busbw] come out
+   as nan rather than the rung failing. *)
+let fallback_outcome ~t0 ~reason config topo coll =
+  Counters.bump "synth.fallbacks";
+  Trace.instant "synth.fallback" ~args:[ ("reason", reason) ];
+  let schedules = Syccl_baselines.Fallback.schedule topo coll in
+  let time =
+    try
+      List.fold_left
+        (fun a s -> a +. Sim.time ~blocks:config.blocks topo s)
+        0.0 schedules
+    with _ -> Float.nan
+  in
+  {
+    schedules;
+    time;
+    busbw = Collective.busbw coll ~time;
+    synth_time = Clock.now () -. t0;
+    breakdown = zero_breakdown;
+    num_sketches = 0;
+    num_combos = 0;
+    chosen = "baseline-fallback";
+    degraded = Fallback;
+    degrade_reason = Some reason;
+  }
+
+(* Degradation ladder: a full-pipeline attempt, then — if that crashed — a
+   fast-only retry under the same budget, then the precomputed baseline.
+   Every rung's schedules must pass Validate.validate before they are
+   returned; a rung producing an invalid schedule counts as that rung
+   crashing.  Caller errors (GPU-count mismatch) are raised before the
+   ladder engages so a fallback never masks them. *)
+let synthesize_with ~config ~memo ~budget topo coll =
+  if coll.Collective.n <> Topology.num_gpus topo then
+    invalid_arg "Synthesizer: collective/topology GPU count mismatch";
+  let t0 = Clock.now () in
+  let validated level reason (o : outcome) =
+    match Syccl_sim.Validate.validate topo coll o.schedules with
+    | Ok () ->
+        if level <> Full then Counters.bump "synth.degraded";
+        { o with degraded = level; degrade_reason = reason }
+    | Error e -> failwith ("Synthesizer: schedule failed validation: " ^ e)
+  in
+  let rung_failed rung e =
+    Counters.bump "synth.rung_failures";
+    Trace.instant "synth.degrade"
+      ~args:[ ("rung", rung); ("error", Printexc.to_string e) ]
+  in
+  match
+    let o = synthesize_memo ~config ~memo ~budget topo coll in
+    let level = if Budget.degraded budget then Fast else Full in
+    validated level (if level = Fast then Some "deadline" else None) o
+  with
+  | o -> o
+  | exception e1 ->
+      rung_failed "full" e1;
+      let r1 = Printexc.to_string e1 in
+      if config.fast_only || Budget.expired budget then
+        fallback_outcome ~t0 ~reason:r1 config topo coll
+      else begin
+        match
+          let cfg = { config with fast_only = true } in
+          validated Fast (Some r1)
+            (synthesize_memo ~config:cfg ~memo ~budget topo coll)
+        with
+        | o -> o
+        | exception e2 ->
+            rung_failed "fast" e2;
+            fallback_outcome ~t0 ~reason:(Printexc.to_string e2) config topo
+              coll
+      end
+
 let synthesize ?(config = default_config) topo coll =
-  synthesize_memo ~config ~memo:live_memo topo coll
+  synthesize_with ~config ~memo:live_memo ~budget:(budget_of_config config)
+    topo coll
 
 (* Parallel sweep driver: synthesize a whole size/collective series
    concurrently on the same pool the per-call solves use.  Awaiting helps,
@@ -590,13 +720,24 @@ let synthesize ?(config = default_config) topo coll =
    element's (single) task body — helping runs a whole task on one worker,
    never parts of one task on two — so the overlays need no locking.
    Insertions are merged back into the shared cache in list order after
-   the whole sweep completes. *)
-let synthesize_all ?(config = default_config) topo colls =
+   the whole sweep completes.
+
+   Fault isolation: every element runs the full degradation ladder inside
+   its own task, under its own {!Budget.detach}ed budget (shared sweep
+   deadline, independent token), so a crashing or expiring element
+   degrades — it does not abort its siblings or the sweep.  An element
+   whose task dies outside the ladder (e.g. the ["pool.crash"] fault
+   point fires before the ladder runs) surfaces as [Error]. *)
+let synthesize_all_results ?(config = default_config) topo colls =
   match colls with
   | [] -> []
-  | [ coll ] -> [ synthesize ~config topo coll ]
+  | [ coll ] -> (
+      match synthesize ~config topo coll with
+      | o -> [ Ok o ]
+      | exception e -> [ Error (Printexc.to_string e) ])
   | _ ->
       let pool = Pool.get config.domains in
+      let sweep_budget = budget_of_config config in
       let snap = Hashtbl.create 256 in
       List.iter
         (fun (k, v) -> Hashtbl.replace snap k v)
@@ -625,15 +766,44 @@ let synthesize_all ?(config = default_config) topo colls =
                     inserts := (k, v) :: !inserts);
               }
             in
-            ( Pool.submit pool (fun () -> synthesize_memo ~config ~memo topo coll),
+            let budget = Budget.detach sweep_budget in
+            ( Pool.submit pool (fun () ->
+                  synthesize_with ~config ~memo ~budget topo coll),
+              budget,
               inserts ))
           colls
       in
-      let outs = List.map (fun (fut, _) -> Pool.await fut) jobs in
+      let outs =
+        List.map
+          (fun (fut, budget, _) ->
+            let r =
+              match Pool.await fut with
+              | o -> Ok o
+              | exception e -> Error (Printexc.to_string e)
+            in
+            (* The element is finished either way; cancel its budget so any
+               helper still holding it bails instead of burning the rest of
+               the deadline. *)
+            Budget.cancel budget;
+            r)
+          jobs
+      in
       List.iter
-        (fun (_, inserts) ->
+        (fun (_, _, inserts) ->
           List.iter
             (fun (k, v) -> Cache.put subsolve_cache k v)
             (List.rev !inserts))
         jobs;
       outs
+
+let synthesize_all ?(config = default_config) topo colls =
+  List.map2
+    (fun coll r ->
+      match r with
+      | Ok o -> o
+      | Error reason ->
+          (* The element's task died before the ladder could catch it;
+             rebuild its result from the baseline rung in this thread. *)
+          fallback_outcome ~t0:(Clock.now ()) ~reason config topo coll)
+    colls
+    (synthesize_all_results ~config topo colls)

@@ -18,10 +18,29 @@ type config = {
       (** parallel solver instances (§5.3); served by a persistent
           work-stealing pool ({!Syccl_util.Pool}) spawned once per level *)
   blocks : int;  (** simulator pipelining blocks *)
+  deadline : float option;
+      (** wall-clock budget in seconds for one {!synthesize} call (or one
+          whole {!synthesize_all} sweep); [None] = unlimited.  See
+          {!level} for what happens when it is too tight. *)
 }
 
 val default_config : config
-(** E1 = 3.0, E2 = 0.5, R1 = 20 %, R2 = 8 (§7.1), MILP refinement on. *)
+(** E1 = 3.0, E2 = 0.5, R1 = 20 %, R2 = 8 (§7.1), MILP refinement on,
+    no deadline. *)
+
+type level =
+  | Full  (** the full pipeline ran to completion *)
+  | Fast
+      (** the deadline forced degradation (truncated search/combination
+          enumeration, skipped MILP refinements), or the full pipeline
+          crashed and the fast-only retry succeeded *)
+  | Fallback
+      (** synthesis was impossible within the budget (or kept crashing);
+          the result is a precomputed baseline
+          ({!Syccl_baselines.Fallback}) *)
+
+val level_name : level -> string
+(** ["full"], ["fast"], ["fallback"]. *)
 
 type breakdown = {
   search_s : float;
@@ -48,6 +67,12 @@ type outcome = {
   num_sketches : int;
   num_combos : int;
   chosen : string;  (** description of the winning combination *)
+  degraded : level;  (** which rung of the degradation ladder produced this *)
+  degrade_reason : string option;
+      (** why ([None] iff [degraded = Full]): ["deadline"], or the
+          exception that killed the higher rung(s).  When [degraded =
+          Fallback], [time]/[busbw] are [nan] if the simulator itself was
+          the failing component. *)
 }
 
 val synthesize :
@@ -68,7 +93,21 @@ val synthesize :
     the (valid) schedule returned may still differ with what was solved
     earlier in the process; {!reset_caches} restores cold-start behaviour.
     Counters under ["cache.*"], ["pool.*"] and ["synth.*"]
-    ({!Syccl_util.Counters}) record activity. *)
+    ({!Syccl_util.Counters}) record activity.
+
+    Robustness: with [config.deadline = Some d] the whole call is budgeted
+    to [d] seconds — every stage checks the shared budget cooperatively
+    and degrades (returns its incumbent, skips refinement, falls back)
+    rather than overshooting by more than one solver check interval.  The
+    call runs a degradation ladder — full pipeline, then a fast-only
+    retry if the full pipeline raised, then {!Syccl_baselines.Fallback} —
+    and [outcome.degraded] reports which rung produced the result.  Every
+    rung, fallback included, must pass {!Syccl_sim.Validate.validate}; the
+    call raises only when even the baseline rung cannot produce a valid
+    schedule (or the collective/topology GPU counts mismatch, which is
+    reported as [Invalid_argument] before the ladder engages).
+    Deadline-degraded sub-results are never memoized, so a tight deadline
+    cannot pollute later unconstrained runs through the caches. *)
 
 val synthesize_all :
   ?config:config ->
@@ -84,7 +123,25 @@ val synthesize_all :
     mid-flight insertions — so each element's outcome equals a standalone
     {!synthesize} from the same starting cache state, independent of pool
     size and worker scheduling.  Insertions are merged back into the
-    shared cache, in list order, after the sweep completes. *)
+    shared cache, in list order, after the sweep completes.
+
+    Fault isolation: each element runs the degradation ladder inside its
+    own pool task under its own budget (the sweep shares one
+    [config.deadline] window), so a crashing or expiring element yields a
+    degraded outcome for that element only — siblings and the sweep keep
+    going.  If an element dies before the ladder can catch it (e.g. the
+    ["pool.crash"] fault point), this wrapper substitutes the baseline
+    fallback outcome; use {!synthesize_all_results} to observe such
+    per-element errors instead. *)
+
+val synthesize_all_results :
+  ?config:config ->
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t list ->
+  (outcome, string) result list
+(** Like {!synthesize_all}, but an element whose task failed outside the
+    degradation ladder is reported as [Error] (the exception text) in its
+    list position instead of being replaced by a fallback outcome. *)
 
 val reset_caches : unit -> unit
 (** Drop the sketch-search, combination and sub-solve caches (used by

@@ -50,12 +50,24 @@ let pivot t r c =
 
 (* One simplex phase on the current reduced-cost row.  Dantzig pricing with a
    switch to Bland's rule after [bland_after] pivots to guarantee finiteness.
-   Returns [`Optimal], [`Unbounded] or [`Iter_limit]. *)
-let run_phase t ~max_iters ~pivots =
+   Returns [`Optimal], [`Unbounded] or [`Iter_limit].
+
+   The deadline is honoured between pivots: a pivot touches every tableau
+   cell, so checking each iteration would be noise, but a full phase on a
+   large tableau can run thousands of pivots — far longer than the caller's
+   check interval.  Every [budget_stride] iterations costs one atomic load
+   plus (rarely) a clock read. *)
+let budget_stride = 64
+
+let run_phase t ~budget ~max_iters ~pivots =
   let bland_after = max 200 (2 * (t.m + t.cols)) in
   let obj = t.tab.(t.m) in
   let rec loop iter =
     if iter > max_iters then `Iter_limit
+    else if
+      iter land (budget_stride - 1) = budget_stride - 1
+      && Syccl_util.Budget.expired budget
+    then `Iter_limit
     else begin
       let entering =
         if iter < bland_after then begin
@@ -118,7 +130,8 @@ let run_phase t ~max_iters ~pivots =
    feeds the solver-scaling breakdowns (--metrics). *)
 let h_pivots = Syccl_util.Counters.histogram "lp.pivots_per_solve"
 
-let solve ?max_iters { num_vars; objective; rows } =
+let solve ?max_iters ?(budget = Syccl_util.Budget.unlimited)
+    { num_vars; objective; rows } =
   assert (Array.length objective = num_vars);
   let pivots = ref 0 in
   let rows = Array.of_list rows in
@@ -200,7 +213,7 @@ let solve ?max_iters { num_vars; objective; rows } =
             obj.(j) <- obj.(j) -. t.tab.(i).(j)
           done
       done;
-      run_phase t ~max_iters ~pivots
+      run_phase t ~budget ~max_iters ~pivots
     end
   in
   let result =
@@ -240,7 +253,7 @@ let solve ?max_iters { num_vars; objective; rows } =
               done
           end
         done;
-        (match run_phase t ~max_iters ~pivots with
+        (match run_phase t ~budget ~max_iters ~pivots with
         | `Iter_limit -> Iter_limit
         | `Unbounded -> Unbounded
         | `Optimal ->

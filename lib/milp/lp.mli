@@ -22,6 +22,8 @@ type result =
   | Unbounded
   | Iter_limit
 
-val solve : ?max_iters:int -> problem -> result
+val solve : ?max_iters:int -> ?budget:Syccl_util.Budget.t -> problem -> result
 (** Solve the LP.  [max_iters] bounds total simplex pivots (default scales
-    with problem size). *)
+    with problem size).  [budget] is checked every few dozen pivots inside
+    each simplex phase; on expiry the solve returns [Iter_limit], so a
+    deadline cannot be overshot by more than a handful of pivots. *)

@@ -70,7 +70,7 @@ let c_solves = Syccl_util.Counters.int_counter "milp.solves"
 let c_nodes = Syccl_util.Counters.int_counter "milp.nodes"
 
 let solve ?(node_limit = 2000) ?(time_limit = infinity) ?(lp_iter_limit = 4000)
-    ?incumbent m =
+    ?(budget = Syccl_util.Budget.unlimited) ?incumbent m =
   Syccl_util.Trace.with_span ~cat:"milp" "milp.solve"
     ~args:
       [
@@ -79,7 +79,16 @@ let solve ?(node_limit = 2000) ?(time_limit = infinity) ?(lp_iter_limit = 4000)
         ("node_limit", string_of_int node_limit);
       ]
   @@ fun () ->
+  Syccl_util.Faultpoint.slow "milp.slow";
   let t_solve = Syccl_util.Clock.now () in
+  (* One deadline for nodes and pivots alike: [time_limit] narrows the
+     caller's budget rather than running its own clock, so both the drain
+     loop here and the pivot loop in {!Lp} observe the same instant. *)
+  let budget =
+    if time_limit < infinity then
+      Syccl_util.Budget.sub ~seconds:time_limit budget
+    else budget
+  in
   let vs = vars_array m in
   let base_rows =
     List.rev m.rows
@@ -104,7 +113,6 @@ let solve ?(node_limit = 2000) ?(time_limit = infinity) ?(lp_iter_limit = 4000)
       best_x := Some (Array.copy x);
       best_obj := eval_obj m x
   | _ -> ());
-  let start = Unix.gettimeofday () in
   let nodes = ref 0 in
   let queue =
     Syccl_util.Pqueue.create ~cmp:(fun a b ->
@@ -131,7 +139,7 @@ let solve ?(node_limit = 2000) ?(time_limit = infinity) ?(lp_iter_limit = 4000)
     incr nodes;
     if node.lp_bound >= !best_obj -. 1e-9 then ()
     else
-      match Lp.solve ~max_iters:lp_iter_limit (lp_of node.extra) with
+      match Lp.solve ~max_iters:lp_iter_limit ~budget (lp_of node.extra) with
       | Lp.Infeasible | Lp.Iter_limit -> ()
       | Lp.Unbounded ->
           (* An unbounded relaxation at the root means an unbounded MILP for
@@ -165,7 +173,7 @@ let solve ?(node_limit = 2000) ?(time_limit = infinity) ?(lp_iter_limit = 4000)
   in
   let root = { extra = []; lp_bound = neg_infinity; depth = 0 } in
   let unbounded = ref false in
-  (match Lp.solve ~max_iters:lp_iter_limit (lp_of []) with
+  (match Lp.solve ~max_iters:lp_iter_limit ~budget (lp_of []) with
   | Lp.Infeasible ->
       if !best_x = None then best_obj := infinity
   | Lp.Iter_limit -> hit_limit := true
@@ -179,7 +187,7 @@ let solve ?(node_limit = 2000) ?(time_limit = infinity) ?(lp_iter_limit = 4000)
           end
       | Some _ -> Syccl_util.Pqueue.push queue { root with lp_bound = bound }));
   let rec drain () =
-    if !nodes >= node_limit || Unix.gettimeofday () -. start > time_limit then
+    if !nodes >= node_limit || Syccl_util.Budget.expired budget then
       hit_limit := true
     else
       match Syccl_util.Pqueue.pop queue with

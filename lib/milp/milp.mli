@@ -38,6 +38,7 @@ val solve :
   ?node_limit:int ->
   ?time_limit:float ->
   ?lp_iter_limit:int ->
+  ?budget:Syccl_util.Budget.t ->
   ?incumbent:float array ->
   model ->
   result
@@ -46,7 +47,12 @@ val solve :
     node or time budget expired with an incumbent in hand whose optimality
     was not proven; [Limit] means the budget expired with no solution.
     [lp_iter_limit] (default 4000) bounds simplex pivots per LP so a single
-    relaxation cannot blow the time budget between checks. *)
+    relaxation cannot blow the time budget between checks.  [time_limit]
+    and [budget] share one deadline: the limit narrows the budget, and the
+    combined deadline is checked both between branch-and-bound nodes and —
+    via {!Lp.solve} — between simplex pivots, so an expiring or cancelled
+    budget stops the solve within a pivot-check stride.  The ["milp.slow"]
+    {!Syccl_util.Faultpoint} latency probe fires at solve entry. *)
 
 val check_feasible : model -> float array -> bool
 (** True iff the point satisfies every constraint, bounds, and integrality

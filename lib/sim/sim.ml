@@ -9,6 +9,7 @@ type report = { time : float; events : int; xfer_finish : float array }
 type entry = { avail : float; prio : int; xid : int; block : int }
 
 let run ?(blocks = 8) ?trace_pid topo (s : Schedule.t) =
+  Syccl_util.Faultpoint.inject "sim.crash";
   let xa = Array.of_list s.xfers in
   let nx = Array.length xa in
   let nc = Array.length s.chunks in

@@ -26,7 +26,10 @@ val run :
     direction) track under that trace pid — one track per active port,
     numbered and named ["gpu<g> pg<p> out|in"] — so the schedule renders
     as a link-occupancy Gantt chart in Perfetto.  Use a distinct pid per
-    simulated schedule (e.g. per phase) to keep timelines separate. *)
+    simulated schedule (e.g. per phase) to keep timelines separate.
+
+    The ["sim.crash"] {!Syccl_util.Faultpoint} probe fires at entry, for
+    testing that callers tolerate simulator failures. *)
 
 val time : ?blocks:int -> Syccl_topology.Topology.t -> Schedule.t -> float
 (** [time topo s] = [(run topo s).time]. *)

@@ -181,3 +181,22 @@ let covers topo coll (s : Schedule.t) =
         end
   in
   go demand
+
+(* Whole-outcome validation: one schedule per collective phase (AllReduce =
+   ReduceScatter then AllGather), each checked for self-consistency and
+   demand coverage.  The degradation ladder runs this on every rung before
+   returning, fallback included. *)
+let validate topo coll schedules =
+  let phases = Collective.phases coll in
+  let np = List.length phases and ns = List.length schedules in
+  if np <> ns then err "expected %d phase schedules, got %d" np ns
+  else
+    List.fold_left2
+      (fun acc (i, phase) s ->
+        let* () = acc in
+        Result.map_error
+          (fun e -> Printf.sprintf "phase %d: %s" i e)
+          (covers topo phase s))
+      (Ok ())
+      (List.mapi (fun i p -> (i, p)) phases)
+      schedules

@@ -22,3 +22,14 @@ val covers :
     reconstruct each chunk of the collective — same sources and destinations,
     and fraction sizes summing to the demand chunk size (0.1 % tolerance).
     AllReduce demands must be validated per phase. *)
+
+val validate :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Schedule.t list ->
+  (unit, string) result
+(** Validate a whole synthesis outcome: one schedule per phase of the
+    collective ({!Syccl_collective.Collective.phases}), each run through
+    {!covers} against its phase.  Errors are prefixed with the phase
+    index.  This is the post-condition every degradation-ladder rung must
+    pass before its result is returned. *)

@@ -340,7 +340,8 @@ let extract spec layout x =
   in
   { Schedule.chunks = spec.chunks; xfers }
 
-let solve ?(node_limit = 400) ?(time_limit = 60.0) ?incumbent spec =
+let solve ?(node_limit = 400) ?(time_limit = 60.0)
+    ?(budget = Syccl_util.Budget.unlimited) ?incumbent spec =
   let layout = build spec in
   (* The caller's variable budget is an estimate; refuse outsized models
      outright rather than letting one LP eat the whole time budget. *)
@@ -355,7 +356,7 @@ let solve ?(node_limit = 400) ?(time_limit = 60.0) ?incumbent spec =
     | Some s -> incumbent_assignment spec layout s
   in
   let result =
-    Milp.solve ~node_limit ~time_limit ?incumbent:warm layout.model
+    Milp.solve ~node_limit ~time_limit ~budget ?incumbent:warm layout.model
   in
   match result.Milp.status with
   | Milp.Optimal | Milp.Feasible ->

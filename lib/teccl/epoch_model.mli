@@ -38,9 +38,13 @@ val var_count : spec -> int
 val solve :
   ?node_limit:int ->
   ?time_limit:float ->
+  ?budget:Syccl_util.Budget.t ->
   ?incumbent:Syccl_sim.Schedule.t ->
   spec ->
   (Syccl_sim.Schedule.t * int) option
 (** Build and solve the model; returns the schedule (priorities = start
     epochs) and its makespan in epochs, or [None] if infeasible within the
-    horizon / budget and no incumbent fits. *)
+    horizon / budget and no incumbent fits.  Models over 3000 variables are
+    refused without solving (the incumbent, if any, is replayed instead);
+    [budget] is threaded into {!Syccl_milp.Milp.solve} so an expiring
+    deadline interrupts branch-and-bound between pivots. *)

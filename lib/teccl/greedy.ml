@@ -16,8 +16,9 @@ type cand = {
 }
 
 let solve ?rng ?(restrict = All) ?(holder_beam = 6) ?(congestion_weight = 1.0)
-    ?(time_budget = infinity) topo (chunks : Schedule.chunk_meta array) =
-  let wall0 = Unix.gettimeofday () in
+    ?(time_budget = infinity) ?(budget = Syccl_util.Budget.unlimited) topo
+    (chunks : Schedule.chunk_meta array) =
+  let wall0 = Syccl_util.Clock.now () in
   let n = Topology.num_gpus topo in
   let nd = Topology.num_dims topo in
   let npg =
@@ -125,7 +126,10 @@ let solve ?rng ?(restrict = All) ?(holder_beam = 6) ?(congestion_weight = 1.0)
   let remaining = ref (Array.fold_left (fun a l -> a + List.length l) 0 unmet) in
   let timed_out = ref false in
   while !remaining > 0 && not !timed_out do
-    if Unix.gettimeofday () -. wall0 > time_budget then timed_out := true
+    if
+      Syccl_util.Clock.now () -. wall0 > time_budget
+      || Syccl_util.Budget.expired budget
+    then timed_out := true
     else begin
       let best = ref None in
       let consider cand =

@@ -17,6 +17,7 @@ val solve :
   ?holder_beam:int ->
   ?congestion_weight:float ->
   ?time_budget:float ->
+  ?budget:Syccl_util.Budget.t ->
   Syccl_topology.Topology.t ->
   Syccl_sim.Schedule.chunk_meta array ->
   Syccl_sim.Schedule.t option
@@ -27,4 +28,5 @@ val solve :
     finish time, which steers the search away from re-crossing scarce links
     (default 1.0; 0 recovers pure earliest-finish); [rng] perturbs
     tie-breaking for restart diversity.  Returns [None] when [time_budget]
-    (seconds) expires before the demand is met. *)
+    (seconds) or the shared [budget] deadline expires before the demand is
+    met; both are checked once per committed transfer. *)

@@ -34,15 +34,15 @@ let fastest_link topo =
   done;
   !best
 
-let synthesize_phase ~rng ~restarts ~deadline ~milp_var_budget ~e_value topo coll =
+let synthesize_phase ~rng ~restarts ~budget ~milp_var_budget ~e_value topo coll =
   let metas, mirrored = phase_metas coll in
-  let budget () = deadline -. Unix.gettimeofday () in
+  let left () = Syccl_util.Budget.remaining budget in
   let rec attempts k best =
-    if k = 0 || budget () <= 0.0 then best
+    if k = 0 || Syccl_util.Budget.expired budget then best
     else begin
       let r = Xrand.copy rng in
       ignore (Xrand.next_int64 rng);
-      match Greedy.solve ~rng:r ~time_budget:(budget ()) topo metas with
+      match Greedy.solve ~rng:r ~budget topo metas with
       | None -> best
       | Some s ->
           let t = Sim.time topo s in
@@ -80,9 +80,9 @@ let synthesize_phase ~rng ~restarts ~deadline ~milp_var_budget ~e_value topo col
           * ((Array.length edges * horizon)
             + (Topology.num_gpus topo * (horizon + 1)))
       in
-      if horizon > 0 && nvars <= milp_var_budget && budget () > 0.0 then begin
+      if horizon > 0 && nvars <= milp_var_budget && left () > 0.0 then begin
         match
-          Epoch_model.solve ~time_limit:(Float.min 60.0 (budget ()))
+          Epoch_model.solve ~time_limit:(Float.min 60.0 (left ())) ~budget
             ~incumbent:greedy_sched spec
         with
         | Some (refined, _) ->
@@ -98,9 +98,12 @@ let synthesize_phase ~rng ~restarts ~deadline ~milp_var_budget ~e_value topo col
              ((if mirrored then Schedule.reverse s else s), used))
 
 let synthesize ?(seed = 42) ?restarts ?(time_budget = 600.0)
-    ?(milp_var_budget = 2500) ?(e_value = 1.0) topo coll =
-  let t0 = Unix.gettimeofday () in
-  let deadline = t0 +. time_budget in
+    ?(budget = Syccl_util.Budget.unlimited) ?(milp_var_budget = 2500)
+    ?(e_value = 1.0) topo coll =
+  let t0 = Syccl_util.Clock.now () in
+  (* [time_budget] narrows the caller's deadline; both land on the same
+     Clock.now axis so every stage below observes one shared instant. *)
+  let budget = Syccl_util.Budget.sub ~seconds:time_budget budget in
   let restarts =
     match restarts with
     | Some r -> r
@@ -112,16 +115,17 @@ let synthesize ?(seed = 42) ?restarts ?(time_budget = 600.0)
     | [] -> Some (List.rev acc, used)
     | phase :: rest -> (
         match
-          synthesize_phase ~rng ~restarts ~deadline ~milp_var_budget ~e_value topo
+          synthesize_phase ~rng ~restarts ~budget ~milp_var_budget ~e_value topo
             phase
         with
         | None -> None
         | Some (s, u) -> go (s :: acc) (used || u) rest)
   in
   match go [] false phases with
-  | None -> { schedules = None; synth_time = Unix.gettimeofday () -. t0; used_milp = false }
+  | None ->
+      { schedules = None; synth_time = Syccl_util.Clock.elapsed t0; used_milp = false }
   | Some (ss, used) ->
-      { schedules = Some ss; synth_time = Unix.gettimeofday () -. t0; used_milp = used }
+      { schedules = Some ss; synth_time = Syccl_util.Clock.elapsed t0; used_milp = used }
 
 let simulate ?blocks topo schedules =
   List.fold_left (fun acc s -> acc +. Sim.time ?blocks topo s) 0.0 schedules

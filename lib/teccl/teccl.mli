@@ -21,6 +21,7 @@ val synthesize :
   ?seed:int ->
   ?restarts:int ->
   ?time_budget:float ->
+  ?budget:Syccl_util.Budget.t ->
   ?milp_var_budget:int ->
   ?e_value:float ->
   Syccl_topology.Topology.t ->
@@ -28,9 +29,11 @@ val synthesize :
   outcome
 (** Synthesize schedules for every phase of the collective.  [restarts]
     defaults to 3 below 64 GPUs and 1 above; [time_budget] (default 600 s)
-    bounds the whole synthesis; [milp_var_budget] (default 2500) bounds the
-    size of models handed to the MILP; [e_value] is the epoch-accuracy knob
-    (default 1.0). *)
+    bounds the whole synthesis; [budget] is an externally shared deadline /
+    cancellation token that [time_budget] further narrows — both are
+    observed by the greedy inner loop and the epoch MILP; [milp_var_budget]
+    (default 2500) bounds the size of models handed to the MILP; [e_value]
+    is the epoch-accuracy knob (default 1.0). *)
 
 val simulate :
   ?blocks:int -> Syccl_topology.Topology.t -> Syccl_sim.Schedule.t list -> float

@@ -1,0 +1,105 @@
+(* Named fault-injection points, armed via SYCCL_FAULTS.
+
+   The disarmed fast path is one atomic load (config = None).  Armed
+   points each own a splitmix64 stream seeded from (global seed, point
+   name), so a given point produces the same accept/reject sequence in
+   every run; the stream is drawn under a lock, never shared unseeded
+   state. *)
+
+exception Injected of string
+
+type point = { prob : float; rng : Xrand.t; lock : Mutex.t }
+
+type config = (string, point) Hashtbl.t
+
+let state : config option Atomic.t = Atomic.make None
+
+let parse ~seed spec =
+  let tbl : config = Hashtbl.create 8 in
+  String.split_on_char ',' spec
+  |> List.iter (fun part ->
+         let part = String.trim part in
+         if part <> "" then
+           match String.rindex_opt part ':' with
+           | None ->
+               invalid_arg
+                 (Printf.sprintf "Faultpoint: missing ':' in %S" part)
+           | Some i ->
+               let name = String.trim (String.sub part 0 i) in
+               let p =
+                 try float_of_string (String.sub part (i + 1) (String.length part - i - 1))
+                 with _ ->
+                   invalid_arg
+                     (Printf.sprintf "Faultpoint: bad probability in %S" part)
+               in
+               if name = "" || p < 0.0 || p > 1.0 || Float.is_nan p then
+                 invalid_arg
+                   (Printf.sprintf "Faultpoint: bad point spec %S" part);
+               Hashtbl.replace tbl name
+                 {
+                   prob = p;
+                   rng = Xrand.create (seed lxor Hashtbl.hash name);
+                   lock = Mutex.create ();
+                 });
+  tbl
+
+let configure ?(seed = 42) spec =
+  let tbl = parse ~seed spec in
+  Atomic.set state (if Hashtbl.length tbl = 0 then None else Some tbl)
+
+let clear () = Atomic.set state None
+
+let configured () = Atomic.get state <> None
+
+let probability name =
+  match Atomic.get state with
+  | None -> 0.0
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl name with
+      | None -> 0.0
+      | Some p -> p.prob)
+
+let fire name =
+  match Atomic.get state with
+  | None -> false
+  | Some tbl -> (
+      match Hashtbl.find_opt tbl name with
+      | None -> false
+      | Some p ->
+          if p.prob >= 1.0 then true
+          else if p.prob <= 0.0 then false
+          else begin
+            Mutex.lock p.lock;
+            let draw = Xrand.float p.rng 1.0 in
+            Mutex.unlock p.lock;
+            draw < p.prob
+          end)
+
+let fired name =
+  Counters.bump ("fault." ^ name);
+  Trace.instant "fault.fired" ~args:[ ("point", name) ]
+
+let inject name =
+  if fire name then begin
+    fired name;
+    raise (Injected name)
+  end
+
+let slow ?(seconds = 0.2) name =
+  if fire name then begin
+    fired name;
+    Unix.sleepf seconds
+  end
+
+(* Environment arming: read once at module initialization so probes in
+   any library see a consistent configuration from process start. *)
+let () =
+  match Sys.getenv_opt "SYCCL_FAULTS" with
+  | None -> ()
+  | Some spec ->
+      let seed =
+        match Sys.getenv_opt "SYCCL_FAULT_SEED" with
+        | Some s -> ( try int_of_string (String.trim s) with _ -> 42)
+        | None -> 42
+      in
+      configure ~seed spec

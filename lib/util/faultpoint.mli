@@ -1,0 +1,51 @@
+(** Named fault-injection points for robustness testing.
+
+    A fault point is a named probe compiled into production code paths
+    (sub-solver entry, MILP solve, pool task execution, simulator runs).
+    When the harness is disarmed — the default — every probe costs one
+    atomic load and nothing else.  Armed via the [SYCCL_FAULTS]
+    environment variable (read once at startup) or {!configure}, each
+    listed point fires with its configured probability, drawn from a
+    per-point deterministic {!Xrand} stream seeded from the point name
+    and the global seed ([SYCCL_FAULT_SEED], default 42).
+
+    Spec syntax: a comma-separated list of [name:probability] pairs,
+    e.g. [SYCCL_FAULTS=subsolver.crash:0.5,milp.slow:1.0].  Unknown
+    names are fine — a probe only fires if its own name is listed.
+
+    Determinism: with probability 0 or 1 behaviour is deterministic
+    regardless of domain scheduling.  Fractional probabilities draw from
+    the per-point stream under a lock, so each point sees a fixed
+    pseudo-random sequence; which {e caller} observes which draw can
+    still depend on scheduling across domains. *)
+
+exception Injected of string
+(** Raised by {!inject} when the named fault fires; the payload is the
+    point name. *)
+
+val configure : ?seed:int -> string -> unit
+(** Arm the harness from a spec string, replacing any previous
+    configuration.  An empty or all-whitespace spec disarms.  Raises
+    [Invalid_argument] on a malformed spec. *)
+
+val clear : unit -> unit
+(** Disarm every point. *)
+
+val configured : unit -> bool
+(** Whether any point is armed. *)
+
+val probability : string -> float
+(** The armed probability of a point (0. when absent or disarmed). *)
+
+val fire : string -> bool
+(** Draw the named point: [true] with the configured probability.
+    One atomic load when the harness is disarmed. *)
+
+val inject : string -> unit
+(** [inject name] raises [Injected name] when the point fires.  The
+    canonical crash probe: place it at the top of the protected
+    operation. *)
+
+val slow : ?seconds:float -> string -> unit
+(** [slow name] sleeps [seconds] (default 0.2) when the point fires —
+    the canonical latency probe for deadline testing. *)

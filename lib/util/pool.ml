@@ -96,6 +96,21 @@ let my_worker pool =
    work, including time spent parked in a deque or the injector. *)
 let h_queue_latency = Counters.histogram "pool.queue_latency_s"
 
+(* Crash isolation: every task exception is recorded (counter + trace
+   instant with backtrace) at the point of capture, so a raising task is
+   diagnosable even when the caller converts it into a per-element
+   fallback instead of letting it propagate. *)
+let c_task_raised = Counters.int_counter "pool.task_raised"
+
+let record_task_exn e =
+  Atomic.incr c_task_raised;
+  Trace.instant "pool.task_raised"
+    ~args:
+      [
+        ("exn", Printexc.to_string e);
+        ("backtrace", Printexc.get_backtrace ());
+      ]
+
 let submit_task pool task =
   let t_sub = Clock.now () in
   let task () =
@@ -164,8 +179,18 @@ let run_one pool self =
 
 let worker_loop pool i =
   Domain.DLS.get ctx_key := Some (pool, i);
+  (* A task that lets an exception escape (a harness bug or an injected
+     fault outside the task's own catch) must not kill the worker domain:
+     the pool would silently lose capacity for the rest of the process.
+     Record and keep serving. *)
+  let run_guarded () =
+    try run_one pool (Some i)
+    with e ->
+      record_task_exn e;
+      true
+  in
   let rec go () =
-    if run_one pool (Some i) then go ()
+    if run_guarded () then go ()
     else begin
       Mutex.lock pool.ilock;
       while pool.live && Atomic.get pool.pending = 0 do
@@ -268,7 +293,13 @@ type 'a future = { st : 'a state Atomic.t; fpool : t }
 let submit pool f =
   let st = Atomic.make Pending in
   submit_task pool (fun () ->
-      Atomic.set st (try Done (f ()) with e -> Raised e));
+      Atomic.set st
+        (try
+           Faultpoint.inject "pool.crash";
+           Done (f ())
+         with e ->
+           record_task_exn e;
+           Raised e));
   { st; fpool = pool }
 
 (* Awaiting helps: a worker (or the caller) blocked on a future executes
@@ -313,9 +344,14 @@ let map pool f xs =
       let lo = c * n / nchunks and hi = (c + 1) * n / nchunks in
       submit_task pool (fun () ->
           for j = lo to hi - 1 do
-            match f xs.(j) with
+            match
+              Faultpoint.inject "pool.crash";
+              f xs.(j)
+            with
             | v -> results.(j) <- Some v
-            | exception e -> record j e
+            | exception e ->
+                record_task_exn e;
+                record j e
           done;
           Atomic.decr remaining)
     done;

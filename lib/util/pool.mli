@@ -11,7 +11,15 @@
     Determinism: [map] writes results by index and reports the exception
     of the {e lowest} failing index, so observable behaviour is identical
     for every pool size.  [await] helps (executes other pool tasks while
-    blocked), so nested parallel regions cannot deadlock. *)
+    blocked), so nested parallel regions cannot deadlock.
+
+    Crash isolation: a task exception is confined to its own future (or
+    its own [map] call) — it never kills a worker domain or a sibling
+    task.  Every captured task exception is counted in
+    ["pool.task_raised"] and recorded as a ["pool.task_raised"] trace
+    instant carrying the exception text and backtrace.  The
+    ["pool.crash"] {!Faultpoint} probe fires inside the protected task
+    region, so injected crashes exercise exactly this containment. *)
 
 type t
 type 'a future

@@ -1,0 +1,82 @@
+(* Robustness smoke: the fig16c smoke workload (h800, 2 servers, AllGather)
+   swept under crash injection and under an aggressive deadline, across pool
+   widths.  Run by the `runtest` alias with SYCCL_FAULTS=subsolver.crash:1.0
+   in the environment (so the env-arming path itself is exercised); exits
+   non-zero on any unvalidated element, ladder violation, or cross-width
+   nondeterminism. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module C = Syccl_collective.Collective
+module Validate = Syccl_sim.Validate
+module Synth = Syccl.Synthesizer
+module Faultpoint = Syccl_util.Faultpoint
+module Clock = Syccl_util.Clock
+
+let fail fmt = Format.kasprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let widths =
+  let env =
+    match Sys.getenv_opt "SYCCL_TEST_DOMAINS" with
+    | Some s -> ( try max 1 (int_of_string s) with _ -> 2)
+    | None -> 2
+  in
+  List.sort_uniq compare [ 1; 2; env ]
+
+let topo = Builders.h800 ~servers:2
+let n = T.num_gpus topo
+
+let colls =
+  List.map (fun size -> C.make C.AllGather ~n ~size) [ 6.5536e4; 1.048576e6 ]
+
+let sweep ?deadline width =
+  Synth.reset_caches ();
+  let config = { Synth.default_config with domains = width; deadline } in
+  let outs = Synth.synthesize_all ~config topo colls in
+  List.iter2
+    (fun coll (o : Synth.outcome) ->
+      match Validate.validate topo coll o.Synth.schedules with
+      | Ok () -> ()
+      | Error e ->
+          fail "width %d: %a invalid (%s rung): %s" width C.pp coll
+            (Synth.level_name o.Synth.degraded)
+            e)
+    colls outs;
+  outs
+
+let () =
+  (* Part 1: every pooled sub-solve crashes; every element must still come
+     back as a validated fallback, identically at every pool width. *)
+  if not (Faultpoint.configured ()) then
+    fail "SYCCL_FAULTS not armed (the rule must set it in the environment)";
+  if Faultpoint.probability "subsolver.crash" <> 1.0 then
+    fail "expected subsolver.crash:1.0 in SYCCL_FAULTS";
+  let reference = sweep (List.hd widths) in
+  List.iter
+    (fun (o : Synth.outcome) ->
+      if o.Synth.degraded <> Synth.Fallback then
+        fail "crash injection must force the fallback rung")
+    reference;
+  List.iter
+    (fun w ->
+      let outs = sweep w in
+      List.iter2
+        (fun (a : Synth.outcome) (b : Synth.outcome) ->
+          if a.Synth.schedules <> b.Synth.schedules then
+            fail "width %d: schedules differ from width %d" w (List.hd widths))
+        reference outs)
+    (List.tl widths);
+  (* Part 2: disarm the faults and sweep under an aggressive deadline; the
+     wall clock must stay near the budget and every element validates. *)
+  Faultpoint.clear ();
+  List.iter
+    (fun w ->
+      let deadline = 0.1 in
+      let t0 = Clock.now () in
+      let outs = sweep ~deadline w in
+      let elapsed = Clock.now () -. t0 in
+      if elapsed > deadline +. 2.0 then
+        fail "width %d: deadline %.2fs overshot to %.2fs" w deadline elapsed;
+      ignore outs)
+    widths;
+  print_endline "robust smoke OK"

@@ -1,0 +1,42 @@
+(* Source check: every library budget/time computation must go through the
+   monotonic-clamped Syccl_util.Clock — raw Unix.gettimeofday is sensitive
+   to wall-clock jumps that can make deadlines fire instantly or never.
+   Scans the lib/ tree for .ml files (clock.ml, the one sanctioned wrapper,
+   excepted) and fails the build if any calls Unix.gettimeofday directly. *)
+
+let needle = "Unix.gettimeofday"
+
+let contains hay =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let rec scan offenders dir =
+  Array.fold_left
+    (fun offenders entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then scan offenders path
+      else if
+        Filename.check_suffix entry ".ml"
+        && entry <> "clock.ml"
+        && contains (read_file path)
+      then path :: offenders
+      else offenders)
+    offenders (Sys.readdir dir)
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
+  match scan [] root with
+  | [] -> ()
+  | offenders ->
+      prerr_endline
+        "error: direct Unix.gettimeofday in lib/ (use Syccl_util.Clock.now):";
+      List.iter (fun p -> prerr_endline ("  " ^ p)) (List.sort compare offenders);
+      exit 1
