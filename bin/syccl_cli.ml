@@ -5,46 +5,14 @@ open Cmdliner
 module T = Syccl_topology
 module C = Syccl_collective.Collective
 module S = Syccl_sim
+module Request = Syccl_serve.Request
+module Registry = Syccl_serve.Registry
+module Serve = Syccl_serve.Serve
 
-let topo_of_name name =
-  match name with
-  | "a100-16" -> T.Builders.a100 ~servers:2
-  | "a100-32" -> T.Builders.a100 ~servers:4
-  | "h800-64" -> T.Builders.h800 ~servers:8
-  | "h800-512" -> T.Builders.h800 ~servers:64
-  | "fig3" -> T.Builders.fig3 ()
-  | "fig19" -> T.Builders.fig19 ()
-  | "fig20" -> T.Builders.fig20 ()
-  | s -> (
-      (* "multirail:<servers>x<gpus>" builds a generic H800-like cluster. *)
-      match String.split_on_char ':' s with
-      | [ "multirail"; dims ] -> (
-          match String.split_on_char 'x' dims with
-          | [ a; b ] ->
-              T.Builders.h800_scaled ~servers:(int_of_string a)
-                ~gpus_per_server:(int_of_string b)
-          | _ -> failwith "expected multirail:<servers>x<gpus>")
-      | _ ->
-          failwith
-            (Printf.sprintf
-               "unknown topology %s (try a100-16, a100-32, h800-64, h800-512, \
-                fig3, fig19, fig20, multirail:SxG)"
-               s))
-
-let coll_of_name name ~n ~size =
-  let kind =
-    match String.lowercase_ascii name with
-    | "allgather" | "ag" -> C.AllGather
-    | "alltoall" | "a2a" -> C.AllToAll
-    | "reducescatter" | "rs" -> C.ReduceScatter
-    | "allreduce" | "ar" -> C.AllReduce
-    | "broadcast" | "bcast" -> C.Broadcast
-    | "reduce" -> C.Reduce
-    | "scatter" -> C.Scatter
-    | "gather" -> C.Gather
-    | s -> failwith ("unknown collective " ^ s)
-  in
-  C.make kind ~n ~size
+(* Name resolution moved into the serve layer (Syccl_serve.Request) so the
+   CLI, batch files, tests and benches accept the same names. *)
+let topo_of_name = Request.topo_of_name
+let coll_of_name name ~n ~size = Request.coll_of_name name ~n ~size
 
 let topo_arg =
   Arg.(
@@ -89,6 +57,24 @@ let deadline_arg =
            is too tight, synthesis degrades gracefully — truncated search, \
            skipped MILP refinement, precomputed-baseline fallback — instead \
            of overshooting; the chosen ladder rung is reported.")
+
+let registry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "registry" ] ~docv:"DIR"
+        ~doc:
+          "Persistent schedule registry directory.  Synthesized schedules \
+           are stored there and later requests for the same (topology \
+           structure, collective, size bucket) are served from it — every \
+           hit is re-validated and re-simulated before being trusted.  \
+           Defaults to $(b,SYCCL_REGISTRY) when that variable is set; with \
+           neither, the registry is disabled.")
+
+(* --registry beats SYCCL_REGISTRY beats disabled. *)
+let registry_of = function
+  | Some dir -> Some (Registry.open_dir dir)
+  | None -> Registry.from_env ()
 
 let stats_arg =
   Arg.(
@@ -159,6 +145,7 @@ let stats_json (o : Syccl.Synthesizer.outcome) =
   in
   Obj
     [
+      ("schema_version", int 1);
       ("time_s", Num o.time);
       ("busbw_gbps", Num o.busbw);
       ("synth_time_s", Num o.synth_time);
@@ -179,6 +166,8 @@ let stats_json (o : Syccl.Synthesizer.outcome) =
             ("cache_misses", int b.cache_misses);
             ("milp_solves", int b.milp_solves);
             ("milp_nodes", int b.milp_nodes);
+            ("registry_hits", int b.registry_hits);
+            ("registry_misses", int b.registry_misses);
           ] );
       ("counters", Obj counters);
       ("histograms", Obj hists);
@@ -216,16 +205,31 @@ let topo_cmd =
 
 let synth_cmd =
   let run tname cname size fast domains deadline stats verbose trace metrics
-      sjson =
-    let topo = topo_of_name tname in
-    let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
+      sjson rdir =
     let config =
       { Syccl.Synthesizer.default_config with fast_only = fast; domains;
         deadline }
     in
+    let req =
+      Request.make ~config ~topology:tname ~collective:cname ~size ()
+    in
+    let topo = req.Request.topo and coll = req.Request.coll in
+    let registry = registry_of rdir in
     if trace <> None then Syccl_util.Trace.enable ();
-    let o = Syccl.Synthesizer.synthesize ~config topo coll in
+    let so = Serve.run ?registry req in
+    let o = so.Serve.synth in
     Format.printf "collective: %a on %s@." C.pp coll tname;
+    (match (registry, so.Serve.source) with
+    | None, _ -> ()
+    | Some reg, Serve.From_registry { hit_key; scaled; stored_cost } ->
+        Format.printf
+          "registry:   hit %s%s in %s (stored cost %.1f us, re-validated)@."
+          hit_key
+          (if scaled then " (rescaled)" else "")
+          (Registry.dir reg) (stored_cost *. 1e6)
+    | Some reg, Serve.From_synthesis ->
+        Format.printf "registry:   miss in %s (stored for next time)@."
+          (Registry.dir reg));
     Format.printf "synthesis:  %.2fs (search %.2fs, combine %.2fs, solve1 %.2fs, solve2 %.2fs)@."
       o.synth_time o.breakdown.search_s o.breakdown.combine_s
       o.breakdown.solve1_s o.breakdown.solve2_s;
@@ -277,7 +281,8 @@ let synth_cmd =
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a schedule and report its performance.")
     Term.(
       const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ domains_arg
-      $ deadline_arg $ stats_arg $ verbose $ trace_arg $ metrics_arg $ sjson)
+      $ deadline_arg $ stats_arg $ verbose $ trace_arg $ metrics_arg $ sjson
+      $ registry_arg)
 
 let explain_cmd =
   let run tname cname size fast =
@@ -428,24 +433,34 @@ let export_cmd =
     (Cmd.info "export" ~doc:"Synthesize and emit MSCCL-executor XML (one file per phase).")
     Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ output)
 
+let sweep_sizes = [ 1e3; 65536.0; 1048576.0; 1.6777e7; 2.68435e8; 1.073741824e9 ]
+
 let sweep_cmd =
-  let run tname cname fast domains deadline stats trace metrics =
-    let topo = topo_of_name tname in
+  let run tname cname fast domains deadline stats trace metrics rdir =
     if trace <> None then Syccl_util.Trace.enable ();
-    let n = T.Topology.num_gpus topo in
     let config =
       { Syccl.Synthesizer.default_config with fast_only = fast; domains;
         deadline }
     in
-    let sizes = [ 1e3; 65536.0; 1048576.0; 1.6777e7; 2.68435e8; 1.073741824e9 ] in
-    let colls = List.map (fun size -> coll_of_name cname ~n ~size) sizes in
-    (* Sweep the whole series through the pool at once: sub-solve memoization
-       makes later sizes mostly cache hits of earlier ones. *)
-    let outcomes = Syccl.Synthesizer.synthesize_all ~config topo colls in
+    (* One request per size, executed through the shared pipeline: batch
+       execution groups them into a single synthesize_all sweep, so
+       sub-solve memoization makes later sizes mostly cache hits of
+       earlier ones — and with a registry, later *runs* are full hits. *)
+    let requests =
+      List.map
+        (fun size ->
+          Request.make ~config ~topology:tname ~collective:cname ~size ())
+        sweep_sizes
+    in
+    let registry = registry_of rdir in
+    let topo = (List.hd requests).Request.topo in
+    let outcomes = Serve.run_batch ?registry requests in
     Format.printf "%10s %12s %12s %12s %10s@." "size" "SyCCL" "NCCL" "TECCL"
       "ladder";
     List.iter2
-      (fun coll (o : Syccl.Synthesizer.outcome) ->
+      (fun (r : Request.t) (so : Serve.outcome) ->
+        let coll = r.Request.coll in
+        let o = so.Serve.synth in
         let nccl = Syccl_baselines.Nccl.busbw topo coll in
         let teccl =
           match
@@ -455,10 +470,10 @@ let sweep_cmd =
           | Some b -> Printf.sprintf "%.1f" b
           | None -> "timeout"
         in
-        Format.printf "%10.0f %12.1f %12.1f %12s %10s@." coll.C.size o.busbw
-          nccl teccl
-          (Syccl.Synthesizer.level_name o.degraded))
-      colls outcomes;
+        Format.printf "%10.0f %12.1f %12.1f %12s %10s@." coll.C.size
+          o.Syccl.Synthesizer.busbw nccl teccl
+          (Syccl.Synthesizer.level_name o.Syccl.Synthesizer.degraded))
+      requests outcomes;
     (match trace with
     | None -> ()
     | Some path ->
@@ -471,7 +486,158 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Bus bandwidth vs data size, SyCCL vs baselines.")
     Term.(
       const run $ topo_arg $ coll_arg $ fast_arg $ domains_arg $ deadline_arg
-      $ stats_arg $ trace_arg $ metrics_arg)
+      $ stats_arg $ trace_arg $ metrics_arg $ registry_arg)
+
+(* --- batch / warm: the JSONL front-ends over the same pipeline ---------- *)
+
+let read_lines path =
+  let ic = if path = "-" then stdin else open_in path in
+  Fun.protect
+    ~finally:(fun () -> if path <> "-" then close_in_noerr ic)
+    (fun () ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go [])
+
+let batch_cmd =
+  let run input output fast domains deadline rdir stats =
+    let defaults =
+      { Syccl.Synthesizer.default_config with fast_only = fast; domains;
+        deadline }
+    in
+    let requests =
+      read_lines input
+      |> List.mapi (fun i line -> (i + 1, line))
+      |> List.filter (fun (_, line) -> String.trim line <> "")
+      |> List.map (fun (lineno, line) ->
+             try Request.of_json ~defaults (Syccl_util.Json.of_string line)
+             with e ->
+               failwith
+                 (Printf.sprintf "request line %d: %s" lineno
+                    (Printexc.to_string e)))
+    in
+    let registry = registry_of rdir in
+    let outcomes = Serve.run_batch ?registry requests in
+    let text =
+      String.concat ""
+        (List.map
+           (fun o -> Syccl_util.Json.to_string (Serve.outcome_to_json o) ^ "\n")
+           outcomes)
+    in
+    if output = "-" then print_string text
+    else begin
+      let oc = open_out output in
+      output_string oc text;
+      close_out oc
+    end;
+    let hits =
+      List.length
+        (List.filter
+           (fun (o : Serve.outcome) ->
+             match o.Serve.source with
+             | Serve.From_registry _ -> true
+             | Serve.From_synthesis -> false)
+           outcomes)
+    in
+    Format.eprintf "batch: %d requests (%d unique), %d registry hits, %d synthesized@."
+      (List.length requests)
+      (List.length
+         (List.sort_uniq compare (List.map Request.key requests)))
+      hits
+      (List.length outcomes - hits);
+    if stats then print_stats ()
+  in
+  let input =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUESTS.jsonl"
+          ~doc:
+            "Input request file, one JSON object per line ($(b,-) for \
+             stdin): {\"topology\": ..., \"collective\": ..., \"size\": \
+             ..., \"fast\"?, \"domains\"?, \"deadline\"?, \"root\"?, \
+             \"peer\"?}.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt string "-"
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Outcome JSONL destination ($(b,-) for stdout, the default).")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Execute a JSONL request file through the request→plan→execute \
+          pipeline: duplicates are deduped, registry hits are served after \
+          re-validation, misses are synthesized concurrently on the \
+          persistent pool and stored back.")
+    Term.(
+      const run $ input $ output $ fast_arg $ domains_arg $ deadline_arg
+      $ registry_arg $ stats_arg)
+
+let warm_cmd =
+  let run tname cnames sizes domains deadline rdir =
+    let registry =
+      match registry_of rdir with
+      | Some r -> r
+      | None ->
+          failwith
+            "warm needs a registry: pass --registry DIR or set SYCCL_REGISTRY"
+    in
+    let config =
+      { Syccl.Synthesizer.default_config with domains; deadline }
+    in
+    let sizes = if sizes = [] then sweep_sizes else sizes in
+    let requests =
+      List.concat_map
+        (fun cname ->
+          List.map
+            (fun size ->
+              Request.make ~config ~topology:tname ~collective:cname ~size ())
+            sizes)
+        (String.split_on_char ',' cnames)
+    in
+    let outcomes = Serve.run_batch ~registry requests in
+    Format.printf "%12s %10s %12s %10s@." "collective" "size" "busbw" "path";
+    List.iter2
+      (fun (r : Request.t) (so : Serve.outcome) ->
+        Format.printf "%12s %10.0f %12.1f %10s@."
+          (String.lowercase_ascii
+             (C.kind_name r.Request.coll.C.kind))
+          r.Request.coll.C.size so.Serve.synth.Syccl.Synthesizer.busbw
+          (match so.Serve.source with
+          | Serve.From_registry _ -> "hit"
+          | Serve.From_synthesis -> "stored"))
+      requests outcomes;
+    Format.printf "registry:   %d entries in %s@." (Registry.length registry)
+      (Registry.dir registry)
+  in
+  let colls =
+    Arg.(
+      value
+      & opt string "allgather"
+      & info [ "c"; "collectives" ] ~docv:"COLLS"
+          ~doc:"Comma-separated collective names to warm.")
+  in
+  let sizes =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "sizes" ] ~docv:"BYTES,..."
+          ~doc:"Sizes to warm (defaults to the sweep series).")
+  in
+  Cmd.v
+    (Cmd.info "warm"
+       ~doc:
+         "Pre-populate the schedule registry for a topology/collective \
+          sweep, so production requests start as hits.")
+    Term.(
+      const run $ topo_arg $ colls $ sizes $ domains_arg $ deadline_arg
+      $ registry_arg)
 
 let () =
   let doc = "SyCCL: symmetry-guided collective communication schedule synthesis" in
@@ -479,6 +645,6 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "syccl_cli" ~doc)
           [
-            topo_cmd; synth_cmd; sweep_cmd; export_cmd; analyze_cmd;
-            profile_cmd; save_cmd; replay_cmd; explain_cmd;
+            topo_cmd; synth_cmd; sweep_cmd; batch_cmd; warm_cmd; export_cmd;
+            analyze_cmd; profile_cmd; save_cmd; replay_cmd; explain_cmd;
           ]))

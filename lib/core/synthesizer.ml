@@ -60,6 +60,8 @@ type breakdown = {
   cache_misses : int;
   milp_solves : int;
   milp_nodes : int;
+  registry_hits : int;
+  registry_misses : int;
 }
 
 type outcome = {
@@ -85,6 +87,8 @@ let zero_breakdown =
     cache_misses = 0;
     milp_solves = 0;
     milp_nodes = 0;
+    registry_hits = 0;
+    registry_misses = 0;
   }
 
 let add_breakdown a b =
@@ -97,6 +101,8 @@ let add_breakdown a b =
     cache_misses = a.cache_misses + b.cache_misses;
     milp_solves = a.milp_solves + b.milp_solves;
     milp_nodes = a.milp_nodes + b.milp_nodes;
+    registry_hits = a.registry_hits + b.registry_hits;
+    registry_misses = a.registry_misses + b.registry_misses;
   }
 
 let timed f =

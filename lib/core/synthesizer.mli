@@ -51,6 +51,10 @@ type breakdown = {
   cache_misses : int;  (** sub-solve memo misses during this call *)
   milp_solves : int;  (** MILP models solved during this call *)
   milp_nodes : int;  (** branch-and-bound nodes explored during this call *)
+  registry_hits : int;
+      (** persistent schedule-registry hits serving this outcome (filled in
+          by {!Syccl_serve.Serve}; always 0 on a bare [synthesize]) *)
+  registry_misses : int;  (** registry probes that had to fall through *)
 }
 (** Wall-clock per synthesis step (Fig. 16b) plus solver/cache activity.
     The activity fields are deltas of the process-wide {!Syccl_util.Counters}

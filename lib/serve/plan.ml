@@ -1,0 +1,28 @@
+type action = Serve_hit of Registry.hit | Synthesize
+
+type t = {
+  request : Request.t;
+  registry_key : string option;
+  action : action;
+}
+
+let make ~registry (request : Request.t) =
+  match registry with
+  | None -> { request; registry_key = None; action = Synthesize }
+  | Some reg ->
+      let key = Registry.key request.Request.topo request.Request.coll in
+      let action =
+        match
+          Registry.lookup reg
+            ~blocks:request.Request.config.Syccl.Synthesizer.blocks
+            request.Request.topo request.Request.coll
+        with
+        | Some hit -> Serve_hit hit
+        | None -> Synthesize
+      in
+      { request; registry_key = Some key; action }
+
+let describe t =
+  match t.action with
+  | Serve_hit h -> if h.Registry.scaled then "registry-hit(scaled)" else "registry-hit"
+  | Synthesize -> "synthesize"

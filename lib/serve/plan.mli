@@ -1,0 +1,32 @@
+(** Request → plan: decide how a request will be satisfied before any
+    solver runs.
+
+    Planning is the only place that consults the schedule registry, so
+    every front-end (single synth, sweep, batch, warm) gets identical
+    hit/verify semantics.  A plan either carries a verified registry hit
+    ready to serve, or commits the request to synthesis (recording the
+    registry key the result should be stored under).  Which degradation
+    rung synthesis then lands on is recorded by execution in the
+    outcome's [degraded] field — a plan cannot know it up front. *)
+
+type action =
+  | Serve_hit of Registry.hit
+      (** a verified (re-validated, re-simulated) registry entry *)
+  | Synthesize  (** run the full synthesis pipeline (degradation ladder) *)
+
+type t = {
+  request : Request.t;
+  registry_key : string option;
+      (** the entry key this request maps to; [None] iff planning ran
+          without a registry *)
+  action : action;
+}
+
+val make : registry:Registry.t option -> Request.t -> t
+(** Probe the registry (when given) and plan the request.  A probe that
+    misses — absent, corrupt, invalid or cost-regressed entry, each
+    counted by {!Registry.lookup} — plans [Synthesize]. *)
+
+val describe : t -> string
+(** One-line human-readable path description (["registry-hit"],
+    ["registry-hit(scaled)"], ["synthesize"]). *)

@@ -1,0 +1,176 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+module Sim = Syccl_sim.Sim
+module Validate = Syccl_sim.Validate
+module Json = Syccl_util.Json
+module Counters = Syccl_util.Counters
+
+type t = { root : string }
+
+let dir t = t.root
+
+let rec mkdirs path =
+  if path <> "" && path <> "/" && not (Sys.file_exists path) then begin
+    mkdirs (Filename.dirname path);
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let open_dir root =
+  mkdirs root;
+  { root }
+
+let from_env () =
+  match Sys.getenv_opt "SYCCL_REGISTRY" with
+  | None | Some "" -> None
+  | Some d -> Some (open_dir d)
+
+(* Same power-of-two bucketing as the synthesizer's cross-size sub-solve
+   memo: schedule structure is size-independent within a bucket, and a
+   stored schedule rescales exactly ({!Schedule.scale}) to any size whose
+   chunk proportions match. *)
+let size_bucket size =
+  if size <= 0.0 then 0
+  else int_of_float (Float.floor ((Float.log size /. Float.log 2.0) +. 1e-9))
+
+let key topo (coll : Collective.t) =
+  let canon =
+    Printf.sprintf "syccl-registry-v1;%s;%s;root=%d;peer=%d;bucket=%d;schema=%d"
+      (Topology.fingerprint topo)
+      (Collective.kind_name coll.Collective.kind)
+      coll.Collective.root coll.Collective.peer
+      (size_bucket coll.Collective.size)
+      Schedule.schema_version
+  in
+  Digest.to_hex (Digest.string canon)
+
+let path_of t k = Filename.concat t.root (k ^ ".json")
+
+type hit = {
+  schedules : Schedule.t list;
+  time : float;
+  stored_cost : float;
+  chosen : string;
+  scaled : bool;
+  hit_key : string;
+}
+
+let entry_json ~fingerprint ~(coll : Collective.t) ~cost ~chosen schedules =
+  Json.Obj
+    [
+      ("schema_version", Json.Num (float_of_int Schedule.schema_version));
+      ("fingerprint", Json.Str fingerprint);
+      ("kind", Json.Str (Collective.kind_name coll.Collective.kind));
+      ("root", Json.Num (float_of_int coll.Collective.root));
+      ("peer", Json.Num (float_of_int coll.Collective.peer));
+      ("size", Json.Num coll.Collective.size);
+      ("cost", Json.Num cost);
+      ("chosen", Json.Str chosen);
+      ("schedules", Json.List (List.map Schedule.to_json schedules));
+    ]
+
+(* Unique-enough temp names without Random: pid + a process-wide ticket.
+   Collisions across processes differ in pid; within a process in ticket. *)
+let ticket = Atomic.make 0
+
+let store t topo (coll : Collective.t) ~cost ~chosen schedules =
+  let k = key topo coll in
+  let body =
+    Json.to_string ~pretty:true
+      (entry_json ~fingerprint:(Topology.fingerprint topo) ~coll ~cost ~chosen
+         schedules)
+    ^ "\n"
+  in
+  let tmp =
+    Filename.concat t.root
+      (Printf.sprintf ".tmp.%s.%d.%d" k (Unix.getpid ())
+         (Atomic.fetch_and_add ticket 1))
+  in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc body);
+  (* rename is atomic within the directory: a concurrent reader sees either
+     the old complete entry or the new complete entry, never a torn one. *)
+  Sys.rename tmp (path_of t k);
+  Counters.bump "registry.stores"
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Simulated cost of a multi-phase schedule set, matching how the
+   synthesizer accounts it: phases run back to back, times sum. *)
+let simulate ~blocks topo schedules =
+  List.fold_left (fun a s -> a +. (Sim.time ~blocks topo s : float)) 0.0 schedules
+
+let miss ?reason () =
+  (match reason with None -> () | Some c -> Counters.bump c);
+  Counters.bump "registry.misses";
+  None
+
+let lookup t ?(blocks = 8) topo (coll : Collective.t) =
+  let k = key topo coll in
+  let path = path_of t k in
+  if not (Sys.file_exists path) then miss ()
+  else
+    (* Any failure from here to a fully-parsed entry is a corrupt entry:
+       truncated writes (non-atomic copies from elsewhere), manual edits,
+       schema drift.  All of them demote to a counted miss. *)
+    match
+      let j = Json.of_string (read_file path) in
+      let version = Json.to_int (Json.member "schema_version" j) in
+      if version <> Schedule.schema_version then
+        raise (Json.Parse_error "registry entry schema mismatch");
+      let fp = Json.to_str (Json.member "fingerprint" j) in
+      if fp <> Topology.fingerprint topo then
+        raise (Json.Parse_error "registry entry fingerprint mismatch");
+      if
+        Json.to_str (Json.member "kind" j)
+        <> Collective.kind_name coll.Collective.kind
+        || Json.to_int (Json.member "root" j) <> coll.Collective.root
+        || Json.to_int (Json.member "peer" j) <> coll.Collective.peer
+      then raise (Json.Parse_error "registry entry demand mismatch");
+      let size = Json.to_float (Json.member "size" j) in
+      let cost = Json.to_float (Json.member "cost" j) in
+      let chosen = Json.to_str (Json.member "chosen" j) in
+      let schedules =
+        List.map Schedule.of_json (Json.to_list (Json.member "schedules" j))
+      in
+      (size, cost, chosen, schedules)
+    with
+    | exception _ -> miss ~reason:"registry.corrupt" ()
+    | stored_size, stored_cost, chosen, schedules -> (
+        let scaled = stored_size <> coll.Collective.size in
+        let schedules =
+          if scaled then
+            let f = coll.Collective.size /. stored_size in
+            List.map (fun s -> Schedule.scale s f) schedules
+          else schedules
+        in
+        (* Every hit is re-verified against the live topology model: a
+           stale or hand-planted entry must prove itself before it is
+           allowed to replace a fresh solve. *)
+        match Validate.validate topo coll schedules with
+        | Error _ -> miss ~reason:"registry.invalid" ()
+        | exception _ -> miss ~reason:"registry.invalid" ()
+        | Ok () ->
+            let time = simulate ~blocks topo schedules in
+            if (not scaled) && time > stored_cost *. (1.0 +. 1e-6) then
+              (* The entry simulates slower than advertised (simulator or
+                 link-model drift the fingerprint could not see): let a
+                 fresh solve compete instead of silently serving it. *)
+              miss ~reason:"registry.slower" ()
+            else begin
+              Counters.bump "registry.hits";
+              Some { schedules; time; stored_cost; chosen; scaled; hit_key = k }
+            end)
+
+let length t =
+  Array.fold_left
+    (fun acc f -> if Filename.check_suffix f ".json" then acc + 1 else acc)
+    0
+    (try Sys.readdir t.root with Sys_error _ -> [||])

@@ -1,0 +1,75 @@
+(** Persistent on-disk schedule registry.
+
+    Synthesized schedules are reusable artifacts: any job that shares
+    (topology structure, collective, size bucket) can replay one instead
+    of re-synthesizing.  The registry is a directory of JSON entries,
+    content-addressed by
+    {!Syccl_topology.Topology.fingerprint} × collective (kind, root, peer)
+    × power-of-two size bucket × {!Syccl_sim.Schedule.schema_version}.
+
+    Safety properties:
+    - {e writes are atomic}: entries are written to a temp file in the
+      registry directory and renamed into place, so concurrent writers
+      (two pool tasks storing the same key, two processes) each leave a
+      complete, valid entry — last rename wins;
+    - {e loads are corruption-tolerant}: an unreadable, truncated,
+      malformed or wrong-schema entry is a counted miss
+      (["registry.corrupt"]), never an error;
+    - {e hits are re-verified}: every hit is re-validated with
+      {!Syccl_sim.Validate.validate} and re-simulated against the live
+      α-β model; an entry that fails validation (["registry.invalid"]) or
+      simulates slower than its stored cost (["registry.slower"]) is
+      demoted to a miss, so a stale entry can never beat a fresh solve
+      silently.
+
+    A hit whose stored size differs from the requested size (same bucket)
+    is rescaled with {!Syccl_sim.Schedule.scale} before verification.
+    Activity is published through {!Syccl_util.Counters} as
+    ["registry.hits"], ["registry.misses"], ["registry.stores"],
+    ["registry.corrupt"], ["registry.invalid"], ["registry.slower"]. *)
+
+type t
+
+val open_dir : string -> t
+(** Open (creating it and missing parents if needed) a registry rooted at
+    the given directory.  Raises [Sys_error]/[Unix.Unix_error] only when
+    the directory cannot be created at all. *)
+
+val dir : t -> string
+
+val from_env : unit -> t option
+(** The registry named by the [SYCCL_REGISTRY] environment variable, if
+    set and non-empty. *)
+
+val key : Syccl_topology.Topology.t -> Syccl_collective.Collective.t -> string
+(** The content address: hex digest over (topology fingerprint, collective
+    kind/root/peer, size bucket, schedule schema version). *)
+
+type hit = {
+  schedules : Syccl_sim.Schedule.t list;  (** one per collective phase *)
+  time : float;  (** freshly re-simulated cost, seconds *)
+  stored_cost : float;  (** cost recorded when the entry was stored *)
+  chosen : string;  (** winning-combination description, as stored *)
+  scaled : bool;  (** entry was rescaled from a different size in-bucket *)
+  hit_key : string;
+}
+
+val lookup :
+  t -> ?blocks:int -> Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t -> hit option
+(** Probe, verify, and return a servable hit.  [None] covers absent,
+    corrupt, invalid and cost-regressed entries (each separately
+    counted).  [blocks] is the simulator fidelity used for
+    re-simulation (default 8, matching
+    {!Syccl.Synthesizer.default_config}). *)
+
+val store :
+  t -> Syccl_topology.Topology.t -> Syccl_collective.Collective.t ->
+  cost:float -> chosen:string -> Syccl_sim.Schedule.t list -> unit
+(** Atomically persist a schedule set under the collective's key,
+    replacing any previous entry.  Callers are expected to store only
+    full-quality (non-degraded, non-fast-only) outcomes — the registry
+    does not second-guess that policy, it only verifies on the way out. *)
+
+val length : t -> int
+(** Number of entry files currently present (corrupt ones included). *)

@@ -1,0 +1,196 @@
+module Topology = Syccl_topology.Topology
+module Collective = Syccl_collective.Collective
+module Json = Syccl_util.Json
+module Counters = Syccl_util.Counters
+module Synthesizer = Syccl.Synthesizer
+
+type source =
+  | From_registry of { hit_key : string; scaled : bool; stored_cost : float }
+  | From_synthesis
+
+type outcome = {
+  request : Request.t;
+  source : source;
+  synth : Synthesizer.outcome;
+}
+
+let hit_breakdown =
+  {
+    Synthesizer.search_s = 0.0;
+    combine_s = 0.0;
+    solve1_s = 0.0;
+    solve2_s = 0.0;
+    cache_hits = 0;
+    cache_misses = 0;
+    milp_solves = 0;
+    milp_nodes = 0;
+    registry_hits = 1;
+    registry_misses = 0;
+  }
+
+let hit_outcome (request : Request.t) (hit : Registry.hit) =
+  {
+    request;
+    source =
+      From_registry
+        {
+          hit_key = hit.Registry.hit_key;
+          scaled = hit.Registry.scaled;
+          stored_cost = hit.Registry.stored_cost;
+        };
+    synth =
+      {
+        Synthesizer.schedules = hit.Registry.schedules;
+        time = hit.Registry.time;
+        busbw =
+          Collective.busbw request.Request.coll ~time:hit.Registry.time;
+        synth_time = 0.0;
+        breakdown = hit_breakdown;
+        num_sketches = 0;
+        num_combos = 0;
+        chosen = hit.Registry.chosen;
+        degraded = Synthesizer.Full;
+        degrade_reason = None;
+      };
+  }
+
+(* Registry write policy: persist only results the registry may later serve
+   in place of a full solve — the top ladder rung, with MILP refinement on.
+   Fast-only or degraded results would be valid but slower; storing them
+   would let a tight deadline today pollute an unconstrained run tomorrow
+   (the same rule the in-memory sub-solve memo follows). *)
+let storable (request : Request.t) (o : Synthesizer.outcome) =
+  o.Synthesizer.degraded = Synthesizer.Full
+  && (not request.Request.config.Synthesizer.fast_only)
+  && o.Synthesizer.schedules <> []
+
+let store_result registry (request : Request.t) (o : Synthesizer.outcome) =
+  match registry with
+  | Some reg when storable request o ->
+      Registry.store reg request.Request.topo request.Request.coll
+        ~cost:o.Synthesizer.time ~chosen:o.Synthesizer.chosen
+        o.Synthesizer.schedules
+  | _ -> ()
+
+let with_registry_miss registry (o : Synthesizer.outcome) =
+  match registry with
+  | None -> o
+  | Some _ ->
+      {
+        o with
+        Synthesizer.breakdown =
+          { o.Synthesizer.breakdown with Synthesizer.registry_misses = 1 };
+      }
+
+(* Group synthesis work by (topology structure, config) so each group runs
+   through [synthesize_all] — one pipeline invocation with snapshot
+   isolation and per-element fault containment.  Groups preserve request
+   order; grouping keys on the fingerprint, so two requests that built the
+   same cluster under different names still share a sweep. *)
+let group_requests requests =
+  let groups = ref [] in
+  List.iter
+    (fun (r : Request.t) ->
+      let fp = Topology.fingerprint r.Request.topo in
+      match
+        List.find_opt
+          (fun (fp', cfg, _) -> fp' = fp && cfg = r.Request.config)
+          !groups
+      with
+      | Some (_, _, members) -> members := r :: !members
+      | None -> groups := !groups @ [ (fp, r.Request.config, ref [ r ]) ])
+    requests;
+  List.map (fun (_, cfg, members) -> (cfg, List.rev !members)) !groups
+
+let run_batch ?registry requests =
+  (* Dedupe on the request key: equal keys are guaranteed identical
+     outcomes (synthesis is deterministic in everything the key covers),
+     so each unique request is planned and executed once. *)
+  let uniques =
+    List.fold_left
+      (fun acc r ->
+        let k = Request.key r in
+        if List.mem_assoc k acc then acc else acc @ [ (k, r) ])
+      [] requests
+  in
+  let plans = List.map (fun (k, r) -> (k, Plan.make ~registry r)) uniques in
+  let synth_work =
+    List.filter_map
+      (fun (k, (p : Plan.t)) ->
+        match p.Plan.action with
+        | Plan.Serve_hit _ -> None
+        | Plan.Synthesize -> Some (k, p.Plan.request))
+      plans
+  in
+  let synthesized =
+    List.concat_map
+      (fun (config, members) ->
+        let topo = (List.hd members : Request.t).Request.topo in
+        let colls = List.map (fun (r : Request.t) -> r.Request.coll) members in
+        (* synthesize_all substitutes the validated fallback baseline for
+           any element whose task dies outside the degradation ladder, so
+           a batch element can fail without failing the batch. *)
+        let outs = Synthesizer.synthesize_all ~config topo colls in
+        List.map2
+          (fun (r : Request.t) o ->
+            store_result registry r o;
+            (Request.key r, { request = r; source = From_synthesis;
+                              synth = with_registry_miss registry o }))
+          members outs)
+      (group_requests (List.map snd synth_work))
+  in
+  let by_key =
+    List.map
+      (fun (k, (p : Plan.t)) ->
+        match p.Plan.action with
+        | Plan.Serve_hit hit -> (k, hit_outcome p.Plan.request hit)
+        | Plan.Synthesize -> (k, List.assoc k synthesized))
+      plans
+  in
+  List.map (fun r -> List.assoc (Request.key r) by_key) requests
+
+let run ?registry request =
+  match run_batch ?registry [ request ] with
+  | [ o ] -> o
+  | _ -> assert false
+
+let outcome_to_json (o : outcome) =
+  let r = o.request in
+  let s = o.synth in
+  let b = s.Synthesizer.breakdown in
+  let int i = Json.Num (float_of_int i) in
+  Json.Obj
+    [
+      ("schema_version", Json.Num 1.0);
+      ("topology", Json.Str r.Request.topo_name);
+      ( "collective",
+        Json.Str
+          (String.lowercase_ascii
+             (Collective.kind_name r.Request.coll.Collective.kind)) );
+      ("size", Json.Num r.Request.coll.Collective.size);
+      ( "source",
+        Json.Str
+          (match o.source with
+          | From_registry _ -> "registry"
+          | From_synthesis -> "synthesis") );
+      ( "key",
+        match o.source with
+        | From_registry { hit_key; _ } -> Json.Str hit_key
+        | From_synthesis -> Json.Null );
+      ( "scaled",
+        Json.Bool
+          (match o.source with
+          | From_registry { scaled; _ } -> scaled
+          | From_synthesis -> false) );
+      ("time_s", Json.Num s.Synthesizer.time);
+      ("busbw_gbps", Json.Num s.Synthesizer.busbw);
+      ("chosen", Json.Str s.Synthesizer.chosen);
+      ("degraded", Json.Str (Synthesizer.level_name s.Synthesizer.degraded));
+      ( "degrade_reason",
+        match s.Synthesizer.degrade_reason with
+        | None -> Json.Null
+        | Some reason -> Json.Str reason );
+      ("registry_hits", int b.Synthesizer.registry_hits);
+      ("registry_misses", int b.Synthesizer.registry_misses);
+      ("synth_time_s", Json.Num s.Synthesizer.synth_time);
+    ]

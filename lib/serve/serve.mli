@@ -1,0 +1,47 @@
+(** Plan → execute: the one synthesis pipeline every front-end shares.
+
+    [run] (and [run_batch]) drive the full request lifecycle:
+
+    {v request → plan (registry probe + verify) → execute → outcome v}
+
+    Execution of a [Synthesize] plan is the existing
+    {!Syccl.Synthesizer} degradation ladder — budget, persistent pool,
+    trace spans and crash isolation attach there, once, for every
+    caller.  Execution of a [Serve_hit] plan replays the verified
+    registry schedules.  Full-quality synthesis results (ladder rung
+    [Full], MILP refinement not disabled) are stored back into the
+    registry, so repeated workloads converge to all-hits.
+
+    Batch execution dedupes requests on {!Request.key} and runs the
+    remaining synthesis work through
+    {!Syccl.Synthesizer.synthesize_all}, inheriting its snapshot
+    isolation (deterministic for any pool width) and per-element fault
+    isolation (a crashing request degrades to the fallback baseline,
+    its siblings keep going). *)
+
+type source =
+  | From_registry of { hit_key : string; scaled : bool; stored_cost : float }
+  | From_synthesis
+
+type outcome = {
+  request : Request.t;
+  source : source;
+  synth : Syccl.Synthesizer.outcome;
+      (** the underlying outcome; for registry hits, [time]/[busbw] are
+          freshly re-simulated, [synth_time] is 0, and
+          [breakdown.registry_hits = 1] *)
+}
+
+val run : ?registry:Registry.t -> Request.t -> outcome
+(** Plan and execute one request. *)
+
+val run_batch : ?registry:Registry.t -> Request.t list -> outcome list
+(** Plan and execute a batch, preserving order.  Duplicate requests
+    (equal {!Request.key}) are executed once and their outcome shared;
+    distinct requests sharing a topology structure and config are
+    synthesized concurrently on the persistent pool. *)
+
+val outcome_to_json : outcome -> Syccl_util.Json.t
+(** Canonical outcome encoding (one [syccl batch] JSONL line): fixed
+    field order; [synth_time_s] is the only timing field — everything
+    else is deterministic for a deterministic request. *)

@@ -59,10 +59,16 @@ let num_xfers t = List.length t.xfers
 
 module Json = Syccl_util.Json
 
+(* Bump whenever the JSON layout (or the semantics the simulator assigns to
+   it) changes incompatibly: persisted schedules — the on-disk registry in
+   particular — are invalidated by version, not by parse failure. *)
+let schema_version = 1
+
 let to_json t =
   let ints l = Json.List (List.map (fun i -> Json.Num (float_of_int i)) l) in
   Json.Obj
     [
+      ("schema_version", Json.Num (float_of_int schema_version));
       ( "chunks",
         Json.List
           (Array.to_list
@@ -92,6 +98,25 @@ let to_json t =
     ]
 
 let of_json j =
+  (* Documents predating the field parse as version 1 (the layout is
+     unchanged); an explicit mismatched version is rejected up front so a
+     registry entry written by a future incompatible build surfaces as a
+     clear parse error (⇒ a counted registry miss), never as a
+     silently-misread schedule. *)
+  (match j with
+  | Json.Obj fields -> (
+      match List.assoc_opt "schema_version" fields with
+      | None -> ()
+      | Some v ->
+          let got = Json.to_int v in
+          if got <> schema_version then
+            raise
+              (Json.Parse_error
+                 (Printf.sprintf
+                    "schedule schema_version mismatch: got %d, this build \
+                     reads %d"
+                    got schema_version)))
+  | _ -> ());
   let ints v = List.map Json.to_int (Json.to_list v) in
   let chunks =
     Array.of_list

@@ -110,6 +110,27 @@ let with_link t ~dim link =
     dims = Array.mapi (fun i d -> if i = dim then { d with link } else d) t.dims;
   }
 
+(* Canonical structural digest: everything the synthesizer's output depends
+   on — axis sizes, and per dimension the free-axis subset, link class and
+   port group — serialized deterministically and hashed.  The topology
+   [name] and dimension names are deliberately excluded, so a renamed (or
+   programmatically rebuilt) cluster with identical structure shares cached
+   schedules.  Link parameters are rendered as hex floats: two topologies
+   fingerprint equal iff their α/β are bit-equal, never merely close. *)
+let fingerprint t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "syccl-topology-v1;shape=";
+  Array.iter (fun s -> Buffer.add_string buf (string_of_int s ^ ".")) t.shape;
+  Array.iter
+    (fun d ->
+      Buffer.add_string buf ";dim:free=";
+      Array.iter (fun f -> Buffer.add_char buf (if f then '1' else '0')) d.free_axes;
+      Buffer.add_string buf
+        (Printf.sprintf ",alpha=%h,beta=%h,port=%d" d.link.Link.alpha
+           d.link.Link.beta d.port_group))
+    t.dims;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
 let bandwidth_share t =
   (* Per-GPU egress capacity per port group: count each physical port once,
      at the highest bandwidth class attached to it. *)

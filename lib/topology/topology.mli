@@ -79,6 +79,14 @@ val with_link : t -> dim:int -> Link.t -> t
     degraded rail after a failure (§8 "adaptability to dynamic network
     environments"); re-synthesizing on the result adapts the schedule. *)
 
+val fingerprint : t -> string
+(** Canonical structural digest (hex): axis shape plus, per dimension, the
+    free-axis subset, the exact link class (α, β bit-equal) and the port
+    group.  Names are excluded, so structurally identical topologies share
+    a fingerprint regardless of how they were built or labelled.  This is
+    the registry key component of {!Syccl_serve.Registry}: two topologies
+    with equal fingerprints are interchangeable for schedule reuse. *)
+
 val bandwidth_share : t -> float array
 (** [bandwidth_share t] is [u_d] of §4.2: for every dimension, the fraction
     of total per-GPU egress capacity it contributes.  Dimensions sharing a

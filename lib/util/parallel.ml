@@ -1,10 +1,6 @@
-let num_recommended () = max 1 (Domain.recommended_domain_count () - 1)
+(* Deprecated alias: the thin facade was folded into Pool (map_domains /
+   num_recommended).  Kept for one release so external callers migrate on
+   a deprecation warning instead of a hard break. *)
 
-(* Thin facade over the persistent pool: callers keep the historical
-   [map ~domains] interface, but domains are spawned once per level and
-   reused (see Pool). *)
-let map ?domains f xs =
-  let domains =
-    match domains with Some d -> max 1 d | None -> num_recommended ()
-  in
-  Pool.map (Pool.get domains) f xs
+let num_recommended = Pool.num_recommended
+let map = Pool.map_domains

@@ -1,16 +1,11 @@
-(** Data-parallel map over OCaml 5 domains.
+(** Deprecated alias of {!Pool}'s level-addressed map.
 
-    SyCCL solves independent sub-demands in parallel (§5.3).  Since the
-    domain-pool rework this is a facade over {!Pool}: [map ~domains]
-    reuses the persistent pool for that parallelism level instead of
-    spawning and joining fresh domains per call. *)
+    The facade was folded into {!Pool} ({!Pool.map_domains},
+    {!Pool.num_recommended}); this module forwards to it and will be
+    removed next release. *)
 
 val num_recommended : unit -> int
-(** Recommended domain count for this machine. *)
+  [@@ocaml.deprecated "use Syccl_util.Pool.num_recommended"]
 
 val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
-(** [map ~domains f xs] applies [f] to every element, preserving order.
-    With [domains <= 1] (or a single element) it degrades to a plain
-    sequential map.  Exceptions raised by [f] are re-raised in the
-    caller; the lowest failing index wins, so behaviour matches
-    [Array.map] for any domain count. *)
+  [@@ocaml.deprecated "use Syccl_util.Pool.map_domains"]

@@ -369,3 +369,13 @@ let map pool f xs =
     | Some (_, e) -> raise e
     | None -> Array.map (function Some v -> v | None -> assert false) results
   end
+
+(* --- level-addressed map (absorbed Parallel facade) --------------------- *)
+
+let num_recommended () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map_domains ?domains f xs =
+  let domains =
+    match domains with Some d -> max 1 d | None -> num_recommended ()
+  in
+  map (get domains) f xs

@@ -59,3 +59,13 @@ val map : t -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map, chunked over the pool.  Semantically
     equal to [Array.map] — including which exception is raised — for any
     pool size. *)
+
+val num_recommended : unit -> int
+(** Recommended parallelism for this machine (hardware domains minus the
+    caller). *)
+
+val map_domains : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map_domains ~domains f xs] is [map (get domains) f xs]: a parallel map
+    on the persistent pool of that level ({!num_recommended} when omitted).
+    This absorbs the former [Syccl_util.Parallel.map] facade; [Parallel]
+    remains as a deprecated alias for one release. *)

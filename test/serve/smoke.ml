@@ -1,0 +1,79 @@
+(* Registry round-trip smoke, run by the `runtest` alias: one batch of
+   requests (with a duplicate and a second collective) executed three times
+   against a fresh registry.  Run 1 must synthesize and store; runs 2 and 3
+   must be 100% registry hits and produce byte-identical outcome JSONL —
+   synth_time_s, the only timing field, excepted.  Exits non-zero on any
+   violation. *)
+
+module Json = Syccl_util.Json
+module Synth = Syccl.Synthesizer
+module Request = Syccl_serve.Request
+module Registry = Syccl_serve.Registry
+module Serve = Syccl_serve.Serve
+
+let fail fmt = Format.kasprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let requests =
+  let mk size = Request.make ~topology:"multirail:2x2" ~collective:"allgather" ~size () in
+  [
+    mk 65536.0;
+    mk 65536.0;  (* duplicate: must dedupe to one execution *)
+    mk 1048576.0;
+    Request.make ~topology:"multirail:2x2" ~collective:"reducescatter"
+      ~size:65536.0 ();
+  ]
+
+(* Canonical rendering with the timing field zeroed. *)
+let render (o : Serve.outcome) =
+  match Serve.outcome_to_json o with
+  | Json.Obj fields ->
+      Json.to_string
+        (Json.Obj
+           (List.map
+              (fun (k, v) ->
+                if k = "synth_time_s" then (k, Json.Num 0.0) else (k, v))
+              fields))
+  | _ -> fail "outcome must render as a JSON object"
+
+let () =
+  let reg =
+    Registry.open_dir
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "syccl-smoke-registry-%d" (Unix.getpid ())))
+  in
+  if Registry.length reg <> 0 then fail "smoke registry not empty at start";
+  let run () =
+    Synth.reset_caches ();
+    Serve.run_batch ~registry:reg requests
+  in
+  let first = run () in
+  List.iter
+    (fun (o : Serve.outcome) ->
+      if o.Serve.source <> Serve.From_synthesis then
+        fail "run 1 against an empty registry must synthesize everything")
+    first;
+  if Registry.length reg <> 3 then
+    fail "expected 3 stored entries (4 requests, 1 duplicate), got %d"
+      (Registry.length reg);
+  let second = run () and third = run () in
+  List.iteri
+    (fun i (o : Serve.outcome) ->
+      match o.Serve.source with
+      | Serve.From_registry _ -> ()
+      | Serve.From_synthesis ->
+          fail "run 2 outcome %d missed the registry (must be 100%% hits)" i)
+    second;
+  let r2 = List.map render second and r3 = List.map render third in
+  List.iteri
+    (fun i (a, b) ->
+      if a <> b then
+        fail "outcome %d differs between identical runs:@.  %s@.  %s" i a b)
+    (List.combine r2 r3);
+  (* Hits serve the stored quality: simulated cost no worse than run 1. *)
+  List.iter2
+    (fun (a : Serve.outcome) (b : Serve.outcome) ->
+      if b.Serve.synth.Synth.time > a.Serve.synth.Synth.time *. (1.0 +. 1e-6)
+      then fail "registry hit is slower than the stored solve")
+    first second;
+  print_endline "serve smoke: 3 entries, repeat runs 100% hits, outputs stable"

@@ -1,0 +1,319 @@
+(* Tests for the serve layer: topology fingerprints, request keys and JSON,
+   the persistent schedule registry (round-trip, corruption tolerance,
+   concurrent writers), and registry hit/miss surfacing in outcomes. *)
+
+module T = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module Link = Syccl_topology.Link
+module C = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+module Sim = Syccl_sim.Sim
+module Fallback = Syccl_baselines.Fallback
+module Json = Syccl_util.Json
+module Counters = Syccl_util.Counters
+module Pool = Syccl_util.Pool
+module Synth = Syccl.Synthesizer
+module Request = Syccl_serve.Request
+module Registry = Syccl_serve.Registry
+module Plan = Syccl_serve.Plan
+module Serve = Syccl_serve.Serve
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+
+(* Each test gets its own registry directory so counter deltas and entry
+   counts are isolated; unique-enough via pid + a per-process ticket. *)
+let ticket = ref 0
+
+let fresh_registry () =
+  incr ticket;
+  Registry.open_dir
+    (Filename.concat
+       (Filename.get_temp_dir_name ())
+       (Printf.sprintf "syccl-test-registry-%d-%d" (Unix.getpid ()) !ticket))
+
+let delta name f =
+  let before = Counters.value name in
+  let r = f () in
+  (r, Counters.value name -. before)
+
+let topo = Builders.h800_scaled ~servers:2 ~gpus_per_server:2
+let n = T.num_gpus topo
+let coll = C.make C.AllGather ~n ~size:65536.0
+
+let simulate schedules =
+  List.fold_left (fun a s -> a +. Sim.time ~blocks:8 topo s) 0.0 schedules
+
+(* --- fingerprints ----------------------------------------------------- *)
+
+let test_fingerprint_stable () =
+  check Alcotest.string "same builder, same digest"
+    (T.fingerprint (Builders.h800 ~servers:2))
+    (T.fingerprint (Builders.h800 ~servers:2));
+  let link = Link.make ~alpha:1e-6 ~gbps:100.0 in
+  check Alcotest.string "names do not affect structural identity"
+    (T.fingerprint (Builders.single_switch ~name:"alice" ~n:4 ~link ()))
+    (T.fingerprint (Builders.single_switch ~name:"bob" ~n:4 ~link ()))
+
+let test_fingerprint_distinct () =
+  let fps =
+    List.map T.fingerprint
+      [
+        Builders.a100 ~servers:2;
+        Builders.h800 ~servers:2;
+        Builders.h800 ~servers:4;
+        Builders.fig3 ();
+        Builders.h800_scaled ~servers:2 ~gpus_per_server:2;
+      ]
+  in
+  check Alcotest.int "all structurally distinct topologies differ"
+    (List.length fps)
+    (List.length (List.sort_uniq compare fps))
+
+(* --- request keys and JSON -------------------------------------------- *)
+
+let req ?(config = Synth.default_config) ?(size = 65536.0) () =
+  Request.make ~config ~topology:"multirail:2x2" ~collective:"allgather" ~size
+    ()
+
+let test_request_key () =
+  let base = req () in
+  let more_domains =
+    req ~config:{ Synth.default_config with Synth.domains = 7 } ()
+  in
+  check Alcotest.string "domains excluded: same work, same key"
+    (Request.key base) (Request.key more_domains);
+  checkb "size changes the key" false
+    (Request.key base = Request.key (req ~size:131072.0 ()));
+  checkb "fast_only changes the key" false
+    (Request.key base
+    = Request.key
+        (req ~config:{ Synth.default_config with Synth.fast_only = true } ()))
+
+let test_request_json_roundtrip () =
+  let r =
+    req ~config:{ Synth.default_config with Synth.deadline = Some 1.5 } ()
+  in
+  let r' = Request.of_json (Request.to_json r) in
+  check Alcotest.string "round-trip preserves the key" (Request.key r)
+    (Request.key r');
+  check Alcotest.string "round-trip preserves the topology name"
+    r.Request.topo_name r'.Request.topo_name;
+  Alcotest.check_raises "missing size rejected"
+    (Json.Parse_error "request is missing \"size\"") (fun () ->
+      ignore
+        (Request.of_json
+           (Json.Obj
+              [
+                ("topology", Json.Str "fig3");
+                ("collective", Json.Str "allgather");
+              ])))
+
+(* --- registry round-trip ---------------------------------------------- *)
+
+let test_registry_roundtrip () =
+  let reg = fresh_registry () in
+  let schedules = Fallback.schedule topo coll in
+  let cost = simulate schedules in
+  Registry.store reg topo coll ~cost ~chosen:"fallback" schedules;
+  check Alcotest.int "one entry on disk" 1 (Registry.length reg);
+  (match Registry.lookup reg topo coll with
+  | None -> Alcotest.fail "stored entry must be a hit"
+  | Some hit ->
+      checkb "same size: not scaled" false hit.Registry.scaled;
+      check Alcotest.string "chosen survives" "fallback" hit.Registry.chosen;
+      checkb "re-simulated cost no worse than stored" true
+        (hit.Registry.time <= cost *. (1.0 +. 1e-6)));
+  (* Same bucket, different size: served scaled, still valid. *)
+  let coll' = C.make C.AllGather ~n ~size:100000.0 in
+  (match Registry.lookup reg topo coll' with
+  | None -> Alcotest.fail "in-bucket size must be a (scaled) hit"
+  | Some hit ->
+      checkb "rescaled from the stored size" true hit.Registry.scaled;
+      checkb "rescaled schedules validate" true
+        (match Syccl_sim.Validate.validate topo coll' hit.Registry.schedules with
+        | Ok () -> true
+        | Error _ -> false));
+  (* Different bucket / different kind: misses. *)
+  checkb "other bucket misses" true
+    (Registry.lookup reg topo (C.make C.AllGather ~n ~size:1048576.0) = None);
+  checkb "other kind misses" true
+    (Registry.lookup reg topo (C.make C.ReduceScatter ~n ~size:65536.0) = None)
+
+let test_registry_corrupt_entry () =
+  let reg = fresh_registry () in
+  let schedules = Fallback.schedule topo coll in
+  Registry.store reg topo coll ~cost:(simulate schedules) ~chosen:"fallback"
+    schedules;
+  let path =
+    Filename.concat (Registry.dir reg) (Registry.key topo coll ^ ".json")
+  in
+  (* Truncate the entry mid-file: the lookup must demote it to a counted
+     miss, not raise. *)
+  let body =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic / 2) in
+    close_in ic;
+    s
+  in
+  let oc = open_out path in
+  output_string oc body;
+  close_out oc;
+  let result, corrupt =
+    delta "registry.corrupt" (fun () ->
+        snd (delta "registry.misses" (fun () -> Registry.lookup reg topo coll)))
+  in
+  ignore result;
+  check (Alcotest.float 0.0) "corrupt counted" 1.0 corrupt;
+  let result, missed =
+    delta "registry.misses" (fun () -> Registry.lookup reg topo coll)
+  in
+  checkb "truncated entry is a miss" true (result = None);
+  check (Alcotest.float 0.0) "miss counted" 1.0 missed;
+  (* Not-JSON garbage behaves the same. *)
+  let oc = open_out path in
+  output_string oc "not json at all {{{";
+  close_out oc;
+  let result, corrupt =
+    delta "registry.corrupt" (fun () -> Registry.lookup reg topo coll)
+  in
+  checkb "garbage entry is a miss" true (result = None);
+  check (Alcotest.float 0.0) "garbage counted corrupt" 1.0 corrupt
+
+let test_registry_schema_mismatch () =
+  let reg = fresh_registry () in
+  let schedules = Fallback.schedule topo coll in
+  Registry.store reg topo coll ~cost:(simulate schedules) ~chosen:"fallback"
+    schedules;
+  let path =
+    Filename.concat (Registry.dir reg) (Registry.key topo coll ^ ".json")
+  in
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  (* Rewrite the entry claiming a future schema: must be a corrupt miss. *)
+  let j = Json.of_string body in
+  let bumped =
+    match j with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.map
+             (fun (k, v) ->
+               if k = "schema_version" then (k, Json.Num 999.0) else (k, v))
+             fields)
+    | _ -> Alcotest.fail "entry must be an object"
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string bumped);
+  close_out oc;
+  let result, corrupt =
+    delta "registry.corrupt" (fun () -> Registry.lookup reg topo coll)
+  in
+  checkb "future-schema entry is a miss" true (result = None);
+  check (Alcotest.float 0.0) "schema mismatch counted corrupt" 1.0 corrupt
+
+let test_registry_concurrent_writers () =
+  let reg = fresh_registry () in
+  let schedules = Fallback.schedule topo coll in
+  let cost = simulate schedules in
+  (* Many pool tasks race to store the same key.  Writes are atomic
+     renames, so whichever wins, the surviving entry must parse, validate,
+     and hit. *)
+  let pool = Pool.get 4 in
+  ignore
+    (Pool.map pool
+       (fun i ->
+         Registry.store reg topo coll ~cost
+           ~chosen:(Printf.sprintf "writer-%d" i)
+           schedules;
+         i)
+       (Array.init 16 Fun.id));
+  check Alcotest.int "exactly one entry survives" 1 (Registry.length reg);
+  match Registry.lookup reg topo coll with
+  | None -> Alcotest.fail "racing writers must still leave a valid entry"
+  | Some hit ->
+      checkb "some writer's entry won" true
+        (String.length hit.Registry.chosen > 7
+        && String.sub hit.Registry.chosen 0 7 = "writer-")
+
+(* --- serve pipeline --------------------------------------------------- *)
+
+let test_outcome_breakdown_counters () =
+  let reg = fresh_registry () in
+  let r = req () in
+  Synth.reset_caches ();
+  let first = Serve.run ~registry:reg r in
+  checkb "first run synthesizes" true
+    (first.Serve.source = Serve.From_synthesis);
+  check Alcotest.int "miss surfaced in breakdown" 1
+    first.Serve.synth.Synth.breakdown.Synth.registry_misses;
+  check Alcotest.int "no hit on first run" 0
+    first.Serve.synth.Synth.breakdown.Synth.registry_hits;
+  let second = Serve.run ~registry:reg r in
+  (match second.Serve.source with
+  | Serve.From_registry { scaled; _ } -> checkb "exact size" false scaled
+  | Serve.From_synthesis -> Alcotest.fail "second run must hit the registry");
+  check Alcotest.int "hit surfaced in breakdown" 1
+    second.Serve.synth.Synth.breakdown.Synth.registry_hits;
+  checkb "hit serves the stored quality" true
+    (second.Serve.synth.Synth.time
+    <= first.Serve.synth.Synth.time *. (1.0 +. 1e-6));
+  (* Without a registry both counters stay zero. *)
+  let bare = Serve.run (req ~size:32768.0 ()) in
+  check Alcotest.int "no registry, no misses" 0
+    bare.Serve.synth.Synth.breakdown.Synth.registry_misses;
+  check Alcotest.int "no registry, no hits" 0
+    bare.Serve.synth.Synth.breakdown.Synth.registry_hits
+
+let test_fast_only_not_stored () =
+  let reg = fresh_registry () in
+  let fast = { Synth.default_config with Synth.fast_only = true } in
+  let r = req ~config:fast () in
+  Synth.reset_caches ();
+  let _ = Serve.run ~registry:reg r in
+  check Alcotest.int "fast-only results are not persisted" 0
+    (Registry.length reg);
+  let again = Serve.run ~registry:reg r in
+  checkb "fast-only request synthesizes every time" true
+    (again.Serve.source = Serve.From_synthesis)
+
+let test_batch_dedupe () =
+  let reg = fresh_registry () in
+  Synth.reset_caches ();
+  let r = req () in
+  let outs = Serve.run_batch ~registry:reg [ r; r; r ] in
+  check Alcotest.int "every request gets an outcome" 3 (List.length outs);
+  let stores = Registry.length reg in
+  check Alcotest.int "duplicates share one execution and one store" 1 stores;
+  List.iter
+    (fun (o : Serve.outcome) ->
+      check (Alcotest.float 0.0) "shared outcome" (List.hd outs).Serve.synth.Synth.time
+        o.Serve.synth.Synth.time)
+    outs
+
+let suite =
+  [
+    Alcotest.test_case "fingerprint stable and name-blind" `Quick
+      test_fingerprint_stable;
+    Alcotest.test_case "fingerprint distinct across structures" `Quick
+      test_fingerprint_distinct;
+    Alcotest.test_case "request key covers demand, not parallelism" `Quick
+      test_request_key;
+    Alcotest.test_case "request JSON round-trip" `Quick
+      test_request_json_roundtrip;
+    Alcotest.test_case "registry store/lookup round-trip" `Quick
+      test_registry_roundtrip;
+    Alcotest.test_case "corrupted entry is a counted miss" `Quick
+      test_registry_corrupt_entry;
+    Alcotest.test_case "schema mismatch is a counted miss" `Quick
+      test_registry_schema_mismatch;
+    Alcotest.test_case "concurrent writers leave a valid entry" `Quick
+      test_registry_concurrent_writers;
+    Alcotest.test_case "registry hits/misses surface in breakdown" `Quick
+      test_outcome_breakdown_counters;
+    Alcotest.test_case "fast-only outcomes are not stored" `Quick
+      test_fast_only_not_stored;
+    Alcotest.test_case "batch dedupes equal requests" `Quick test_batch_dedupe;
+  ]
+
+let () = Alcotest.run "syccl-serve" [ ("serve", suite) ]

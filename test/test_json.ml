@@ -75,6 +75,38 @@ let test_reduce_schedule_roundtrip () =
     (Array.for_all (fun c -> c.Schedule.mode = `Reduce) s'.Schedule.chunks);
   check (Alcotest.float 1e-12) "behaviour preserved" (Sim.time topo s) (Sim.time topo s')
 
+let test_schedule_schema_version () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  let s = Syccl_baselines.Ring.allgather topo coll in
+  let fields =
+    match Schedule.to_json s with
+    | Json.Obj fields -> fields
+    | _ -> Alcotest.fail "schedule must encode as an object"
+  in
+  Alcotest.(check bool) "to_json stamps the current schema version" true
+    (List.assoc_opt "schema_version" fields
+    = Some (Json.Num (float_of_int Schedule.schema_version)));
+  (* A legacy encoding (no version field) is still read as v1... *)
+  let legacy = Json.Obj (List.remove_assoc "schema_version" fields) in
+  Alcotest.(check int) "versionless legacy encoding accepted"
+    (Schedule.num_xfers s)
+    (Schedule.num_xfers (Schedule.of_json legacy));
+  (* ...but an explicit mismatch is rejected with a clear Parse_error. *)
+  let future =
+    Json.Obj
+      (List.map
+         (fun (k, v) ->
+           if k = "schema_version" then (k, Json.Num 999.0) else (k, v))
+         fields)
+  in
+  match Schedule.of_json future with
+  | exception Json.Parse_error msg ->
+      Alcotest.(check bool) "error names both versions" true
+        (Astring_replacement.contains msg "999"
+        && Astring_replacement.contains msg "schema_version")
+  | _ -> Alcotest.fail "future schema_version must be rejected"
+
 let test_json_numbers () =
   check (Alcotest.float 1e-12) "negative" (-3.5)
     (Json.to_float (Json.of_string "-3.5"));
@@ -107,4 +139,5 @@ let suite =
     qtest json_roundtrip_prop;
     ("schedule roundtrip", `Quick, test_schedule_roundtrip);
     ("reduce schedule roundtrip", `Quick, test_reduce_schedule_roundtrip);
+    ("schedule schema version", `Quick, test_schedule_schema_version);
   ]

@@ -2,7 +2,6 @@
    and the monotonic clock. *)
 
 module Pool = Syccl_util.Pool
-module Parallel = Syccl_util.Parallel
 module Cache = Syccl_util.Cache
 module Counters = Syccl_util.Counters
 module Clock = Syccl_util.Clock
@@ -17,7 +16,7 @@ let env_domains =
   | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 2)
   | None -> 2
 
-(* --- Parallel.map determinism ------------------------------------------ *)
+(* --- Pool.map_domains determinism ------------------------------------ *)
 
 let test_map_deterministic () =
   let xs = Array.init 257 (fun i -> i) in
@@ -25,7 +24,7 @@ let test_map_deterministic () =
   let expect = Array.map f xs in
   List.iter
     (fun d ->
-      let ys = Parallel.map ~domains:d f xs in
+      let ys = Pool.map_domains ~domains:d f xs in
       check
         Alcotest.(array int)
         (Printf.sprintf "map at domains=%d" d)
@@ -33,9 +32,9 @@ let test_map_deterministic () =
     [ 1; 2; 8; env_domains ]
 
 let test_map_empty_and_singleton () =
-  check Alcotest.(array int) "empty" [||] (Parallel.map ~domains:4 succ [||]);
+  check Alcotest.(array int) "empty" [||] (Pool.map_domains ~domains:4 succ [||]);
   check Alcotest.(array int) "singleton" [| 8 |]
-    (Parallel.map ~domains:4 succ [| 7 |])
+    (Pool.map_domains ~domains:4 succ [| 7 |])
 
 (* The lowest failing index's exception must win, as in Array.map, at every
    pool size. *)
@@ -45,7 +44,7 @@ let test_map_exn_lowest_index () =
   in
   List.iter
     (fun d ->
-      match Parallel.map ~domains:d f (Array.init 20 (fun i -> i)) with
+      match Pool.map_domains ~domains:d f (Array.init 20 (fun i -> i)) with
       | exception Failure m ->
           check Alcotest.string
             (Printf.sprintf "lowest-index exn at domains=%d" d)
@@ -61,9 +60,9 @@ let test_map_exn_lowest_index () =
 let test_map_nested_no_deadlock () =
   let outer = Array.init 6 (fun i -> i) in
   let ys =
-    Parallel.map ~domains:4
+    Pool.map_domains ~domains:4
       (fun i ->
-        let inner = Parallel.map ~domains:4 (fun j -> (i * 100) + j)
+        let inner = Pool.map_domains ~domains:4 (fun j -> (i * 100) + j)
             (Array.init 32 (fun j -> j))
         in
         Array.fold_left ( + ) 0 inner)
@@ -80,7 +79,7 @@ let map_matches_array_map_prop =
     QCheck.(pair (int_range 1 8) (list small_int))
     (fun (domains, xs) ->
       let a = Array.of_list xs in
-      Parallel.map ~domains (fun x -> (2 * x) + 1) a
+      Pool.map_domains ~domains (fun x -> (2 * x) + 1) a
       = Array.map (fun x -> (2 * x) + 1) a)
 
 (* --- submit / await ----------------------------------------------------- *)
@@ -126,7 +125,7 @@ let test_cache_concurrent_bounded () =
   and m0 = Counters.value (name ^ ".misses") in
   let calls = 1000 in
   let ys =
-    Parallel.map ~domains:8
+    Pool.map_domains ~domains:8
       (fun i ->
         let k = i mod 64 in
         Cache.find_or_compute cache k (fun () -> k * 7))
@@ -171,7 +170,7 @@ let test_clock_monotonic () =
 
 let test_clock_monotonic_across_domains () =
   let samples =
-    Parallel.map ~domains:4 (fun _ -> Clock.now ()) (Array.init 64 (fun i -> i))
+    Pool.map_domains ~domains:4 (fun _ -> Clock.now ()) (Array.init 64 (fun i -> i))
   in
   let after = Clock.now () in
   Array.iter

@@ -7,7 +7,7 @@ module Mixed_radix = Syccl_util.Mixed_radix
 module Linalg = Syccl_util.Linalg
 module Perm = Syccl_util.Perm
 module Stats = Syccl_util.Stats
-module Parallel = Syccl_util.Parallel
+module Pool = Syccl_util.Pool
 
 let check = Alcotest.check
 let qtest = QCheck_alcotest.to_alcotest
@@ -219,15 +219,15 @@ let test_stats_percentile_range () =
           ignore (Stats.percentile_opt (-0.1) xs)))
     [ []; [ 1.0; 2.0 ] ]
 
-(* --- Parallel --- *)
+(* --- Pool.map_domains (formerly Parallel) --- *)
 
 let test_parallel_map_order () =
   let xs = Array.init 101 (fun i -> i) in
-  let ys = Parallel.map ~domains:4 (fun x -> x * x) xs in
+  let ys = Pool.map_domains ~domains:4 (fun x -> x * x) xs in
   check Alcotest.(array int) "order preserved" (Array.map (fun x -> x * x) xs) ys
 
 let test_parallel_map_exn () =
-  match Parallel.map ~domains:3 (fun x -> if x = 5 then failwith "boom" else x)
+  match Pool.map_domains ~domains:3 (fun x -> if x = 5 then failwith "boom" else x)
           (Array.init 10 (fun i -> i))
   with
   | exception Failure m -> check Alcotest.string "exn propagated" "boom" m

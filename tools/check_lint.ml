@@ -1,0 +1,137 @@
+(* Source lint for the lib/ tree, run as part of `dune runtest`.
+
+   Three rules, each guarding an invariant the type checker cannot:
+
+   1. No direct [Unix.gettimeofday] outside lib/util/clock.ml — budget and
+      deadline math must go through the monotonic-clamped Syccl_util.Clock,
+      because a wall-clock jump can make deadlines fire instantly or never.
+
+   2. No top-level [Hashtbl.create] outside lib/util — a module-level table
+      created at load time is shared mutable state invisible to the pool's
+      snapshot-isolation discipline.  Shared tables belong in lib/util
+      (Cache, Counters, Trace, Pool) where their locking is audited; local
+      tables created inside functions are fine.
+
+   3. No stdout printing ([print_string], [print_endline], [print_newline],
+      [Printf.printf], [Format.printf]) in lib/ — libraries report through
+      Counters/Trace or return values; only bin/ and tools/ own stdout.
+      (Format.fprintf to an explicit formatter is fine.) *)
+
+type rule = {
+  name : string;
+  hint : string;
+  (* [flags path line_at_bol] where [line_at_bol] is true when the match
+     starts at the beginning of a line (column 0). *)
+  applies : string -> bool;  (* does this rule scan the given file? *)
+  needles : string list;
+  at_bol_only : bool;  (* only flag matches at column 0 (top level) *)
+}
+
+let rules =
+  [
+    {
+      name = "Unix.gettimeofday";
+      hint = "use Syccl_util.Clock.now";
+      applies = (fun path -> Filename.basename path <> "clock.ml");
+      needles = [ "Unix.gettimeofday" ];
+      at_bol_only = false;
+    };
+    {
+      name = "top-level Hashtbl.create";
+      hint = "module-level mutable tables belong in lib/util (Cache/Counters)";
+      applies =
+        (fun path ->
+          (* lib/util is the sanctioned home for shared tables. *)
+          not (String.length path >= 8 && String.sub path 0 8 = "lib/util")
+          && not
+               (let re = "/lib/util/" in
+                let n = String.length path and m = String.length re in
+                let rec go i =
+                  i + m <= n && (String.sub path i m = re || go (i + 1))
+                in
+                go 0));
+      needles = [ "let " ];
+      (* refined below: a top-level let whose binding calls Hashtbl.create *)
+      at_bol_only = true;
+    };
+    {
+      name = "stdout printing";
+      hint = "libraries report via Counters/Trace or return values";
+      applies = (fun _ -> true);
+      needles =
+        [
+          "print_string"; "print_endline"; "print_newline"; "Printf.printf";
+          "Format.printf";
+        ];
+      at_bol_only = false;
+    };
+  ]
+
+let read_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let lines_of s = String.split_on_char '\n' s
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let starts_with line needle =
+  String.length line >= String.length needle
+  && String.sub line 0 (String.length needle) = needle
+
+(* Returns the 1-based line numbers a rule flags in [text]. *)
+let flag rule text =
+  lines_of text
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.filter_map (fun (lineno, line) ->
+         let hit =
+           match rule.name with
+           | "top-level Hashtbl.create" ->
+               (* A binding at column 0 that creates a table right there. *)
+               starts_with line "let " && contains line "Hashtbl.create"
+           | _ ->
+               List.exists
+                 (fun needle ->
+                   if rule.at_bol_only then starts_with line needle
+                   else contains line needle)
+                 rule.needles
+         in
+         if hit then Some lineno else None)
+
+let rec scan offenders dir =
+  Array.fold_left
+    (fun offenders entry ->
+      let path = Filename.concat dir entry in
+      if Sys.is_directory path then scan offenders path
+      else if Filename.check_suffix entry ".ml" then
+        List.fold_left
+          (fun offenders rule ->
+            if rule.applies path then
+              match flag rule (read_file path) with
+              | [] -> offenders
+              | linenos ->
+                  List.map
+                    (fun l ->
+                      Printf.sprintf "%s:%d: %s (%s)" path l rule.name
+                        rule.hint)
+                    linenos
+                  @ offenders
+            else offenders)
+          offenders rules
+      else offenders)
+    offenders (Sys.readdir dir)
+
+let () =
+  let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
+  match scan [] root with
+  | [] -> ()
+  | offenders ->
+      prerr_endline "error: lint violations in lib/:";
+      List.iter (fun p -> prerr_endline ("  " ^ p)) (List.sort compare offenders);
+      exit 1
