@@ -639,6 +639,67 @@ let warm_cmd =
       const run $ topo_arg $ colls $ sizes $ domains_arg $ deadline_arg
       $ registry_arg)
 
+let fuzz_cmd =
+  let run seed cases props shrink domains =
+    let cases =
+      match cases with
+      | Some n -> n
+      | None -> Syccl_check.Fuzz.default_cases ()
+    in
+    let props = if props = [] then None else Some props in
+    let report =
+      Syccl_check.Fuzz.run ?props ~progress:Format.std_formatter ~domains
+        ~shrink ~seed ~cases ()
+    in
+    Syccl_check.Fuzz.pp_report Format.std_formatter report;
+    if report.Syccl_check.Fuzz.failures <> [] then exit 1
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Base random seed.  A failure is replayed exactly by the same \
+             seed, property and case index.")
+  in
+  let cases =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "cases" ] ~docv:"N"
+          ~doc:
+            "Cases per property (heavy properties — the differential \
+             synthesis oracle, registry round-trips — run N/8).  Defaults \
+             to $(b,SYCCL_FUZZ_CASES) when set, else 50.")
+  in
+  let props =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "p"; "props" ] ~docv:"NAME,..."
+          ~doc:
+            "Only run the named properties (default: the whole catalogue).")
+  in
+  let shrink =
+    Arg.(
+      value & flag
+      & info [ "shrink" ]
+          ~doc:
+            "Greedily shrink counterexample schedules to a 1-minimal \
+             witness before reporting them.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based fuzzing and differential verification: metamorphic \
+          laws of the schedule IR (reverse involution, scale linearity, \
+          union dominance, automorphism transport), validator soundness \
+          against an independent reference checker under schedule \
+          mutations, registry invariants, and a differential oracle pitting \
+          the full synthesis pipeline against greedy, TECCL and NCCL \
+          baselines.  Exits non-zero if any counterexample survives.")
+    Term.(const run $ seed $ cases $ props $ shrink $ domains_arg)
+
 let () =
   let doc = "SyCCL: symmetry-guided collective communication schedule synthesis" in
   exit
@@ -647,4 +708,5 @@ let () =
           [
             topo_cmd; synth_cmd; sweep_cmd; batch_cmd; warm_cmd; export_cmd;
             analyze_cmd; profile_cmd; save_cmd; replay_cmd; explain_cmd;
+            fuzz_cmd;
           ]))

@@ -41,7 +41,11 @@ let rail_structure topo =
         else if d = sd then find_rail (d + 1)
         else begin
           (* Every (server group, rail group) pair must meet in exactly one
-             GPU, and rail groups must not swallow whole servers. *)
+             GPU, and rail groups must not swallow whole servers.  "Exactly"
+             matters: a rail that merely avoids repeating servers but skips
+             some (so a pair meets in zero GPUs) would strand PXN's
+             same-server relay lookup. *)
+          let servers = Topology.groups_count topo ~dim:sd in
           let ok = ref (Topology.groups_count topo ~dim:d > 1) in
           for g = 0 to Topology.groups_count topo ~dim:d - 1 do
             let members = Topology.gpus_in_group topo ~dim:d ~group:g in
@@ -50,7 +54,8 @@ let rail_structure topo =
               (fun v ->
                 let s = Topology.group_of topo ~dim:sd v in
                 if Hashtbl.mem seen s then ok := false else Hashtbl.replace seen s ())
-              members
+              members;
+            if Hashtbl.length seen <> servers then ok := false
           done;
           ignore n;
           if !ok then Some (sd, d) else find_rail (d + 1)

@@ -2,26 +2,98 @@ module Topology = Syccl_topology.Topology
 module Collective = Syccl_collective.Collective
 module Schedule = Syccl_sim.Schedule
 
+(* Breadth-first relay tree from [src] covering [wanted], for topologies
+   where some destination is not a direct peer of the source (rail-optimized
+   clusters without a spine dimension).  The BFS tree is pruned to the
+   branches that lead to a wanted GPU, so relays appear only where needed;
+   every node has one parent, so no GPU receives a chunk twice.  Edges come
+   out in (depth, gpu) order — senders always precede their subtrees. *)
+let relay_edges topo ~src ~wanted =
+  let n = Topology.num_gpus topo in
+  let parent = Array.make n (-1) in
+  let depth = Array.make n 0 in
+  let visited = Array.make n false in
+  visited.(src) <- true;
+  let q = Queue.create () in
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for d = 0 to Topology.num_dims topo - 1 do
+      Array.iter
+        (fun v ->
+          if not visited.(v) then begin
+            visited.(v) <- true;
+            parent.(v) <- u;
+            depth.(v) <- depth.(u) + 1;
+            Queue.add v q
+          end)
+        (Topology.peers topo ~dim:d u)
+    done
+  done;
+  let needed = Array.make n false in
+  List.iter
+    (fun v ->
+      if not visited.(v) then raise Not_found;
+      let rec mark v =
+        if v <> src && not needed.(v) then begin
+          needed.(v) <- true;
+          mark parent.(v)
+        end
+      in
+      mark v)
+    wanted;
+  let edges = ref [] in
+  for v = n - 1 downto 0 do
+    if needed.(v) then edges := (parent.(v), v, depth.(v)) :: !edges
+  done;
+  List.stable_sort (fun (_, _, a) (_, _, b) -> compare a b) !edges
+
 (* Spread each source's sends across destinations in rotated order so all
-   ingress ports fill evenly from the first instant. *)
+   ingress ports fill evenly from the first instant.  Destinations that are
+   not direct peers of the source are reached through a pruned BFS relay
+   tree instead (the direct one-hop schedule is kept bit-for-bit whenever
+   it exists). *)
 let from_chunks topo metas =
   let xfers = ref [] in
   Array.iteri
     (fun c (m : Schedule.chunk_meta) ->
       match m.initial with
       | [ src ] ->
-          List.iteri
-            (fun i dst ->
-              xfers :=
-                {
-                  Schedule.chunk = c;
-                  src;
-                  dst;
-                  dim = Common.connecting_dim topo src dst;
-                  prio = i;
-                }
-                :: !xfers)
-            (List.filter (fun d -> d <> src) m.wanted)
+          let dsts = List.filter (fun d -> d <> src) m.wanted in
+          let direct =
+            List.for_all
+              (fun dst ->
+                match Common.connecting_dim topo src dst with
+                | (_ : int) -> true
+                | exception Not_found -> false)
+              dsts
+          in
+          if direct then
+            List.iteri
+              (fun i dst ->
+                xfers :=
+                  {
+                    Schedule.chunk = c;
+                    src;
+                    dst;
+                    dim = Common.connecting_dim topo src dst;
+                    prio = i;
+                  }
+                  :: !xfers)
+              dsts
+          else
+            List.iter
+              (fun (u, v, d) ->
+                xfers :=
+                  {
+                    Schedule.chunk = c;
+                    src = u;
+                    dst = v;
+                    dim = Common.connecting_dim topo u v;
+                    prio = d;
+                  }
+                  :: !xfers)
+              (relay_edges topo ~src ~wanted:dsts)
       | _ -> invalid_arg "Direct.from_chunks: single source required")
     metas;
   { Schedule.chunks = metas; xfers = List.rev !xfers }
@@ -67,3 +139,11 @@ let reducescatter topo coll =
     Collective.make Collective.AllGather ~n:coll.Collective.n ~size:coll.Collective.size
   in
   Schedule.reverse (allgather topo forward)
+
+let reduce topo coll =
+  assert (coll.Collective.kind = Collective.Reduce);
+  let forward =
+    Collective.make ~root:coll.Collective.root Collective.Broadcast
+      ~n:coll.Collective.n ~size:coll.Collective.size
+  in
+  Schedule.reverse (broadcast topo forward)

@@ -1,7 +1,12 @@
 (** One-hop direct schedules: every chunk is sent straight from its source
     to each destination over the most local connecting dimension.  Minimal
     latency, maximal source-port serialization — the small-size schedule of
-    Appendix C. *)
+    Appendix C.
+
+    On topologies where a destination shares no dimension with the source
+    (rail-optimized clusters without a spine), the chunk is routed through
+    a pruned breadth-first relay tree instead of failing; the one-hop
+    schedule is kept bit-for-bit whenever it exists. *)
 
 val allgather :
   Syccl_topology.Topology.t ->
@@ -22,6 +27,13 @@ val reducescatter :
   Syccl_topology.Topology.t ->
   Syccl_collective.Collective.t ->
   Syccl_sim.Schedule.t
+
+val reduce :
+  Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t ->
+  Syccl_sim.Schedule.t
+(** Mirror of {!broadcast}: every contribution flows down the (relayed,
+    where necessary) broadcast tree in reverse. *)
 
 val gather_metas : Syccl_collective.Collective.t -> Syccl_sim.Schedule.chunk_meta array
 (** The collective's gather chunks as schedule metadata (destinations rotated

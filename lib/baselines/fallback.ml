@@ -51,16 +51,18 @@ let candidates topo (coll : Collective.t) =
         (fun () -> [ Tree.broadcast topo coll ]);
         (fun () -> [ Direct.broadcast topo coll ]);
       ]
-  | Collective.Reduce -> [ (fun () -> [ Tree.reduce topo coll ]) ]
-  | Collective.Gather ->
-      (* Built forward from the gather demand (each source sends its chunk
-         one-hop to the root) rather than via Nccl's reversed-scatter trick,
-         whose Reduce-mode chunks fail strict demand validation. *)
-      [ (fun () -> [ Direct.from_chunks topo (Direct.gather_metas coll) ]) ]
-  | Collective.SendRecv | Collective.Scatter ->
+  | Collective.Reduce ->
+      [
+        (fun () -> [ Tree.reduce topo coll ]);
+        (* Routed mirror of the direct broadcast: survives topologies where
+           the binary tree's heap edges do not exist (rail-optimized
+           clusters without a spine). *)
+        (fun () -> [ Direct.reduce topo coll ]);
+      ]
+  | Collective.SendRecv | Collective.Scatter | Collective.Gather ->
       [ (fun () -> Nccl.schedule topo coll) ]
-(* SendRecv/Scatter take Nccl.schedule's single-candidate paths, which
-   involve no simulation. *)
+(* SendRecv/Scatter/Gather take Nccl.schedule's single-candidate paths,
+   which involve no simulation. *)
 
 let schedule topo coll =
   let rec first_valid last_err = function

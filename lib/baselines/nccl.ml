@@ -2,6 +2,7 @@ module Topology = Syccl_topology.Topology
 module Collective = Syccl_collective.Collective
 module Schedule = Syccl_sim.Schedule
 module Sim = Syccl_sim.Sim
+module Validate = Syccl_sim.Validate
 
 let phase_time ?blocks topo phases =
   List.fold_left (fun acc s -> acc +. Sim.time ?blocks topo s) 0.0 phases
@@ -18,58 +19,121 @@ let best ?blocks topo candidates =
         (first, score first) rest
       |> fst
 
+(* The tuner model: build every candidate algorithm, keep the ones that
+   actually apply to this topology (a ring needs consecutive servers to be
+   connected; a tree needs its heap edges to exist — on rail-optimized
+   clusters without a spine they may not) AND pass strict demand
+   validation, then pick the fastest by simulation.  A real tuner never
+   serves an algorithm whose communication pattern the fabric cannot
+   express or that computes the wrong thing. *)
+let best_valid ?blocks topo coll candidates =
+  let viable =
+    List.filter_map
+      (fun gen ->
+        match gen () with
+        | exception _ -> None
+        | phases -> (
+            match Validate.validate topo coll phases with
+            | Ok () -> Some phases
+            | Error _ -> None))
+      candidates
+  in
+  match viable with
+  | [] ->
+      failwith
+        (Printf.sprintf "Nccl.schedule: no applicable algorithm for %s"
+           (Collective.kind_name coll.Collective.kind))
+  | [ only ] -> only (* simulator-free when there is nothing to tune *)
+  | _ -> best ?blocks topo viable
+
+(* Kinds NCCL does not tune keep their fixed preference order — the first
+   candidate that builds and validates wins, with no simulation (the
+   fallback ladder leans on these paths staying simulator-free). *)
+let first_valid topo coll candidates =
+  let rec go = function
+    | [] ->
+        failwith
+          (Printf.sprintf "Nccl.schedule: no applicable algorithm for %s"
+             (Collective.kind_name coll.Collective.kind))
+    | gen :: rest -> (
+        match gen () with
+        | exception _ -> go rest
+        | phases -> (
+            match Validate.validate topo coll phases with
+            | Ok () -> phases
+            | Error _ -> go rest))
+  in
+  go candidates
+
 let schedule topo coll =
   match coll.Collective.kind with
-  | Collective.AllGather -> [ Ring.allgather topo coll ]
-  | Collective.ReduceScatter -> [ Ring.reducescatter topo coll ]
+  | Collective.AllGather ->
+      first_valid topo coll
+        [
+          (fun () -> [ Ring.allgather topo coll ]);
+          (fun () -> [ Direct.allgather topo coll ]);
+        ]
+  | Collective.ReduceScatter ->
+      first_valid topo coll
+        [
+          (fun () -> [ Ring.reducescatter topo coll ]);
+          (fun () -> [ Direct.reducescatter topo coll ]);
+        ]
   | Collective.AllToAll ->
-      if Common.rail_structure topo <> None then [ Pxn.alltoall topo coll ]
-      else [ Direct.alltoall topo coll ]
+      first_valid topo coll
+        ((if Common.rail_structure topo <> None then
+            [ (fun () -> [ Pxn.alltoall topo coll ]) ]
+          else [])
+        @ [ (fun () -> [ Direct.alltoall topo coll ]) ])
   | Collective.Broadcast ->
-      best topo [ [ Tree.broadcast topo coll ]; [ Direct.broadcast topo coll ] ]
-  | Collective.Reduce -> [ Tree.reduce topo coll ]
+      best_valid topo coll
+        [
+          (fun () -> [ Tree.broadcast topo coll ]);
+          (fun () -> [ Direct.broadcast topo coll ]);
+        ]
+  | Collective.Reduce ->
+      first_valid topo coll
+        [
+          (fun () -> [ Tree.reduce topo coll ]);
+          (fun () -> [ Direct.reduce topo coll ]);
+        ]
   | Collective.AllReduce ->
       let n = coll.Collective.n and size = coll.Collective.size in
       let rs = Collective.make Collective.ReduceScatter ~n ~size in
       let ag = Collective.make Collective.AllGather ~n ~size in
-      best topo
+      best_valid topo coll
         [
-          [ Ring.reducescatter topo rs; Ring.allgather topo ag ];
-          Tree.allreduce_phases topo coll;
+          (fun () -> [ Ring.reducescatter topo rs; Ring.allgather topo ag ]);
+          (* Reduce-then-broadcast is a real NCCL algorithm, but it cannot
+             express the ReduceScatter+AllGather phase contract every
+             AllReduce outcome is validated against — the filter screens
+             it out rather than letting simulated speed pick an invalid
+             schedule (sub-byte sizes used to lose this race). *)
+          (fun () -> Tree.allreduce_phases topo coll);
+          (fun () ->
+            [ Direct.reducescatter topo rs; Direct.allgather topo ag ]);
         ]
   | Collective.SendRecv ->
-      let src = coll.Collective.root and dst = coll.Collective.peer in
+      (* Routed through Direct so a peer pair with no shared dimension
+         relays instead of failing. *)
       [
-        {
-          Schedule.chunks =
-            [|
-              {
-                Schedule.size = coll.Collective.size;
-                mode = `Gather;
-                initial = [ src ];
-                wanted = [ dst ];
-                tag = 0;
-              };
-            |];
-          xfers =
-            [
-              {
-                Schedule.chunk = 0;
-                src;
-                dst;
-                dim = Common.connecting_dim topo src dst;
-                prio = 0;
-              };
-            ];
-        };
+        Direct.from_chunks topo
+          [|
+            {
+              Schedule.size = coll.Collective.size;
+              mode = `Gather;
+              initial = [ coll.Collective.root ];
+              wanted = [ coll.Collective.peer ];
+              tag = 0;
+            };
+          |];
       ]
-  | Collective.Scatter -> [ Direct.from_chunks topo (Direct.gather_metas coll) ]
-  | Collective.Gather ->
-      let forward =
-        Collective.make ~root:coll.Collective.root Collective.Scatter
-          ~n:coll.Collective.n ~size:coll.Collective.size
-      in
-      [ Schedule.reverse (Direct.from_chunks topo (Direct.gather_metas forward)) ]
+  | Collective.Scatter | Collective.Gather ->
+      (* Gather is built forward from its own demand chunks (each source
+         one-hop or relayed to the root), not by reversing a Scatter:
+         reversal flips the chunks to `Reduce mode, which computes a
+         reduction where the demand asks for a concatenation. *)
+      [ Direct.from_chunks topo (Direct.gather_metas coll) ]
 
 let time ?blocks topo coll = phase_time ?blocks topo (schedule topo coll)
 

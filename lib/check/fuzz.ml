@@ -1,0 +1,119 @@
+(* The fuzzing driver: runs the property catalogue over deterministic
+   per-case generators and aggregates counterexamples.
+
+   Reproducibility contract: the RNG for (seed, property, case) depends on
+   nothing else — not on the number of cases, not on which other properties
+   run, not on the order of the catalogue — so a failure report can be
+   replayed with [run ~props:[prop] ~seed ~cases:(case + 1)] or narrowed
+   from the command line without shifting the stream. *)
+
+module X = Syccl_util.Xrand
+
+type failure = {
+  prop : string;
+  case : int;
+  detail : string;  (** what failed, with the (shrunk) witness inline *)
+}
+
+type prop_stats = {
+  prop_name : string;
+  cases_run : int;
+  passed : int;
+  skipped : int;
+  failed : int;
+}
+
+type report = {
+  seed : int;
+  stats : prop_stats list;
+  failures : failure list;
+}
+
+let total_cases r = List.fold_left (fun a s -> a + s.cases_run) 0 r.stats
+
+let default_cases () =
+  match Sys.getenv_opt "SYCCL_FUZZ_CASES" with
+  | None | Some "" -> 50
+  | Some v -> ( match int_of_string_opt v with Some n when n > 0 -> n | _ -> 50)
+
+(* splitmix64-style mixing of the (seed, property, case) coordinates; the
+   property name hashes with OCaml's deterministic-by-version string hash. *)
+let case_rng ~seed ~prop ~case =
+  let h = Hashtbl.hash (prop : string) in
+  X.create (((seed * 0x9E3779B9) lxor (h * 0x85EBCA6B)) + (case * 0xC2B2AE35))
+
+(* Heavy properties (differential oracle, registry round-trips) get an
+   eighth of the case budget: each case is itself several solves. *)
+let cases_for (p : Props.prop) cases =
+  if p.Props.heavy then max 1 (cases / 8) else cases
+
+let run ?props ?progress ?(domains = 1) ?(shrink = false) ~seed ~cases () =
+  let catalogue =
+    match props with
+    | None -> Props.all
+    | Some names ->
+        List.filter_map
+          (fun n ->
+            match Props.find n with
+            | Some p -> Some p
+            | None ->
+                Option.iter
+                  (fun fmt ->
+                    Format.fprintf fmt "unknown property %S (skipped)@." n)
+                  progress;
+                None)
+          names
+  in
+  let failures = ref [] in
+  let stats =
+    List.map
+      (fun (p : Props.prop) ->
+        let n = cases_for p cases in
+        let passed = ref 0 and skipped = ref 0 and failed = ref 0 in
+        let case = ref 0 in
+        while !case < n do
+          let ctx =
+            {
+              Props.rng = case_rng ~seed ~prop:p.Props.name ~case:!case;
+              domains;
+              shrink;
+            }
+          in
+          (match try p.Props.check ctx with e ->
+             Props.Fail
+               (Printf.sprintf "property raised: %s" (Printexc.to_string e))
+           with
+          | Props.Pass -> incr passed
+          | Props.Skip _ -> incr skipped
+          | Props.Fail detail ->
+              incr failed;
+              failures :=
+                { prop = p.Props.name; case = !case; detail } :: !failures);
+          incr case
+        done;
+        Option.iter
+          (fun fmt ->
+            Format.fprintf fmt "%-24s %4d cases  %4d pass  %3d skip  %3d fail@."
+              p.Props.name n !passed !skipped !failed)
+          progress;
+        {
+          prop_name = p.Props.name;
+          cases_run = n;
+          passed = !passed;
+          skipped = !skipped;
+          failed = !failed;
+        })
+      catalogue
+  in
+  { seed; stats; failures = List.rev !failures }
+
+let pp_report fmt r =
+  let pass = List.fold_left (fun a s -> a + s.passed) 0 r.stats in
+  let skip = List.fold_left (fun a s -> a + s.skipped) 0 r.stats in
+  Format.fprintf fmt "seed %d: %d cases, %d passed, %d skipped, %d failures@."
+    r.seed (total_cases r) pass skip (List.length r.failures);
+  List.iter
+    (fun f ->
+      Format.fprintf fmt "@.FAIL %s (case %d, seed %d):@.%s@." f.prop f.case
+        r.seed f.detail)
+    r.failures

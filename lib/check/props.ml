@@ -1,0 +1,547 @@
+(* The property catalogue: metamorphic laws of the schedule IR and
+   simulator, validator soundness against the independent reference
+   checker, registry invariants, and the differential synthesis oracle.
+
+   Each property draws its own inputs from the per-case RNG handed to it,
+   so a (seed, property, case) triple fully determines the inputs — a
+   failure report names exactly how to replay it. *)
+
+module X = Syccl_util.Xrand
+module Perm = Syccl_util.Perm
+module Topology = Syccl_topology.Topology
+module Builders = Syccl_topology.Builders
+module Collective = Syccl_collective.Collective
+module Schedule = Syccl_sim.Schedule
+module Sim = Syccl_sim.Sim
+module Validate = Syccl_sim.Validate
+module Teccl = Syccl_teccl.Teccl
+module Registry = Syccl_serve.Registry
+module Synthesizer = Syccl.Synthesizer
+
+type verdict = Pass | Skip of string | Fail of string
+
+type ctx = { rng : X.t; domains : int; shrink : bool }
+
+type prop = { name : string; heavy : bool; check : ctx -> verdict }
+
+let failf fmt = Format.kasprintf (fun s -> Fail s) fmt
+
+let pp_schedule s = Format.asprintf "%a" Schedule.pp s
+
+(* Sequential-phase completion time, the accounting every comparator
+   shares. *)
+let sim_phases ?blocks topo schedules = Teccl.simulate ?blocks topo schedules
+
+let rel_close ~tol a b =
+  let denom = Float.max (Float.abs a) (Float.max (Float.abs b) 1e-30) in
+  Float.abs (a -. b) <= tol *. denom
+
+(* ------------------------------------------------------------------ *)
+(* reverse is an involution — structurally and in simulated cost — and
+   stays one under colliding/negative priorities. *)
+
+let prop_reverse_involution ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  let coll = Gen.collective rng ~n:(Topology.num_gpus topo) in
+  let schedules = Gen.schedules rng topo coll in
+  let schedules =
+    (* Half the time, stress the priority mirror with colliding and
+       negative priorities. *)
+    if X.bool rng then
+      List.map
+        (fun s ->
+          match Gen.mutate rng topo Gen.Reprioritize s with
+          | Some s' -> s'
+          | None -> s)
+        schedules
+    else schedules
+  in
+  let rec go = function
+    | [] -> Pass
+    | s :: rest ->
+        let rr = Schedule.reverse (Schedule.reverse s) in
+        if rr <> s then
+          failf "reverse (reverse s) <> s (priority mirror drifts)\n%s"
+            (pp_schedule s)
+        else
+          let t = Sim.time topo s and t' = Sim.time topo rr in
+          if not (rel_close ~tol:1e-12 t t') then
+            failf "double-reverse cost %g <> %g" t' t
+          else go rest
+  in
+  go schedules
+
+(* ------------------------------------------------------------------ *)
+(* scale is cost-linear in the bytes term: on zero-latency links, scaling
+   every chunk by a power-of-two factor scales the simulated time exactly
+   (block counts saturate, so the event structure is identical). *)
+
+let prop_scale_linear ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology ~zero_alpha:true rng in
+  let n = Topology.num_gpus topo in
+  let kind = X.pick rng Gen.all_kinds in
+  let root = X.int rng n in
+  let peer =
+    match kind with
+    | Collective.SendRecv ->
+        let p = X.int rng (n - 1) in
+        if p >= root then p + 1 else p
+    | _ -> 0
+  in
+  (* Size floor keeps every chunk's block count pinned at the maximum both
+     before and after scaling, so only per-block bytes change. *)
+  let coll =
+    Collective.make ~root ~peer kind ~n ~size:(2048.0 +. X.float rng 1e4)
+  in
+  let schedules = Gen.schedules rng topo coll in
+  let k = X.pick rng [| 0.5; 2.0; 4.0 |] in
+  let rec go = function
+    | [] -> Pass
+    | s :: rest ->
+        let t = Sim.time topo s in
+        let t' = Sim.time topo (Schedule.scale s k) in
+        if not (rel_close ~tol:1e-9 t' (k *. t)) then
+          failf "scale %g: cost %g, expected %g (base %g)" k t' (k *. t) t
+        else go rest
+  in
+  go schedules
+
+(* ------------------------------------------------------------------ *)
+(* union dominance.  The naive law — "a union never finishes before
+   either part alone" — is FALSE for parts sharing ports: the simulator
+   is a greedy list scheduler keyed on (avail, prio, ...), and extra
+   traffic perturbs avail times, which can reorder a part's own
+   transfers into a luckier tie-break than it gets alone (a Graham-style
+   scheduling anomaly; this fuzzer found ~2% of shared-port cases off by
+   up to ~15%).  What the synthesizer actually relies on (§5.3) is the
+   port-DISJOINT case: a representative schedule transported onto
+   disjoint isomorphic orbits and unioned.  There the parts cannot
+   interact at all, so the union must cost exactly the max of the parts
+   — an equality, checked as such.  For shared-port unions we keep the
+   structural half: the union of two valid schedules stays valid. *)
+
+let prop_union_dominates ctx =
+  let rng = ctx.rng in
+  (* Shared-port half: validity only. *)
+  let topo = Gen.topology rng in
+  let n = Topology.num_gpus topo in
+  let c1 = Gen.collective rng ~n and c2 = Gen.collective rng ~n in
+  let s1 = List.hd (Gen.schedules rng topo c1) in
+  let s2 = List.hd (Gen.schedules rng topo c2) in
+  match Validate.check topo (Schedule.union [ s1; s2 ]) with
+  | Error e -> failf "union of two valid schedules fails validation: %s" e
+  | Ok () ->
+  (* Disjoint-orbit half: the same schedule (priorities colliding across
+     parts by construction) on the two halves of a doubled switch. *)
+  let m = X.pick rng [| 2; 3; 4 |] in
+  let link = Gen.link rng in
+  let small = Builders.single_switch ~name:"fuzz-orbit" ~n:m ~link () in
+  let big = Builders.single_switch ~name:"fuzz-orbits" ~n:(2 * m) ~link () in
+  let c = Gen.collective rng ~n:m in
+  let part = List.hd (Gen.schedules rng small c) in
+  let lo = Schedule.map_gpus part Fun.id in
+  let hi = Schedule.map_gpus part (fun g -> g + m) in
+  let u = Schedule.union [ lo; hi ] in
+  match Validate.check big u with
+  | Error e -> failf "disjoint-orbit union fails validation: %s" e
+  | Ok () ->
+      let tu = Sim.time big u in
+      let t1 = Sim.time big lo and t2 = Sim.time big hi in
+      let lo_t = Float.max t1 t2 in
+      if not (rel_close ~tol:1e-9 tu lo_t) then
+        failf "disjoint-orbit union cost %g differs from max of parts (%g, %g)"
+          tu t1 t2
+      else Pass
+
+(* ------------------------------------------------------------------ *)
+(* automorphism transport: relabelling GPUs through a topology
+   automorphism preserves validity (against the transported demand) and
+   simulated cost. *)
+
+(* Demand chunk ids are canonical per collective (AllGather chunk i starts
+   on GPU i, ...), so transporting a schedule also permutes which demand
+   chunk each tag refers to.  Match each original chunk's permuted
+   endpoint signature against the transported collective's chunks to
+   build the tag translation; None when a signature is ambiguous. *)
+let transport_tags p phase phase' =
+  let signature = function
+    | Collective.Gather_chunk { src; dsts; _ } ->
+        `G (src, List.sort compare dsts)
+    | Collective.Reduce_chunk { dst; srcs; _ } ->
+        `R (dst, List.sort compare srcs)
+  in
+  let permuted = function
+    | Collective.Gather_chunk { src; dsts; _ } ->
+        `G (Perm.apply p src, List.sort compare (List.map (Perm.apply p) dsts))
+    | Collective.Reduce_chunk { dst; srcs; _ } ->
+        `R (Perm.apply p dst, List.sort compare (List.map (Perm.apply p) srcs))
+  in
+  let id = function
+    | Collective.Gather_chunk { id; _ } | Collective.Reduce_chunk { id; _ } ->
+        id
+  in
+  let chunks' = Collective.chunks phase' in
+  let translate ch =
+    match
+      List.filter (fun ch' -> signature ch' = permuted ch) chunks'
+    with
+    | [ ch' ] -> Some (id ch, id ch')
+    | _ -> None
+  in
+  let pairs = List.map translate (Collective.chunks phase) in
+  if List.exists Option.is_none pairs then None
+  else Some (List.filter_map Fun.id pairs)
+
+let retag map (s : Schedule.t) =
+  {
+    s with
+    Schedule.chunks =
+      Array.map
+        (fun (m : Schedule.chunk_meta) ->
+          match List.assoc_opt m.tag map with
+          | Some tag -> { m with Schedule.tag = tag }
+          | None -> m)
+        s.Schedule.chunks;
+  }
+
+let prop_automorphism_transport ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  let n = Topology.num_gpus topo in
+  let coll = Gen.collective rng ~n in
+  let perms =
+    Array.map
+      (fun sz ->
+        let a = Array.init sz Fun.id in
+        X.shuffle rng a;
+        a)
+      topo.Topology.shape
+  in
+  let p = Topology.apply_axis_perms topo perms in
+  if not (Topology.is_automorphism topo p) then
+    Skip "per-axis permutation is not an automorphism here"
+  else
+    let schedules = Gen.schedules rng topo coll in
+    let peer' =
+      match coll.Collective.kind with
+      | Collective.SendRecv -> Perm.apply p coll.Collective.peer
+      | _ -> coll.Collective.peer
+    in
+    let coll' =
+      Collective.make
+        ~root:(Perm.apply p coll.Collective.root)
+        ~peer:peer' coll.Collective.kind ~n ~size:coll.Collective.size
+    in
+    let phases = Collective.phases coll and phases' = Collective.phases coll' in
+    let tag_maps = List.map2 (transport_tags p) phases phases' in
+    if List.exists Option.is_none tag_maps then
+      Skip "ambiguous demand chunk signature under permutation"
+    else
+      let schedules' =
+        List.map2
+          (fun map s -> retag (Option.get map) (Schedule.map_gpus s (Perm.apply p)))
+          tag_maps schedules
+      in
+      match Validate.validate topo coll' schedules' with
+      | Error e -> failf "transported schedule invalid: %s" e
+      | Ok () ->
+          let t = sim_phases topo schedules in
+          let t' = sim_phases topo schedules' in
+          if not (rel_close ~tol:1e-9 t t') then
+            failf "transport changes cost: %g -> %g" t t'
+          else Pass
+
+(* ------------------------------------------------------------------ *)
+(* validator agreement on healthy schedules: everything the generators
+   produce must satisfy the validator, the independent reference checker,
+   and the simulator. *)
+
+let prop_generators_agree ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  let coll = Gen.collective rng ~n:(Topology.num_gpus topo) in
+  let schedules = Gen.schedules rng topo coll in
+  match Validate.validate topo coll schedules with
+  | Error e -> failf "generator schedule fails validator: %s" e
+  | Ok () -> (
+      match Refcheck.covers topo coll schedules with
+      | Error e -> failf "generator schedule fails reference checker: %s" e
+      | Ok () -> (
+          match sim_phases topo schedules with
+          | (_ : float) -> Pass
+          | exception e ->
+              failf "generator schedule fails simulator: %s"
+                (Printexc.to_string e)))
+
+(* ------------------------------------------------------------------ *)
+(* validator soundness under mutation: any mutant the validator accepts
+   must also satisfy the reference checker and complete in the simulator
+   — a divergence means one of the two checkers has a hole.  The shrunk
+   witness is reported when shrinking is on. *)
+
+let mutant_escapes topo phase s =
+  match Validate.covers topo phase s with
+  | Error _ -> false
+  | Ok () -> (
+      match Refcheck.covers_phase phase s with
+      | Error _ -> true
+      | Ok () -> (
+          match Sim.time topo s with
+          | (_ : float) -> false
+          | exception _ -> true))
+
+let prop_mutant_soundness ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  let coll = Gen.collective rng ~n:(Topology.num_gpus topo) in
+  let phases = Collective.phases coll in
+  let schedules = Gen.schedules rng topo coll in
+  let i = X.int rng (List.length schedules) in
+  let s = List.nth schedules i in
+  let phase = List.nth phases i in
+  let kind = Gen.mutation rng in
+  match Gen.mutate rng topo kind s with
+  | None -> Skip "mutation not applicable"
+  | Some mutant -> (
+      match Validate.covers topo phase mutant with
+      | Error _ -> Pass (* the validator caught the mutation *)
+      | Ok () -> (
+          let escaped why =
+            let witness =
+              if ctx.shrink then
+                Shrink.schedule ~still_fails:(mutant_escapes topo phase) mutant
+              else mutant
+            in
+            failf "validator accepts a %s mutant but %s\n%s"
+              (Gen.mutation_name kind) why (pp_schedule witness)
+          in
+          match Refcheck.covers_phase phase mutant with
+          | Error e -> escaped ("reference checker rejects: " ^ e)
+          | Ok () -> (
+              match Sim.time topo mutant with
+              | exception e ->
+                  escaped ("simulator rejects: " ^ Printexc.to_string e)
+              | (_ : float) -> (
+                  match kind with
+                  | Gen.Duplicate ->
+                      (* A duplicated transfer is always detectable;
+                         acceptance is a validator hole even if downstream
+                         checkers cope. *)
+                      failf "validator accepts a %s mutant\n%s"
+                        (Gen.mutation_name kind) (pp_schedule mutant)
+                  | _ -> Pass))))
+
+(* ------------------------------------------------------------------ *)
+(* reordering the transfer list is benign for validity: all validator
+   judgements are fixpoints over sets, never over list position. *)
+
+let prop_reorder_benign ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  let coll = Gen.collective rng ~n:(Topology.num_gpus topo) in
+  let phases = Collective.phases coll in
+  let schedules = Gen.schedules rng topo coll in
+  let i = X.int rng (List.length schedules) in
+  let s = List.nth schedules i in
+  let phase = List.nth phases i in
+  let arr = Array.of_list s.Schedule.xfers in
+  X.shuffle rng arr;
+  let s' = { s with Schedule.xfers = Array.to_list arr } in
+  match (Validate.covers topo phase s, Validate.covers topo phase s') with
+  | Ok (), Ok () -> (
+      match Sim.time topo s' with
+      | (_ : float) -> Pass
+      | exception e ->
+          failf "reordered valid schedule fails simulator: %s"
+            (Printexc.to_string e))
+  | Error e, _ -> failf "generator schedule invalid before reorder: %s" e
+  | Ok (), Error e -> failf "validity depends on transfer order: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* registry fidelity: an entry stored at one simulator fidelity must
+   survive a probe at another — demotion may only compare like for like. *)
+
+let temp_registry_dir rng =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "syccl-fuzz-reg-%d-%d" (Unix.getpid ())
+       (X.int rng 1_000_000_000))
+
+let remove_registry_dir dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.iter
+        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
+        entries;
+      (try Sys.rmdir dir with Sys_error _ -> ())
+  | exception Sys_error _ -> ()
+
+let prop_registry_fidelity ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  let coll = Gen.collective rng ~n:(Topology.num_gpus topo) in
+  let schedules = Syccl_baselines.Fallback.schedule topo coll in
+  let b_store = X.pick rng [| 1; 2; 4; 8; 16 |] in
+  let b_probe = X.pick rng [| 1; 2; 4; 8; 16 |] in
+  let dir = temp_registry_dir rng in
+  let reg = Registry.open_dir dir in
+  Fun.protect
+    ~finally:(fun () -> remove_registry_dir dir)
+    (fun () ->
+      let cost = sim_phases ~blocks:b_store topo schedules in
+      Registry.store reg topo coll ~blocks:b_store ~cost
+        ~chosen:"fuzz-fallback" schedules;
+      match Registry.lookup reg ~blocks:b_probe topo coll with
+      | None ->
+          failf
+            "entry stored at blocks=%d demoted when probed at blocks=%d"
+            b_store b_probe
+      | Some hit ->
+          if hit.Registry.stored_blocks <> b_store then
+            failf "hit reports stored_blocks=%d, stored at %d"
+              hit.Registry.stored_blocks b_store
+          else if
+            not
+              (rel_close ~tol:1e-9 hit.Registry.time
+                 (sim_phases ~blocks:b_probe topo schedules))
+          then
+            failf "hit time %g is not the probe-fidelity resimulation"
+              hit.Registry.time
+          else Pass)
+
+(* ------------------------------------------------------------------ *)
+(* size_bucket is the exact power-of-two floor. *)
+
+let prop_size_bucket ctx =
+  let rng = ctx.rng in
+  let s = Gen.size rng in
+  let b = Registry.size_bucket s in
+  if Float.ldexp 1.0 b <= s && s < Float.ldexp 1.0 (b + 1) then Pass
+  else failf "size_bucket %.17g = %d, outside [2^%d, 2^%d)" s b b (b + 1)
+
+(* ------------------------------------------------------------------ *)
+(* differential synthesis oracle: the full pipeline (MILP refinement on)
+   against greedy-only synthesis, TECCL, NCCL and the fallback ladder on
+   the same demand.  Everything must validate; no comparator may beat the
+   candidate beyond the screening tolerance. *)
+
+let oracle_tolerance = 0.25
+(* r1 screening keeps candidates within 20 % of the best; give the oracle
+   a little slack on top so a legitimate tie broken the other way is not
+   a counterexample. *)
+
+let teccl_tolerance = 2.0
+(* TECCL is a different contract: on the oracle's tiny instances its
+   epoch MILP solves the whole problem near-optimally, and the sketch
+   search legitimately trades that last factor for synthesis speed at
+   scale (the paper's Fig. 15b tradeoff).  TECCL winning is expected;
+   TECCL winning 3x would still mean the sketch space is missing
+   something structural — that is the regression this bound catches. *)
+
+let prop_oracle ctx =
+  let rng = ctx.rng in
+  let topo =
+    (* Small instances only: the oracle solves four ways per case. *)
+    let rec small tries =
+      let t = Gen.topology rng in
+      if Topology.num_gpus t <= 8 || tries > 10 then t else small (tries + 1)
+    in
+    small 0
+  in
+  let n = Topology.num_gpus topo in
+  if n > 8 then Skip "no small topology drawn"
+  else
+    let kind = X.pick rng Gen.all_kinds in
+    let root = X.int rng n in
+    let peer =
+      match kind with
+      | Collective.SendRecv ->
+          let p = X.int rng (n - 1) in
+          if p >= root then p + 1 else p
+      | _ -> 0
+    in
+    let coll =
+      Collective.make ~root ~peer kind ~n
+        ~size:(8.0 *. Float.exp (X.float rng (Float.log 1e4)))
+    in
+    let config =
+      {
+        Synthesizer.default_config with
+        Synthesizer.domains = ctx.domains;
+        deadline = Some 30.0;
+      }
+    in
+    let candidate = Synthesizer.synthesize ~config topo coll in
+    match Validate.validate topo coll candidate.Synthesizer.schedules with
+    | Error e -> failf "oracle: candidate schedule invalid: %s" e
+    | Ok () ->
+        let fast =
+          Synthesizer.synthesize
+            ~config:{ config with Synthesizer.fast_only = true }
+            topo coll
+        in
+        let teccl =
+          Teccl.synthesize ~seed:(X.int rng 1_000_000) ~restarts:1
+            ~time_budget:10.0 topo coll
+        in
+        let comparators =
+          [ ("greedy", oracle_tolerance, Some fast.Synthesizer.schedules);
+            ("teccl", teccl_tolerance, teccl.Teccl.schedules);
+            ("nccl", oracle_tolerance,
+             Some (Syccl_baselines.Nccl.schedule topo coll));
+            ("fallback", oracle_tolerance,
+             Some (Syccl_baselines.Fallback.schedule topo coll));
+          ]
+        in
+        let rec check_all acc = function
+          | [] -> Ok acc
+          | (_, _, None) :: rest -> check_all acc rest
+          | (name, tol, Some schedules) :: rest -> (
+              match Validate.validate topo coll schedules with
+              | Error e -> Error (name, e)
+              | Ok () ->
+                  check_all ((name, tol, sim_phases topo schedules) :: acc) rest)
+        in
+        (match check_all [] comparators with
+        | Error (name, e) -> failf "oracle: %s baseline invalid: %s" name e
+        | Ok timed ->
+            let beaten =
+              (* each comparator is held to its own screening tolerance *)
+              List.filter
+                (fun (_, tol, t) ->
+                  candidate.Synthesizer.time > t *. (1.0 +. tol) +. 1e-12)
+                timed
+            in
+            match
+              (candidate.Synthesizer.degraded = Synthesizer.Full, beaten)
+            with
+            | false, _ | true, [] -> Pass
+            | true, (best_name, _, best) :: _ ->
+                failf
+                  "oracle: %s beats the synthesizer beyond tolerance: %g vs \
+                   %g (kind %s, n=%d, size %g)"
+                  best_name best candidate.Synthesizer.time
+                  (Collective.kind_name kind) n coll.Collective.size)
+
+(* ------------------------------------------------------------------ *)
+
+let all =
+  [
+    { name = "reverse-involution"; heavy = false; check = prop_reverse_involution };
+    { name = "scale-linear"; heavy = false; check = prop_scale_linear };
+    { name = "union-dominates"; heavy = false; check = prop_union_dominates };
+    { name = "automorphism-transport"; heavy = false;
+      check = prop_automorphism_transport };
+    { name = "generators-agree"; heavy = false; check = prop_generators_agree };
+    { name = "mutant-soundness"; heavy = false; check = prop_mutant_soundness };
+    { name = "reorder-benign"; heavy = false; check = prop_reorder_benign };
+    { name = "registry-fidelity"; heavy = true; check = prop_registry_fidelity };
+    { name = "size-bucket"; heavy = false; check = prop_size_bucket };
+    { name = "oracle"; heavy = true; check = prop_oracle };
+  ]
+
+let names = List.map (fun p -> p.name) all
+
+let find name = List.find_opt (fun p -> p.name = name) all

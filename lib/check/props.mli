@@ -1,0 +1,55 @@
+(** The property catalogue: metamorphic laws of the schedule IR and
+    simulator, validator soundness against {!Refcheck}, registry
+    invariants, and the differential synthesis oracle.
+
+    Properties draw all inputs from the per-case RNG in {!ctx}, so a
+    (seed, property, case) triple fully determines a run. *)
+
+type verdict =
+  | Pass
+  | Skip of string  (** inputs drawn do not exercise the property *)
+  | Fail of string  (** counterexample description, witness inline *)
+
+type ctx = {
+  rng : Syccl_util.Xrand.t;
+  domains : int;  (** solver parallelism for the synthesis oracle *)
+  shrink : bool;  (** greedily shrink counterexample schedules *)
+}
+
+type prop = {
+  name : string;
+  heavy : bool;
+      (** multi-solve properties, given a fraction of the case budget *)
+  check : ctx -> verdict;
+}
+
+val all : prop list
+(** - [reverse-involution]: [reverse (reverse s) = s] structurally and in
+      simulated cost, under colliding/negative priorities too;
+    - [scale-linear]: on zero-latency links, scaling chunk sizes by a
+      power of two scales simulated time exactly;
+    - [union-dominates]: a shared-port union of valid schedules stays
+      valid, and a union over disjoint isomorphic orbits (the §5.3 use)
+      costs exactly the max of its parts.  (The naive "never finishes
+      before either part" is false under port sharing: the simulator's
+      greedy list scheduling admits Graham-style anomalies, which this
+      fuzzer demonstrated.);
+    - [automorphism-transport]: relabelling GPUs through a topology
+      automorphism preserves validity and simulated cost;
+    - [generators-agree]: baseline schedules satisfy validator, reference
+      checker and simulator;
+    - [mutant-soundness]: any mutant the validator accepts also satisfies
+      the reference checker and simulator (duplicates must be rejected);
+    - [reorder-benign]: transfer-list order never affects validity;
+    - [registry-fidelity]: entries stored at one simulator fidelity
+      survive probes at another, and report store-time fidelity;
+    - [size-bucket]: {!Syccl_serve.Registry.size_bucket} is the exact
+      power-of-two floor;
+    - [oracle]: the full synthesis pipeline validates and is never beaten
+      beyond per-comparator screening tolerance by greedy-only synthesis,
+      TECCL, NCCL or the fallback ladder on the same demand (TECCL's
+      epoch MILP is near-exact at oracle scale, so it gets a looser
+      bound than the screened baselines). *)
+
+val names : string list
+val find : string -> prop option

@@ -1,0 +1,70 @@
+(* Greedy delta-debugging for schedule counterexamples.
+
+   Given a failing schedule and the predicate that witnesses the failure,
+   repeatedly try removing one transfer (then one whole chunk, remapping
+   transfer chunk indices) and keep any removal that still fails, until a
+   full pass removes nothing.  The result is 1-minimal: removing any single
+   remaining transfer or chunk makes the failure disappear, which is what a
+   checked-in reproducer should look like. *)
+
+module Schedule = Syccl_sim.Schedule
+
+let remove_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let drop_xfer (s : Schedule.t) i = { s with Schedule.xfers = remove_nth s.Schedule.xfers i }
+
+(* Remove chunk [c] entirely: its metadata, its transfers, and shift the
+   chunk index of every transfer above it. *)
+let drop_chunk (s : Schedule.t) c =
+  let chunks =
+    Array.of_list (remove_nth (Array.to_list s.Schedule.chunks) c)
+  in
+  let xfers =
+    List.filter_map
+      (fun (x : Schedule.xfer) ->
+        if x.chunk = c then None
+        else if x.chunk > c then Some { x with Schedule.chunk = x.chunk - 1 }
+        else Some x)
+      s.Schedule.xfers
+  in
+  { Schedule.chunks; xfers }
+
+(* One greedy pass: try each single-element removal in order, restarting
+   from the shrunk schedule whenever one sticks. *)
+let pass ~still_fails (s : Schedule.t) =
+  let shrunk = ref false in
+  let cur = ref s in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let nx = List.length !cur.Schedule.xfers in
+    (let i = ref 0 in
+     while !i < nx && not !continue_ do
+       let candidate = drop_xfer !cur !i in
+       if still_fails candidate then begin
+         cur := candidate;
+         shrunk := true;
+         continue_ := true
+       end;
+       incr i
+     done);
+    if not !continue_ then begin
+      let nc = Array.length !cur.Schedule.chunks in
+      let c = ref 0 in
+      while !c < nc && not !continue_ do
+        if nc > 1 then begin
+          let candidate = drop_chunk !cur !c in
+          if still_fails candidate then begin
+            cur := candidate;
+            shrunk := true;
+            continue_ := true
+          end
+        end;
+        incr c
+      done
+    end
+  done;
+  (!cur, !shrunk)
+
+let schedule ~still_fails (s : Schedule.t) =
+  if not (still_fails s) then s else fst (pass ~still_fails s)

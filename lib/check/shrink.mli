@@ -1,0 +1,10 @@
+(** Greedy delta-debugging for schedule counterexamples. *)
+
+val schedule :
+  still_fails:(Syccl_sim.Schedule.t -> bool) ->
+  Syccl_sim.Schedule.t -> Syccl_sim.Schedule.t
+(** Repeatedly remove single transfers (then whole chunks, remapping
+    transfer chunk indices) while [still_fails] holds, to a fixpoint.  The
+    result is 1-minimal: removing any single remaining transfer or chunk
+    makes the failure disappear.  Returns the input unchanged if it does
+    not satisfy [still_fails]. *)

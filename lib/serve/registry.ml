@@ -29,10 +29,18 @@ let from_env () =
 (* Same power-of-two bucketing as the synthesizer's cross-size sub-solve
    memo: schedule structure is size-independent within a bucket, and a
    stored schedule rescales exactly ({!Schedule.scale}) to any size whose
-   chunk proportions match. *)
+   chunk proportions match.
+
+   [frexp] gives the bucket exactly: size = m * 2^e with m in [0.5, 1), so
+   floor(log2 size) = e - 1 with no rounding nudge.  The old
+   log-ratio-plus-1e-9 version misbucketed sizes just below an exact power
+   of two (Float.pred 2.0 landed in bucket 1), and mapped size <= 0 to
+   bucket 0 — colliding with legitimate sizes in [1, 2).  Non-positive
+   sizes (rejected by {!Collective.make}, but this function must not lie
+   about them) get a sentinel bucket no real size can reach. *)
 let size_bucket size =
-  if size <= 0.0 then 0
-  else int_of_float (Float.floor ((Float.log size /. Float.log 2.0) +. 1e-9))
+  if size <= 0.0 || Float.is_nan size then min_int
+  else snd (Float.frexp size) - 1
 
 let key topo (coll : Collective.t) =
   let canon =
@@ -51,12 +59,14 @@ type hit = {
   schedules : Schedule.t list;
   time : float;
   stored_cost : float;
+  stored_blocks : int;
   chosen : string;
   scaled : bool;
   hit_key : string;
 }
 
-let entry_json ~fingerprint ~(coll : Collective.t) ~cost ~chosen schedules =
+let entry_json ~fingerprint ~(coll : Collective.t) ~blocks ~cost ~chosen
+    schedules =
   Json.Obj
     [
       ("schema_version", Json.Num (float_of_int Schedule.schema_version));
@@ -66,6 +76,7 @@ let entry_json ~fingerprint ~(coll : Collective.t) ~cost ~chosen schedules =
       ("peer", Json.Num (float_of_int coll.Collective.peer));
       ("size", Json.Num coll.Collective.size);
       ("cost", Json.Num cost);
+      ("blocks", Json.Num (float_of_int blocks));
       ("chosen", Json.Str chosen);
       ("schedules", Json.List (List.map Schedule.to_json schedules));
     ]
@@ -74,12 +85,12 @@ let entry_json ~fingerprint ~(coll : Collective.t) ~cost ~chosen schedules =
    Collisions across processes differ in pid; within a process in ticket. *)
 let ticket = Atomic.make 0
 
-let store t topo (coll : Collective.t) ~cost ~chosen schedules =
+let store t topo (coll : Collective.t) ?(blocks = 8) ~cost ~chosen schedules =
   let k = key topo coll in
   let body =
     Json.to_string ~pretty:true
-      (entry_json ~fingerprint:(Topology.fingerprint topo) ~coll ~cost ~chosen
-         schedules)
+      (entry_json ~fingerprint:(Topology.fingerprint topo) ~coll ~blocks ~cost
+         ~chosen schedules)
     ^ "\n"
   in
   let tmp =
@@ -136,14 +147,24 @@ let lookup t ?(blocks = 8) topo (coll : Collective.t) =
       then raise (Json.Parse_error "registry entry demand mismatch");
       let size = Json.to_float (Json.member "size" j) in
       let cost = Json.to_float (Json.member "cost" j) in
+      (* Simulator fidelity the stored cost was computed at.  Entries
+         predating the field were all written under the default blocks=8. *)
+      let stored_blocks =
+        match j with
+        | Json.Obj fields -> (
+            match List.assoc_opt "blocks" fields with
+            | Some v -> Json.to_int v
+            | None -> 8)
+        | _ -> 8
+      in
       let chosen = Json.to_str (Json.member "chosen" j) in
       let schedules =
         List.map Schedule.of_json (Json.to_list (Json.member "schedules" j))
       in
-      (size, cost, chosen, schedules)
+      (size, cost, stored_blocks, chosen, schedules)
     with
     | exception _ -> miss ~reason:"registry.corrupt" ()
-    | stored_size, stored_cost, chosen, schedules -> (
+    | stored_size, stored_cost, stored_blocks, chosen, schedules -> (
         let scaled = stored_size <> coll.Collective.size in
         let schedules =
           if scaled then
@@ -159,14 +180,33 @@ let lookup t ?(blocks = 8) topo (coll : Collective.t) =
         | exception _ -> miss ~reason:"registry.invalid" ()
         | Ok () ->
             let time = simulate ~blocks topo schedules in
-            if (not scaled) && time > stored_cost *. (1.0 +. 1e-6) then
+            (* Compare against the stored cost at the fidelity it was
+               computed at: a caller probing with a different [blocks] must
+               not demote (or rehabilitate) an entry just because coarser
+               pipelining simulates slower — that is fidelity drift, not
+               schedule drift. *)
+            let comparable_time =
+              if blocks = stored_blocks then time
+              else simulate ~blocks:stored_blocks topo schedules
+            in
+            if (not scaled) && comparable_time > stored_cost *. (1.0 +. 1e-6)
+            then
               (* The entry simulates slower than advertised (simulator or
                  link-model drift the fingerprint could not see): let a
                  fresh solve compete instead of silently serving it. *)
               miss ~reason:"registry.slower" ()
             else begin
               Counters.bump "registry.hits";
-              Some { schedules; time; stored_cost; chosen; scaled; hit_key = k }
+              Some
+                {
+                  schedules;
+                  time;
+                  stored_cost;
+                  stored_blocks;
+                  chosen;
+                  scaled;
+                  hit_key = k;
+                }
             end)
 
 let length t =

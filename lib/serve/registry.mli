@@ -45,10 +45,22 @@ val key : Syccl_topology.Topology.t -> Syccl_collective.Collective.t -> string
 (** The content address: hex digest over (topology fingerprint, collective
     kind/root/peer, size bucket, schedule schema version). *)
 
+val size_bucket : float -> int
+(** The power-of-two bucket the key quantizes size into:
+    [floor (log2 size)], computed exactly via [Float.frexp] (so an exact
+    power of two 2{^k} is bucket [k] and [Float.pred 2.0] is bucket 0, with
+    no rounding nudge).  Sub-1.0 sizes land in negative buckets;
+    non-positive or NaN sizes (impossible through
+    {!Syccl_collective.Collective.make}) get [min_int], colliding with no
+    real size. *)
+
 type hit = {
   schedules : Syccl_sim.Schedule.t list;  (** one per collective phase *)
   time : float;  (** freshly re-simulated cost, seconds *)
   stored_cost : float;  (** cost recorded when the entry was stored *)
+  stored_blocks : int;
+      (** simulator fidelity [stored_cost] was computed at (8 for legacy
+          entries written before the field existed) *)
   chosen : string;  (** winning-combination description, as stored *)
   scaled : bool;  (** entry was rescaled from a different size in-bucket *)
   hit_key : string;
@@ -59,15 +71,21 @@ val lookup :
   Syccl_collective.Collective.t -> hit option
 (** Probe, verify, and return a servable hit.  [None] covers absent,
     corrupt, invalid and cost-regressed entries (each separately
-    counted).  [blocks] is the simulator fidelity used for
-    re-simulation (default 8, matching
-    {!Syccl.Synthesizer.default_config}). *)
+    counted).  [blocks] is the simulator fidelity used for the hit's
+    re-simulated [time] (default 8, matching
+    {!Syccl.Synthesizer.default_config}).  The slower-than-stored
+    demotion always compares at the entry's {e store-time} fidelity
+    ([stored_blocks]), so probing an entry at a different [blocks] can
+    neither spuriously demote it nor spuriously serve it. *)
 
 val store :
   t -> Syccl_topology.Topology.t -> Syccl_collective.Collective.t ->
-  cost:float -> chosen:string -> Syccl_sim.Schedule.t list -> unit
+  ?blocks:int -> cost:float -> chosen:string -> Syccl_sim.Schedule.t list ->
+  unit
 (** Atomically persist a schedule set under the collective's key,
-    replacing any previous entry.  Callers are expected to store only
+    replacing any previous entry.  [blocks] (default 8) must be the
+    simulator fidelity [cost] was computed at; it is persisted so later
+    lookups compare like-for-like.  Callers are expected to store only
     full-quality (non-degraded, non-fast-only) outcomes — the registry
     does not second-guess that policy, it only verifies on the way out. *)
 

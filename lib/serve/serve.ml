@@ -68,6 +68,7 @@ let store_result registry (request : Request.t) (o : Synthesizer.outcome) =
   match registry with
   | Some reg when storable request o ->
       Registry.store reg request.Request.topo request.Request.coll
+        ~blocks:request.Request.config.Synthesizer.blocks
         ~cost:o.Synthesizer.time ~chosen:o.Synthesizer.chosen
         o.Synthesizer.schedules
   | _ -> ()

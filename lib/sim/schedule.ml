@@ -41,13 +41,28 @@ let reverse t =
     { c with mode; initial = c.wanted; wanted = c.initial }
   in
   (* Time reversal: what finished last must start first, so priorities are
-     mirrored (making [reverse] a cost involution under the simulator). *)
-  let maxp = List.fold_left (fun a x -> max a x.prio) 0 t.xfers in
+     mirrored (making [reverse] a cost involution under the simulator).
+     The mirror pivot is [minp + maxp] of the actual priorities — mirroring
+     around it maps the range onto itself, so [reverse (reverse t) = t]
+     exactly, including under negative priorities (the old [max 0 _] seed
+     shifted them by [-minp] on the way back: cost-equivalent, since the
+     simulator only compares priorities, but not an involution). *)
+  let pivot =
+    match t.xfers with
+    | [] -> 0
+    | x0 :: rest ->
+        let minp, maxp =
+          List.fold_left
+            (fun (lo, hi) x -> (min lo x.prio, max hi x.prio))
+            (x0.prio, x0.prio) rest
+        in
+        minp + maxp
+  in
   {
     chunks = Array.map flip t.chunks;
     xfers =
       List.rev_map
-        (fun x -> { x with src = x.dst; dst = x.src; prio = maxp - x.prio })
+        (fun x -> { x with src = x.dst; dst = x.src; prio = pivot - x.prio })
         t.xfers;
   }
 

@@ -87,24 +87,57 @@ let check_reduce_chunk (s : Schedule.t) c meta =
           in
           walk v 0
         in
+        (* Every sender — not just the initial holders — must flow into
+           [dst] acyclically; a cycle among non-contributors (v1->v2,
+           v2->v1) must not validate just because each is some transfer's
+           destination. *)
         match
-          List.find_opt
-            (fun v -> v <> dst && not (reaches v))
-            meta.Schedule.initial
+          List.find_opt (fun (x : Schedule.xfer) -> not (reaches x.src)) xfers
         with
-        | Some v -> err "reduce chunk %d: contribution of GPU %d never reaches %d" c v dst
-        | None ->
-            (* Senders outside the contributor set would inject garbage. *)
-            let contributors = meta.Schedule.initial in
-            let ok_sender v =
-              List.mem v contributors
-              || List.exists (fun (x : Schedule.xfer) -> x.dst = v) xfers
-            in
-            (match
-               List.find_opt (fun (x : Schedule.xfer) -> not (ok_sender x.src)) xfers
-             with
-            | Some x -> err "reduce chunk %d: GPU %d sends without holding data" c x.src
-            | None -> Ok ())
+        | Some x ->
+            err "reduce chunk %d: GPU %d sends but never reaches %d" c x.src dst
+        | None -> (
+            match
+              List.find_opt
+                (fun v -> v <> dst && not (reaches v))
+                meta.Schedule.initial
+            with
+            | Some v ->
+                err "reduce chunk %d: contribution of GPU %d never reaches %d" c
+                  v dst
+            | None ->
+                (* Causal data possession: a sender must either contribute
+                   its own value or have received a partial from a sender
+                   that itself holds data — computed as a fixpoint so a
+                   chain (or cycle) of empty-handed relays cannot bless
+                   itself into the reduction. *)
+                let has_data = Hashtbl.create 16 in
+                List.iter
+                  (fun v -> Hashtbl.replace has_data v ())
+                  meta.Schedule.initial;
+                let progress = ref true in
+                while !progress do
+                  progress := false;
+                  List.iter
+                    (fun (x : Schedule.xfer) ->
+                      if
+                        Hashtbl.mem has_data x.src
+                        && not (Hashtbl.mem has_data x.dst)
+                      then begin
+                        Hashtbl.replace has_data x.dst ();
+                        progress := true
+                      end)
+                    xfers
+                done;
+                (match
+                   List.find_opt
+                     (fun (x : Schedule.xfer) -> not (Hashtbl.mem has_data x.src))
+                     xfers
+                 with
+                | Some x ->
+                    err "reduce chunk %d: GPU %d sends without holding data" c
+                      x.src
+                | None -> Ok ()))
       end
   | _ -> err "reduce chunk %d must have exactly one destination" c
 
@@ -130,7 +163,6 @@ let covers topo coll (s : Schedule.t) =
     List.filter (fun (_, m) -> m.Schedule.tag = tag)
       (Array.to_list (Array.mapi (fun i m -> (i, m)) s.chunks))
   in
-  let sorted l = List.sort_uniq compare l in
   let rec go = function
     | [] -> Ok ()
     | Collective.Gather_chunk { id; size; src; dsts } :: rest ->
@@ -168,12 +200,13 @@ let covers topo coll (s : Schedule.t) =
             match
               List.find_opt
                 (fun (_, m) ->
+                  (* Set equality, not mere inclusion: an [initial] GPU
+                     outside the demanded contributor set would inject an
+                     extra operand into the reduction. *)
                   m.Schedule.mode <> `Reduce
                   || m.Schedule.wanted <> [ dst ]
-                  || not
-                       (List.for_all
-                          (fun v -> List.mem v (sorted m.Schedule.initial))
-                          srcs))
+                  || List.sort_uniq compare m.Schedule.initial
+                     <> List.sort_uniq compare srcs)
                 frs
             with
             | Some (i, _) -> err "demand chunk %d: schedule chunk %d mismatched" id i

@@ -80,22 +80,31 @@ let synthesize_phase ~rng ~restarts ~budget ~milp_var_budget ~e_value topo coll 
           * ((Array.length edges * horizon)
             + (Topology.num_gpus topo * (horizon + 1)))
       in
-      if horizon > 0 && nvars <= milp_var_budget && left () > 0.0 then begin
-        match
-          Epoch_model.solve ~time_limit:(Float.min 60.0 (left ())) ~budget
-            ~incumbent:greedy_sched spec
-        with
-        | Some (refined, _) ->
-            let pick =
-              if Sim.time topo refined < Sim.time topo greedy_sched then refined
-              else greedy_sched
-            in
-            Some (pick, true)
-        | None -> Some (greedy_sched, false)
-      end
-      else Some (greedy_sched, false)
-      |> Option.map (fun (s, used) ->
-             ((if mirrored then Schedule.reverse s else s), used))
+      let solved =
+        if horizon > 0 && nvars <= milp_var_budget && left () > 0.0 then begin
+          match
+            Epoch_model.solve ~time_limit:(Float.min 60.0 (left ())) ~budget
+              ~incumbent:greedy_sched spec
+          with
+          | Some (refined, _) ->
+              let pick =
+                if Sim.time topo refined < Sim.time topo greedy_sched then
+                  refined
+                else greedy_sched
+              in
+              Some (pick, true)
+          | None -> Some (greedy_sched, false)
+        end
+        else Some (greedy_sched, false)
+      in
+      (* The mirroring reverse must cover BOTH arms of the refinement
+         split: un-parenthesized, `|> Option.map` used to grab only the
+         else branch, so MILP-refined reduce phases escaped as gather-mode
+         schedules (same simulated cost — reverse is cost-preserving — but
+         the wrong computation; the differential fuzz oracle caught it). *)
+      Option.map
+        (fun (s, used) -> ((if mirrored then Schedule.reverse s else s), used))
+        solved
 
 let synthesize ?(seed = 42) ?restarts ?(time_budget = 600.0)
     ?(budget = Syccl_util.Budget.unlimited) ?(milp_var_budget = 2500)

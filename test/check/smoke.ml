@@ -1,0 +1,37 @@
+(* Fixed-seed fuzz smoke for `dune runtest`: a deterministic slice of every
+   property in the Props catalogue — the automorphism-transport law
+   included — at the solver width given by SYCCL_TEST_DOMAINS (the CI
+   matrix runs widths 1 and 4).  SYCCL_FUZZ_CASES scales the slice for
+   soak runs; the default keeps the smoke light enough for tier-1. *)
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+let () =
+  let domains = getenv_int "SYCCL_TEST_DOMAINS" 2 in
+  let cases = getenv_int "SYCCL_FUZZ_CASES" 16 in
+  let report =
+    Syccl_check.Fuzz.run ~progress:Format.err_formatter ~domains ~shrink:true
+      ~seed:42 ~cases ()
+  in
+  Format.eprintf "%a@?" Syccl_check.Fuzz.pp_report report;
+  (* Every catalogue property must have actually run cases — a slice that
+     silently skipped a law (e.g. automorphism-transport) would pass
+     vacuously. *)
+  List.iter
+    (fun (s : Syccl_check.Fuzz.prop_stats) ->
+      if s.cases_run = 0 then begin
+        Format.eprintf "fuzz smoke: property %s ran no cases@." s.prop_name;
+        exit 1
+      end)
+    report.Syccl_check.Fuzz.stats;
+  if
+    List.length report.Syccl_check.Fuzz.stats
+    <> List.length Syccl_check.Props.all
+  then begin
+    Format.eprintf "fuzz smoke: catalogue slice incomplete@.";
+    exit 1
+  end;
+  if report.Syccl_check.Fuzz.failures <> [] then exit 1

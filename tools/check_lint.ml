@@ -17,6 +17,12 @@
       Counters/Trace or return values; only bin/ and tools/ own stdout.
       (Format.fprintf to an explicit formatter is fine.) *)
 
+(* 4. No bare [assert] in validation paths (validate/refcheck modules and
+      lib/check) — a check that exists to reject bad schedules must return
+      [Result] with a counterexample message, not abort the process with an
+      unlabelled [Assert_failure]: the fuzzer shrinks on messages, and
+      servers must survive a failed validation. *)
+
 type rule = {
   name : string;
   hint : string;
@@ -63,6 +69,21 @@ let rules =
           "print_string"; "print_endline"; "print_newline"; "Printf.printf";
           "Format.printf";
         ];
+      at_bol_only = false;
+    };
+    {
+      name = "bare assert in validation path";
+      hint = "validation rejections must be Result-returning, not Assert_failure";
+      applies =
+        (fun path ->
+          let base = Filename.basename path in
+          let has sub s =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            go 0
+          in
+          has "validate" base || has "refcheck" base || has "lib/check" path);
+      needles = [ "assert " ];
       at_bol_only = false;
     };
   ]
