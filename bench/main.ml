@@ -493,6 +493,204 @@ let micro () =
         (Test.elements test))
     tests
 
+(* --- `milp` target: dense-tableau vs revised-sparse solver A/B ---------- *)
+
+(* A/B the two LP engines behind branch-and-bound on the models SyCCL
+   actually solves: one merged sub-demand per GPU group (whole-collective
+   epoch models blow the solver's variable guard long before 16 GPUs,
+   which is exactly why the paper decomposes by group).  Every group of a
+   dimension is isomorphic, so the sibling models share their shape — the
+   revised engine additionally gets the warm-start basis cache and the
+   worker pool, matching how the synthesizer drives it; the dense engine
+   runs every model cold, which is all a one-shot tableau can do.  Two
+   demand shapes per group cover both halves of the solver:
+
+   - "bcast" (4 single-source chunks, tree incumbents) certifies at the
+     root via the flow/growth bound, so it measures pure root-relaxation
+     throughput on the bigger model;
+   - "multi" (2 chunks) leaves a bound gap, so branch-and-bound explores
+     and the child re-solves (warm dual pivots vs cold tableaux) dominate.
+
+   Emits BENCH_milp.json next to the binary and fails the process if the
+   two engines disagree on any objective — every row is solved to proven
+   optimality, so the objectives must match exactly. *)
+
+module EM = Syccl_teccl.Epoch_model
+module Link = Syccl_topology.Link
+
+(* Binomial-tree broadcast of one chunk inside a group: round [k] has the
+   first 2^k holders (by index offset from the owner) each forward one
+   copy, prio = round. *)
+let milp_tree_xfers members ~dim ~chunk ~owner_idx =
+  let n = Array.length members in
+  let rec rounds k acc =
+    if 1 lsl k >= n then acc
+    else
+      let step = 1 lsl k in
+      let acc =
+        List.fold_left
+          (fun acc i ->
+            if i + step < n then
+              {
+                Syccl_sim.Schedule.chunk;
+                src = members.((owner_idx + i) mod n);
+                dst = members.((owner_idx + i + step) mod n);
+                dim;
+                prio = k;
+              }
+              :: acc
+            else acc)
+          acc
+          (List.init step Fun.id)
+      in
+      rounds (k + 1) acc
+  in
+  List.rev (rounds 0 [])
+
+(* Sub-demand spec for one group: [nchunks] chunks, chunk [c] owned by
+   member [c mod n] and wanted by the other members, with staggered
+   binomial trees as the MILP incumbent (the same greedy shape Subsolver
+   feeds the refinement).  The coarse epoch knob and 4-GPU groups keep
+   both engines inside their iteration budgets at every benchmarked
+   scale. *)
+let milp_group_spec topo ~dim ~group ~nchunks ~size =
+  let members = T.gpus_in_group topo ~dim ~group in
+  let n = Array.length members in
+  let chunks =
+    Array.init nchunks (fun c ->
+        let o = c mod n in
+        {
+          Syccl_sim.Schedule.size;
+          mode = `Gather;
+          initial = [ members.(o) ];
+          wanted =
+            Array.to_list members |> List.filter (fun v -> v <> members.(o));
+          tag = c;
+        })
+  in
+  let link = (T.dim topo dim).T.link in
+  let tau, _ = Syccl_teccl.Tau.select ~link ~size ~e:3.0 in
+  let edges = EM.group_edges topo ~dim ~group in
+  let xfers =
+    List.concat
+      (List.init nchunks (fun c ->
+           milp_tree_xfers members ~dim ~chunk:c ~owner_idx:(c mod n)))
+  in
+  let incumbent = { Syccl_sim.Schedule.chunks; xfers } in
+  let spec0 = { EM.topo; chunks; edges; tau; horizon = 0 } in
+  match EM.replay { spec0 with horizon = max_int / 2 } incumbent with
+  | Some h -> ({ spec0 with horizon = h }, incumbent)
+  | None -> failwith "bench milp: tree incumbent does not replay"
+
+let bench_milp () =
+  Printf.printf
+    "\n== bench milp: dense tableau vs revised sparse simplex ==\n";
+  let module Milp = Syccl_milp.Milp in
+  let module Cache = Syccl_util.Cache in
+  let module Pool = Syccl_util.Pool in
+  let module Json = Syccl_util.Json in
+  let gpu_counts = if !full then [ 16; 32; 64 ] else [ 16; 32 ] in
+  let size = 1.048576e6 in
+  let nvlink = Link.make ~alpha:1.2e-6 ~gbps:200.0 in
+  let net = Link.make ~alpha:6.0e-6 ~gbps:12.5 in
+  Printf.printf "%5s %7s | %9s %9s %8s | %6s %10s %6s\n" "gpus" "groups"
+    "dense_s" "revised_s" "speedup" "nodes" "warm-rate" "cert";
+  let rows =
+    List.map
+      (fun gpus ->
+        let topo =
+          Builders.clos
+            ~name:(Printf.sprintf "bench-milp-%d" gpus)
+            ~levels:[ gpus / 4; 4 ] ~links:[ nvlink; net ] ()
+        in
+        let dim = 0 in
+        let ngroups = T.groups_count topo ~dim in
+        let specs =
+          List.concat_map
+            (fun group ->
+              [
+                milp_group_spec topo ~dim ~group ~nchunks:4 ~size;
+                milp_group_spec topo ~dim ~group ~nchunks:2 ~size;
+              ])
+            (List.init ngroups Fun.id)
+        in
+        let solve_all engine ?pool ?cache () =
+          List.map
+            (fun (spec, inc) ->
+              match
+                EM.solve ~node_limit:10_000 ~time_limit:600.0 ~engine ?pool
+                  ?cache ~cache_tag:"bench" ~incumbent:inc spec
+              with
+              | Some (_, epochs) -> epochs
+              | None -> failwith "bench milp: solver returned no schedule")
+            specs
+        in
+        let timed f =
+          let t0 = Unix.gettimeofday () in
+          let objs = f () in
+          (objs, Unix.gettimeofday () -. t0)
+        in
+        let dense_objs, dense_s = timed (solve_all Milp.Dense) in
+        let n0 = Counters.value "milp.nodes" in
+        let wh0 = Counters.value "lp.warm_hits" in
+        let wm0 = Counters.value "lp.warm_misses" in
+        let fc0 = Counters.value "milp.flow_certified" in
+        let cache = Cache.create ~capacity:64 ~name:"cache.bench_milp" () in
+        let pool = Pool.get (min 4 (Pool.num_recommended ())) in
+        let rev_objs, rev_s = timed (solve_all Milp.Revised ~pool ~cache) in
+        if rev_objs <> dense_objs then
+          failwith
+            (Printf.sprintf
+               "bench milp: engines disagree at %d GPUs (dense %s, revised \
+                %s)"
+               gpus
+               (String.concat "," (List.map string_of_int dense_objs))
+               (String.concat "," (List.map string_of_int rev_objs)));
+        let nodes = Counters.value "milp.nodes" -. n0 in
+        let warm_hits = Counters.value "lp.warm_hits" -. wh0 in
+        let warm_misses = Counters.value "lp.warm_misses" -. wm0 in
+        let certified = Counters.value "milp.flow_certified" -. fc0 in
+        let warm_rate =
+          let t = warm_hits +. warm_misses in
+          if t <= 0.0 then 0.0 else warm_hits /. t
+        in
+        let speedup = if rev_s > 0.0 then dense_s /. rev_s else 0.0 in
+        Printf.printf
+          "%5d %7d | %9.3f %9.3f %7.1fx | %6.0f %9.0f%% %6.0f\n%!" gpus
+          ngroups dense_s rev_s speedup nodes (100.0 *. warm_rate) certified;
+        Json.Obj
+          [
+            ("gpus", Json.Num (float_of_int gpus));
+            ("groups", Json.Num (float_of_int ngroups));
+            ("models", Json.Num (float_of_int (List.length specs)));
+            ("dense_s", Json.Num dense_s);
+            ("revised_s", Json.Num rev_s);
+            ("speedup", Json.Num speedup);
+            ("nodes", Json.Num nodes);
+            ("warm_hits", Json.Num warm_hits);
+            ("warm_misses", Json.Num warm_misses);
+            ("warm_hit_rate", Json.Num warm_rate);
+            ("flow_certified", Json.Num certified);
+            ("objectives_match", Json.Bool true);
+          ])
+      gpu_counts
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema_version", Json.Num 1.0);
+        ("bench", Json.Str "milp");
+        ("mode", Json.Str (if !full then "full" else "smoke"));
+        ("chunk_bytes", Json.Num size);
+        ("rows", Json.List rows);
+      ]
+  in
+  let oc = open_out "BENCH_milp.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "   wrote BENCH_milp.json\n%!"
+
 (* --- Trace emission (--trace=FILE) -------------------------------------- *)
 
 (* Record the bench run, then append a small traced 8-GPU AllGather
@@ -553,6 +751,7 @@ let targets =
     ("fig16a", fig16a); ("fig16b", fig16b); ("fig16c", fig16c);
     ("tab5", tab5); ("fig17a", fig17a); ("fig17b", fig17b); ("fig17c", fig17c);
     ("tab6", tab6); ("fig21a", fig21a); ("fig21b", fig21b); ("fig22a", fig22a);
+    ("milp", bench_milp);
   ]
 
 let () =

@@ -166,6 +166,7 @@ let stats_json (o : Syccl.Synthesizer.outcome) =
             ("cache_misses", int b.cache_misses);
             ("milp_solves", int b.milp_solves);
             ("milp_nodes", int b.milp_nodes);
+            ("flow_certified", int b.flow_certified);
             ("registry_hits", int b.registry_hits);
             ("registry_misses", int b.registry_misses);
           ] );
@@ -233,9 +234,10 @@ let synth_cmd =
     Format.printf "synthesis:  %.2fs (search %.2fs, combine %.2fs, solve1 %.2fs, solve2 %.2fs)@."
       o.synth_time o.breakdown.search_s o.breakdown.combine_s
       o.breakdown.solve1_s o.breakdown.solve2_s;
-    Format.printf "solver:     %d memo hits / %d misses, %d MILP models, %d B&B nodes@."
+    Format.printf "solver:     %d memo hits / %d misses, %d MILP models, %d \
+                   B&B nodes, %d flow-certified@."
       o.breakdown.cache_hits o.breakdown.cache_misses o.breakdown.milp_solves
-      o.breakdown.milp_nodes;
+      o.breakdown.milp_nodes o.breakdown.flow_certified;
     Format.printf "sketches:   %d explored, %d combinations, winner: %s@."
       o.num_sketches o.num_combos o.chosen;
     Format.printf "ladder:     %s%s@."

@@ -184,3 +184,36 @@ let mutate rng topo kind (s : Schedule.t) =
             (map_xfer_at s i (fun x ->
                  if X.bool rng then [ { x with Schedule.dst } ]
                  else [ { x with Schedule.src = dst; dst = x.Schedule.src } ])))
+
+(* Small random LPs for the dense-vs-revised simplex differential: few
+   variables, small integer and half-integer coefficients (degenerate ties
+   and exact arithmetic on purpose), mostly-Le rows with occasional Ge/Eq,
+   and right-hand sides that keep a fair share of the problems feasible. *)
+let lp rng =
+  let num_vars = 1 + X.int rng 6 in
+  let coef () =
+    let v = Float.of_int (X.int rng 9 - 4) in
+    if X.bool rng then v else v /. 2.0
+  in
+  let objective = Array.init num_vars (fun _ -> coef ()) in
+  let num_rows = X.int rng 9 in
+  let rows =
+    List.init num_rows (fun _ ->
+        let nterms = 1 + X.int rng num_vars in
+        let vars = Array.init num_vars Fun.id in
+        X.shuffle rng vars;
+        let terms =
+          List.init nterms (fun i -> (vars.(i), coef ()))
+          |> List.filter (fun (_, c) -> c <> 0.0)
+        in
+        let cmp =
+          match X.int rng 8 with
+          | 0 | 1 -> Syccl_milp.Lp.Ge
+          | 2 -> Syccl_milp.Lp.Eq
+          | _ -> Syccl_milp.Lp.Le
+        in
+        let rhs = Float.of_int (X.int rng 13 - 2) in
+        (terms, cmp, rhs))
+    |> List.filter (fun (terms, _, _) -> terms <> [])
+  in
+  { Syccl_milp.Lp.num_vars; objective; rows }

@@ -49,3 +49,8 @@ val mutate :
     transfers to drop, no reduce chunk to inflate, ...).  Mutants stay
     inside {!Syccl_sim.Validate.check_structure}'s vocabulary so the
     deeper causality and coverage checks are the ones under test. *)
+
+val lp : Syccl_util.Xrand.t -> Syccl_milp.Lp.problem
+(** Small LPs with integer/half-integer coefficients (exact float
+    arithmetic, deliberate degeneracy) for differential testing of the
+    revised simplex against the retired dense tableau. *)

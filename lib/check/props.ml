@@ -526,6 +526,73 @@ let prop_oracle ctx =
                   (Collective.kind_name kind) n coll.Collective.size)
 
 (* ------------------------------------------------------------------ *)
+(* The revised sparse simplex agrees with the retired dense tableau (kept
+   as Lp_dense, the differential oracle) on random LPs: same status, same
+   objective within 1e-6, and the revised solution actually satisfies the
+   constraints it claims to. *)
+
+module Lp = Syccl_milp.Lp
+module Lp_dense = Syccl_milp.Lp_dense
+
+let pp_lp (p : Lp.problem) =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "min [";
+  Array.iter (fun c -> Buffer.add_string b (Printf.sprintf " %g" c)) p.objective;
+  Buffer.add_string b " ]\n";
+  List.iter
+    (fun (terms, cmp, rhs) ->
+      List.iter
+        (fun (j, c) -> Buffer.add_string b (Printf.sprintf "%+gx%d " c j))
+        terms;
+      Buffer.add_string b
+        (match cmp with Lp.Le -> "<= " | Lp.Ge -> ">= " | Lp.Eq -> "= ");
+      Buffer.add_string b (Printf.sprintf "%g\n" rhs))
+    p.rows;
+  Buffer.contents b
+
+let lp_status = function
+  | Lp.Optimal _ -> "optimal"
+  | Lp.Infeasible -> "infeasible"
+  | Lp.Unbounded -> "unbounded"
+  | Lp.Iter_limit -> "iter_limit"
+
+let lp_point_feasible (p : Lp.problem) x =
+  Array.for_all (fun v -> v >= -1e-6) x
+  && List.for_all
+       (fun (terms, cmp, rhs) ->
+         let lhs =
+           List.fold_left (fun a (j, c) -> a +. (c *. x.(j))) 0.0 terms
+         in
+         match cmp with
+         | Lp.Le -> lhs <= rhs +. 1e-6
+         | Lp.Ge -> lhs >= rhs -. 1e-6
+         | Lp.Eq -> Float.abs (lhs -. rhs) <= 1e-6)
+       p.rows
+
+let prop_lp_differential ctx =
+  let p = Gen.lp ctx.rng in
+  match (Lp_dense.solve p, Lp.solve p) with
+  | Lp.Iter_limit, _ | _, Lp.Iter_limit -> Skip "iteration limit"
+  | Lp.Optimal { obj = da; _ }, Lp.Optimal { obj = ra; x } ->
+      (* Absolute-or-relative: optima at exactly 0.0 vs one rounding ulp
+         away must not count as a divergence. *)
+      let close a b =
+        Float.abs (a -. b)
+        <= 1e-6 *. (1.0 +. Float.max (Float.abs a) (Float.abs b))
+      in
+      if not (lp_point_feasible p x) then
+        failf "lp-differential: revised optimum violates constraints\n%s"
+          (pp_lp p)
+      else if not (close da ra) then
+        failf "lp-differential: objectives differ: dense %.9g, revised %.9g\n%s"
+          da ra (pp_lp p)
+      else Pass
+  | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> Pass
+  | dense, revised ->
+      failf "lp-differential: status disagrees: dense %s, revised %s\n%s"
+        (lp_status dense) (lp_status revised) (pp_lp p)
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -539,6 +606,7 @@ let all =
     { name = "reorder-benign"; heavy = false; check = prop_reorder_benign };
     { name = "registry-fidelity"; heavy = true; check = prop_registry_fidelity };
     { name = "size-bucket"; heavy = false; check = prop_size_bucket };
+    { name = "lp-differential"; heavy = false; check = prop_lp_differential };
     { name = "oracle"; heavy = true; check = prop_oracle };
   ]
 

@@ -305,8 +305,8 @@ let estimated_milp_s () =
   in
   Float.max 0.01 est
 
-let solve_demand ?warm ?(budget = Syccl_util.Budget.unlimited) strategy topo
-    demand =
+let solve_demand ?warm ?(budget = Syccl_util.Budget.unlimited) ?pool ?cache
+    strategy topo demand =
   Syccl_util.Trace.with_span ~cat:"subsolve" "subsolver.solve_demand"
     ~args:
       [
@@ -410,9 +410,19 @@ let solve_demand ?warm ?(budget = Syccl_util.Budget.unlimited) strategy topo
               greedy
             end
             else begin
+              (* Scope warm-basis sharing to this demand's isomorphism
+                 class: representatives of distinct classes write distinct
+                 keys even when their models coincidentally have the same
+                 shape, which keeps concurrent class solves deterministic
+                 (see Epoch_model.solve). *)
+              let cache_tag =
+                match cache with
+                | None -> None
+                | Some _ -> Some (class_key topo demand)
+              in
               match
-                Epoch_model.solve ~node_limit ~time_limit ~budget
-                  ~incumbent:greedy spec
+                Epoch_model.solve ~node_limit ~time_limit ~budget ?pool
+                  ?cache ?cache_tag ~incumbent:greedy spec
               with
               | Some (s, _) ->
                   if

@@ -57,6 +57,8 @@ val strategy_signature : strategy -> string
 val solve_demand :
   ?warm:Syccl_sim.Schedule.xfer list ->
   ?budget:Syccl_util.Budget.t ->
+  ?pool:Syccl_util.Pool.t ->
+  ?cache:(string, Syccl_milp.Lp.basis_state) Syccl_util.Cache.t ->
   strategy ->
   Syccl_topology.Topology.t ->
   demand ->
@@ -64,7 +66,11 @@ val solve_demand :
 (** Solve one sub-demand; transfers use {e local} chunk ids (entry order).
     [warm], if given and valid for the demand, competes with the greedy
     incumbent before MILP refinement (the fine step warm-starts from the
-    coarse step's solution this way).
+    coarse step's solution this way).  [pool] parallelizes MILP node waves
+    and [cache] carries warm-start bases across the sketch family's
+    same-shaped sibling demands (both forwarded to
+    {!Syccl_teccl.Epoch_model.solve}); pass one cache per sequential solve
+    sequence — it is not safe to share across concurrent solves.
 
     Deadline behaviour: an already-expired [budget] returns the (valid,
     unoptimized) direct candidate immediately; MILP refinement is skipped

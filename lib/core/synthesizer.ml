@@ -60,6 +60,7 @@ type breakdown = {
   cache_misses : int;
   milp_solves : int;
   milp_nodes : int;
+  flow_certified : int;
   registry_hits : int;
   registry_misses : int;
 }
@@ -87,6 +88,7 @@ let zero_breakdown =
     cache_misses = 0;
     milp_solves = 0;
     milp_nodes = 0;
+    flow_certified = 0;
     registry_hits = 0;
     registry_misses = 0;
   }
@@ -101,6 +103,7 @@ let add_breakdown a b =
     cache_misses = a.cache_misses + b.cache_misses;
     milp_solves = a.milp_solves + b.milp_solves;
     milp_nodes = a.milp_nodes + b.milp_nodes;
+    flow_certified = a.flow_certified + b.flow_certified;
     registry_hits = a.registry_hits + b.registry_hits;
     registry_misses = a.registry_misses + b.registry_misses;
   }
@@ -156,6 +159,13 @@ let live_memo =
    the produced schedules — cannot depend on pool size or scheduling. *)
 let solve_plans ~pool ~memo ~budget ?warm strategy topo
     (plans : Subsolver.plan list) =
+  (* Warm-basis handoff between same-class MILP solves within this call
+     (first-writer-wins keys scoped by class, see Subsolver.solve_demand);
+     one cache per call so sweeps and repeated synthesize runs start from
+     the same (empty) state and stay reproducible. *)
+  let milp_warm : (string, Syccl_milp.Lp.basis_state) Cache.t =
+    Cache.create ~capacity:64 ~name:"cache.milp_warm" ()
+  in
   let classes = Hashtbl.create 64 in
   List.iter
     (fun (p : Subsolver.plan) ->
@@ -209,7 +219,10 @@ let solve_plans ~pool ~memo ~budget ?warm strategy topo
            deadline, own degradation mark) so we can tell, per class, whether
            the deadline forced a degraded solution. *)
         let b = Budget.detach budget in
-        let xfers = Subsolver.solve_demand ?warm:w ~budget:b strategy topo rep in
+        let xfers =
+          Subsolver.solve_demand ?warm:w ~budget:b ~pool ~cache:milp_warm
+            strategy topo rep
+        in
         if Budget.degraded b then Budget.mark_degraded budget;
         (xfers, Budget.degraded b))
       todo
@@ -230,9 +243,12 @@ let solve_plans ~pool ~memo ~budget ?warm strategy topo
     match Hashtbl.find_opt table key with
     | Some (rep, rep_xfers) -> (
         match Subsolver.transfer topo ~rep ~rep_xfers d with
-        | Some xfers -> xfers
-        | None -> Subsolver.solve_demand ~budget strategy topo d)
-    | None -> Subsolver.solve_demand ~budget strategy topo d
+        | Some xfers ->
+            xfers
+        | None ->
+            Subsolver.solve_demand ~budget ~pool ~cache:milp_warm strategy
+              topo d)
+    | None -> Subsolver.solve_demand ~budget ~pool ~cache:milp_warm strategy topo d
 
 let strategy_of cfg ~e =
   if cfg.fast_only then Subsolver.Fast_only
@@ -582,7 +598,8 @@ let synthesize_memo ~config ~memo ~budget topo coll =
     ( Counters.value "cache.subsolve.hits",
       Counters.value "cache.subsolve.misses",
       Counters.value "milp.solves",
-      Counters.value "milp.nodes" )
+      Counters.value "milp.nodes",
+      Counters.value "milp.flow_certified" )
   in
   let pool = Pool.get config.domains in
   let phases = Collective.phases coll in
@@ -593,7 +610,7 @@ let synthesize_memo ~config ~memo ~budget topo coll =
     List.fold_left (fun a (_, _, b, _, _, _) -> add_breakdown a b) zero_breakdown results
   in
   let breakdown =
-    let h0, m0, s0, n0 = activity0 in
+    let h0, m0, s0, n0, f0 = activity0 in
     let d now before = int_of_float (now -. before) in
     {
       breakdown with
@@ -601,6 +618,7 @@ let synthesize_memo ~config ~memo ~budget topo coll =
       cache_misses = d (Counters.value "cache.subsolve.misses") m0;
       milp_solves = d (Counters.value "milp.solves") s0;
       milp_nodes = d (Counters.value "milp.nodes") n0;
+      flow_certified = d (Counters.value "milp.flow_certified") f0;
     }
   in
   let num_sketches = List.fold_left (fun a (_, _, _, s, _, _) -> a + s) 0 results in

@@ -51,6 +51,10 @@ type breakdown = {
   cache_misses : int;  (** sub-solve memo misses during this call *)
   milp_solves : int;  (** MILP models solved during this call *)
   milp_nodes : int;  (** branch-and-bound nodes explored during this call *)
+  flow_certified : int;
+      (** MILP solves stopped early because the incumbent met the
+          multi-commodity-flow lower bound (within-ε-of-flow-optimal
+          certificate; see {!Syccl_teccl.Epoch_model.solve}) *)
   registry_hits : int;
       (** persistent schedule-registry hits serving this outcome (filled in
           by {!Syccl_serve.Serve}; always 0 on a bare [synthesize]) *)

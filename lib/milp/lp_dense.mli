@@ -1,0 +1,17 @@
+(** The retired dense two-phase primal simplex, kept verbatim as a
+    differential test oracle for the revised solver in {!Lp}.
+
+    Production code must not call this: every pivot rewrites a dense
+    [(m+1) × (cols+1)] tableau, which is exactly the cost profile the
+    sparse revised simplex replaced (and the lint rule banning dense
+    tableau allocations in [lib/milp/] exempts only this file).  The fuzz
+    property ["lp-differential"] and the [bench milp] A/B target run it
+    against {!Lp.solve} on identical problems, asserting status agreement
+    and objective equality. *)
+
+val solve :
+  ?max_iters:int -> ?budget:Syccl_util.Budget.t -> Lp.problem -> Lp.result
+(** Identical contract to the pre-rewrite [Lp.solve]: bounds are not
+    supported natively — encode them as explicit constraint rows.  Pivot
+    counts land in the ["lp_dense.pivots_per_solve"] histogram so A/B runs
+    can compare work done. *)

@@ -1,9 +1,19 @@
 (** Mixed-integer linear programming: a small modelling DSL plus a best-first
-    branch-and-bound over the {!Lp} simplex.
+    branch-and-bound over the {!Lp} revised simplex.
 
     This module substitutes for the commercial MILP solver used in the paper;
     it targets the small sub-demand models produced by SyCCL's decomposition
-    (§5.1) and the TECCL baseline's whole-problem models (Appendix A). *)
+    (§5.1) and the TECCL baseline's whole-problem models (Appendix A).
+
+    Variable bounds — including the bounds added by branching — are passed
+    to {!Lp.solve_bounded} natively rather than as extra constraint rows,
+    and every branch-and-bound child warm-starts from its parent's final
+    basis (one bound changed, so a dual-simplex pass repairs feasibility in
+    a few pivots).  Node exploration proceeds in fixed-size waves whose LP
+    relaxations are solved in parallel over a {!Syccl_util.Pool} when one
+    is supplied; waves are assembled and post-processed sequentially from
+    the deterministic best-first queue, so the explored tree — and hence
+    the result — is identical at every pool width. *)
 
 type model
 
@@ -19,6 +29,7 @@ val binary : model -> ?obj:float -> string -> int
 (** Shorthand for an integer variable in [\[0, 1\]]. *)
 
 val num_vars : model -> int
+val num_rows : model -> int
 
 val add_le : model -> (int * float) list -> float -> unit
 val add_ge : model -> (int * float) list -> float -> unit
@@ -27,11 +38,22 @@ val add_eq : model -> (int * float) list -> float -> unit
 
 type status = Optimal | Feasible | Infeasible | Unbounded | Limit
 
+type engine =
+  | Revised  (** the sparse revised simplex in {!Lp} (default) *)
+  | Dense
+      (** the retired dense tableau ({!Lp_dense}), bounds expanded into
+          rows — kept for A/B benchmarking and differential testing *)
+
 type result = {
   status : status;
   x : float array;  (** best solution found (meaningless unless feasible) *)
   obj : float;
   nodes : int;  (** branch-and-bound nodes explored *)
+  certified : bool;
+      (** the incumbent met the [lower_bound + gap] early-exit certificate *)
+  root_state : Lp.basis_state option;
+      (** final basis of the root relaxation, for warm-starting sibling
+          solves on structurally identical models (Revised engine only) *)
 }
 
 val solve :
@@ -40,6 +62,11 @@ val solve :
   ?lp_iter_limit:int ->
   ?budget:Syccl_util.Budget.t ->
   ?incumbent:float array ->
+  ?engine:engine ->
+  ?pool:Syccl_util.Pool.t ->
+  ?lower_bound:float ->
+  ?gap:float ->
+  ?warm_state:Lp.basis_state ->
   model ->
   result
 (** Minimize.  [incumbent] seeds the search with a known feasible point
@@ -49,10 +76,25 @@ val solve :
     [lp_iter_limit] (default 4000) bounds simplex pivots per LP so a single
     relaxation cannot blow the time budget between checks.  [time_limit]
     and [budget] share one deadline: the limit narrows the budget, and the
-    combined deadline is checked both between branch-and-bound nodes and —
-    via {!Lp.solve} — between simplex pivots, so an expiring or cancelled
-    budget stops the solve within a pivot-check stride.  The ["milp.slow"]
-    {!Syccl_util.Faultpoint} latency probe fires at solve entry. *)
+    combined deadline is checked both between branch-and-bound waves and —
+    via {!Lp}'s pivot loop — between simplex pivots, so an expiring or
+    cancelled budget stops the solve within a pivot-check stride.
+
+    [lower_bound] is an external certificate on the optimal objective
+    (e.g. the multi-commodity-flow relaxation of the epoch model): node
+    bounds are clamped up to it, and as soon as the incumbent objective is
+    within [gap] (default 1e-6) of it the search stops with
+    [certified = true] and status [Optimal] — the incumbent is within
+    [gap] of the relaxation optimum, so proving exact optimality is not
+    worth further nodes.  The ["milp.flow_certified"] counter records each
+    early exit.
+
+    [warm_state] warm-starts the root relaxation from a previous solve of
+    a structurally identical model (same variable and row counts; see
+    {!Lp.solve_bounded} — a stale state is safe).  [pool] parallelizes the
+    LP relaxations of each node wave; results are identical with and
+    without it.  The ["milp.slow"] {!Syccl_util.Faultpoint} latency probe
+    fires at solve entry. *)
 
 val check_feasible : model -> float array -> bool
 (** True iff the point satisfies every constraint, bounds, and integrality

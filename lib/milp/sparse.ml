@@ -1,0 +1,58 @@
+type t = {
+  m : int;
+  n : int;
+  ptr : int array;
+  idx : int array;
+  v : float array;
+}
+
+let of_cols ~m cols =
+  let n = Array.length cols in
+  (* Sum duplicates per column, drop exact zeros. *)
+  let cleaned =
+    Array.map
+      (fun entries ->
+        let sorted =
+          List.sort (fun (r1, _) (r2, _) -> compare r1 r2) entries
+        in
+        let rec merge = function
+          | (r1, a) :: (r2, b) :: rest when r1 = r2 -> merge ((r1, a +. b) :: rest)
+          | (r, a) :: rest ->
+              if r < 0 || r >= m then invalid_arg "Sparse.of_cols: row out of range";
+              if a = 0.0 then merge rest else (r, a) :: merge rest
+          | [] -> []
+        in
+        merge sorted)
+      cols
+  in
+  let total = Array.fold_left (fun acc l -> acc + List.length l) 0 cleaned in
+  let ptr = Array.make (n + 1) 0 in
+  let idx = Array.make (max 1 total) 0 in
+  let v = Array.make (max 1 total) 0.0 in
+  let k = ref 0 in
+  Array.iteri
+    (fun j entries ->
+      ptr.(j) <- !k;
+      List.iter
+        (fun (r, a) ->
+          idx.(!k) <- r;
+          v.(!k) <- a;
+          incr k)
+        entries)
+    cleaned;
+  ptr.(n) <- !k;
+  { m; n; ptr; idx; v }
+
+let nnz a = a.ptr.(a.n)
+
+let col_iter a j f =
+  for k = a.ptr.(j) to a.ptr.(j + 1) - 1 do
+    f a.idx.(k) a.v.(k)
+  done
+
+let col_dot a j y =
+  let acc = ref 0.0 in
+  for k = a.ptr.(j) to a.ptr.(j + 1) - 1 do
+    acc := !acc +. (a.v.(k) *. y.(a.idx.(k)))
+  done;
+  !acc

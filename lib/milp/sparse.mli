@@ -1,0 +1,30 @@
+(** Compressed sparse column (CSC) matrices for the revised simplex.
+
+    The constraint matrix of an LP is built once per solve and then only
+    ever read column-wise: pricing dots a column against the dual vector,
+    and ftran scatters the entering column into a dense work array.  CSC
+    makes both O(nnz of the column), independent of the (much larger)
+    tableau footprint the dense solver used to carry. *)
+
+type t = private {
+  m : int;  (** rows *)
+  n : int;  (** columns *)
+  ptr : int array;  (** length [n + 1]; column [j] spans [ptr.(j), ptr.(j+1)) *)
+  idx : int array;  (** row index per stored entry *)
+  v : float array;  (** value per stored entry *)
+}
+
+val of_cols : m:int -> (int * float) list array -> t
+(** [of_cols ~m cols] builds an [m × Array.length cols] matrix from
+    per-column (row, value) lists.  Duplicate row entries within a column
+    are summed; exact zeros (including summed-to-zero duplicates) are
+    dropped.  Row indices must lie in [0, m). *)
+
+val nnz : t -> int
+
+val col_iter : t -> int -> (int -> float -> unit) -> unit
+(** [col_iter a j f] applies [f row value] to each stored entry of column
+    [j]. *)
+
+val col_dot : t -> int -> float array -> float
+(** [col_dot a j y] is [Σ_i a(i,j)·y.(i)] — one reduced cost. *)

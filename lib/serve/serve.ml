@@ -24,6 +24,7 @@ let hit_breakdown =
     cache_misses = 0;
     milp_solves = 0;
     milp_nodes = 0;
+    flow_certified = 0;
     registry_hits = 1;
     registry_misses = 0;
   }

@@ -2,6 +2,7 @@ module Topology = Syccl_topology.Topology
 module Link = Syccl_topology.Link
 module Schedule = Syccl_sim.Schedule
 module Milp = Syccl_milp.Milp
+module Lp = Syccl_milp.Lp
 
 type edge = { eu : int; ev : int; edim : int }
 
@@ -262,6 +263,154 @@ let var_count spec =
   let l = build spec in
   Milp.num_vars l.model
 
+(* Multi-commodity-flow relaxation of the epoch model: each demanded
+   (chunk, gpu) pair fractionally picks serving in-edges (Σ r = 1), every
+   pick costs its latency against the makespan and its busy time against
+   the two port groups it crosses, and T_flow = min T.  Any feasible
+   schedule induces such an assignment with r ∈ {0,1} — the serving send
+   arrives by the makespan and port slots are exclusive — so ⌈T_flow⌉
+   lower-bounds the integral makespan.  One small LP per MILP; the bound
+   both prunes branch-and-bound nodes and certifies incumbents that reach
+   it (see {!Syccl_milp.Milp.solve}). *)
+let flow_vars_limit = 2000
+
+let flow_bound spec =
+  let n = Topology.num_gpus spec.topo in
+  let nc = Array.length spec.chunks in
+  let nd = Topology.num_dims spec.topo in
+  let npg =
+    1 + Array.fold_left max 0
+          (Array.init nd (fun d -> (Topology.dim spec.topo d).Topology.port_group))
+  in
+  (* Demanded pairs and their usable in-edges (latency within horizon). *)
+  let pairs = ref [] and complete = ref true in
+  for c = 0 to nc - 1 do
+    List.iter
+      (fun v ->
+        if not (List.mem v spec.chunks.(c).Schedule.initial) then begin
+          let ks = ref [] in
+          Array.iteri
+            (fun k ed ->
+              if ed.ev = v then begin
+                let lat, _ = edge_timing spec c k in
+                if lat <= spec.horizon then ks := k :: !ks
+              end)
+            spec.edges;
+          if !ks = [] then complete := false
+          else pairs := (c, List.rev !ks) :: !pairs
+        end)
+      spec.chunks.(c).Schedule.wanted
+  done;
+  let pairs = Array.of_list (List.rev !pairs) in
+  let num_vars =
+    1 + Array.fold_left (fun a (_, ks) -> a + List.length ks) 0 pairs
+  in
+  if (not !complete) || Array.length pairs = 0 || num_vars > flow_vars_limit
+  then None
+  else begin
+    (* Variable 0 is T; each pair owns a contiguous block of r variables. *)
+    let t_var = 0 in
+    let base = Array.make (Array.length pairs) 0 in
+    let next = ref 1 in
+    Array.iteri
+      (fun p (_, ks) ->
+        base.(p) <- !next;
+        next := !next + List.length ks)
+      pairs;
+    let objective = Array.make num_vars 0.0 in
+    objective.(t_var) <- 1.0;
+    let rows = ref [] in
+    (* Egress/ingress busy load per (gpu, port group). *)
+    let out_load = Array.make (n * npg) [] in
+    let in_load = Array.make (n * npg) [] in
+    Array.iteri
+      (fun p (c, ks) ->
+        let assign = List.mapi (fun i k -> (base.(p) + i, k)) ks in
+        rows := (List.map (fun (id, _) -> (id, 1.0)) assign, Lp.Eq, 1.0) :: !rows;
+        let lat_terms =
+          List.map
+            (fun (id, k) ->
+              let lat, _ = edge_timing spec c k in
+              (id, -.float_of_int lat))
+            assign
+        in
+        rows := ((t_var, 1.0) :: lat_terms, Lp.Ge, 0.0) :: !rows;
+        List.iter
+          (fun (id, k) ->
+            let _, busy = edge_timing spec c k in
+            if busy > 0 then begin
+              let ed = spec.edges.(k) and pg = port_group spec k in
+              let term = (id, -.float_of_int busy) in
+              out_load.((ed.eu * npg) + pg) <-
+                term :: out_load.((ed.eu * npg) + pg);
+              in_load.((ed.ev * npg) + pg) <-
+                term :: in_load.((ed.ev * npg) + pg)
+            end)
+          assign)
+      pairs;
+    Array.iter
+      (fun terms ->
+        if terms <> [] then rows := ((t_var, 1.0) :: terms, Lp.Ge, 0.0) :: !rows)
+      out_load;
+    Array.iter
+      (fun terms ->
+        if terms <> [] then rows := ((t_var, 1.0) :: terms, Lp.Ge, 0.0) :: !rows)
+      in_load;
+    let problem = { Lp.num_vars; objective; rows = List.rev !rows } in
+    match Lp.solve problem with
+    | Lp.Optimal { x; _ } -> Some x.(t_var)
+    | Lp.Infeasible | Lp.Unbounded | Lp.Iter_limit -> None
+  end
+
+(* Copy-growth ("doubling") lower bound: possession of a chunk spreads
+   only from its holders, a send lands [lat] epochs after it starts, and a
+   holder's egress port starts at most ⌈lat/busy⌉ sends inside any window
+   of [lat] epochs — so the holder count after [w] windows is at most
+   h₀·(1 + ⌈lat/busy⌉)^w, and reaching the demanded holder count needs at
+   least lat·min{w : h₀·gʷ ≥ H} epochs.  Per chunk, ignoring cross-chunk
+   port contention (which only helps the bound's soundness).  The flow
+   relaxation is tight when port load dominates (all-gather rings); this
+   one is tight when propagation depth dominates (single-source
+   broadcast).  Applied only to gather chunks whose usable edges share one
+   (lat, busy) timing — the within-group sub-demand case; mixed-link edge
+   sets contribute 0. *)
+let growth_bound spec =
+  let nc = Array.length spec.chunks in
+  let best = ref 0 in
+  for c = 0 to nc - 1 do
+    if spec.chunks.(c).Schedule.mode = `Gather then begin
+      let uniform = ref true and lat = ref (-1) and busy = ref (-1) in
+      Array.iteri
+        (fun k _ ->
+          let l, b = edge_timing spec c k in
+          if !lat < 0 then begin
+            lat := l;
+            busy := b
+          end
+          else if l <> !lat || b <> !busy then uniform := false)
+        spec.edges;
+      let initial = spec.chunks.(c).Schedule.initial in
+      let h0 = List.length initial in
+      let target =
+        List.fold_left
+          (fun acc v -> if List.mem v initial then acc else acc + 1)
+          h0 spec.chunks.(c).Schedule.wanted
+      in
+      if !uniform && h0 > 0 && target > h0 && !lat >= 1 then
+        if !busy = 0 then best := max !best !lat
+        else begin
+          let g = 1 + ((!lat + !busy - 1) / !busy) in
+          let windows = ref 0 and h = ref h0 in
+          while !h < target do
+            h := !h * g;
+            incr windows
+          done;
+          best := max !best (!lat * !windows)
+        end
+    end
+  done;
+  float_of_int !best
+
 (* Encode a schedule replayed on the epoch grid as a variable assignment. *)
 let incumbent_assignment spec layout (sched : Schedule.t) =
   match replay spec sched with
@@ -341,7 +490,8 @@ let extract spec layout x =
   { Schedule.chunks = spec.chunks; xfers }
 
 let solve ?(node_limit = 400) ?(time_limit = 60.0)
-    ?(budget = Syccl_util.Budget.unlimited) ?incumbent spec =
+    ?(budget = Syccl_util.Budget.unlimited) ?incumbent ?engine ?pool ?cache
+    ?(cache_tag = "") spec =
   let layout = build spec in
   (* The caller's variable budget is an estimate; refuse outsized models
      outright rather than letting one LP eat the whole time budget. *)
@@ -355,9 +505,43 @@ let solve ?(node_limit = 400) ?(time_limit = 60.0)
     | None -> None
     | Some s -> incumbent_assignment spec layout s
   in
-  let result =
-    Milp.solve ~node_limit ~time_limit ~budget ?incumbent:warm layout.model
+  (* The MILP objective is T minus the arrival tie-break, which is bounded
+     below 0.1 by construction of [eps] in [build]; so the flow relaxation
+     certifies at [⌈T_flow⌉ - 0.1] with a gap of 0.5 — any incumbent whose
+     makespan hits ⌈T_flow⌉ is accepted as (makespan-)optimal without
+     proving the tie-break optimal too. *)
+  let lower_bound =
+    let epochs =
+      Float.max (growth_bound spec)
+        (match flow_bound spec with Some t_flow -> t_flow | None -> 0.0)
+    in
+    if epochs > 0.0 then Some (Float.ceil (epochs -. 1e-6) -. 0.1) else None
   in
+  (* Sketch-family siblings share the model shape; reuse the latest root
+     basis of that shape as a warm start (a stale or mismatched state is
+     validated and discarded inside {!Syccl_milp.Lp}). *)
+  let cache_key =
+    Printf.sprintf "%s|h%d:%dv:%dr" cache_tag spec.horizon
+      (Milp.num_vars layout.model)
+      (Milp.num_rows layout.model)
+  in
+  let warm_state =
+    match cache with
+    | None -> None
+    | Some c -> Syccl_util.Cache.find_opt c cache_key
+  in
+  let result =
+    Milp.solve ~node_limit ~time_limit ~budget ?incumbent:warm ?engine ?pool
+      ?lower_bound ~gap:0.5 ?warm_state layout.model
+  in
+  (* First writer wins: once a key holds a basis every later sibling reads
+     the same one, so which sibling solved first (e.g. across pool
+     workers) cannot change what a subsequent solve warm-starts from. *)
+  (match (cache, result.Milp.root_state) with
+  | Some c, Some st ->
+      if Syccl_util.Cache.find_opt c cache_key = None then
+        Syccl_util.Cache.put c cache_key st
+  | _ -> ());
   match result.Milp.status with
   | Milp.Optimal | Milp.Feasible ->
       let sched = extract spec layout result.Milp.x in

@@ -35,11 +35,33 @@ val replay : spec -> Syccl_sim.Schedule.t -> int option
 val var_count : spec -> int
 (** Number of MILP variables the model would have (for cost reporting). *)
 
+val flow_bound : spec -> float option
+(** Optimum of the multi-commodity-flow relaxation: each demanded
+    (chunk, GPU) pair fractionally splits across its in-edges, paying
+    latency against the makespan and busy time against port capacity.
+    ⌈result⌉ lower-bounds the integral makespan.  [None] when a demanded
+    pair has no in-edge within the horizon, when the relaxation would
+    exceed 2000 variables, or when its LP does not solve cleanly — the
+    MILP simply proceeds without a bound. *)
+
+val growth_bound : spec -> float
+(** Copy-growth ("doubling") lower bound in epochs: a chunk's holder count
+    can at most multiply by 1 + ⌈lat/busy⌉ per window of [lat] epochs, so
+    a single-source broadcast needs at least lat·⌈log(holders)⌉ epochs no
+    matter how ports are scheduled.  0.0 when no chunk yields a bound
+    (reduce-mode chunks and mixed-timing edge sets are skipped).
+    Complements {!flow_bound}: flow is tight under port saturation, growth
+    under propagation depth. *)
+
 val solve :
   ?node_limit:int ->
   ?time_limit:float ->
   ?budget:Syccl_util.Budget.t ->
   ?incumbent:Syccl_sim.Schedule.t ->
+  ?engine:Syccl_milp.Milp.engine ->
+  ?pool:Syccl_util.Pool.t ->
+  ?cache:(string, Syccl_milp.Lp.basis_state) Syccl_util.Cache.t ->
+  ?cache_tag:string ->
   spec ->
   (Syccl_sim.Schedule.t * int) option
 (** Build and solve the model; returns the schedule (priorities = start
@@ -47,4 +69,20 @@ val solve :
     horizon / budget and no incumbent fits.  Models over 3000 variables are
     refused without solving (the incumbent, if any, is replayed instead);
     [budget] is threaded into {!Syccl_milp.Milp.solve} so an expiring
-    deadline interrupts branch-and-bound between pivots. *)
+    deadline interrupts branch-and-bound between pivots.
+
+    The {!flow_bound} relaxation and the {!growth_bound} are combined
+    (their max) once per call and passed to branch-and-bound as a pruning
+    floor and early-exit certificate (gap 0.5: an incumbent whose makespan
+    reaches the bound's ceiling is returned as optimal without also
+    proving the arrival tie-break optimal) — a tree-optimal broadcast
+    incumbent certifies at the root without exploring any children.  [engine]
+    and [pool] are forwarded to {!Syccl_milp.Milp.solve}.  [cache], when
+    supplied, warm-starts the root relaxation from an earlier solve of a
+    same-shaped sibling model (keyed by [cache_tag] plus horizon and
+    variable/row counts) and stores this solve's root basis back under a
+    first-writer-wins discipline, so results stay deterministic even when
+    sibling solves run concurrently — give unrelated concurrent solves
+    distinct [cache_tag]s (a stale or mismatched basis is validated and
+    discarded inside {!Syccl_milp.Lp}, so a collision costs time, not
+    correctness). *)

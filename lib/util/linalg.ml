@@ -12,16 +12,20 @@ let residual a x b =
   Array.iteri (fun i v -> m := Float.max !m (Float.abs (v -. b.(i)))) ax;
   !m
 
-let solve a b =
+(* LU factorization with partial pivoting, stored packed: [lu.(i).(j)] holds
+   U on and above the diagonal and the unit-lower-triangular multipliers of L
+   strictly below it.  [perm.(i)] is the original row index that ended up in
+   position [i]. *)
+type lu = { lu : float array array; perm : int array }
+
+let lu_factor a =
   let n = Array.length a in
-  assert (n = Array.length b);
-  if n = 0 then Some [||]
+  if n = 0 then Some { lu = [||]; perm = [||] }
   else begin
     assert (Array.for_all (fun row -> Array.length row = n) a);
     let m = Array.map Array.copy a in
-    let rhs = Array.copy b in
+    let perm = Array.init n (fun i -> i) in
     let singular = ref false in
-    (* Forward elimination with partial pivoting. *)
     for col = 0 to n - 1 do
       if not !singular then begin
         let pivot = ref col in
@@ -30,37 +34,79 @@ let solve a b =
         done;
         if Float.abs m.(!pivot).(col) < 1e-12 then singular := true
         else begin
-          let tmp = m.(col) in
-          m.(col) <- m.(!pivot);
-          m.(!pivot) <- tmp;
-          let t = rhs.(col) in
-          rhs.(col) <- rhs.(!pivot);
-          rhs.(!pivot) <- t;
+          if !pivot <> col then begin
+            let tmp = m.(col) in
+            m.(col) <- m.(!pivot);
+            m.(!pivot) <- tmp;
+            let t = perm.(col) in
+            perm.(col) <- perm.(!pivot);
+            perm.(!pivot) <- t
+          end;
           for r = col + 1 to n - 1 do
             let f = m.(r).(col) /. m.(col).(col) in
-            if f <> 0.0 then begin
-              for c = col to n - 1 do
+            m.(r).(col) <- f;
+            if f <> 0.0 then
+              for c = col + 1 to n - 1 do
                 m.(r).(c) <- m.(r).(c) -. (f *. m.(col).(c))
-              done;
-              rhs.(r) <- rhs.(r) -. (f *. rhs.(col))
-            end
+              done
           done
         end
       end
     done;
-    if !singular then None
-    else begin
-      let x = Array.make n 0.0 in
-      for r = n - 1 downto 0 do
-        let acc = ref rhs.(r) in
-        for c = r + 1 to n - 1 do
-          acc := !acc -. (m.(r).(c) *. x.(c))
-        done;
-        x.(r) <- !acc /. m.(r).(r)
-      done;
-      Some x
-    end
+    if !singular then None else Some { lu = m; perm }
   end
+
+let lu_solve { lu; perm } b =
+  let n = Array.length lu in
+  let x = Array.init n (fun i -> b.(perm.(i))) in
+  (* Forward substitution with unit L. *)
+  for r = 1 to n - 1 do
+    let acc = ref x.(r) in
+    for c = 0 to r - 1 do
+      acc := !acc -. (lu.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !acc
+  done;
+  (* Back substitution with U. *)
+  for r = n - 1 downto 0 do
+    let acc = ref x.(r) in
+    for c = r + 1 to n - 1 do
+      acc := !acc -. (lu.(r).(c) *. x.(c))
+    done;
+    x.(r) <- !acc /. lu.(r).(r)
+  done;
+  x
+
+let lu_solve_t { lu; perm } b =
+  let n = Array.length lu in
+  let y = Array.copy b in
+  (* Solve U^T y' = b (forward, U^T is lower triangular). *)
+  for r = 0 to n - 1 do
+    let acc = ref y.(r) in
+    for c = 0 to r - 1 do
+      acc := !acc -. (lu.(c).(r) *. y.(c))
+    done;
+    y.(r) <- !acc /. lu.(r).(r)
+  done;
+  (* Solve L^T z = y' (backward, unit diagonal). *)
+  for r = n - 1 downto 0 do
+    let acc = ref y.(r) in
+    for c = r + 1 to n - 1 do
+      acc := !acc -. (lu.(c).(r) *. y.(c))
+    done;
+    y.(r) <- !acc
+  done;
+  (* Undo the row permutation: (P A)^T x = ... means x = P^T applied back. *)
+  let x = Array.make n 0.0 in
+  Array.iteri (fun i p -> x.(p) <- y.(i)) perm;
+  x
+
+let solve a b =
+  let n = Array.length a in
+  assert (n = Array.length b);
+  match lu_factor a with
+  | None -> None
+  | Some f -> Some (lu_solve f b)
 
 let transpose a =
   let rows = Array.length a in

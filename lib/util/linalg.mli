@@ -1,9 +1,26 @@
-(** Small dense linear algebra used by chunk-ratio allocation and tests. *)
+(** Small dense linear algebra used by chunk-ratio allocation, the simplex
+    basis machinery's tests, and the profiler. *)
+
+type lu
+(** An LU factorization with partial pivoting ([P A = L U]).  Factor once,
+    then solve against many right-hand sides — including the transposed
+    system, which is how a simplex basis prices rows (btran) with the same
+    factors it uses for columns (ftran). *)
+
+val lu_factor : float array array -> lu option
+(** Factor a square matrix.  Returns [None] when it is (numerically)
+    singular.  The input is not modified. *)
+
+val lu_solve : lu -> float array -> float array
+(** [lu_solve f b] solves [A x = b] using the factors of [A]. *)
+
+val lu_solve_t : lu -> float array -> float array
+(** [lu_solve_t f b] solves [Aᵀ x = b] using the same factors. *)
 
 val solve : float array array -> float array -> float array option
-(** [solve a b] solves [a x = b] by Gaussian elimination with partial
-    pivoting.  Returns [None] when [a] is (numerically) singular.  [a] and
-    [b] are not modified. *)
+(** [solve a b] solves [a x = b] via {!lu_factor}/{!lu_solve}.  Returns
+    [None] when [a] is (numerically) singular.  [a] and [b] are not
+    modified. *)
 
 val lstsq : float array array -> float array -> float array option
 (** [lstsq a b] solves the least-squares problem [min ||a x - b||] via the

@@ -248,3 +248,136 @@ let suite =
     qtest milp_knapsack_prop;
     ("milp assignment", `Quick, test_milp_assignment);
   ]
+
+(* --- differential regressions (shrunk from `syccl fuzz -p lp-differential`)
+
+   The dense two-phase tableau is retired from production but kept as
+   Lp_dense, the differential oracle; these are hand-shrunk witnesses of
+   the corner cases the fuzzer leaned on hardest. *)
+
+let agree ?(tol = 1e-6) name p =
+  let close a b =
+    Float.abs (a -. b) <= tol *. (1.0 +. Float.max (Float.abs a) (Float.abs b))
+  in
+  match (Syccl_milp.Lp_dense.solve p, Lp.solve p) with
+  | Lp.Optimal { obj = da; _ }, Lp.Optimal { obj = ra; _ } ->
+      check Alcotest.bool (name ^ ": objectives agree") true (close da ra)
+  | Lp.Infeasible, Lp.Infeasible | Lp.Unbounded, Lp.Unbounded -> ()
+  | _ -> Alcotest.fail (name ^ ": status disagrees with dense oracle")
+
+let test_lp_dense_zero_tie () =
+  (* seed 7 case 1979: optimum exactly 0, reached through a degenerate tie;
+     the revised solver lands one rounding ulp below. *)
+  agree "zero-tie"
+    {
+      Lp.num_vars = 4;
+      objective = [| -1.5; 1.0; -3.0; 1.0 |];
+      rows =
+        [
+          ([ (0, -3.0); (3, 2.0) ], Lp.Ge, 0.0);
+          ([ (0, 2.0); (2, 1.0) ], Lp.Ge, 7.0);
+          ([ (3, 2.0); (0, -1.0); (2, 3.0); (1, 4.0) ], Lp.Ge, 9.0);
+          ([ (3, -0.5) ], Lp.Le, 6.0);
+          ([ (2, 1.0) ], Lp.Le, 0.0);
+        ];
+    }
+
+let test_lp_dense_eq_artificials () =
+  (* Equality rows force the cold start through phase-1 artificials. *)
+  agree "eq-artificials"
+    {
+      Lp.num_vars = 3;
+      objective = [| 1.0; 2.0; -1.0 |];
+      rows =
+        [
+          ([ (0, 1.0); (1, 1.0); (2, 1.0) ], Lp.Eq, 4.0);
+          ([ (0, 1.0); (1, -1.0) ], Lp.Eq, 1.0);
+          ([ (2, 1.0) ], Lp.Le, 2.0);
+        ];
+    };
+  (* Inconsistent equalities: both sides must report infeasible. *)
+  agree "eq-inconsistent"
+    {
+      Lp.num_vars = 2;
+      objective = [| 1.0; 1.0 |];
+      rows =
+        [
+          ([ (0, 1.0); (1, 1.0) ], Lp.Eq, 2.0);
+          ([ (0, 2.0); (1, 2.0) ], Lp.Eq, 5.0);
+        ];
+    }
+
+let test_lp_bounded_warm () =
+  (* A branch-and-bound-shaped pair of solves: the child tightens one upper
+     bound and warm-starts from the parent's basis.  The warm re-solve must
+     reproduce the cold answer exactly and register as a warm hit. *)
+  let p =
+    {
+      Lp.num_vars = 2;
+      objective = [| -2.0; -3.0 |];
+      rows =
+        [
+          ([ (0, 1.0); (1, 2.0) ], Lp.Le, 8.0);
+          ([ (0, 3.0); (1, 1.0) ], Lp.Le, 9.0);
+        ];
+    }
+  in
+  let lb = [| 0.0; 0.0 |] and ub = [| infinity; infinity |] in
+  let parent, state = Lp.solve_bounded ~lb ~ub p in
+  (match parent with
+  | Lp.Optimal { obj; _ } -> check (Alcotest.float 1e-9) "parent obj" (-13.0) obj
+  | _ -> Alcotest.fail "parent optimal expected");
+  let state = Option.get state in
+  let ub' = [| 1.0; infinity |] in
+  let hits0 = Syccl_util.Counters.value "lp.warm_hits" in
+  let warm_child, _ = Lp.solve_bounded ~warm:state ~lb ~ub:ub' p in
+  let cold_child, _ = Lp.solve_bounded ~lb ~ub:ub' p in
+  (match (warm_child, cold_child) with
+  | Lp.Optimal { obj = a; x }, Lp.Optimal { obj = b; _ } ->
+      check (Alcotest.float 1e-9) "warm = cold" b a;
+      check Alcotest.bool "child respects bound" true (x.(0) <= 1.0 +. 1e-9)
+  | _ -> Alcotest.fail "child optimal expected");
+  check Alcotest.bool "warm hit counted" true
+    (Syccl_util.Counters.value "lp.warm_hits" > hits0)
+
+let test_milp_engine_parity () =
+  (* The same model through both engines: the retired dense tableau (bounds
+     expanded into rows) and the revised simplex must agree on status and
+     objective. *)
+  let build () =
+    let m = Milp.create () in
+    let x = Milp.add_var m ~ub:4.0 ~integer:true ~obj:(-5.0) "x" in
+    let y = Milp.add_var m ~ub:7.0 ~integer:true ~obj:(-4.0) "y" in
+    let z = Milp.add_var m ~ub:2.5 ~obj:(-1.0) "z" in
+    Milp.add_le m [ (x, 6.0); (y, 4.0) ] 24.0;
+    Milp.add_le m [ (x, 1.0); (y, 2.0) ] 6.0;
+    Milp.add_ge m [ (x, 1.0); (y, 1.0); (z, 1.0) ] 1.0;
+    m
+  in
+  let r = Milp.solve ~engine:Milp.Revised (build ()) in
+  let d = Milp.solve ~engine:Milp.Dense (build ()) in
+  check Alcotest.bool "revised optimal" true (r.Milp.status = Milp.Optimal);
+  check Alcotest.bool "dense optimal" true (d.Milp.status = Milp.Optimal);
+  check (Alcotest.float 1e-6) "engine objectives agree" d.Milp.obj r.Milp.obj
+
+let test_milp_flow_certificate () =
+  (* An external lower bound matching the optimum stops the search with the
+     certificate bit set and still returns the right objective. *)
+  let m = Milp.create () in
+  let x = Milp.add_var m ~ub:3.0 ~integer:true ~obj:1.0 "x" in
+  let y = Milp.add_var m ~ub:3.0 ~integer:true ~obj:1.0 "y" in
+  Milp.add_ge m [ (x, 1.0); (y, 1.0) ] 3.0;
+  let r = Milp.solve ~lower_bound:3.0 ~gap:0.5 m in
+  check Alcotest.bool "certified optimal" true (r.Milp.status = Milp.Optimal);
+  check Alcotest.bool "certificate set" true r.Milp.certified;
+  check (Alcotest.float 1e-6) "certified obj" 3.0 r.Milp.obj
+
+let suite =
+  suite
+  @ [
+      ("lp dense zero tie", `Quick, test_lp_dense_zero_tie);
+      ("lp dense eq artificials", `Quick, test_lp_dense_eq_artificials);
+      ("lp bounded warm", `Quick, test_lp_bounded_warm);
+      ("milp engine parity", `Quick, test_milp_engine_parity);
+      ("milp flow certificate", `Quick, test_milp_flow_certificate);
+    ]

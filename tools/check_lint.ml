@@ -23,6 +23,13 @@
       unlabelled [Assert_failure]: the fuzzer shrinks on messages, and
       servers must survive a failed validation. *)
 
+(* 5. No dense-matrix allocation ([Array.make_matrix]) in lib/milp outside
+      lp_dense.ml — the production solver is the revised simplex over
+      sparse columns precisely because an m×n tableau is quadratic in the
+      epoch model's size; a dense allocation creeping back in silently
+      reintroduces the blowup.  The dense tableau survives only in
+      lp_dense.ml as the differential-testing oracle. *)
+
 type rule = {
   name : string;
   hint : string;
@@ -84,6 +91,20 @@ let rules =
           in
           has "validate" base || has "refcheck" base || has "lib/check" path);
       needles = [ "assert " ];
+      at_bol_only = false;
+    };
+    {
+      name = "dense matrix in sparse solver";
+      hint = "lib/milp is sparse-only; the dense tableau lives in lp_dense.ml (oracle)";
+      applies =
+        (fun path ->
+          let has sub s =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            go 0
+          in
+          has "milp" path && Filename.basename path <> "lp_dense.ml");
+      needles = [ "Array.make_matrix" ];
       at_bol_only = false;
     };
   ]
