@@ -23,6 +23,12 @@ module Counters = Syccl_util.Counters
 let full = ref false
 let smoke = ref false
 
+(* `report` target configuration (see bench_report). *)
+let report_baseline = ref "BENCH_milp_baseline.json"
+let report_current = ref "BENCH_milp.json"
+let report_threshold = ref 8.0
+let report_check = ref false
+
 (* Pool/cache activity footer for the synthesis-time figures. *)
 let runtime_stats () =
   let v = Counters.value in
@@ -691,6 +697,93 @@ let bench_milp () =
   close_out oc;
   Printf.printf "   wrote BENCH_milp.json\n%!"
 
+(* --- Bench observatory: regression report over BENCH_*.json ------------- *)
+
+(* Compare the current BENCH_milp.json against a committed baseline and
+   exit non-zero on regression.  Absolute timings are machine-dependent,
+   so the gate is ratio-based: a row regresses when its revised-vs-dense
+   speedup falls below baseline/threshold, its warm-start hit rate
+   collapses (more than 25 points below baseline), or the engines stopped
+   agreeing on objectives.  --check makes an unusable comparison (missing
+   file, zero matched rows) itself a failure, so the CI gate can never
+   pass vacuously. *)
+let bench_report () =
+  let module Json = Syccl_util.Json in
+  let read path =
+    if not (Sys.file_exists path) then None
+    else begin
+      let ic = open_in path in
+      let text = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Some (Json.of_string text)
+    end
+  in
+  let rows = function
+    | Some (Json.Obj kvs) -> (
+        match List.assoc_opt "rows" kvs with Some (Json.List l) -> l | _ -> [])
+    | _ -> []
+  in
+  let field row k =
+    match row with Json.Obj kvs -> List.assoc_opt k kvs | _ -> None
+  in
+  let num row k = match field row k with Some (Json.Num v) -> v | _ -> nan in
+  let base = read !report_baseline and cur = read !report_current in
+  Printf.printf "\n== bench report: %s vs baseline %s (threshold %.1fx) ==\n"
+    !report_current !report_baseline !report_threshold;
+  (match (base, cur) with
+  | None, _ | _, None ->
+      Printf.printf "report: missing %s\n"
+        (if base = None then !report_baseline else !report_current);
+      if !report_check then exit 1
+  | Some _, Some _ -> ());
+  Printf.printf "%5s | %9s %9s %7s | %s\n" "gpus" "base_spd" "cur_spd" "ratio"
+    "verdict";
+  let regressions = ref 0 and matched = ref 0 in
+  List.iter
+    (fun crow ->
+      let gpus = num crow "gpus" in
+      match
+        List.find_opt (fun brow -> num brow "gpus" = gpus) (rows base)
+      with
+      | None ->
+          Printf.printf "%5.0f | %9s %9s %7s | new row (no baseline)\n" gpus
+            "-" "-" "-"
+      | Some brow ->
+          incr matched;
+          let bs = num brow "speedup" and cs = num crow "speedup" in
+          let objectives_ok =
+            field crow "objectives_match" = Some (Json.Bool true)
+          in
+          let warm_ok =
+            num crow "warm_hit_rate" >= num brow "warm_hit_rate" -. 0.25
+          in
+          let speed_ok = cs *. !report_threshold >= bs in
+          let problems =
+            (if objectives_ok then [] else [ "objectives-mismatch" ])
+            @ (if warm_ok then [] else [ "warm-rate-collapse" ])
+            @ if speed_ok then [] else [ "speedup-regression" ]
+          in
+          if problems <> [] then incr regressions;
+          Printf.printf "%5.0f | %8.1fx %8.1fx %6.2fx | %s\n" gpus bs cs
+            (if bs > 0.0 then cs /. bs else 1.0)
+            (if problems = [] then "ok" else String.concat "," problems))
+    (rows cur);
+  List.iter
+    (fun brow ->
+      let gpus = num brow "gpus" in
+      if not (List.exists (fun crow -> num crow "gpus" = gpus) (rows cur))
+      then Printf.printf "%5.0f | row missing from current run\n" gpus)
+    (rows base);
+  if !report_check && !matched = 0 then begin
+    Printf.printf "report: no comparable rows — gate is vacuous\n";
+    exit 1
+  end;
+  if !regressions > 0 then begin
+    Printf.printf "report: %d regressed row(s)\n" !regressions;
+    exit 1
+  end
+  else Printf.printf "report: no regressions (%d rows compared)\n" !matched
+
 (* --- Trace emission (--trace=FILE) -------------------------------------- *)
 
 (* Record the bench run, then append a small traced 8-GPU AllGather
@@ -752,6 +845,7 @@ let targets =
     ("tab5", tab5); ("fig17a", fig17a); ("fig17b", fig17b); ("fig17c", fig17c);
     ("tab6", tab6); ("fig21a", fig21a); ("fig21b", fig21b); ("fig22a", fig22a);
     ("milp", bench_milp);
+    ("report", bench_report);
   ]
 
 let () =
@@ -759,6 +853,21 @@ let () =
   let flags, names = List.partition (fun a -> String.length a > 0 && a.[0] = '-') args in
   if List.mem "--full" flags then full := true;
   if List.mem "--smoke" flags then smoke := true;
+  if List.mem "--check" flags then report_check := true;
+  let keyed prefix =
+    List.find_map
+      (fun f ->
+        let n = String.length prefix in
+        if String.length f > n && String.sub f 0 n = prefix then
+          Some (String.sub f n (String.length f - n))
+        else None)
+      flags
+  in
+  Option.iter (fun v -> report_baseline := v) (keyed "--baseline=");
+  Option.iter (fun v -> report_current := v) (keyed "--current=");
+  Option.iter
+    (fun v -> report_threshold := float_of_string v)
+    (keyed "--threshold=");
   let trace_out =
     List.find_map
       (fun f ->

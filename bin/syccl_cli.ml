@@ -8,6 +8,7 @@ module S = Syccl_sim
 module Request = Syccl_serve.Request
 module Registry = Syccl_serve.Registry
 module Serve = Syccl_serve.Serve
+module Audit = Syccl_serve.Audit
 
 (* Name resolution moved into the serve layer (Syccl_serve.Request) so the
    CLI, batch files, tests and benches accept the same names. *)
@@ -76,6 +77,50 @@ let registry_of = function
   | Some dir -> Some (Registry.open_dir dir)
   | None -> Registry.from_env ()
 
+let require_registry rdir =
+  match registry_of rdir with
+  | Some r -> r
+  | None -> failwith "no registry: pass --registry DIR or set SYCCL_REGISTRY"
+
+let audit_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "audit" ] ~docv:"FILE"
+        ~doc:
+          "Append one audit JSONL record per request element to $(docv) \
+           (plan decision, registry probe outcome with miss reason, ladder \
+           rung, budget vs consumed, solver counter deltas).  Defaults to \
+           $(i,REGISTRY)/audit.jsonl when a registry is active; pass \
+           $(b,--audit none) to disable.")
+
+(* --audit FILE beats the registry-adjacent default; "none" disables. *)
+let audit_of registry = function
+  | Some "none" -> None
+  | Some path -> Some (Audit.open_file path)
+  | None -> Option.map Audit.for_registry registry
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "After the run, write every counter and histogram in Prometheus \
+           text exposition format to $(docv) ($(b,-) for stdout).")
+
+let write_metrics_out = function
+  | None -> ()
+  | Some path ->
+      let text = Syccl_util.Counters.to_prometheus () in
+      if path = "-" then print_string text
+      else begin
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        Format.eprintf "metrics:    wrote %s@." path
+      end
+
 let stats_arg =
   Arg.(
     value & flag
@@ -122,11 +167,10 @@ let print_metrics () =
         h.mean h.p50 h.p90 h.p99 h.hmax)
     (Syccl_util.Counters.hist_snapshot ())
 
-(* Machine-readable run report: outcome + breakdown + every counter and
-   histogram, as one JSON object. *)
-let stats_json (o : Syccl.Synthesizer.outcome) =
+(* Every counter as a JSON object field; every histogram with its
+   percentile summary — the JSON face of the Prometheus exposition. *)
+let counters_json () =
   let open Syccl_util.Json in
-  let b = o.breakdown in
   let int i = Num (float_of_int i) in
   let counters =
     List.map (fun (k, v) -> (k, Num v)) (Syccl_util.Counters.snapshot ())
@@ -143,6 +187,15 @@ let stats_json (o : Syccl.Synthesizer.outcome) =
             ] ))
       (Syccl_util.Counters.hist_snapshot ())
   in
+  (Obj counters, Obj hists)
+
+(* Machine-readable run report: outcome + breakdown + every counter and
+   histogram, as one JSON object. *)
+let stats_json (o : Syccl.Synthesizer.outcome) =
+  let open Syccl_util.Json in
+  let b = o.breakdown in
+  let int i = Num (float_of_int i) in
+  let counters, hists = counters_json () in
   Obj
     [
       ("schema_version", int 1);
@@ -170,19 +223,34 @@ let stats_json (o : Syccl.Synthesizer.outcome) =
             ("registry_hits", int b.registry_hits);
             ("registry_misses", int b.registry_misses);
           ] );
-      ("counters", Obj counters);
-      ("histograms", Obj hists);
+      ("counters", counters);
+      ("histograms", hists);
     ]
 
-let write_stats_json path o =
-  let text = Syccl_util.Json.to_string ~pretty:true (stats_json o) ^ "\n" in
+(* Run-level stats for the multi-request commands (sweep/batch): no single
+   outcome to report, but the counters and histogram percentiles are the
+   point — they make the solver's behaviour reachable from JSON. *)
+let run_stats_json () =
+  let open Syccl_util.Json in
+  let counters, hists = counters_json () in
+  Obj
+    [
+      ("schema_version", Num 1.0);
+      ("counters", counters);
+      ("histograms", hists);
+    ]
+
+let write_json_file ~what path (j : Syccl_util.Json.t) =
+  let text = Syccl_util.Json.to_string ~pretty:true j ^ "\n" in
   if path = "-" then print_string text
   else begin
     let oc = open_out path in
     output_string oc text;
     close_out oc;
-    Format.printf "stats-json: wrote %s@." path
+    Format.eprintf "%s: wrote %s@." what path
   end
+
+let write_stats_json path o = write_json_file ~what:"stats-json" path (stats_json o)
 
 let export_trace path =
   Syccl_util.Trace.disable ();
@@ -206,7 +274,7 @@ let topo_cmd =
 
 let synth_cmd =
   let run tname cname size fast domains deadline stats verbose trace metrics
-      sjson rdir =
+      sjson rdir audit mout =
     let config =
       { Syccl.Synthesizer.default_config with fast_only = fast; domains;
         deadline }
@@ -217,7 +285,7 @@ let synth_cmd =
     let topo = req.Request.topo and coll = req.Request.coll in
     let registry = registry_of rdir in
     if trace <> None then Syccl_util.Trace.enable ();
-    let so = Serve.run ?registry req in
+    let so = Serve.run ?registry ?audit:(audit_of registry audit) req in
     let o = so.Serve.synth in
     Format.printf "collective: %a on %s@." C.pp coll tname;
     (match (registry, so.Serve.source) with
@@ -266,7 +334,8 @@ let synth_cmd =
         export_trace path);
     if stats then print_stats ();
     if metrics then print_metrics ();
-    Option.iter (fun p -> write_stats_json p o) sjson
+    Option.iter (fun p -> write_stats_json p o) sjson;
+    write_metrics_out mout
   in
   let verbose =
     Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump the schedule.")
@@ -284,31 +353,107 @@ let synth_cmd =
     Term.(
       const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ domains_arg
       $ deadline_arg $ stats_arg $ verbose $ trace_arg $ metrics_arg $ sjson
-      $ registry_arg)
+      $ registry_arg $ audit_arg $ metrics_out_arg)
+
+(* A registry entry rendered as a synthesis outcome, so Explain.outcome can
+   report it: the schedules and chosen description are stored; the cost is
+   freshly re-simulated at the entry's store-time fidelity. *)
+let entry_outcome topo (m : Registry.meta) schedules =
+  let time =
+    List.fold_left
+      (fun a s -> a +. S.Sim.time ~blocks:m.Registry.m_blocks topo s)
+      0.0 schedules
+  in
+  let coll =
+    C.make ~root:m.Registry.m_root ~peer:m.Registry.m_peer
+      (C.kind_of_name m.Registry.m_kind)
+      ~n:(T.Topology.num_gpus topo) ~size:m.Registry.m_size
+  in
+  {
+    Syccl.Synthesizer.schedules;
+    time;
+    busbw = C.busbw coll ~time;
+    synth_time = 0.0;
+    breakdown =
+      {
+        Syccl.Synthesizer.search_s = 0.0; combine_s = 0.0; solve1_s = 0.0;
+        solve2_s = 0.0; cache_hits = 0; cache_misses = 0; milp_solves = 0;
+        milp_nodes = 0; flow_certified = 0; registry_hits = 1;
+        registry_misses = 0;
+      };
+    num_sketches = 0;
+    num_combos = 0;
+    chosen = m.Registry.m_chosen;
+    degraded = Syccl.Synthesizer.Full;
+    degrade_reason = None;
+  }
 
 let explain_cmd =
-  let run tname cname size fast =
-    let topo = topo_of_name tname in
-    let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
-    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
-    let o = Syccl.Synthesizer.synthesize ~config topo coll in
-    print_string (Syccl.Explain.outcome topo o);
-    (* Re-derive the winner's first sketch for the readable report. *)
-    let kind =
-      match coll.C.kind with
-      | C.AllToAll | C.Scatter | C.Gather -> `Scatter
-      | _ -> `Broadcast
-    in
-    match Syccl.Search.run topo ~kind ~root:0 with
-    | s :: _ ->
-        print_newline ();
-        print_string (Syccl.Explain.sketch topo s)
-    | [] -> ()
+  let run tname cname size fast entry rdir =
+    match entry with
+    | Some key ->
+        (* Explain a stored registry entry instead of synthesizing. *)
+        let reg = require_registry rdir in
+        let topo = topo_of_name tname in
+        (match Registry.load reg key with
+        | Error e -> failwith (Printf.sprintf "entry %s: %s" key e)
+        | Ok (m, schedules) ->
+            if m.Registry.m_fingerprint <> T.Topology.fingerprint topo then
+              failwith
+                (Printf.sprintf
+                   "entry %s was stored for topology fingerprint %s, but %s \
+                    fingerprints as %s — pass the matching -t"
+                   key m.Registry.m_fingerprint tname
+                   (T.Topology.fingerprint topo));
+            let provenance =
+              Printf.sprintf
+                "registry entry %s in %s (%s, %.0f bytes data, stored cost \
+                 %.1f us at blocks=%d, schema v%d)"
+                key (Registry.dir reg) m.Registry.m_kind m.Registry.m_size
+                (m.Registry.m_cost *. 1e6)
+                m.Registry.m_blocks m.Registry.m_schema
+            in
+            print_string
+              (Syccl.Explain.outcome ~provenance topo
+                 (entry_outcome topo m schedules)))
+    | None ->
+        let topo = topo_of_name tname in
+        let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
+        let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
+        let o = Syccl.Synthesizer.synthesize ~config topo coll in
+        print_string
+          (Syccl.Explain.outcome ~provenance:"fresh synthesis" topo o);
+        (* Re-derive the winner's first sketch for the readable report. *)
+        let kind =
+          match coll.C.kind with
+          | C.AllToAll | C.Scatter | C.Gather -> `Scatter
+          | _ -> `Broadcast
+        in
+        (match Syccl.Search.run topo ~kind ~root:0 with
+        | s :: _ ->
+            print_newline ();
+            print_string (Syccl.Explain.sketch topo s)
+        | [] -> ())
+  in
+  let entry =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "entry" ] ~docv:"KEY"
+          ~doc:
+            "Explain the stored registry entry $(docv) (from $(b,syccl \
+             registry ls)) instead of synthesizing: requires a registry and \
+             a $(b,-t) whose fingerprint matches the entry.")
   in
   Cmd.v
     (Cmd.info "explain"
-       ~doc:"Synthesize and print a human-readable sketch/combination report.")
-    Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg)
+       ~doc:
+         "Print a human-readable report — critical path, port bottleneck, \
+          alpha/beta shares — for a fresh synthesis or a stored registry \
+          entry ($(b,--entry)).")
+    Term.(
+      const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ entry
+      $ registry_arg)
 
 let save_cmd =
   let run tname cname size fast path =
@@ -438,7 +583,8 @@ let export_cmd =
 let sweep_sizes = [ 1e3; 65536.0; 1048576.0; 1.6777e7; 2.68435e8; 1.073741824e9 ]
 
 let sweep_cmd =
-  let run tname cname fast domains deadline stats trace metrics rdir =
+  let run tname cname fast domains deadline stats trace metrics rdir audit mout
+      sjson =
     if trace <> None then Syccl_util.Trace.enable ();
     let config =
       { Syccl.Synthesizer.default_config with fast_only = fast; domains;
@@ -456,7 +602,9 @@ let sweep_cmd =
     in
     let registry = registry_of rdir in
     let topo = (List.hd requests).Request.topo in
-    let outcomes = Serve.run_batch ?registry requests in
+    let outcomes =
+      Serve.run_batch ?registry ?audit:(audit_of registry audit) requests
+    in
     Format.printf "%10s %12s %12s %12s %10s@." "size" "SyCCL" "NCCL" "TECCL"
       "ladder";
     List.iter2
@@ -483,12 +631,26 @@ let sweep_cmd =
           "synthesis";
         export_trace path);
     if stats then print_stats ();
-    if metrics then print_metrics ()
+    if metrics then print_metrics ();
+    write_metrics_out mout;
+    Option.iter
+      (fun p -> write_json_file ~what:"stats-json" p (run_stats_json ()))
+      sjson
+  in
+  let sjson =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the sweep's counters and histogram percentiles as JSON \
+             to $(docv) ($(b,-) for stdout).")
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Bus bandwidth vs data size, SyCCL vs baselines.")
     Term.(
       const run $ topo_arg $ coll_arg $ fast_arg $ domains_arg $ deadline_arg
-      $ stats_arg $ trace_arg $ metrics_arg $ registry_arg)
+      $ stats_arg $ trace_arg $ metrics_arg $ registry_arg $ audit_arg
+      $ metrics_out_arg $ sjson)
 
 (* --- batch / warm: the JSONL front-ends over the same pipeline ---------- *)
 
@@ -505,7 +667,7 @@ let read_lines path =
       go [])
 
 let batch_cmd =
-  let run input output fast domains deadline rdir stats =
+  let run input output fast domains deadline rdir stats audit mout sjson =
     let defaults =
       { Syccl.Synthesizer.default_config with fast_only = fast; domains;
         deadline }
@@ -522,7 +684,9 @@ let batch_cmd =
                     (Printexc.to_string e)))
     in
     let registry = registry_of rdir in
-    let outcomes = Serve.run_batch ?registry requests in
+    let outcomes =
+      Serve.run_batch ?registry ?audit:(audit_of registry audit) requests
+    in
     let text =
       String.concat ""
         (List.map
@@ -550,7 +714,20 @@ let batch_cmd =
          (List.sort_uniq compare (List.map Request.key requests)))
       hits
       (List.length outcomes - hits);
-    if stats then print_stats ()
+    if stats then print_stats ();
+    write_metrics_out mout;
+    Option.iter
+      (fun p -> write_json_file ~what:"stats-json" p (run_stats_json ()))
+      sjson
+  in
+  let sjson =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Write the batch's counters and histogram percentiles as JSON \
+             to $(docv) ($(b,-) for stdout).")
   in
   let input =
     Arg.(
@@ -579,17 +756,11 @@ let batch_cmd =
           persistent pool and stored back.")
     Term.(
       const run $ input $ output $ fast_arg $ domains_arg $ deadline_arg
-      $ registry_arg $ stats_arg)
+      $ registry_arg $ stats_arg $ audit_arg $ metrics_out_arg $ sjson)
 
 let warm_cmd =
-  let run tname cnames sizes domains deadline rdir =
-    let registry =
-      match registry_of rdir with
-      | Some r -> r
-      | None ->
-          failwith
-            "warm needs a registry: pass --registry DIR or set SYCCL_REGISTRY"
-    in
+  let run tname cnames sizes domains deadline rdir audit =
+    let registry = require_registry rdir in
     let config =
       { Syccl.Synthesizer.default_config with domains; deadline }
     in
@@ -603,7 +774,11 @@ let warm_cmd =
             sizes)
         (String.split_on_char ',' cnames)
     in
-    let outcomes = Serve.run_batch ~registry requests in
+    let outcomes =
+      Serve.run_batch ~registry
+        ?audit:(audit_of (Some registry) audit)
+        requests
+    in
     Format.printf "%12s %10s %12s %10s@." "collective" "size" "busbw" "path";
     List.iter2
       (fun (r : Request.t) (so : Serve.outcome) ->
@@ -639,7 +814,360 @@ let warm_cmd =
           sweep, so production requests start as hits.")
     Term.(
       const run $ topo_arg $ colls $ sizes $ domains_arg $ deadline_arg
-      $ registry_arg)
+      $ registry_arg $ audit_arg)
+
+(* --- observability: audit / metrics / registry ------------------------- *)
+
+let audit_path_of file rdir =
+  match (file, registry_of rdir) with
+  | Some p, _ -> p
+  | None, Some reg -> Filename.concat (Registry.dir reg) Audit.default_name
+  | None, None ->
+      failwith "audit: pass a FILE, --registry DIR, or set SYCCL_REGISTRY"
+
+let audit_cmd =
+  let run file rdir tail fingerprint reason aggregate json =
+    let path = audit_path_of file rdir in
+    let records, bad = Audit.read path in
+    let records =
+      List.filter
+        (fun (r : Audit.record) ->
+          (match fingerprint with
+          | None -> true
+          | Some fp -> r.Audit.fingerprint = fp)
+          &&
+          match reason with
+          | None -> true
+          | Some re ->
+              r.Audit.probe = re || r.Audit.rung = re
+              || r.Audit.degrade_reason = Some re)
+        records
+    in
+    let shown =
+      match tail with
+      | None -> records
+      | Some n ->
+          let len = List.length records in
+          List.filteri (fun i _ -> i >= len - n) records
+    in
+    if aggregate then begin
+      let tally assoc k =
+        match List.assoc_opt k !assoc with
+        | Some n -> assoc := (k, n + 1) :: List.remove_assoc k !assoc
+        | None -> assoc := !assoc @ [ (k, 1) ]
+      in
+      let by_probe = ref [] and by_rung = ref [] and by_fp = ref [] in
+      let stored = ref 0 and consumed = ref 0.0 in
+      List.iter
+        (fun (r : Audit.record) ->
+          tally by_probe r.Audit.probe;
+          tally by_rung r.Audit.rung;
+          tally by_fp r.Audit.fingerprint;
+          if r.Audit.stored then incr stored;
+          consumed := !consumed +. r.Audit.consumed_s)
+        records;
+      Format.printf "%d record%s, %d stored back, %.2fs synthesis consumed@."
+        (List.length records)
+        (if List.length records = 1 then "" else "s")
+        !stored !consumed;
+      let table name assoc =
+        if !assoc <> [] then begin
+          Format.printf "by %s:@." name;
+          List.iter
+            (fun (k, n) -> Format.printf "  %-40s %6d@." k n)
+            (List.sort (fun (_, a) (_, b) -> compare b a) !assoc)
+        end
+      in
+      table "probe" by_probe;
+      table "rung" by_rung;
+      table "fingerprint" by_fp
+    end
+    else
+      List.iter
+        (fun (r : Audit.record) ->
+          if json then
+            print_endline (Syccl_util.Json.to_string (Audit.record_to_json r))
+          else
+            Format.printf
+              "%.3f %-10s %-8.2e %-20s probe=%-12s rung=%-8s %8.1fus \
+               busbw=%6.1f synth=%.3fs%s%s@."
+              r.Audit.ts r.Audit.collective r.Audit.size r.Audit.topology
+              r.Audit.probe r.Audit.rung (r.Audit.time_s *. 1e6) r.Audit.busbw
+              r.Audit.consumed_s
+              (if r.Audit.stored then " stored" else "")
+              (match r.Audit.degrade_reason with
+              | None -> ""
+              | Some re -> " (" ^ re ^ ")"))
+        shown;
+    if bad > 0 then
+      Format.eprintf "audit: skipped %d unparseable line%s in %s@." bad
+        (if bad = 1 then "" else "s")
+        path
+  in
+  let file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Audit JSONL file (defaults to $(i,REGISTRY)/audit.jsonl of the \
+             active registry).")
+  in
+  let tail =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "tail" ] ~docv:"N" ~doc:"Only show the last $(docv) records.")
+  in
+  let fingerprint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fingerprint" ] ~docv:"FP"
+          ~doc:"Only records for this topology fingerprint.")
+  in
+  let reason =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reason" ] ~docv:"R"
+          ~doc:
+            "Only records whose probe outcome (e.g. $(b,miss.corrupt)), \
+             ladder rung (e.g. $(b,fallback)) or degrade reason matches \
+             $(docv).")
+  in
+  let aggregate =
+    Arg.(
+      value & flag
+      & info [ "aggregate" ]
+          ~doc:
+            "Print counts by probe outcome, ladder rung and fingerprint \
+             instead of individual records.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Re-emit the selected records as canonical JSONL.")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Tail, filter and aggregate the per-request audit trail written by \
+          synth/sweep/batch/warm next to the registry.")
+    Term.(
+      const run $ file $ registry_arg $ tail $ fingerprint $ reason
+      $ aggregate $ json)
+
+let metrics_cmd =
+  let run from_audit rdir out =
+    (match from_audit with
+    | None -> ()
+    | Some file ->
+        let path =
+          if file = "registry" then audit_path_of None rdir else file
+        in
+        let records, bad = Audit.read path in
+        List.iter Audit.replay_counters records;
+        if bad > 0 then
+          Format.eprintf "metrics: skipped %d unparseable line%s in %s@." bad
+            (if bad = 1 then "" else "s")
+            path);
+    let text = Syccl_util.Counters.to_prometheus () in
+    match out with
+    | None -> print_string text
+    | Some path ->
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc
+  in
+  let from_audit =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from-audit" ] ~docv:"FILE"
+          ~doc:
+            "Replay an audit JSONL trail into the counters first, so a \
+             collected trail can be exposed after the serving process is \
+             gone ($(b,registry) for the active registry's trail).")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write to $(docv) instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Expose every counter and histogram in Prometheus text format \
+          (0.0.4): counters as $(b,counter), gauges as $(b,gauge), \
+          histograms with cumulative buckets, _sum and _count.")
+    Term.(const run $ from_audit $ registry_arg $ out)
+
+let registry_cmd =
+  let run action key rdir tname =
+    let reg = require_registry rdir in
+    let topo = Option.map topo_of_name tname in
+    let keys = Registry.keys reg in
+    match action with
+    | "ls" ->
+        Format.printf "%-16s %-12s %10s %10s %8s %6s@." "key" "kind" "size"
+          "cost_us" "blocks" "schema";
+        List.iter
+          (fun k ->
+            match Registry.load reg k with
+            | Ok (m, _) ->
+                Format.printf "%-16s %-12s %10.0f %10.1f %8d %6d@." k
+                  m.Registry.m_kind m.Registry.m_size
+                  (m.Registry.m_cost *. 1e6)
+                  m.Registry.m_blocks m.Registry.m_schema
+            | Error e -> Format.printf "%-16s CORRUPT: %s@." k e)
+          keys
+    | "stats" ->
+        let total_bytes = ref 0 and corrupt = ref 0 in
+        let buckets = ref [] and schemas = ref [] in
+        let tally assoc k v =
+          match List.assoc_opt k !assoc with
+          | Some (n, b) -> assoc := (k, (n + 1, b + v)) :: List.remove_assoc k !assoc
+          | None -> assoc := (k, (1, v)) :: !assoc
+        in
+        List.iter
+          (fun k ->
+            match Registry.load reg k with
+            | Ok (m, _) ->
+                total_bytes := !total_bytes + m.Registry.m_bytes;
+                tally buckets
+                  (Printf.sprintf "%s/2^%d" m.Registry.m_kind
+                     (Registry.size_bucket m.Registry.m_size))
+                  m.Registry.m_bytes;
+                tally schemas
+                  (Printf.sprintf "schema v%d" m.Registry.m_schema)
+                  m.Registry.m_bytes
+            | Error _ -> incr corrupt)
+          keys;
+        Format.printf "%s: %d entries, %d bytes, %d corrupt@."
+          (Registry.dir reg) (List.length keys) !total_bytes !corrupt;
+        List.iter
+          (fun (k, (n, b)) -> Format.printf "  %-28s %4d entries %10d bytes@." k n b)
+          (List.sort compare !buckets);
+        List.iter
+          (fun (k, (n, b)) -> Format.printf "  %-28s %4d entries %10d bytes@." k n b)
+          (List.sort compare !schemas);
+        (* Hit provenance: which stored entries actually serve traffic,
+           according to the registry-adjacent audit trail. *)
+        let audit = Filename.concat (Registry.dir reg) Audit.default_name in
+        if Sys.file_exists audit then begin
+          let records, _bad = Audit.read audit in
+          let hits = ref [] in
+          List.iter
+            (fun (r : Audit.record) ->
+              match r.Audit.hit_key with
+              | Some hk -> (
+                  match List.assoc_opt hk !hits with
+                  | Some n -> hits := (hk, n + 1) :: List.remove_assoc hk !hits
+                  | None -> hits := (hk, 1) :: !hits)
+              | None -> ())
+            records;
+          Format.printf "hit provenance (%d audited requests):@."
+            (List.length records);
+          List.iter
+            (fun (k, n) ->
+              Format.printf "  %-16s served %d hit%s@." k n
+                (if n = 1 then "" else "s"))
+            (List.sort (fun (_, a) (_, b) -> compare b a) !hits)
+        end
+    | "inspect" ->
+        let key =
+          match key with
+          | Some k -> k
+          | None -> failwith "registry inspect: pass an entry KEY"
+        in
+        (match Registry.load reg key with
+        | Error e -> failwith (Printf.sprintf "entry %s: %s" key e)
+        | Ok (m, schedules) ->
+            Format.printf "key:         %s@." m.Registry.m_key;
+            Format.printf "fingerprint: %s@." m.Registry.m_fingerprint;
+            Format.printf "collective:  %s root=%d peer=%d size=%.0f@."
+              m.Registry.m_kind m.Registry.m_root m.Registry.m_peer
+              m.Registry.m_size;
+            Format.printf "cost:        %.1f us at blocks=%d@."
+              (m.Registry.m_cost *. 1e6)
+              m.Registry.m_blocks;
+            Format.printf "chosen:      %s@." m.Registry.m_chosen;
+            Format.printf "schema:      v%d, %d bytes on disk@."
+              m.Registry.m_schema m.Registry.m_bytes;
+            List.iteri
+              (fun i s ->
+                Format.printf "phase %d:     %d transfers, %d chunks@." i
+                  (S.Schedule.num_xfers s)
+                  (Array.length s.S.Schedule.chunks))
+              schedules)
+    | "verify" ->
+        let bad = ref 0 in
+        List.iter
+          (fun k ->
+            match Registry.verify_entry reg ?topo k with
+            | Registry.Entry_ok { simulated } ->
+                Format.printf "%-16s ok (re-simulated %.1f us)@." k
+                  (simulated *. 1e6)
+            | Registry.Entry_unverified m ->
+                Format.printf
+                  "%-16s unverified (no topology with fingerprint %s given)@."
+                  k m.Registry.m_fingerprint
+            | Registry.Entry_corrupt e ->
+                incr bad;
+                Format.printf "%-16s CORRUPT: %s@." k e
+            | Registry.Entry_invalid { error; _ } ->
+                incr bad;
+                Format.printf "%-16s INVALID: %s@." k error
+            | Registry.Entry_slower { meta; simulated } ->
+                incr bad;
+                Format.printf
+                  "%-16s SLOWER: re-simulates %.1f us vs stored %.1f us@." k
+                  (simulated *. 1e6)
+                  (meta.Registry.m_cost *. 1e6))
+          keys;
+        Format.printf "verified %d entries, %d bad@." (List.length keys) !bad;
+        if !bad > 0 then exit 1
+    | other ->
+        failwith
+          (Printf.sprintf
+             "unknown registry action %S (expected stats|ls|inspect|verify)"
+             other)
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION" ~doc:"One of $(b,stats), $(b,ls), $(b,inspect), $(b,verify).")
+  in
+  let key =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"KEY" ~doc:"Entry key (for $(b,inspect)).")
+  in
+  let topo =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "topology" ] ~docv:"TOPO"
+          ~doc:
+            "Topology to verify entries against (entries whose fingerprint \
+             differs stay unverified).")
+  in
+  Cmd.v
+    (Cmd.info "registry"
+       ~doc:
+         "Introspect the on-disk schedule registry: per-bucket stats with \
+          audit-derived hit provenance ($(b,stats)), entry listing \
+          ($(b,ls)), one entry in full ($(b,inspect KEY)), or a read-only \
+          re-validation / re-simulation pass over every entry \
+          ($(b,verify)) — corrupt, invalid or cost-regressed entries are \
+          reported, never deleted, and the command exits non-zero.")
+    Term.(const run $ action $ key $ registry_arg $ topo)
 
 let fuzz_cmd =
   let run seed cases props shrink domains =
@@ -710,5 +1238,5 @@ let () =
           [
             topo_cmd; synth_cmd; sweep_cmd; batch_cmd; warm_cmd; export_cmd;
             analyze_cmd; profile_cmd; save_cmd; replay_cmd; explain_cmd;
-            fuzz_cmd;
+            audit_cmd; metrics_cmd; registry_cmd; fuzz_cmd;
           ]))

@@ -20,6 +20,18 @@ let kind_name = function
   | ReduceScatter -> "ReduceScatter"
   | AllReduce -> "AllReduce"
 
+let kind_of_name = function
+  | "SendRecv" -> SendRecv
+  | "Broadcast" -> Broadcast
+  | "Scatter" -> Scatter
+  | "Gather" -> Gather
+  | "Reduce" -> Reduce
+  | "AllGather" -> AllGather
+  | "AlltoAll" -> AllToAll
+  | "ReduceScatter" -> ReduceScatter
+  | "AllReduce" -> AllReduce
+  | s -> invalid_arg ("Collective.kind_of_name: " ^ s)
+
 let is_reduce = function
   | Reduce | ReduceScatter | AllReduce -> true
   | SendRecv | Broadcast | Scatter | Gather | AllGather | AllToAll -> false

@@ -19,6 +19,11 @@ type kind =
   | AllReduce
 
 val kind_name : kind -> string
+
+val kind_of_name : string -> kind
+(** Inverse of {!kind_name} on its exact output (e.g. ["AlltoAll"]).
+    Raises [Invalid_argument] on any other string. *)
+
 val is_reduce : kind -> bool
 (** True for Reduce, Gather's dual family: Reduce, ReduceScatter, AllReduce. *)
 

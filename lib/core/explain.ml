@@ -74,20 +74,68 @@ let combo topo (c : Combine.combo) =
   | [] -> ());
   Buffer.contents buf
 
-let outcome _topo (o : Synthesizer.outcome) =
+(* Critical-path analysis of one schedule phase: which port the makespan
+   rests on, how saturated the top ports are, and per dimension whether the
+   wire time is latency (α) or bandwidth (β).  Rendered into [buf]. *)
+let phase_analysis buf topo i s =
+  let module Analysis = Syccl_sim.Analysis in
+  let a = Analysis.analyze topo s in
+  Buffer.add_string buf
+    (Printf.sprintf "phase %d: %d transfers, makespan %.1f us, %.2f hops/delivery\n"
+       i (Syccl_sim.Schedule.num_xfers s) (a.Analysis.makespan *. 1e6)
+       a.Analysis.avg_hops);
+  Array.iteri
+    (fun d bytes ->
+      if bytes > 0.0 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "  dim %d (%s): %.2f MB, alpha %.0f%% / beta %.0f%% of wire time\n"
+             d (Syccl_topology.Topology.dim topo d).Syccl_topology.Topology.dim_name
+             (bytes /. 1e6)
+             (100.0 *. Analysis.alpha_share a d)
+             (100.0 *. (1.0 -. Analysis.alpha_share a d))))
+    a.Analysis.dim_bytes;
+  List.iteri
+    (fun j (p : Analysis.port_stats) ->
+      if j < 4 then
+        Buffer.add_string buf
+          (Printf.sprintf "  port gpu%d/pg%d/%s: busy %.1f us, %.0f%% utilized%s\n"
+             p.Analysis.gpu p.Analysis.port_group
+             (match p.Analysis.dir with `Egress -> "out" | `Ingress -> "in")
+             (p.Analysis.busy *. 1e6)
+             (p.Analysis.utilization *. 100.0)
+             (if j = 0 then "  <- bottleneck" else "")))
+    a.Analysis.ports
+
+let outcome ?provenance topo (o : Synthesizer.outcome) =
   let b = o.Synthesizer.breakdown in
-  Printf.sprintf
-    "winner: %s\npredicted: %.1f us, %.1f GBps busbw\nsynthesis: %.2fs \
-     (search %.2fs, combine %.2fs, coarse solve %.2fs, fine solve %.2fs)\n\
-     explored: %d sketches, %d combinations\n\
-     solver: %d sub-solve memo hits / %d misses, %d MILP models, %d B&B nodes\n\
-     schedule: %s\n"
-    o.Synthesizer.chosen (o.Synthesizer.time *. 1e6) o.Synthesizer.busbw
-    o.Synthesizer.synth_time b.Synthesizer.search_s b.Synthesizer.combine_s
-    b.Synthesizer.solve1_s b.Synthesizer.solve2_s o.Synthesizer.num_sketches
-    o.Synthesizer.num_combos b.Synthesizer.cache_hits b.Synthesizer.cache_misses
-    b.Synthesizer.milp_solves b.Synthesizer.milp_nodes
-    (String.concat " + "
-       (List.map
-          (fun s -> Printf.sprintf "%d transfers" (Syccl_sim.Schedule.num_xfers s))
-          o.Synthesizer.schedules))
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "winner: %s\npredicted: %.1f us, %.1f GBps busbw\nsynthesis: %.2fs \
+        (search %.2fs, combine %.2fs, coarse solve %.2fs, fine solve %.2fs)\n\
+        explored: %d sketches, %d combinations\n\
+        solver: %d sub-solve memo hits / %d misses, %d MILP models, %d B&B nodes\n"
+       o.Synthesizer.chosen (o.Synthesizer.time *. 1e6) o.Synthesizer.busbw
+       o.Synthesizer.synth_time b.Synthesizer.search_s b.Synthesizer.combine_s
+       b.Synthesizer.solve1_s b.Synthesizer.solve2_s o.Synthesizer.num_sketches
+       o.Synthesizer.num_combos b.Synthesizer.cache_hits b.Synthesizer.cache_misses
+       b.Synthesizer.milp_solves b.Synthesizer.milp_nodes);
+  Buffer.add_string buf
+    (Printf.sprintf "ladder: %s rung%s\n"
+       (Synthesizer.level_name o.Synthesizer.degraded)
+       (match o.Synthesizer.degrade_reason with
+       | None -> ""
+       | Some reason -> Printf.sprintf " (degraded: %s)" reason));
+  (match provenance with
+  | None -> ()
+  | Some p -> Buffer.add_string buf (Printf.sprintf "provenance: %s\n" p));
+  Buffer.add_string buf
+    (Printf.sprintf "schedule: %s\n"
+       (String.concat " + "
+          (List.map
+             (fun s ->
+               Printf.sprintf "%d transfers" (Syccl_sim.Schedule.num_xfers s))
+             o.Synthesizer.schedules)));
+  List.iteri (fun i s -> phase_analysis buf topo i s) o.Synthesizer.schedules;
+  Buffer.contents buf

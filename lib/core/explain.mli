@@ -17,6 +17,14 @@ val combo : Syccl_topology.Topology.t -> Combine.combo -> string
     shares (flagging imbalance), and the full rendering of one
     representative sketch. *)
 
-val outcome : Syccl_topology.Topology.t -> Synthesizer.outcome -> string
+val outcome :
+  ?provenance:string -> Syccl_topology.Topology.t -> Synthesizer.outcome -> string
 (** Summary of a synthesis run: the winning combination, predicted time and
-    bus bandwidth, the step timings, and per-phase schedule sizes. *)
+    bus bandwidth, the step timings, the degradation-ladder rung (and the
+    reason when the run degraded), and — per schedule phase — a critical-path
+    analysis: top port utilization with the bottleneck flagged, and each
+    dimension's α (latency) vs β (bandwidth) share of wire time.
+
+    [provenance] is a free-form origin line ("registry entry KEY", "fresh
+    synthesis under a 2 s budget") printed after the ladder rung, for
+    callers explaining a stored or served schedule. *)

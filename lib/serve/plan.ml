@@ -1,26 +1,40 @@
 type action = Serve_hit of Registry.hit | Synthesize
 
+type probe = No_registry | Probed of Registry.probe_result
+
 type t = {
   request : Request.t;
   registry_key : string option;
+  probe : probe;
   action : action;
 }
 
 let make ~registry (request : Request.t) =
   match registry with
-  | None -> { request; registry_key = None; action = Synthesize }
+  | None ->
+      { request; registry_key = None; probe = No_registry; action = Synthesize }
   | Some reg ->
       let key = Registry.key request.Request.topo request.Request.coll in
-      let action =
-        match
-          Registry.lookup reg
-            ~blocks:request.Request.config.Syccl.Synthesizer.blocks
-            request.Request.topo request.Request.coll
-        with
-        | Some hit -> Serve_hit hit
-        | None -> Synthesize
+      let result =
+        Registry.probe reg
+          ~blocks:request.Request.config.Syccl.Synthesizer.blocks
+          request.Request.topo request.Request.coll
       in
-      { request; registry_key = Some key; action }
+      let action =
+        match result with
+        | Registry.Hit hit -> Serve_hit hit
+        | Registry.Miss _ -> Synthesize
+      in
+      { request; registry_key = Some key; probe = Probed result; action }
+
+(* The audit trail's "probe" field: every value an operator can aggregate
+   misses by.  Scaled hits are distinguished because a transported schedule
+   is the thing to suspect first when a served cost looks off. *)
+let probe_name t =
+  match t.probe with
+  | No_registry -> "none"
+  | Probed (Registry.Hit h) -> if h.Registry.scaled then "hit.scaled" else "hit"
+  | Probed (Registry.Miss r) -> "miss." ^ Registry.miss_reason_name r
 
 let describe t =
   match t.action with

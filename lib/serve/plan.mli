@@ -14,18 +14,29 @@ type action =
       (** a verified (re-validated, re-simulated) registry entry *)
   | Synthesize  (** run the full synthesis pipeline (degradation ladder) *)
 
+type probe =
+  | No_registry  (** planning ran without a registry *)
+  | Probed of Registry.probe_result
+      (** the registry's verdict, miss reason included *)
+
 type t = {
   request : Request.t;
   registry_key : string option;
       (** the entry key this request maps to; [None] iff planning ran
           without a registry *)
+  probe : probe;
+      (** the raw probe outcome, preserved for the audit trail *)
   action : action;
 }
 
 val make : registry:Registry.t option -> Request.t -> t
 (** Probe the registry (when given) and plan the request.  A probe that
     misses — absent, corrupt, invalid or cost-regressed entry, each
-    counted by {!Registry.lookup} — plans [Synthesize]. *)
+    counted by {!Registry.probe} — plans [Synthesize]. *)
+
+val probe_name : t -> string
+(** The audit trail's probe field: ["none"], ["hit"], ["hit.scaled"], or
+    ["miss.absent"|"miss.corrupt"|"miss.invalid"|"miss.slower"]. *)
 
 val describe : t -> string
 (** One-line human-readable path description (["registry-hit"],

@@ -118,96 +118,206 @@ let read_file path =
 let simulate ~blocks topo schedules =
   List.fold_left (fun a s -> a +. (Sim.time ~blocks topo s : float)) 0.0 schedules
 
-let miss ?reason () =
-  (match reason with None -> () | Some c -> Counters.bump c);
-  Counters.bump "registry.misses";
-  None
+type miss_reason = Absent | Corrupt | Invalid | Slower
 
-let lookup t ?(blocks = 8) topo (coll : Collective.t) =
+let miss_reason_name = function
+  | Absent -> "absent"
+  | Corrupt -> "corrupt"
+  | Invalid -> "invalid"
+  | Slower -> "slower"
+
+type probe_result = Hit of hit | Miss of miss_reason
+
+(* Per-reason "registry.miss.<reason>" counters distinguish cold misses from
+   store corruption in scraped metrics; the aggregate and the legacy reason
+   names (registry.corrupt/invalid/slower) are kept for dashboards and tests
+   that predate the split. *)
+let miss reason =
+  Counters.bump ("registry.miss." ^ miss_reason_name reason);
+  (match reason with
+  | Absent -> ()
+  | Corrupt -> Counters.bump "registry.corrupt"
+  | Invalid -> Counters.bump "registry.invalid"
+  | Slower -> Counters.bump "registry.slower");
+  Counters.bump "registry.misses";
+  Miss reason
+
+(* --- entry parsing (shared by probe and the introspection API) --------- *)
+
+type meta = {
+  m_key : string;
+  m_fingerprint : string;
+  m_kind : string;
+  m_root : int;
+  m_peer : int;
+  m_size : float;
+  m_cost : float;
+  m_blocks : int;
+  m_chosen : string;
+  m_schema : int;
+  m_bytes : int;
+}
+
+(* Parse an entry file without validating the schedules against any
+   topology.  Any failure — unreadable file, malformed JSON, missing
+   fields, wrong schema version — is the entry being corrupt. *)
+let parse_entry ~key:k path =
+  match
+    let body = read_file path in
+    let j = Json.of_string body in
+    let version = Json.to_int (Json.member "schema_version" j) in
+    if version <> Schedule.schema_version then
+      raise
+        (Json.Parse_error
+           (Printf.sprintf "schema version %d, this build reads %d" version
+              Schedule.schema_version));
+    (* Simulator fidelity the stored cost was computed at.  Entries
+       predating the field were all written under the default blocks=8. *)
+    let stored_blocks =
+      match j with
+      | Json.Obj fields -> (
+          match List.assoc_opt "blocks" fields with
+          | Some v -> Json.to_int v
+          | None -> 8)
+      | _ -> 8
+    in
+    let meta =
+      {
+        m_key = k;
+        m_fingerprint = Json.to_str (Json.member "fingerprint" j);
+        m_kind = Json.to_str (Json.member "kind" j);
+        m_root = Json.to_int (Json.member "root" j);
+        m_peer = Json.to_int (Json.member "peer" j);
+        m_size = Json.to_float (Json.member "size" j);
+        m_cost = Json.to_float (Json.member "cost" j);
+        m_blocks = stored_blocks;
+        m_chosen = Json.to_str (Json.member "chosen" j);
+        m_schema = Json.to_int (Json.member "schema_version" j);
+        m_bytes = String.length body;
+      }
+    in
+    let schedules =
+      List.map Schedule.of_json (Json.to_list (Json.member "schedules" j))
+    in
+    (meta, schedules)
+  with
+  | exception Json.Parse_error m -> Error m
+  | exception e -> Error (Printexc.to_string e)
+  | parsed -> Ok parsed
+
+let probe t ?(blocks = 8) topo (coll : Collective.t) =
   let k = key topo coll in
   let path = path_of t k in
-  if not (Sys.file_exists path) then miss ()
+  if not (Sys.file_exists path) then miss Absent
   else
-    (* Any failure from here to a fully-parsed entry is a corrupt entry:
-       truncated writes (non-atomic copies from elsewhere), manual edits,
-       schema drift.  All of them demote to a counted miss. *)
-    match
-      let j = Json.of_string (read_file path) in
-      let version = Json.to_int (Json.member "schema_version" j) in
-      if version <> Schedule.schema_version then
-        raise (Json.Parse_error "registry entry schema mismatch");
-      let fp = Json.to_str (Json.member "fingerprint" j) in
-      if fp <> Topology.fingerprint topo then
-        raise (Json.Parse_error "registry entry fingerprint mismatch");
-      if
-        Json.to_str (Json.member "kind" j)
-        <> Collective.kind_name coll.Collective.kind
-        || Json.to_int (Json.member "root" j) <> coll.Collective.root
-        || Json.to_int (Json.member "peer" j) <> coll.Collective.peer
-      then raise (Json.Parse_error "registry entry demand mismatch");
-      let size = Json.to_float (Json.member "size" j) in
-      let cost = Json.to_float (Json.member "cost" j) in
-      (* Simulator fidelity the stored cost was computed at.  Entries
-         predating the field were all written under the default blocks=8. *)
-      let stored_blocks =
-        match j with
-        | Json.Obj fields -> (
-            match List.assoc_opt "blocks" fields with
-            | Some v -> Json.to_int v
-            | None -> 8)
-        | _ -> 8
-      in
-      let chosen = Json.to_str (Json.member "chosen" j) in
-      let schedules =
-        List.map Schedule.of_json (Json.to_list (Json.member "schedules" j))
-      in
-      (size, cost, stored_blocks, chosen, schedules)
-    with
-    | exception _ -> miss ~reason:"registry.corrupt" ()
-    | stored_size, stored_cost, stored_blocks, chosen, schedules -> (
-        let scaled = stored_size <> coll.Collective.size in
-        let schedules =
-          if scaled then
-            let f = coll.Collective.size /. stored_size in
-            List.map (fun s -> Schedule.scale s f) schedules
-          else schedules
-        in
-        (* Every hit is re-verified against the live topology model: a
-           stale or hand-planted entry must prove itself before it is
-           allowed to replace a fresh solve. *)
-        match Validate.validate topo coll schedules with
-        | Error _ -> miss ~reason:"registry.invalid" ()
-        | exception _ -> miss ~reason:"registry.invalid" ()
-        | Ok () ->
-            let time = simulate ~blocks topo schedules in
-            (* Compare against the stored cost at the fidelity it was
-               computed at: a caller probing with a different [blocks] must
-               not demote (or rehabilitate) an entry just because coarser
-               pipelining simulates slower — that is fidelity drift, not
-               schedule drift. *)
-            let comparable_time =
-              if blocks = stored_blocks then time
-              else simulate ~blocks:stored_blocks topo schedules
+    match parse_entry ~key:k path with
+    | Error _ -> miss Corrupt
+    | Ok (meta, schedules) ->
+        if
+          meta.m_fingerprint <> Topology.fingerprint topo
+          || meta.m_kind <> Collective.kind_name coll.Collective.kind
+          || meta.m_root <> coll.Collective.root
+          || meta.m_peer <> coll.Collective.peer
+        then
+          (* A key collision with a mismatched demand is indistinguishable
+             from a manually planted or damaged entry: corrupt. *)
+          miss Corrupt
+        else begin
+          let stored_cost = meta.m_cost and stored_blocks = meta.m_blocks in
+          let scaled = meta.m_size <> coll.Collective.size in
+          let schedules =
+            if scaled then
+              let f = coll.Collective.size /. meta.m_size in
+              List.map (fun s -> Schedule.scale s f) schedules
+            else schedules
+          in
+          (* Every hit is re-verified against the live topology model: a
+             stale or hand-planted entry must prove itself before it is
+             allowed to replace a fresh solve. *)
+          match Validate.validate topo coll schedules with
+          | Error _ -> miss Invalid
+          | exception _ -> miss Invalid
+          | Ok () ->
+              let time = simulate ~blocks topo schedules in
+              (* Compare against the stored cost at the fidelity it was
+                 computed at: a caller probing with a different [blocks] must
+                 not demote (or rehabilitate) an entry just because coarser
+                 pipelining simulates slower — that is fidelity drift, not
+                 schedule drift. *)
+              let comparable_time =
+                if blocks = stored_blocks then time
+                else simulate ~blocks:stored_blocks topo schedules
+              in
+              if (not scaled) && comparable_time > stored_cost *. (1.0 +. 1e-6)
+              then
+                (* The entry simulates slower than advertised (simulator or
+                   link-model drift the fingerprint could not see): let a
+                   fresh solve compete instead of silently serving it. *)
+                miss Slower
+              else begin
+                Counters.bump "registry.hits";
+                Hit
+                  {
+                    schedules;
+                    time;
+                    stored_cost;
+                    stored_blocks;
+                    chosen = meta.m_chosen;
+                    scaled;
+                    hit_key = k;
+                  }
+              end
+        end
+
+let lookup t ?blocks topo coll =
+  match probe t ?blocks topo coll with Hit h -> Some h | Miss _ -> None
+
+(* --- introspection (read-only; never mutates the store) ----------------- *)
+
+let keys t =
+  Array.to_list (try Sys.readdir t.root with Sys_error _ -> [||])
+  |> List.filter_map (fun f ->
+         if Filename.check_suffix f ".json" then
+           Some (Filename.chop_suffix f ".json")
+         else None)
+  |> List.sort compare
+
+let load t k =
+  let path = path_of t k in
+  if not (Sys.file_exists path) then Error "no such entry"
+  else parse_entry ~key:k path
+
+type verdict =
+  | Entry_ok of { simulated : float }
+  | Entry_unverified of meta
+  | Entry_corrupt of string
+  | Entry_invalid of { meta : meta; error : string }
+  | Entry_slower of { meta : meta; simulated : float }
+
+let verify_entry t ?topo k =
+  match load t k with
+  | Error m -> Entry_corrupt m
+  | Ok (meta, schedules) -> (
+      match topo with
+      | Some topo when Topology.fingerprint topo = meta.m_fingerprint -> (
+          match
+            let coll =
+              Collective.make ~root:meta.m_root ~peer:meta.m_peer
+                (Collective.kind_of_name meta.m_kind)
+                ~n:(Topology.num_gpus topo) ~size:meta.m_size
             in
-            if (not scaled) && comparable_time > stored_cost *. (1.0 +. 1e-6)
-            then
-              (* The entry simulates slower than advertised (simulator or
-                 link-model drift the fingerprint could not see): let a
-                 fresh solve compete instead of silently serving it. *)
-              miss ~reason:"registry.slower" ()
-            else begin
-              Counters.bump "registry.hits";
-              Some
-                {
-                  schedules;
-                  time;
-                  stored_cost;
-                  stored_blocks;
-                  chosen;
-                  scaled;
-                  hit_key = k;
-                }
-            end)
+            Validate.validate topo coll schedules
+          with
+          | exception e -> Entry_invalid { meta; error = Printexc.to_string e }
+          | Error e -> Entry_invalid { meta; error = e }
+          | Ok () ->
+              (* Re-simulate at the entry's store-time fidelity so the
+                 comparison is like-for-like with the stored cost. *)
+              let simulated = simulate ~blocks:meta.m_blocks topo schedules in
+              if simulated > meta.m_cost *. (1.0 +. 1e-6) then
+                Entry_slower { meta; simulated }
+              else Entry_ok { simulated })
+      | _ -> Entry_unverified meta)
 
 let length t =
   Array.fold_left

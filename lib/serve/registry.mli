@@ -25,8 +25,10 @@
     A hit whose stored size differs from the requested size (same bucket)
     is rescaled with {!Syccl_sim.Schedule.scale} before verification.
     Activity is published through {!Syccl_util.Counters} as
-    ["registry.hits"], ["registry.misses"], ["registry.stores"],
-    ["registry.corrupt"], ["registry.invalid"], ["registry.slower"]. *)
+    ["registry.hits"], ["registry.stores"], the per-reason miss family
+    ["registry.miss.absent"|"corrupt"|"invalid"|"slower"], the aggregate
+    ["registry.misses"], and the legacy reason names ["registry.corrupt"],
+    ["registry.invalid"], ["registry.slower"] (kept for compatibility). *)
 
 type t
 
@@ -66,17 +68,36 @@ type hit = {
   hit_key : string;
 }
 
+type miss_reason =
+  | Absent  (** no entry file under the key (a cold miss) *)
+  | Corrupt
+      (** unreadable, malformed, wrong-schema, or demand-mismatched entry *)
+  | Invalid  (** parsed, but failed {!Syccl_sim.Validate.validate} *)
+  | Slower  (** valid, but re-simulates slower than its stored cost *)
+
+val miss_reason_name : miss_reason -> string
+(** ["absent"], ["corrupt"], ["invalid"], ["slower"] — the suffixes of the
+    ["registry.miss.*"] counters and the audit-trail probe field. *)
+
+type probe_result = Hit of hit | Miss of miss_reason
+
+val probe :
+  t -> ?blocks:int -> Syccl_topology.Topology.t ->
+  Syccl_collective.Collective.t -> probe_result
+(** Probe, verify, and classify.  A miss carries {e why} it missed, so the
+    serving layer can audit cold misses separately from store corruption.
+    [blocks] is the simulator fidelity used for the hit's re-simulated
+    [time] (default 8, matching {!Syccl.Synthesizer.default_config}).
+    The slower-than-stored demotion always compares at the entry's
+    {e store-time} fidelity ([stored_blocks]), so probing an entry at a
+    different [blocks] can neither spuriously demote it nor spuriously
+    serve it. *)
+
 val lookup :
   t -> ?blocks:int -> Syccl_topology.Topology.t ->
   Syccl_collective.Collective.t -> hit option
-(** Probe, verify, and return a servable hit.  [None] covers absent,
-    corrupt, invalid and cost-regressed entries (each separately
-    counted).  [blocks] is the simulator fidelity used for the hit's
-    re-simulated [time] (default 8, matching
-    {!Syccl.Synthesizer.default_config}).  The slower-than-stored
-    demotion always compares at the entry's {e store-time} fidelity
-    ([stored_blocks]), so probing an entry at a different [blocks] can
-    neither spuriously demote it nor spuriously serve it. *)
+(** [probe] with the miss reason erased: [None] covers absent, corrupt,
+    invalid and cost-regressed entries (each separately counted). *)
 
 val store :
   t -> Syccl_topology.Topology.t -> Syccl_collective.Collective.t ->
@@ -91,3 +112,52 @@ val store :
 
 val length : t -> int
 (** Number of entry files currently present (corrupt ones included). *)
+
+(** {1 Introspection}
+
+    Read-only views over the on-disk store for [syccl registry
+    stats|ls|inspect|verify].  Nothing here ever writes, renames or
+    deletes an entry — a verify pass over a damaged store must leave the
+    evidence in place. *)
+
+type meta = {
+  m_key : string;  (** entry key (file name without [.json]) *)
+  m_fingerprint : string;
+  m_kind : string;  (** collective kind, as stored *)
+  m_root : int;
+  m_peer : int;
+  m_size : float;  (** exact size the entry was synthesized for *)
+  m_cost : float;  (** stored simulated cost, seconds *)
+  m_blocks : int;  (** simulator fidelity of [m_cost] *)
+  m_chosen : string;
+  m_schema : int;
+  m_bytes : int;  (** entry file size in bytes *)
+}
+
+val keys : t -> string list
+(** All entry keys currently on disk, sorted. *)
+
+val load :
+  t -> string -> (meta * Syccl_sim.Schedule.t list, string) result
+(** Parse one entry by key {e without} validating its schedules against
+    any topology.  [Error] is the corruption message.  Does not touch any
+    counter — introspection must not pollute serving metrics. *)
+
+type verdict =
+  | Entry_ok of { simulated : float }
+      (** validated and re-simulated no slower than stored (at store-time
+          fidelity) *)
+  | Entry_unverified of meta
+      (** parses cleanly, but no topology matching its fingerprint was
+          supplied, so validation/simulation could not run *)
+  | Entry_corrupt of string
+  | Entry_invalid of { meta : meta; error : string }
+  | Entry_slower of { meta : meta; simulated : float }
+
+val verify_entry :
+  t -> ?topo:Syccl_topology.Topology.t -> string -> verdict
+(** Re-verify one entry by key: parse (corruption and schema drift are
+    detectable standalone), and — when [topo]'s fingerprint matches the
+    entry's — re-validate with {!Syccl_sim.Validate.validate} and
+    re-simulate at the stored fidelity.  Never mutates the store and
+    never touches the serving counters. *)

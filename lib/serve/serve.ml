@@ -104,7 +104,44 @@ let group_requests requests =
     requests;
   List.map (fun (_, cfg, members) -> (cfg, List.rev !members)) !groups
 
-let run_batch ?registry requests =
+(* One audit record per request element: duplicates share one execution but
+   each leaves its own line, so the trail counts traffic, not work. *)
+let audit_record ~registry (p : Plan.t) (o : outcome) =
+  let r = o.request and s = o.synth in
+  let b = s.Synthesizer.breakdown in
+  {
+    Audit.ts = Syccl_util.Clock.now ();
+    key = Request.key r;
+    fingerprint = Topology.fingerprint r.Request.topo;
+    topology = r.Request.topo_name;
+    collective =
+      String.lowercase_ascii
+        (Collective.kind_name r.Request.coll.Collective.kind);
+    size = r.Request.coll.Collective.size;
+    plan = Plan.describe p;
+    probe = Plan.probe_name p;
+    hit_key =
+      (match o.source with
+      | From_registry { hit_key; _ } -> Some hit_key
+      | From_synthesis -> None);
+    rung = Synthesizer.level_name s.Synthesizer.degraded;
+    degrade_reason = s.Synthesizer.degrade_reason;
+    budget_s = r.Request.config.Synthesizer.deadline;
+    consumed_s = s.Synthesizer.synth_time;
+    time_s = s.Synthesizer.time;
+    busbw = s.Synthesizer.busbw;
+    stored =
+      (match o.source with
+      | From_synthesis -> registry <> None && storable r s
+      | From_registry _ -> false);
+    cache_hits = b.Synthesizer.cache_hits;
+    cache_misses = b.Synthesizer.cache_misses;
+    milp_solves = b.Synthesizer.milp_solves;
+    milp_nodes = b.Synthesizer.milp_nodes;
+    flow_certified = b.Synthesizer.flow_certified;
+  }
+
+let run_batch ?registry ?audit requests =
   (* Dedupe on the request key: equal keys are guaranteed identical
      outcomes (synthesis is deterministic in everything the key covers),
      so each unique request is planned and executed once. *)
@@ -149,10 +186,20 @@ let run_batch ?registry requests =
         | Plan.Synthesize -> (k, List.assoc k synthesized))
       plans
   in
-  List.map (fun r -> List.assoc (Request.key r) by_key) requests
+  let outcomes = List.map (fun r -> List.assoc (Request.key r) by_key) requests in
+  (match audit with
+  | None -> ()
+  | Some sink ->
+      Counters.add "serve.requests" (List.length requests);
+      List.iter
+        (fun (o : outcome) ->
+          let p = List.assoc (Request.key o.request) plans in
+          Audit.append sink (audit_record ~registry p o))
+        outcomes);
+  outcomes
 
-let run ?registry request =
-  match run_batch ?registry [ request ] with
+let run ?registry ?audit request =
+  match run_batch ?registry ?audit [ request ] with
   | [ o ] -> o
   | _ -> assert false
 

@@ -32,14 +32,22 @@ type outcome = {
           [breakdown.registry_hits = 1] *)
 }
 
-val run : ?registry:Registry.t -> Request.t -> outcome
+val run : ?registry:Registry.t -> ?audit:Audit.t -> Request.t -> outcome
 (** Plan and execute one request. *)
 
-val run_batch : ?registry:Registry.t -> Request.t list -> outcome list
+val run_batch :
+  ?registry:Registry.t -> ?audit:Audit.t -> Request.t list -> outcome list
 (** Plan and execute a batch, preserving order.  Duplicate requests
     (equal {!Request.key}) are executed once and their outcome shared;
     distinct requests sharing a topology structure and config are
-    synthesized concurrently on the persistent pool. *)
+    synthesized concurrently on the persistent pool.
+
+    When [audit] is given, one {!Audit.record} is appended per request
+    {e element} (duplicates each leave their own line, sharing the
+    executed outcome's numbers), carrying the plan decision, the registry
+    probe outcome with its miss reason, the ladder rung, budget granted
+    vs consumed, and the solver counter deltas from the outcome
+    breakdown. *)
 
 val outcome_to_json : outcome -> Syccl_util.Json.t
 (** Canonical outcome encoding (one [syccl batch] JSONL line): fixed

@@ -13,6 +13,8 @@ type t = {
   makespan : float;
   total_bytes : float;
   dim_bytes : float array;
+  dim_alpha_s : float array;
+  dim_beta_s : float array;
   ports : port_stats list;
   bottleneck : port_stats option;
   avg_hops : float;
@@ -23,6 +25,8 @@ let analyze ?blocks topo (s : Schedule.t) =
   let makespan = report.Sim.time in
   let nd = Topology.num_dims topo in
   let dim_bytes = Array.make nd 0.0 in
+  let dim_alpha_s = Array.make nd 0.0 in
+  let dim_beta_s = Array.make nd 0.0 in
   let busy = Hashtbl.create 64 in
   let add key b =
     Hashtbl.replace busy key (b +. Option.value (Hashtbl.find_opt busy key) ~default:0.0)
@@ -35,6 +39,8 @@ let analyze ?blocks topo (s : Schedule.t) =
       let b = Link.busy_time d.Topology.link size in
       total_bytes := !total_bytes +. size;
       dim_bytes.(x.dim) <- dim_bytes.(x.dim) +. size;
+      dim_alpha_s.(x.dim) <- dim_alpha_s.(x.dim) +. d.Topology.link.Link.alpha;
+      dim_beta_s.(x.dim) <- dim_beta_s.(x.dim) +. b;
       add (x.src, d.Topology.port_group, `Egress) b;
       add (x.dst, d.Topology.port_group, `Ingress) b)
     s.Schedule.xfers;
@@ -60,6 +66,8 @@ let analyze ?blocks topo (s : Schedule.t) =
     makespan;
     total_bytes = !total_bytes;
     dim_bytes;
+    dim_alpha_s;
+    dim_beta_s;
     ports;
     bottleneck = (match ports with [] -> None | p :: _ -> Some p);
     avg_hops =
@@ -67,11 +75,20 @@ let analyze ?blocks topo (s : Schedule.t) =
        else float_of_int (Schedule.num_xfers s) /. float_of_int deliveries);
   }
 
+let alpha_share t d =
+  let a = t.dim_alpha_s.(d) and b = t.dim_beta_s.(d) in
+  if a +. b <= 0.0 then 0.0 else a /. (a +. b)
+
 let pp fmt t =
   Format.fprintf fmt "@[<v>makespan: %.1f us, %.1f MB moved, %.2f hops/delivery@,"
     (t.makespan *. 1e6) (t.total_bytes /. 1e6) t.avg_hops;
   Array.iteri
-    (fun d b -> Format.fprintf fmt "  dim %d traffic: %.1f MB@," d (b /. 1e6))
+    (fun d b ->
+      Format.fprintf fmt
+        "  dim %d traffic: %.1f MB (alpha %.0f%% / beta %.0f%% of wire time)@,"
+        d (b /. 1e6)
+        (100.0 *. alpha_share t d)
+        (100.0 *. (1.0 -. alpha_share t d)))
     t.dim_bytes;
   List.iteri
     (fun i p ->

@@ -16,12 +16,25 @@ type t = {
   makespan : float;
   total_bytes : float;  (** bytes moved over all transfers *)
   dim_bytes : float array;  (** bytes per topology dimension *)
+  dim_alpha_s : float array;
+      (** per-dimension latency seconds: Σ α over the dimension's
+          transfers — the fixed cost the α-β model charges per hop *)
+  dim_beta_s : float array;
+      (** per-dimension serialization seconds: Σ β·size — the bandwidth
+          cost.  [dim_alpha_s.(d) /. (dim_alpha_s.(d) +. dim_beta_s.(d))]
+          is the dimension's α share: near 1 means the schedule is
+          latency-bound there (too many small hops), near 0
+          bandwidth-bound *)
   ports : port_stats list;  (** every active port, busiest first *)
   bottleneck : port_stats option;
   avg_hops : float;  (** transfers per chunk delivery *)
 }
 
 val analyze : ?blocks:int -> Syccl_topology.Topology.t -> Schedule.t -> t
+
+val alpha_share : t -> int -> float
+(** [alpha_share t d]: fraction of dimension [d]'s total wire time that is
+    α (latency); 0 when the dimension carried no transfer. *)
 
 val pp : Format.formatter -> t -> unit
 (** Summary: makespan, per-dimension traffic, top ports. *)

@@ -1,0 +1,18 @@
+(** Central registry of legal {!Counters} names.
+
+    Every static name passed to [Counters.bump]/[add]/[addf]/[observe]
+    (and the cell constructors) in [lib/] must appear in {!exact}, and
+    every dynamically built family must extend one of {!prefixes} —
+    [tools/check_lint.ml] rule 6 enforces this at build time, so a
+    counter-name typo cannot silently split a metric.  The table is also
+    the inventory rendered by [syccl metrics] consumers. *)
+
+val exact : string list
+(** Every statically known counter/histogram name, grouped by subsystem. *)
+
+val prefixes : string list
+(** Stems of dynamically named families (e.g. ["cache."] for the bounded
+    caches, ["fault."] for armed fault points). *)
+
+val mem : string -> bool
+(** [mem name] is true when [name] is exact or extends a family prefix. *)

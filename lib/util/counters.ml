@@ -167,6 +167,82 @@ let hist_snapshot () =
     acc
   |> List.sort compare
 
+(* Upper bound of bucket [i]: the bucket covers values below 2^((i+1-bias)/4).
+   (Our buckets are half-open on the right, Prometheus' [le] is inclusive;
+   the discrepancy is within the histogram's documented ~9% resolution.) *)
+let bucket_upper i = Float.pow 2.0 (float_of_int (i + 1 - bucket_bias) /. 4.0)
+
+let hist_buckets h =
+  let acc = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    let c = Atomic.get h.buckets.(i) in
+    if c > 0 then acc := (bucket_upper i, c) :: !acc
+  done;
+  !acc
+
+(* --- Prometheus text exposition ----------------------------------------- *)
+
+(* Prometheus metric names admit [a-zA-Z0-9_:]; our dotted names map dot (and
+   anything else exotic) to '_' under a "syccl_" namespace prefix. *)
+let prometheus_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "syccl_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+(* %.17g round-trips every float; integral values print without exponent
+   noise ("3" not "3.0000...") for readability. *)
+let prometheus_num v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let to_prometheus () =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  Mutex.lock lock;
+  let int_cells =
+    Hashtbl.fold (fun k c acc -> (k, float_of_int (Atomic.get c)) :: acc) ints []
+  in
+  let float_cells = Hashtbl.fold (fun k c acc -> (k, Atomic.get c) :: acc) floats [] in
+  let hist_cells = Hashtbl.fold (fun k h acc -> (k, h) :: acc) hists [] in
+  Mutex.unlock lock;
+  List.iter
+    (fun (k, v) ->
+      let n = prometheus_name k in
+      line "# HELP %s SyCCL counter %s" n k;
+      line "# TYPE %s counter" n;
+      line "%s %s" n (prometheus_num v))
+    (List.sort compare int_cells);
+  List.iter
+    (fun (k, v) ->
+      let n = prometheus_name k in
+      line "# HELP %s SyCCL accumulator %s (seconds or units)" n k;
+      line "# TYPE %s gauge" n;
+      line "%s %s" n (prometheus_num v))
+    (List.sort compare float_cells);
+  List.iter
+    (fun (k, h) ->
+      let n = prometheus_name k in
+      line "# HELP %s SyCCL log-bucketed histogram %s" n k;
+      line "# TYPE %s histogram" n;
+      let cum = ref 0 in
+      List.iter
+        (fun (upper, c) ->
+          cum := !cum + c;
+          line "%s_bucket{le=\"%s\"} %d" n (prometheus_num upper) !cum)
+        (hist_buckets h);
+      line "%s_bucket{le=\"+Inf\"} %d" n (Atomic.get h.h_n);
+      line "%s_sum %s" n (prometheus_num (Atomic.get h.h_sum));
+      line "%s_count %d" n (Atomic.get h.h_n))
+    (List.sort (fun (a, _) (b, _) -> compare a b) hist_cells);
+  Buffer.contents buf
+
 (* --- reset -------------------------------------------------------------- *)
 
 let quiescence_checks : (string * (unit -> bool)) list ref = ref []

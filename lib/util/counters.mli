@@ -76,6 +76,23 @@ val hist_stats : hist -> hist_stats
 val hist_snapshot : unit -> (string * hist_stats) list
 (** All non-empty histograms, sorted by name. *)
 
+val hist_buckets : hist -> (float * int) list
+(** Non-empty buckets as [(upper_bound, count)] pairs in increasing bound
+    order.  Bounds are the log-bucket grid's bucket upper edges (powers of
+    2{^1/4}); counts are per-bucket, {e not} cumulative. *)
+
+(** {1 Prometheus exposition} *)
+
+val to_prometheus : unit -> string
+(** Render every counter and histogram in the Prometheus text exposition
+    format (version 0.0.4): integer counters as [counter], float
+    accumulators as [gauge], histograms as cumulative
+    [_bucket{le="..."}]/[_sum]/[_count] series over the log-bucket grid.
+    Names are mapped into the [syccl_] namespace with dots replaced by
+    underscores ("registry.miss.absent" → [syccl_registry_miss_absent]).
+    A future [syccl serve] daemon's [/metrics] endpoint returns exactly
+    this string; the CLI's [--metrics-out] writes it to a file. *)
+
 (** {1 Reset and quiescence} *)
 
 val register_quiescence_check : string -> (unit -> bool) -> unit

@@ -233,6 +233,169 @@ let test_hist_empty_and_snapshot () =
   check Alcotest.int "n=1" 1 st.Counters.n;
   check (Alcotest.float 1e-9) "p50 of singleton" 3.0 st.Counters.p50
 
+(* --- Prometheus text exposition parses and is internally consistent ---- *)
+
+(* A small test-side parser for the Prometheus text format (0.0.4):
+   comment lines are # HELP / # TYPE declarations, sample lines are
+   NAME{LABELS} VALUE or NAME VALUE.  The test validates the grammar and
+   the histogram invariants (cumulative non-decreasing buckets ending in a
+   +Inf bucket equal to _count), so a renderer regression breaks here and
+   not on a live scrape. *)
+
+type prom_sample = { ps_name : string; ps_le : string option; ps_value : float }
+
+let prom_name_ok name =
+  name <> ""
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function
+         | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+         | _ -> false)
+       name
+
+let parse_prometheus text =
+  let types = ref [] and samples = ref [] in
+  String.split_on_char '\n' text
+  |> List.iter (fun line ->
+         if line = "" then ()
+         else if String.length line >= 2 && String.sub line 0 2 = "# " then begin
+           match String.split_on_char ' ' line with
+           | "#" :: "TYPE" :: name :: [ ty ] ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "TYPE %s is a known kind" name)
+                 true
+                 (List.mem ty [ "counter"; "gauge"; "histogram" ]);
+               types := (name, ty) :: !types
+           | "#" :: "HELP" :: name :: _ ->
+               Alcotest.(check bool)
+                 (Printf.sprintf "HELP name %s valid" name)
+                 true (prom_name_ok name)
+           | _ -> Alcotest.fail (Printf.sprintf "bad comment line: %s" line)
+         end
+         else begin
+           (* NAME{le="..."} VALUE or NAME VALUE *)
+           let name_end =
+             match (String.index_opt line '{', String.index_opt line ' ') with
+             | Some b, Some sp when b < sp -> b
+             | _, Some sp -> sp
+             | _ -> Alcotest.fail (Printf.sprintf "bad sample line: %s" line)
+           in
+           let name = String.sub line 0 name_end in
+           Alcotest.(check bool)
+             (Printf.sprintf "sample name %s valid" name)
+             true (prom_name_ok name);
+           let le =
+             match String.index_opt line '{' with
+             | None -> None
+             | Some b ->
+                 let e =
+                   match String.index_opt line '}' with
+                   | Some e when e > b -> e
+                   | _ -> Alcotest.fail "unterminated label set"
+                 in
+                 let lab = String.sub line (b + 1) (e - b - 1) in
+                 let prefix = "le=\"" in
+                 Alcotest.(check bool) "only le labels emitted" true
+                   (String.length lab > String.length prefix + 1
+                   && String.sub lab 0 (String.length prefix) = prefix
+                   && lab.[String.length lab - 1] = '"');
+                 Some
+                   (String.sub lab (String.length prefix)
+                      (String.length lab - String.length prefix - 1))
+           in
+           let value =
+             match String.rindex_opt line ' ' with
+             | Some sp ->
+                 let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+                 if v = "+Inf" then infinity else float_of_string v
+             | None -> Alcotest.fail (Printf.sprintf "no value in: %s" line)
+           in
+           samples := { ps_name = name; ps_le = le; ps_value = value } :: !samples
+         end);
+  (List.rev !types, List.rev !samples)
+
+let test_prometheus_format () =
+  Counters.add "test.obs.prom_counter" 7;
+  Counters.addf "test.obs.prom_gauge" 1.5;
+  let values = [ 1e-6; 3e-6; 2e-4; 0.5; 0.5; 12.0 ] in
+  List.iter (Counters.observe "test.obs.prom_hist") values;
+  let types, samples = parse_prometheus (Counters.to_prometheus ()) in
+  (* Every sample family is typed. *)
+  let family name =
+    (* strip _bucket/_sum/_count suffixes back to the declared family *)
+    let strip suffix n =
+      let ls = String.length suffix and ln = String.length n in
+      if ln > ls && String.sub n (ln - ls) ls = suffix then
+        Some (String.sub n 0 (ln - ls))
+      else None
+    in
+    let cand =
+      match strip "_bucket" name with
+      | Some f -> Some f
+      | None -> (
+          match strip "_sum" name with
+          | Some f -> Some f
+          | None -> strip "_count" name)
+    in
+    match cand with
+    | Some f when List.assoc_opt f types = Some "histogram" -> f
+    | _ -> name
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "family of %s is typed" s.ps_name)
+        true
+        (List.mem_assoc (family s.ps_name) types))
+    samples;
+  (* The int counter and float gauge round-trip with the right type. *)
+  let one name =
+    match List.filter (fun s -> s.ps_name = name) samples with
+    | [ s ] -> s.ps_value
+    | l -> Alcotest.fail (Printf.sprintf "%d samples for %s" (List.length l) name)
+  in
+  Alcotest.(check bool) "counter sample" true
+    (one "syccl_test_obs_prom_counter" >= 7.0);
+  check (Alcotest.float 1e-9) "gauge sample" 1.5 (one "syccl_test_obs_prom_gauge");
+  Alcotest.(check (option string)) "counter typed counter" (Some "counter")
+    (List.assoc_opt "syccl_test_obs_prom_counter" types);
+  Alcotest.(check (option string)) "gauge typed gauge" (Some "gauge")
+    (List.assoc_opt "syccl_test_obs_prom_gauge" types);
+  (* Histogram invariants: buckets cumulative and non-decreasing, le
+     strictly increasing, +Inf bucket == _count, _sum matches. *)
+  Alcotest.(check (option string)) "hist typed histogram" (Some "histogram")
+    (List.assoc_opt "syccl_test_obs_prom_hist" types);
+  let buckets =
+    List.filter (fun s -> s.ps_name = "syccl_test_obs_prom_hist_bucket") samples
+  in
+  Alcotest.(check bool) "has buckets" true (List.length buckets >= 2);
+  let les = List.map (fun s -> match s.ps_le with Some le -> le | None -> Alcotest.fail "bucket without le") buckets in
+  let le_vals =
+    List.map (fun le -> if le = "+Inf" then infinity else float_of_string le) les
+  in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as tl) -> a < b && strictly_increasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "le strictly increasing" true
+    (strictly_increasing le_vals);
+  let counts = List.map (fun s -> s.ps_value) buckets in
+  let rec nondecreasing = function
+    | a :: (b :: _ as tl) -> a <= b && nondecreasing tl
+    | _ -> true
+  in
+  Alcotest.(check bool) "buckets non-decreasing" true (nondecreasing counts);
+  let last_le = List.nth le_vals (List.length le_vals - 1) in
+  Alcotest.(check bool) "last bucket is +Inf" true (last_le = infinity);
+  let count = one "syccl_test_obs_prom_hist_count" in
+  let sum = one "syccl_test_obs_prom_hist_sum" in
+  check (Alcotest.float 1e-9) "+Inf bucket equals count" count
+    (List.nth counts (List.length counts - 1));
+  check (Alcotest.float 1e-9) "count" (float_of_int (List.length values)) count;
+  check (Alcotest.float 1e-6) "sum" (List.fold_left ( +. ) 0.0 values) sum
+
 (* --- Simulator timeline: one track per active port -------------------- *)
 
 let test_sim_trace_tracks () =
@@ -365,6 +528,8 @@ let () =
         ] );
       ( "histograms",
         [
+          Alcotest.test_case "prometheus exposition valid" `Quick
+            test_prometheus_format;
           Alcotest.test_case "percentiles match Stats" `Quick
             test_hist_percentiles_match_stats;
           Alcotest.test_case "empty and snapshot" `Quick

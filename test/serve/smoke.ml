@@ -2,14 +2,18 @@
    requests (with a duplicate and a second collective) executed three times
    against a fresh registry.  Run 1 must synthesize and store; runs 2 and 3
    must be 100% registry hits and produce byte-identical outcome JSONL —
-   synth_time_s, the only timing field, excepted.  Exits non-zero on any
-   violation. *)
+   synth_time_s, the only timing field, excepted.  The audit trail written
+   next to the registry must carry one record per request element, every
+   record must round-trip through its canonical JSON encoding, and every
+   run-2/run-3 record must show registry-hit provenance.  Exits non-zero
+   on any violation. *)
 
 module Json = Syccl_util.Json
 module Synth = Syccl.Synthesizer
 module Request = Syccl_serve.Request
 module Registry = Syccl_serve.Registry
 module Serve = Syccl_serve.Serve
+module Audit = Syccl_serve.Audit
 
 let fail fmt = Format.kasprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
 
@@ -43,9 +47,10 @@ let () =
          (Printf.sprintf "syccl-smoke-registry-%d" (Unix.getpid ())))
   in
   if Registry.length reg <> 0 then fail "smoke registry not empty at start";
+  let audit = Audit.for_registry reg in
   let run () =
     Synth.reset_caches ();
-    Serve.run_batch ~registry:reg requests
+    Serve.run_batch ~registry:reg ~audit requests
   in
   let first = run () in
   List.iter
@@ -76,4 +81,27 @@ let () =
       if b.Serve.synth.Synth.time > a.Serve.synth.Synth.time *. (1.0 +. 1e-6)
       then fail "registry hit is slower than the stored solve")
     first second;
-  print_endline "serve smoke: 3 entries, repeat runs 100% hits, outputs stable"
+  (* Audit trail: one record per request element per run, all parseable,
+     all round-tripping through the canonical encoding, with registry-hit
+     provenance for every run-2/run-3 record. *)
+  let records, bad = Audit.read (Audit.path audit) in
+  if bad <> 0 then fail "audit trail has %d unparseable lines" bad;
+  let expected = 3 * List.length requests in
+  if List.length records <> expected then
+    fail "expected %d audit records (one per element per run), got %d"
+      expected (List.length records);
+  List.iteri
+    (fun i (r : Audit.record) ->
+      if Audit.record_of_json (Audit.record_to_json r) <> r then
+        fail "audit record %d does not round-trip through its encoding" i;
+      let is_hit = r.Audit.probe = "hit" || r.Audit.probe = "hit.scaled" in
+      if i < List.length requests then begin
+        if is_hit then fail "run-1 record %d claims a hit on an empty registry" i
+      end
+      else if not is_hit then
+        fail "record %d (run 2/3) lacks registry-hit provenance (probe=%s)" i
+          r.Audit.probe)
+    records;
+  print_endline
+    "serve smoke: 3 entries, repeat runs 100% hits, outputs stable, audit \
+     trail round-trips with hit provenance"

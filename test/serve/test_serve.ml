@@ -17,6 +17,7 @@ module Request = Syccl_serve.Request
 module Registry = Syccl_serve.Registry
 module Plan = Syccl_serve.Plan
 module Serve = Syccl_serve.Serve
+module Audit = Syccl_serve.Audit
 
 let check = Alcotest.check
 let checkb = Alcotest.(check bool)
@@ -291,6 +292,122 @@ let test_batch_dedupe () =
         o.Serve.synth.Synth.time)
     outs
 
+(* --- probe reasons ------------------------------------------------------ *)
+
+let test_probe_miss_reasons () =
+  let reg = fresh_registry () in
+  (* Cold probe: absent, counted under both the per-reason counter and the
+     aggregate. *)
+  let (result, misses), absent =
+    delta "registry.miss.absent" (fun () ->
+        delta "registry.misses" (fun () -> Registry.probe reg topo coll))
+  in
+  checkb "cold probe is Miss Absent" true
+    (match result with
+    | Registry.Miss Registry.Absent -> true
+    | _ -> false);
+  check (Alcotest.float 0.0) "absent counted per-reason" 1.0 absent;
+  check (Alcotest.float 0.0) "absent counted in aggregate" 1.0 misses;
+  (* Store, then probe: a hit. *)
+  let schedules = Fallback.schedule topo coll in
+  Registry.store reg topo coll ~cost:(simulate schedules) ~chosen:"fallback"
+    schedules;
+  checkb "stored probe hits" true
+    (match Registry.probe reg topo coll with
+    | Registry.Hit _ -> true
+    | Registry.Miss _ -> false);
+  (* Corrupt the entry: the per-reason counter distinguishes it from a
+     cold miss. *)
+  let path =
+    Filename.concat (Registry.dir reg) (Registry.key topo coll ^ ".json")
+  in
+  let oc = open_out path in
+  output_string oc "garbage";
+  close_out oc;
+  let result, corrupt =
+    delta "registry.miss.corrupt" (fun () -> Registry.probe reg topo coll)
+  in
+  checkb "corrupt probe is Miss Corrupt" true
+    (result = Registry.Miss Registry.Corrupt);
+  check (Alcotest.float 0.0) "corrupt counted per-reason" 1.0 corrupt
+
+(* --- audit trail -------------------------------------------------------- *)
+
+let test_audit_roundtrip () =
+  let reg = fresh_registry () in
+  let sink = Audit.for_registry reg in
+  Synth.reset_caches ();
+  let r = req () in
+  let _ = Serve.run_batch ~registry:reg ~audit:sink [ r; r ] in
+  let records, bad = Audit.read (Audit.path sink) in
+  check Alcotest.int "no torn lines" 0 bad;
+  check Alcotest.int "one record per request element" 2 (List.length records);
+  List.iter
+    (fun (rec_ : Audit.record) ->
+      checkb "canonical encoding round-trips" true
+        (Audit.record_of_json (Audit.record_to_json rec_) = rec_);
+      check Alcotest.string "key matches the request" (Request.key r)
+        rec_.Audit.key;
+      check Alcotest.string "fingerprint matches" (T.fingerprint r.Request.topo)
+        rec_.Audit.fingerprint;
+      check Alcotest.string "probe: first pass misses cold" "miss.absent"
+        rec_.Audit.probe;
+      checkb "synthesis was stored back" true rec_.Audit.stored)
+    records;
+  (* Second pass: served from the registry, and the trail says so. *)
+  let _ = Serve.run_batch ~registry:reg ~audit:sink [ r ] in
+  let records, _ = Audit.read (Audit.path sink) in
+  check Alcotest.int "appended, not truncated" 3 (List.length records);
+  let last = List.nth records 2 in
+  check Alcotest.string "probe: second pass hits" "hit" last.Audit.probe;
+  checkb "hit carries the entry key" true (last.Audit.hit_key <> None);
+  checkb "hits are not re-stored" false last.Audit.stored;
+  (* A torn line is skipped and counted, not fatal. *)
+  let oc =
+    open_out_gen [ Open_append; Open_wronly ] 0o644 (Audit.path sink)
+  in
+  output_string oc "{\"truncated\": tru";
+  close_out oc;
+  let records, bad = Audit.read (Audit.path sink) in
+  check Alcotest.int "torn line counted" 1 bad;
+  check Alcotest.int "intact records survive" 3 (List.length records)
+
+(* --- registry verify is read-only --------------------------------------- *)
+
+let test_verify_entry_nonmutating () =
+  let reg = fresh_registry () in
+  let schedules = Fallback.schedule topo coll in
+  Registry.store reg topo coll ~cost:(simulate schedules) ~chosen:"fallback"
+    schedules;
+  let key = Registry.key topo coll in
+  (* Intact entry with the matching topology: ok. *)
+  (match Registry.verify_entry reg ~topo key with
+  | Registry.Entry_ok _ -> ()
+  | _ -> Alcotest.fail "intact entry must verify ok");
+  (* Without a topology, only standalone checks run. *)
+  (match Registry.verify_entry reg key with
+  | Registry.Entry_unverified _ -> ()
+  | _ -> Alcotest.fail "no topology: entry must be unverified, not judged");
+  (* Corrupt the entry: verify reports it, does not repair, delete or
+     count it. *)
+  let path = Filename.concat (Registry.dir reg) (key ^ ".json") in
+  let oc = open_out path in
+  output_string oc "deliberately corrupt";
+  close_out oc;
+  let (verdict, corrupt), misses =
+    delta "registry.misses" (fun () ->
+        delta "registry.corrupt" (fun () -> Registry.verify_entry reg ~topo key))
+  in
+  checkb "corruption reported" true
+    (match verdict with Registry.Entry_corrupt _ -> true | _ -> false);
+  check (Alcotest.float 0.0) "serving miss counters untouched" 0.0 misses;
+  check (Alcotest.float 0.0) "serving corrupt counters untouched" 0.0 corrupt;
+  let ic = open_in_bin path in
+  let left = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  check Alcotest.string "evidence left in place" "deliberately corrupt" left;
+  check Alcotest.int "entry not deleted" 1 (Registry.length reg)
+
 let suite =
   [
     Alcotest.test_case "fingerprint stable and name-blind" `Quick
@@ -314,6 +431,11 @@ let suite =
     Alcotest.test_case "fast-only outcomes are not stored" `Quick
       test_fast_only_not_stored;
     Alcotest.test_case "batch dedupes equal requests" `Quick test_batch_dedupe;
+    Alcotest.test_case "probe distinguishes miss reasons" `Quick
+      test_probe_miss_reasons;
+    Alcotest.test_case "audit trail round-trips" `Quick test_audit_roundtrip;
+    Alcotest.test_case "registry verify is read-only" `Quick
+      test_verify_entry_nonmutating;
   ]
 
 let () = Alcotest.run "syccl-serve" [ ("serve", suite) ]

@@ -52,10 +52,115 @@ let test_bottleneck_flag () =
   Alcotest.(check bool) "bottleneck flagged" true
     (contains (Syccl.Explain.combo topo combo) "likely bottleneck")
 
+let test_outcome_degraded () =
+  (* The ladder line must name the rung and carry the degradation reason,
+     and a provenance line must appear iff one is passed. *)
+  let topo = Builders.fig3 () in
+  let coll = C.make C.AllGather ~n:16 ~size:65536.0 in
+  let cfg = { Syccl.Synthesizer.default_config with fast_only = true } in
+  let o = Syccl.Synthesizer.synthesize ~config:cfg topo coll in
+  let full = Syccl.Explain.outcome topo o in
+  Alcotest.(check bool) "full rung named" true (contains full "ladder: full rung");
+  Alcotest.(check bool) "no provenance unless passed" false
+    (contains full "provenance:");
+  let fast =
+    Syccl.Explain.outcome topo
+      { o with
+        Syccl.Synthesizer.degraded = Syccl.Synthesizer.Fast;
+        degrade_reason = Some "deadline";
+      }
+  in
+  Alcotest.(check bool) "fast rung named" true (contains fast "ladder: fast rung");
+  Alcotest.(check bool) "fast reason shown" true
+    (contains fast "(degraded: deadline)");
+  let fallback =
+    Syccl.Explain.outcome ~provenance:"registry entry k0 in /tmp/reg" topo
+      { o with
+        Syccl.Synthesizer.degraded = Syccl.Synthesizer.Fallback;
+        degrade_reason = Some "budget exhausted";
+      }
+  in
+  Alcotest.(check bool) "fallback rung named" true
+    (contains fallback "ladder: fallback rung");
+  Alcotest.(check bool) "fallback reason shown" true
+    (contains fallback "(degraded: budget exhausted)");
+  Alcotest.(check bool) "provenance line rendered" true
+    (contains fallback "provenance: registry entry k0 in /tmp/reg")
+
+let test_analysis_multirail () =
+  (* A ring AllGather on a 2x2 multirail box: the report's critical path
+     must name a bottleneck port with a sane utilization, and the per-dim
+     alpha/beta split must be consistent with Analysis itself. *)
+  let module Analysis = Syccl_sim.Analysis in
+  let topo = Builders.h800_scaled ~servers:2 ~gpus_per_server:2 in
+  (* 256 MB: large enough that every ring transfer is bandwidth-bound. *)
+  let coll = C.make C.AllGather ~n:4 ~size:268435456.0 in
+  let s = Syccl_baselines.Ring.allgather topo coll in
+  let a = Analysis.analyze topo s in
+  (match a.Analysis.bottleneck with
+  | None -> Alcotest.fail "ring schedule must have an active bottleneck port"
+  | Some p ->
+      Alcotest.(check bool) "bottleneck busy time positive" true
+        (p.Analysis.busy > 0.0);
+      Alcotest.(check bool) "bottleneck utilization in (0,1]" true
+        (p.Analysis.utilization > 0.0 && p.Analysis.utilization <= 1.0 +. 1e-9));
+  let nd = Array.length a.Analysis.dim_bytes in
+  Alcotest.(check bool) "has both dims" true (nd >= 2);
+  for d = 0 to nd - 1 do
+    let sh = Analysis.alpha_share a d in
+    Alcotest.(check bool) "alpha share in [0,1]" true (sh >= 0.0 && sh <= 1.0);
+    if a.Analysis.dim_bytes.(d) > 0.0 then begin
+      Alcotest.(check bool) "active dim has wire time" true
+        (a.Analysis.dim_alpha_s.(d) +. a.Analysis.dim_beta_s.(d) > 0.0);
+      (* 1 MB transfers over these links are bandwidth-dominated. *)
+      Alcotest.(check bool) "large transfers are beta-bound" true (sh < 0.5)
+    end
+    else
+      Alcotest.(check (float 0.0)) "idle dim has zero alpha share" 0.0 sh
+  done;
+  (* The rendered report agrees: bottleneck marker, utilization column and
+     the alpha/beta line all present. *)
+  let o =
+    {
+      Syccl.Synthesizer.schedules = [ s ];
+      time = a.Analysis.makespan;
+      busbw = C.busbw coll ~time:a.Analysis.makespan;
+      synth_time = 0.0;
+      breakdown =
+        {
+          Syccl.Synthesizer.search_s = 0.0;
+          combine_s = 0.0;
+          solve1_s = 0.0;
+          solve2_s = 0.0;
+          cache_hits = 0;
+          cache_misses = 0;
+          milp_solves = 0;
+          milp_nodes = 0;
+          flow_certified = 0;
+          registry_hits = 0;
+          registry_misses = 0;
+        };
+      num_sketches = 0;
+      num_combos = 0;
+      chosen = "ring baseline";
+      degraded = Syccl.Synthesizer.Full;
+      degrade_reason = None;
+    }
+  in
+  let text = Syccl.Explain.outcome topo o in
+  Alcotest.(check bool) "report marks the bottleneck port" true
+    (contains text "<- bottleneck");
+  Alcotest.(check bool) "report shows utilization" true
+    (contains text "% utilized");
+  Alcotest.(check bool) "report splits alpha vs beta" true
+    (contains text "% of wire time")
+
 let suite =
   [
     ("sketch report", `Quick, test_sketch_report);
     ("combo report", `Quick, test_combo_report);
     ("outcome report", `Quick, test_outcome_report);
     ("bottleneck flag", `Quick, test_bottleneck_flag);
+    ("outcome degraded rungs", `Quick, test_outcome_degraded);
+    ("analysis multirail", `Quick, test_analysis_multirail);
   ]

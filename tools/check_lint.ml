@@ -30,6 +30,13 @@
       reintroduces the blowup.  The dense tableau survives only in
       lp_dense.ml as the differential-testing oracle. *)
 
+(* 6. Registered counter names: every string literal passed to
+      Counters.bump/add/addf/observe must come from the central table in
+      lib/util/counter_names.ml — exactly, or (for a literal composed with
+      [^]) as one of its registered trailing-dot prefixes.  A typo'd name
+      is invisible to the type checker and silently splits a metric into
+      two time series no dashboard or test asserts on. *)
+
 type rule = {
   name : string;
   hint : string;
@@ -146,32 +153,153 @@ let flag rule text =
          in
          if hit then Some lineno else None)
 
-let rec scan offenders dir =
+(* --- Rule 6: registered counter names ---------------------------------- *)
+
+(* Every string literal in a source text, in order.  Comments are not
+   stripped, so counter_names.ml must not quote names in prose (it says
+   so at the top). *)
+let string_literals text =
+  let n = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if text.[!i] = '"' then begin
+      let buf = Buffer.create 16 in
+      incr i;
+      let fin = ref false in
+      while (not !fin) && !i < n do
+        match text.[!i] with
+        | '\\' when !i + 1 < n ->
+            Buffer.add_char buf text.[!i + 1];
+            i := !i + 2
+        | '"' ->
+            fin := true;
+            incr i
+        | c ->
+            Buffer.add_char buf c;
+            incr i
+      done;
+      out := Buffer.contents buf :: !out
+    end
+    else incr i
+  done;
+  List.rev !out
+
+(* The registered table, parsed textually from counter_names.ml: literals
+   ending in '.' are dynamic-family prefixes, the rest exact names. *)
+let load_registered root =
+  let path = Filename.concat root "util/counter_names.ml" in
+  let lits = if Sys.file_exists path then string_literals (read_file path) else [] in
+  List.partition (fun s -> s <> "" && s.[String.length s - 1] = '.') lits
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Flag (lineno, name) pairs where a Counters.bump/add/addf/observe call
+   passes an unregistered literal.  Non-literal first arguments (variables,
+   record fields) are out of scope for a textual lint and skipped. *)
+let flag_counter_names ~prefixes ~exacts text =
+  let fns = [ "bump"; "add"; "addf"; "observe" ] in
+  lines_of text
+  |> List.mapi (fun i line -> (i + 1, line))
+  |> List.concat_map (fun (lineno, line) ->
+         let n = String.length line in
+         let out = ref [] in
+         let marker = "Counters." in
+         let m = String.length marker in
+         for j = 0 to n - m - 1 do
+           if String.sub line j m = marker then
+             List.iter
+               (fun fn ->
+                 let f = String.length fn in
+                 if
+                   j + m + f <= n
+                   && String.sub line (j + m) f = fn
+                   && (j + m + f = n || not (is_ident_char line.[j + m + f]))
+                 then begin
+                   (* Skip spaces and at most one opening paren, then
+                      expect the literal (if any). *)
+                   let k = ref (j + m + f) in
+                   while !k < n && line.[!k] = ' ' do incr k done;
+                   if !k < n && line.[!k] = '(' then begin
+                     incr k;
+                     while !k < n && line.[!k] = ' ' do incr k done
+                   end;
+                   if !k < n && line.[!k] = '"' then begin
+                     let buf = Buffer.create 16 in
+                     incr k;
+                     while !k < n && line.[!k] <> '"' do
+                       Buffer.add_char buf line.[!k];
+                       incr k
+                     done;
+                     if !k < n then begin
+                       incr k;
+                       while !k < n && line.[!k] = ' ' do incr k done;
+                       let composed = !k < n && line.[!k] = '^' in
+                       let name = Buffer.contents buf in
+                       let ok =
+                         if composed then List.mem name prefixes
+                         else
+                           List.mem name exacts
+                           || List.exists
+                                (fun p -> starts_with name p)
+                                prefixes
+                       in
+                       if not ok then out := (lineno, name) :: !out
+                     end
+                   end
+                 end)
+               fns
+         done;
+         List.rev !out)
+
+let scan_counter_names ~prefixes ~exacts offenders path text =
+  let base = Filename.basename path in
+  if base = "counters.ml" || base = "counter_names.ml" then offenders
+  else
+    List.fold_left
+      (fun offenders (lineno, name) ->
+        Printf.sprintf
+          "%s:%d: unregistered counter name %S (add it to \
+           lib/util/counter_names.ml)"
+          path lineno name
+        :: offenders)
+      offenders
+      (flag_counter_names ~prefixes ~exacts text)
+
+let rec scan ~prefixes ~exacts offenders dir =
   Array.fold_left
     (fun offenders entry ->
       let path = Filename.concat dir entry in
-      if Sys.is_directory path then scan offenders path
-      else if Filename.check_suffix entry ".ml" then
-        List.fold_left
-          (fun offenders rule ->
-            if rule.applies path then
-              match flag rule (read_file path) with
-              | [] -> offenders
-              | linenos ->
-                  List.map
-                    (fun l ->
-                      Printf.sprintf "%s:%d: %s (%s)" path l rule.name
-                        rule.hint)
-                    linenos
-                  @ offenders
-            else offenders)
-          offenders rules
+      if Sys.is_directory path then scan ~prefixes ~exacts offenders path
+      else if Filename.check_suffix entry ".ml" then begin
+        let text = read_file path in
+        let offenders =
+          List.fold_left
+            (fun offenders rule ->
+              if rule.applies path then
+                match flag rule text with
+                | [] -> offenders
+                | linenos ->
+                    List.map
+                      (fun l ->
+                        Printf.sprintf "%s:%d: %s (%s)" path l rule.name
+                          rule.hint)
+                      linenos
+                    @ offenders
+              else offenders)
+            offenders rules
+        in
+        scan_counter_names ~prefixes ~exacts offenders path text
+      end
       else offenders)
     offenders (Sys.readdir dir)
 
 let () =
   let root = if Array.length Sys.argv > 1 then Sys.argv.(1) else "lib" in
-  match scan [] root with
+  let prefixes, exacts = load_registered root in
+  match scan ~prefixes ~exacts [] root with
   | [] -> ()
   | offenders ->
       prerr_endline "error: lint violations in lib/:";
