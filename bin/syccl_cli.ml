@@ -9,6 +9,7 @@ module Request = Syccl_serve.Request
 module Registry = Syccl_serve.Registry
 module Serve = Syccl_serve.Serve
 module Audit = Syccl_serve.Audit
+module Failover = Syccl_serve.Failover
 
 (* Name resolution moved into the serve layer (Syccl_serve.Request) so the
    CLI, batch files, tests and benches accept the same names. *)
@@ -37,6 +38,24 @@ let fast_arg =
   Arg.(
     value & flag
     & info [ "fast" ] ~doc:"Skip the MILP refinement (fast solving only).")
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Puncture the topology before synthesizing: a comma-joined \
+           canonical fault set of $(b,gpu:G) (GPU down), $(b,link:D:A-B) \
+           (the dimension-D edge between GPUs A and B down, A < B) and \
+           $(b,nic:G\\@P) (GPU G's port-group-P NIC down) elements.  The \
+           schedule is synthesized on — and validated against — the \
+           surviving hardware; registry entries and audit records key the \
+           fault class apart from the healthy topology.")
+
+let faults_of = function
+  | None -> T.Fault.empty
+  | Some spec -> T.Fault.decode spec
 
 let domains_arg =
   Arg.(
@@ -273,21 +292,25 @@ let topo_cmd =
     Term.(const run $ topo_arg)
 
 let synth_cmd =
-  let run tname cname size fast domains deadline stats verbose trace metrics
-      sjson rdir audit mout =
+  let run tname cname size fast faults domains deadline stats verbose trace
+      metrics sjson rdir audit mout =
     let config =
       { Syccl.Synthesizer.default_config with fast_only = fast; domains;
         deadline }
     in
     let req =
-      Request.make ~config ~topology:tname ~collective:cname ~size ()
+      Request.make ~config ~faults:(faults_of faults) ~topology:tname
+        ~collective:cname ~size ()
     in
     let topo = req.Request.topo and coll = req.Request.coll in
     let registry = registry_of rdir in
     if trace <> None then Syccl_util.Trace.enable ();
     let so = Serve.run ?registry ?audit:(audit_of registry audit) req in
     let o = so.Serve.synth in
-    Format.printf "collective: %a on %s@." C.pp coll tname;
+    Format.printf "collective: %a on %s%s@." C.pp coll tname
+      (match T.Fault.encode (Request.faults req) with
+      | "" -> ""
+      | s -> Printf.sprintf " (faults %s)" s);
     (match (registry, so.Serve.source) with
     | None, _ -> ()
     | Some reg, Serve.From_registry { hit_key; scaled; stored_cost } ->
@@ -351,9 +374,9 @@ let synth_cmd =
   in
   Cmd.v (Cmd.info "synth" ~doc:"Synthesize a schedule and report its performance.")
     Term.(
-      const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ domains_arg
-      $ deadline_arg $ stats_arg $ verbose $ trace_arg $ metrics_arg $ sjson
-      $ registry_arg $ audit_arg $ metrics_out_arg)
+      const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ faults_arg
+      $ domains_arg $ deadline_arg $ stats_arg $ verbose $ trace_arg
+      $ metrics_arg $ sjson $ registry_arg $ audit_arg $ metrics_out_arg)
 
 (* A registry entry rendered as a synthesis outcome, so Explain.outcome can
    report it: the schedules and chosen description are stored; the cost is
@@ -583,9 +606,10 @@ let export_cmd =
 let sweep_sizes = [ 1e3; 65536.0; 1048576.0; 1.6777e7; 2.68435e8; 1.073741824e9 ]
 
 let sweep_cmd =
-  let run tname cname fast domains deadline stats trace metrics rdir audit mout
-      sjson =
+  let run tname cname fast faults domains deadline stats trace metrics rdir
+      audit mout sjson =
     if trace <> None then Syccl_util.Trace.enable ();
+    let faults = faults_of faults in
     let config =
       { Syccl.Synthesizer.default_config with fast_only = fast; domains;
         deadline }
@@ -597,7 +621,8 @@ let sweep_cmd =
     let requests =
       List.map
         (fun size ->
-          Request.make ~config ~topology:tname ~collective:cname ~size ())
+          Request.make ~config ~faults ~topology:tname ~collective:cname ~size
+            ())
         sweep_sizes
     in
     let registry = registry_of rdir in
@@ -648,9 +673,9 @@ let sweep_cmd =
   in
   Cmd.v (Cmd.info "sweep" ~doc:"Bus bandwidth vs data size, SyCCL vs baselines.")
     Term.(
-      const run $ topo_arg $ coll_arg $ fast_arg $ domains_arg $ deadline_arg
-      $ stats_arg $ trace_arg $ metrics_arg $ registry_arg $ audit_arg
-      $ metrics_out_arg $ sjson)
+      const run $ topo_arg $ coll_arg $ fast_arg $ faults_arg $ domains_arg
+      $ deadline_arg $ stats_arg $ trace_arg $ metrics_arg $ registry_arg
+      $ audit_arg $ metrics_out_arg $ sjson)
 
 (* --- batch / warm: the JSONL front-ends over the same pipeline ---------- *)
 
@@ -738,7 +763,7 @@ let batch_cmd =
             "Input request file, one JSON object per line ($(b,-) for \
              stdin): {\"topology\": ..., \"collective\": ..., \"size\": \
              ..., \"fast\"?, \"domains\"?, \"deadline\"?, \"root\"?, \
-             \"peer\"?}.")
+             \"peer\"?, \"faults\"?}.")
   in
   let output =
     Arg.(
@@ -759,39 +784,79 @@ let batch_cmd =
       $ registry_arg $ stats_arg $ audit_arg $ metrics_out_arg $ sjson)
 
 let warm_cmd =
-  let run tname cnames sizes domains deadline rdir audit =
+  let run tname cnames sizes domains deadline rdir audit faults_k =
     let registry = require_registry rdir in
     let config =
       { Syccl.Synthesizer.default_config with domains; deadline }
     in
     let sizes = if sizes = [] then sweep_sizes else sizes in
-    let requests =
-      List.concat_map
-        (fun cname ->
-          List.map
-            (fun size ->
-              Request.make ~config ~topology:tname ~collective:cname ~size ())
-            sizes)
-        (String.split_on_char ',' cnames)
-    in
-    let outcomes =
-      Serve.run_batch ~registry
-        ?audit:(audit_of (Some registry) audit)
-        requests
-    in
-    Format.printf "%12s %10s %12s %10s@." "collective" "size" "busbw" "path";
-    List.iter2
-      (fun (r : Request.t) (so : Serve.outcome) ->
-        Format.printf "%12s %10.0f %12.1f %10s@."
-          (String.lowercase_ascii
-             (C.kind_name r.Request.coll.C.kind))
-          r.Request.coll.C.size so.Serve.synth.Syccl.Synthesizer.busbw
-          (match so.Serve.source with
-          | Serve.From_registry _ -> "hit"
-          | Serve.From_synthesis -> "stored"))
-      requests outcomes;
+    let cnames = String.split_on_char ',' cnames in
+    let audit = audit_of (Some registry) audit in
+    (match faults_k with
+    | None ->
+        let requests =
+          List.concat_map
+            (fun cname ->
+              List.map
+                (fun size ->
+                  Request.make ~config ~topology:tname ~collective:cname ~size
+                    ())
+                sizes)
+            cnames
+        in
+        let outcomes = Serve.run_batch ~registry ?audit requests in
+        Format.printf "%12s %10s %12s %10s@." "collective" "size" "busbw"
+          "path";
+        List.iter2
+          (fun (r : Request.t) (so : Serve.outcome) ->
+            Format.printf "%12s %10.0f %12.1f %10s@."
+              (String.lowercase_ascii (C.kind_name r.Request.coll.C.kind))
+              r.Request.coll.C.size so.Serve.synth.Syccl.Synthesizer.busbw
+              (match so.Serve.source with
+              | Serve.From_registry _ -> "hit"
+              | Serve.From_synthesis -> "stored"))
+          requests outcomes
+    | Some k ->
+        (* Fault-class warming: one synthesis per stabilizer orbit of
+           <=k-link fault sets, transported to every equivalent fault set,
+           so any enumerated failure is served as a registry hit. *)
+        Format.printf "%12s %10s %6s %7s %7s %7s %7s %7s@." "collective"
+          "size" "sets" "orbits" "hit" "synth" "transp" "resyn";
+        List.iter
+          (fun cname ->
+            List.iter
+              (fun size ->
+                let st =
+                  Failover.warm ~registry ?audit ~config ~topology:tname
+                    ~collective:cname ~size k
+                in
+                Format.printf "%12s %10.0f %6d %7d %7d %7d %7d %7d@."
+                  (String.lowercase_ascii cname)
+                  size st.Failover.sets st.Failover.orbits
+                  st.Failover.rep_hits st.Failover.rep_synthesized
+                  st.Failover.transported st.Failover.resynthesized;
+                if st.Failover.skipped > 0 then
+                  Format.printf "%12s %10s skipped %d member(s) (degraded \
+                                 representative or store failure)@."
+                    "" "" st.Failover.skipped)
+              sizes)
+          cnames);
     Format.printf "registry:   %d entries in %s@." (Registry.length registry)
       (Registry.dir registry)
+  in
+  let faults_k =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "faults" ] ~docv:"K"
+          ~doc:
+            "Also pre-warm every fault class of up to $(docv) failed links: \
+             fault sets are enumerated up to topology-symmetry (stabilizer \
+             orbits), one representative per orbit is synthesized on the \
+             punctured topology, and the schedule is transported along the \
+             relating automorphism to the rest of the orbit — validated and \
+             stored per member — so any single (or up to $(docv)-fold) link \
+             failure is served as a registry hit.")
   in
   let colls =
     Arg.(
@@ -811,10 +876,13 @@ let warm_cmd =
     (Cmd.info "warm"
        ~doc:
          "Pre-populate the schedule registry for a topology/collective \
-          sweep, so production requests start as hits.")
+          sweep, so production requests start as hits.  With \
+          $(b,--faults K), also warm every <=K-link fault class at orbit \
+          cost: one synthesis per symmetry-equivalence class of fault \
+          sets, transported to the rest.")
     Term.(
       const run $ topo_arg $ colls $ sizes $ domains_arg $ deadline_arg
-      $ registry_arg $ audit_arg)
+      $ registry_arg $ audit_arg $ faults_k)
 
 (* --- observability: audit / metrics / registry ------------------------- *)
 
@@ -1232,11 +1300,19 @@ let fuzz_cmd =
 
 let () =
   let doc = "SyCCL: symmetry-guided collective communication schedule synthesis" in
+  let cmd =
+    Cmd.group (Cmd.info "syccl_cli" ~doc)
+      [
+        topo_cmd; synth_cmd; sweep_cmd; batch_cmd; warm_cmd; export_cmd;
+        analyze_cmd; profile_cmd; save_cmd; replay_cmd; explain_cmd;
+        audit_cmd; metrics_cmd; registry_cmd; fuzz_cmd;
+      ]
+  in
+  (* Bad user input (unknown topology, malformed --faults spec, ...) is
+     reported by the library as Failure/Invalid_argument; print the
+     message, not an "internal error" backtrace dump. *)
   exit
-    (Cmd.eval
-       (Cmd.group (Cmd.info "syccl_cli" ~doc)
-          [
-            topo_cmd; synth_cmd; sweep_cmd; batch_cmd; warm_cmd; export_cmd;
-            analyze_cmd; profile_cmd; save_cmd; replay_cmd; explain_cmd;
-            audit_cmd; metrics_cmd; registry_cmd; fuzz_cmd;
-          ]))
+    (try Cmd.eval ~catch:false cmd with
+     | Failure msg | Invalid_argument msg ->
+         Printf.eprintf "syccl_cli: %s\n" msg;
+         Cmd.Exit.internal_error)

@@ -17,6 +17,10 @@ module Validate = Syccl_sim.Validate
 module Teccl = Syccl_teccl.Teccl
 module Registry = Syccl_serve.Registry
 module Synthesizer = Syccl.Synthesizer
+module Transport = Syccl_sim.Transport
+module Fault = Syccl_topology.Fault
+module Failover = Syccl_serve.Failover
+module Reroute = Syccl.Reroute
 
 type verdict = Pass | Skip of string | Fail of string
 
@@ -160,52 +164,9 @@ let prop_union_dominates ctx =
    automorphism preserves validity (against the transported demand) and
    simulated cost. *)
 
-(* Demand chunk ids are canonical per collective (AllGather chunk i starts
-   on GPU i, ...), so transporting a schedule also permutes which demand
-   chunk each tag refers to.  Match each original chunk's permuted
-   endpoint signature against the transported collective's chunks to
-   build the tag translation; None when a signature is ambiguous. *)
-let transport_tags p phase phase' =
-  let signature = function
-    | Collective.Gather_chunk { src; dsts; _ } ->
-        `G (src, List.sort compare dsts)
-    | Collective.Reduce_chunk { dst; srcs; _ } ->
-        `R (dst, List.sort compare srcs)
-  in
-  let permuted = function
-    | Collective.Gather_chunk { src; dsts; _ } ->
-        `G (Perm.apply p src, List.sort compare (List.map (Perm.apply p) dsts))
-    | Collective.Reduce_chunk { dst; srcs; _ } ->
-        `R (Perm.apply p dst, List.sort compare (List.map (Perm.apply p) srcs))
-  in
-  let id = function
-    | Collective.Gather_chunk { id; _ } | Collective.Reduce_chunk { id; _ } ->
-        id
-  in
-  let chunks' = Collective.chunks phase' in
-  let translate ch =
-    match
-      List.filter (fun ch' -> signature ch' = permuted ch) chunks'
-    with
-    | [ ch' ] -> Some (id ch, id ch')
-    | _ -> None
-  in
-  let pairs = List.map translate (Collective.chunks phase) in
-  if List.exists Option.is_none pairs then None
-  else Some (List.filter_map Fun.id pairs)
-
-let retag map (s : Schedule.t) =
-  {
-    s with
-    Schedule.chunks =
-      Array.map
-        (fun (m : Schedule.chunk_meta) ->
-          match List.assoc_opt m.tag map with
-          | Some tag -> { m with Schedule.tag = tag }
-          | None -> m)
-        s.Schedule.chunks;
-  }
-
+(* The endpoint-signature tag translation and relabelling now live in
+   {!Syccl_sim.Transport} (failover warming ships schedules across fault
+   orbits with it); the property exercises that production code path. *)
 let prop_automorphism_transport ctx =
   let rng = ctx.rng in
   let topo = Gen.topology rng in
@@ -234,16 +195,9 @@ let prop_automorphism_transport ctx =
         ~root:(Perm.apply p coll.Collective.root)
         ~peer:peer' coll.Collective.kind ~n ~size:coll.Collective.size
     in
-    let phases = Collective.phases coll and phases' = Collective.phases coll' in
-    let tag_maps = List.map2 (transport_tags p) phases phases' in
-    if List.exists Option.is_none tag_maps then
-      Skip "ambiguous demand chunk signature under permutation"
-    else
-      let schedules' =
-        List.map2
-          (fun map s -> retag (Option.get map) (Schedule.map_gpus s (Perm.apply p)))
-          tag_maps schedules
-      in
+    match Transport.schedules p coll coll' schedules with
+    | None -> Skip "ambiguous demand chunk signature under permutation"
+    | Some schedules' -> (
       match Validate.validate topo coll' schedules' with
       | Error e -> failf "transported schedule invalid: %s" e
       | Ok () ->
@@ -251,7 +205,7 @@ let prop_automorphism_transport ctx =
           let t' = sim_phases topo schedules' in
           if not (rel_close ~tol:1e-9 t t') then
             failf "transport changes cost: %g -> %g" t t'
-          else Pass
+          else Pass)
 
 (* ------------------------------------------------------------------ *)
 (* validator agreement on healthy schedules: everything the generators
@@ -593,6 +547,93 @@ let prop_lp_differential ctx =
         (lp_status dense) (lp_status revised) (pp_lp p)
 
 (* ------------------------------------------------------------------ *)
+(* degraded validity: whatever rung of the ladder serves a punctured
+   topology, the result must validate on the punctured topology — a
+   degraded schedule crossing a dead link would be an outage dressed up
+   as an answer.  A clean refusal (Failure: the faults disconnect a
+   demand) is acceptable; an invalid schedule is not. *)
+
+let draw_faults rng topo ~max_elts =
+  let elts = Array.of_list (Failover.link_elements topo) in
+  if Array.length elts = 0 then None
+  else begin
+    X.shuffle rng elts;
+    let k = 1 + X.int rng (min max_elts (Array.length elts)) in
+    Some (Fault.of_list (Array.to_list (Array.sub elts 0 k)))
+  end
+
+let prop_degraded_validity ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  match draw_faults rng topo ~max_elts:2 with
+  | None -> Skip "topology has no intra-group links"
+  | Some faults -> (
+      let punctured = Topology.puncture topo faults in
+      let coll = Gen.collective rng ~n:(Topology.num_gpus topo) in
+      let config =
+        {
+          Synthesizer.default_config with
+          Synthesizer.fast_only = true;
+          domains = ctx.domains;
+          deadline = Some 20.0;
+        }
+      in
+      match Synthesizer.synthesize ~config punctured coll with
+      | exception Failure _ -> Skip "faults disconnect the demand"
+      | o -> (
+          match Validate.validate punctured coll o.Synthesizer.schedules with
+          | Ok () -> Pass
+          | Error e ->
+              failf
+                "degraded (%s rung) schedule invalid on punctured topology \
+                 [%s]: %s"
+                (Synthesizer.level_name o.Synthesizer.degraded)
+                (Fault.encode faults) e))
+
+(* ------------------------------------------------------------------ *)
+(* fault-orbit transport invariance: a schedule rerouted around fault set
+   F, transported along an automorphism p of the healthy topology that
+   preserves the collective, is a valid equal-cost schedule for fault set
+   p(F).  This is the law failover warming (syccl warm --faults K) leans
+   on to synthesize one orbit representative and ship it to the rest. *)
+
+let prop_fault_orbit_transport ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  match draw_faults rng topo ~max_elts:2 with
+  | None -> Skip "topology has no intra-group links"
+  | Some faults -> (
+      let coll = Gen.collective rng ~n:(Topology.num_gpus topo) in
+      let schedules = Gen.schedules rng topo coll in
+      let punctured = Topology.puncture topo faults in
+      match Reroute.schedules punctured schedules with
+      | exception Failure _ -> Skip "faults disconnect a delivery"
+      | rerouted -> (
+          match Validate.validate punctured coll rerouted with
+          | Error e -> failf "rerouted schedule invalid: %s" e
+          | Ok () -> (
+              let group = Array.of_list (Failover.symmetry_group topo coll) in
+              let p = X.pick rng group in
+              let faults' = Fault.map p faults in
+              let punctured' = Topology.puncture topo faults' in
+              match Transport.schedules p coll coll rerouted with
+              | None -> Skip "ambiguous demand chunk signature"
+              | Some transported -> (
+                  match Validate.validate punctured' coll transported with
+                  | Error e ->
+                      failf
+                        "transported schedule invalid on fault orbit image \
+                         [%s]: %s"
+                        (Fault.encode faults') e
+                  | Ok () ->
+                      let t = sim_phases punctured rerouted in
+                      let t' = sim_phases punctured' transported in
+                      if not (rel_close ~tol:1e-9 t t') then
+                        failf "fault-orbit transport changes cost: %g -> %g" t
+                          t'
+                      else Pass))))
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -607,6 +648,9 @@ let all =
     { name = "registry-fidelity"; heavy = true; check = prop_registry_fidelity };
     { name = "size-bucket"; heavy = false; check = prop_size_bucket };
     { name = "lp-differential"; heavy = false; check = prop_lp_differential };
+    { name = "degraded-validity"; heavy = true; check = prop_degraded_validity };
+    { name = "fault-orbit-transport"; heavy = false;
+      check = prop_fault_orbit_transport };
     { name = "oracle"; heavy = true; check = prop_oracle };
   ]
 

@@ -1,0 +1,187 @@
+(* Rerouting a healthy schedule around the dead hardware of a punctured
+   topology: the degradation-ladder rung between a failed synthesis and
+   giving up.  Instead of synthesizing from scratch on the punctured
+   topology, take a schedule that is valid on the healthy base and replace
+   every transfer that crosses dead hardware with an alternative delivery —
+   a surviving holder of the chunk sends over a surviving edge, multi-hop
+   through relays when no single-hop sender survives.
+
+   Gather-mode chunks are rerouted directly.  Because transfers are
+   processed in causal order and a replacement sender is always an
+   already-final holder, the rewritten delivery graph stays acyclic and
+   every destination still receives exactly once.  Reduce-mode chunks ride
+   the reverse involution: [Schedule.reverse] turns a reduce tree into a
+   gather tree (dead edges are undirected, so the dead set is the same),
+   the gather logic reroutes it, and a second reverse restores the
+   reduction. *)
+
+module Topology = Syccl_topology.Topology
+module Fault = Syccl_topology.Fault
+module Schedule = Syccl_sim.Schedule
+
+let fail fmt = Format.kasprintf failwith fmt
+
+(* Surviving dimensions connecting two GPUs, the transfer's own dimension
+   first (stay on the intended link class when it survives). *)
+let alive_dims topo ~prefer u v =
+  let all =
+    List.filter
+      (fun d ->
+        Topology.group_of topo ~dim:d u = Topology.group_of topo ~dim:d v
+        && Topology.edge_alive topo ~dim:d u v)
+      (List.init (Topology.num_dims topo) (fun d -> d))
+  in
+  if List.mem prefer all then prefer :: List.filter (fun d -> d <> prefer) all
+  else all
+
+(* Shortest surviving path from any GPU in [from] to [target] through
+   alive GPUs outside [from]; each hop is (src, dst, dim).  None when the
+   fault set disconnects the target. *)
+let alive_path topo ~from target =
+  let n = Topology.num_gpus topo in
+  let parent = Array.make n None in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  List.iter
+    (fun v ->
+      if Topology.gpu_alive topo v then begin
+        seen.(v) <- true;
+        Queue.add v q
+      end)
+    from;
+  let found = ref false in
+  while (not !found) && not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for v = 0 to n - 1 do
+      if (not seen.(v)) && Topology.gpu_alive topo v then
+        match alive_dims topo ~prefer:(-1) u v with
+        | [] -> ()
+        | d :: _ ->
+            seen.(v) <- true;
+            parent.(v) <- Some (u, d);
+            if v = target then found := true else Queue.add v q
+    done
+  done;
+  if not !found then None
+  else begin
+    let rec walk v acc =
+      match parent.(v) with
+      | None -> acc
+      | Some (u, d) -> walk u ((u, v, d) :: acc)
+    in
+    Some (walk target [])
+  end
+
+(* Reroute one gather-mode schedule.  Transfers are processed per chunk in
+   causal order; [holders] only ever grows, so progress is monotone and the
+   loop runs at most once per original transfer plus one BFS per broken
+   delivery. *)
+let reroute_gather topo (s : Schedule.t) =
+  let out = ref [] in
+  Array.iteri
+    (fun c (meta : Schedule.chunk_meta) ->
+      List.iter
+        (fun v ->
+          if not (Topology.gpu_alive topo v) then
+            fail "Reroute: chunk %d is wanted at GPU %d, which is down" c v)
+        meta.Schedule.wanted;
+      let holders = Hashtbl.create 16 in
+      List.iter
+        (fun v -> if Topology.gpu_alive topo v then Hashtbl.replace holders v ())
+        meta.Schedule.initial;
+      if Hashtbl.length holders = 0 then
+        fail "Reroute: chunk %d has no surviving initial holder" c;
+      let remaining =
+        ref (List.filter (fun (x : Schedule.xfer) -> x.chunk = c) s.xfers)
+      in
+      let emit x = out := x :: !out in
+      while !remaining <> [] do
+        (* Prefer the first causally-ready transfer; fall back to the first
+           one outright (its source was a dead relay we dropped — the
+           destination is served from the holder set instead). *)
+        let x =
+          match
+            List.find_opt
+              (fun (x : Schedule.xfer) -> Hashtbl.mem holders x.src)
+              !remaining
+          with
+          | Some x -> x
+          | None -> List.hd !remaining
+        in
+        remaining := List.filter (fun y -> y != x) !remaining;
+        let v = x.Schedule.dst in
+        if Hashtbl.mem holders v then
+          (* Already delivered (multi-hop relay passed through it, or it is
+             a dead-relay delivery that became redundant): drop. *)
+          ()
+        else if not (Topology.gpu_alive topo v) then
+          (* Delivery to a dead pure relay: drop it; transfers out of the
+             relay will be re-sourced from the holder set. *)
+          ()
+        else if
+          Hashtbl.mem holders x.Schedule.src
+          && Topology.edge_alive topo ~dim:x.Schedule.dim x.Schedule.src v
+        then begin
+          emit x;
+          Hashtbl.replace holders v ()
+        end
+        else begin
+          (* Single-hop from any surviving holder, preferring the original
+             dimension; multi-hop through surviving relays otherwise. *)
+          let single =
+            Hashtbl.fold
+              (fun u () acc ->
+                match acc with
+                | Some _ -> acc
+                | None -> (
+                    if u = v then None
+                    else
+                      match alive_dims topo ~prefer:x.Schedule.dim u v with
+                      | [] -> None
+                      | d :: _ -> Some (u, d)))
+              holders None
+          in
+          match single with
+          | Some (u, d) ->
+              emit { x with Schedule.src = u; dim = d };
+              Hashtbl.replace holders v ()
+          | None -> (
+              let from = Hashtbl.fold (fun u () acc -> u :: acc) holders [] in
+              match alive_path topo ~from v with
+              | None ->
+                  fail
+                    "Reroute: chunk %d cannot reach GPU %d on the punctured \
+                     topology (faults %s)"
+                    c v
+                    (Fault.encode (Topology.faults topo))
+              | Some hops ->
+                  List.iter
+                    (fun (u, w, d) ->
+                      emit
+                        {
+                          Schedule.chunk = c;
+                          src = u;
+                          dst = w;
+                          dim = d;
+                          prio = x.Schedule.prio;
+                        };
+                      Hashtbl.replace holders w ())
+                    hops)
+        end
+      done)
+    s.chunks;
+  { s with Schedule.xfers = List.rev !out }
+
+let schedule topo (s : Schedule.t) =
+  let modes =
+    Array.to_list
+      (Array.map (fun (m : Schedule.chunk_meta) -> m.Schedule.mode) s.chunks)
+  in
+  if List.for_all (fun m -> m = `Gather) modes then reroute_gather topo s
+  else if List.for_all (fun m -> m = `Reduce) modes then
+    (* Reverse turns the reduce trees into gather trees over the same
+       (undirected) edges; reroute there, then restore the reduction. *)
+    Schedule.reverse (reroute_gather topo (Schedule.reverse s))
+  else fail "Reroute: mixed gather/reduce schedule"
+
+let schedules topo ss = List.map (schedule topo) ss

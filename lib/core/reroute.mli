@@ -1,0 +1,17 @@
+(** Rerouting healthy schedules around dead hardware: the degradation rung
+    between a failed synthesis on a punctured topology and giving up.
+
+    Every transfer crossing dead hardware is replaced by a delivery from a
+    surviving holder of the chunk over surviving edges (multi-hop through
+    relays when needed); causal processing keeps the delivery graph acyclic
+    and single-delivery, so the result still validates — the caller runs
+    {!Syccl_sim.Validate.validate} on it like every other rung. *)
+
+val schedule : Syccl_topology.Topology.t -> Syccl_sim.Schedule.t -> Syccl_sim.Schedule.t
+(** Reroute one phase schedule onto the (punctured) topology.  Raises
+    [Failure] when a wanted GPU is down or the fault set disconnects a
+    delivery. *)
+
+val schedules :
+  Syccl_topology.Topology.t -> Syccl_sim.Schedule.t list -> Syccl_sim.Schedule.t list
+(** {!schedule} on every phase. *)

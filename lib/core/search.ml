@@ -1,4 +1,5 @@
 module Topology = Syccl_topology.Topology
+module Fault = Syccl_topology.Fault
 
 type config = {
   max_stages : int;
@@ -21,6 +22,36 @@ let default topo kind =
     max_sketches = 1024;
     node_budget = 200_000;
   }
+
+(* On a punctured topology only candidates reachable from the covered
+   sources over surviving intra-group edges can be served by the
+   sub-solver; unreachable members must be covered through another
+   dimension (or the demand honestly fails).  Identity when healthy. *)
+let alive_cands topo ~dim members srcs cands =
+  if Fault.is_empty (Topology.faults topo) || srcs = [] then cands
+  else begin
+    let reach = Hashtbl.create 8 in
+    List.iter (fun v -> Hashtbl.replace reach v ()) srcs;
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iter
+        (fun v ->
+          if
+            (not (Hashtbl.mem reach v))
+            && Array.exists
+                 (fun u ->
+                   u <> v && Hashtbl.mem reach u
+                   && Topology.edge_alive topo ~dim u v)
+                 members
+          then begin
+            Hashtbl.replace reach v ();
+            changed := true
+          end)
+        members
+    done;
+    List.filter (Hashtbl.mem reach) cands
+  end
 
 (* Destination fan-outs worth exploring for a group with up to [m] uncovered
    GPUs: "cover everything" first (the shapes that finish in few stages),
@@ -171,7 +202,10 @@ let run ?config ?(budget = Syccl_util.Budget.unlimited) ?truncated topo ~kind
           let srcs = List.filter (fun v -> covered.(v) && stage_of.(v) < k) (Array.to_list members) in
           (* Uncovered here also excludes GPUs grabbed earlier in this stage
              by another dimension. *)
-          let cands = List.filter (fun v -> not covered.(v)) (Array.to_list members) in
+          let cands =
+            alive_cands topo ~dim:d members srcs
+              (List.filter (fun v -> not covered.(v)) (Array.to_list members))
+          in
           if srcs <> [] && cands <> [] then begin
             let parent_rr = Array.of_list (List.sort compare srcs) in
             let take = min r (List.length cands) in
@@ -324,7 +358,10 @@ let instantiate topo ~kind ~root ~shape ~load =
           let srcs =
             List.filter (fun v -> covered.(v) && stage_of.(v) < k) (Array.to_list members)
           in
-          let cands = List.filter (fun v -> not covered.(v)) (Array.to_list members) in
+          let cands =
+            alive_cands topo ~dim:d members srcs
+              (List.filter (fun v -> not covered.(v)) (Array.to_list members))
+          in
           if srcs <> [] && cands <> [] then begin
             let parent_rr = Array.of_list (List.sort compare srcs) in
             let take = min r (List.length cands) in

@@ -1,4 +1,5 @@
 module Topology = Syccl_topology.Topology
+module Fault = Syccl_topology.Fault
 module Collective = Syccl_collective.Collective
 module Schedule = Syccl_sim.Schedule
 module Greedy = Syccl_teccl.Greedy
@@ -159,13 +160,30 @@ let canonical_positions ?(sk = size_key) topo demand =
   Array.iteri (fun i v -> Hashtbl.replace pos_of v i) members;
   let role p =
     let v = members.(p) in
-    List.sort compare
-      (List.filter_map
-         (fun e ->
-           let s = List.mem v e.e_srcs and d = List.mem v e.e_dsts in
-           if s || d then Some (sk e.e_size, s, d, List.length e.e_srcs, List.length e.e_dsts)
-           else None)
-         demand.entries)
+    (* Refine positions by their fault adjacency first: a member sitting
+       next to a dead link (or itself dead) must never be aligned with a
+       pristine member of an isomorphic demand, or the transferred solution
+       would route through the hole.  Constant on healthy topologies, so
+       the canonical order there is unchanged. *)
+    let fault_sig =
+      if Fault.is_empty (Topology.faults topo) then (true, 0)
+      else
+        ( Topology.gpu_alive topo v,
+          Array.fold_left
+            (fun acc u ->
+              if u <> v && not (Topology.edge_alive topo ~dim:demand.d_dim u v)
+              then acc + 1
+              else acc)
+            0 members )
+    in
+    ( fault_sig,
+      List.sort compare
+        (List.filter_map
+           (fun e ->
+             let s = List.mem v e.e_srcs and d = List.mem v e.e_dsts in
+             if s || d then Some (sk e.e_size, s, d, List.length e.e_srcs, List.length e.e_dsts)
+             else None)
+           demand.entries) )
   in
   let order = Array.init np (fun i -> i) in
   let roles = Array.init np role in
@@ -187,7 +205,29 @@ let class_key_with sk topo demand =
       List.sort compare (List.map canon_gpu e.e_dsts) )
   in
   let keys = List.sort compare (List.map entry_key demand.entries) in
-  Marshal.to_string (demand.d_dim, Array.length members, keys) []
+  (* Canonical dead-edge set within the group: demands over groups with
+     different fault patterns must land in different isomorphism classes
+     (empty, hence key-neutral, on healthy topologies). *)
+  let dead_edges =
+    if Fault.is_empty (Topology.faults topo) then []
+    else begin
+      let acc = ref [] in
+      Array.iteri
+        (fun i u ->
+          Array.iteri
+            (fun j v ->
+              if
+                i < j
+                && not (Topology.edge_alive topo ~dim:demand.d_dim u v)
+              then
+                acc :=
+                  (min rank.(i) rank.(j), max rank.(i) rank.(j)) :: !acc)
+            members)
+        members;
+      List.sort compare !acc
+    end
+  in
+  Marshal.to_string (demand.d_dim, Array.length members, keys, dead_edges) []
 
 let class_key topo demand = class_key_with size_key topo demand
 
@@ -249,10 +289,18 @@ let verify topo demand xfers =
             x.dim <> demand.d_dim
             || Topology.group_of topo ~dim:x.dim x.src <> demand.d_group
             || Topology.group_of topo ~dim:x.dim x.dst <> demand.d_group
+            || not (Topology.edge_alive topo ~dim:x.dim x.src x.dst)
           then ok := false)
         mine)
     demand.entries;
   !ok
+
+(* Whether a transfer list stays on surviving hardware; trivially true on a
+   healthy topology. *)
+let xfers_alive topo xfers =
+  List.for_all
+    (fun (x : Schedule.xfer) -> Topology.edge_alive topo ~dim:x.dim x.src x.dst)
+    xfers
 
 (* Direct candidate: every destination served straight from a source,
    round-robin with rotated ordering so ingress ports fill evenly.
@@ -287,7 +335,10 @@ let no_worse_than_direct topo demand xfers =
   let metas = metas_of_demand demand in
   let cand = { Schedule.chunks = metas; xfers } in
   let direct = direct_candidate demand metas in
-  Syccl_sim.Sim.time topo cand <= Syccl_sim.Sim.time topo direct +. 1e-15
+  (* A direct fabric that crosses dead links is no baseline at all (the
+     simulator rejects it): any valid solution beats it. *)
+  (not (xfers_alive topo direct.Schedule.xfers))
+  || Syccl_sim.Sim.time topo cand <= Syccl_sim.Sim.time topo direct +. 1e-15
 
 let h_solve_s = Syccl_util.Counters.histogram "subsolve.solve_s"
 let h_milp_s = Syccl_util.Counters.histogram "milp.solve_s"
@@ -329,11 +380,47 @@ let solve_demand ?warm ?(budget = Syccl_util.Budget.unlimited) ?pool ?cache
   let metas = metas_of_demand demand in
   let restrict = Greedy.Groups [ (demand.d_dim, demand.d_group) ] in
   let direct = direct_candidate demand metas in
+  (* On a punctured topology the straight src→dst fabric may cross a dead
+     link; it then stops being the always-valid escape hatch and the greedy
+     (which routes around the hole) becomes mandatory. *)
+  let direct_ok = xfers_alive topo direct.Schedule.xfers in
+  (* A punctured group can be internally disconnected (its only edge may be
+     dead); the within-group restriction then makes the demand unsatisfiable
+     even though a detour over the other dims exists.  Widen to the whole
+     fabric as a last resort — the greedy still only crosses live edges —
+     and remember it: the epoch model below covers the group's own edges
+     only, so a widened solution must skip MILP refinement. *)
+  let widened = ref false in
+  let widen () =
+    if Fault.is_empty (Topology.faults topo) then None
+    else
+      match Greedy.solve ~restrict:Greedy.All ~time_budget:1.0 topo metas with
+      | Some s ->
+          widened := true;
+          Syccl_util.Counters.bump "subsolve.widened";
+          Some s
+      | None -> None
+  in
+  (* The greedy routes around dead links; a short time-boxed run is the
+     escape hatch when the direct fabric is broken but the budget is gone. *)
+  let rescue reason =
+    skip reason;
+    match Greedy.solve ~restrict ~time_budget:1.0 topo metas with
+    | Some s -> s
+    | None -> (
+        match widen () with
+        | Some s -> s
+        | None ->
+            failwith "Subsolver: no fault-avoiding routing for a sub-demand")
+  in
   if Syccl_util.Budget.expired budget then begin
-    (* Past the deadline: the direct candidate is always valid and costs
-       nothing to build — return it rather than starting a greedy run. *)
-    skip "expired";
-    direct.Schedule.xfers
+    if direct_ok then begin
+      (* Past the deadline: the direct candidate is always valid and costs
+         nothing to build — return it rather than starting a greedy run. *)
+      skip "expired";
+      direct.Schedule.xfers
+    end
+    else (rescue "expired").Schedule.xfers
   end
   else begin
   (* Saturated demands (every GPU pushing many chunks) gain nothing from
@@ -342,23 +429,32 @@ let solve_demand ?warm ?(budget = Syccl_util.Budget.unlimited) ?pool ?cache
     List.fold_left (fun a e -> a + List.length e.e_dsts) 0 demand.entries
   in
   let greedy =
-    if deliveries > 256 then direct
+    if deliveries > 256 && direct_ok then direct
     else
       match Greedy.solve ~restrict ~budget topo metas with
       | Some s ->
           if
-            Syccl_sim.Sim.time topo direct
-            < Syccl_sim.Sim.time topo s -. 1e-15
+            direct_ok
+            && Syccl_sim.Sim.time topo direct
+               < Syccl_sim.Sim.time topo s -. 1e-15
           then direct
           else s
       | None ->
           if Syccl_util.Budget.expired budget then begin
             (* The greedy was cut off by the deadline, not by an
                unsatisfiable demand. *)
-            skip "greedy_timeout";
-            direct
+            if direct_ok then begin
+              skip "greedy_timeout";
+              direct
+            end
+            else rescue "greedy_timeout"
           end
-          else failwith "Subsolver: greedy could not satisfy a sub-demand"
+          else begin
+            match widen () with
+            | Some s -> s
+            | None ->
+                failwith "Subsolver: greedy could not satisfy a sub-demand"
+          end
   in
   (* Warm start: a known-good solution for this demand (e.g. the coarse
      step's incumbent) supersedes the greedy baseline when it simulates
@@ -375,6 +471,7 @@ let solve_demand ?warm ?(budget = Syccl_util.Budget.unlimited) ?pool ?cache
   let refined =
     match strategy with
     | Fast_only -> greedy
+    | Milp_refine _ when !widened -> greedy
     | Milp_refine { e; var_budget; node_limit; time_limit } -> (
         let link = (Topology.dim topo demand.d_dim).Topology.link in
         let max_size =
@@ -486,7 +583,11 @@ let transfer ?(normalized = false) topo ~rep ~rep_xfers demand =
     List.iter2
       (fun (_, ri) (_, di) -> Hashtbl.replace chunk_map ri di)
       rep_entries dem_entries;
-    let mapped =
+    (* A widened rep solution (disconnected faulted group, see
+       [solve_demand]) may relay through GPUs outside the group; those have
+       no canonical position, so the mapping is undefined — decline the
+       transfer and let the caller solve the member directly. *)
+    match
       List.map
         (fun (x : Schedule.xfer) ->
           {
@@ -496,8 +597,9 @@ let transfer ?(normalized = false) topo ~rep ~rep_xfers demand =
             dst = gpu_map x.dst;
           })
         rep_xfers
-    in
-    if verify topo demand mapped then Some mapped else None
+    with
+    | exception Not_found -> None
+    | mapped -> if verify topo demand mapped then Some mapped else None
   end
 
 let assemble plan ~solution =

@@ -1,4 +1,5 @@
 module Topology = Syccl_topology.Topology
+module Fault = Syccl_topology.Fault
 module Collective = Syccl_collective.Collective
 module Schedule = Syccl_sim.Schedule
 module Sim = Syccl_sim.Sim
@@ -44,11 +45,12 @@ let default_config =
     deadline = None;
   }
 
-type level = Full | Fast | Fallback
+type level = Full | Fast | Rerouted | Fallback
 
 let level_name = function
   | Full -> "full"
   | Fast -> "fast"
+  | Rerouted -> "rerouted"
   | Fallback -> "fallback"
 
 type breakdown = {
@@ -312,7 +314,9 @@ let synth_sendrecv cfg topo (phase : Collective.t) =
   in
   let dims_between u v =
     List.filter
-      (fun d -> Topology.group_of topo ~dim:d u = Topology.group_of topo ~dim:d v)
+      (fun d ->
+        Topology.group_of topo ~dim:d u = Topology.group_of topo ~dim:d v
+        && Topology.edge_alive topo ~dim:d u v)
       (List.init (Topology.num_dims topo) (fun d -> d))
   in
   let direct =
@@ -677,12 +681,68 @@ let fallback_outcome ~t0 ~reason config topo coll =
     degrade_reason = Some reason;
   }
 
+(* The reroute rung, engaged only on punctured topologies: take the
+   baseline schedule of the healthy base topology and reroute its
+   transfers around the dead hardware.  Validated by the caller like every
+   other rung. *)
+let rerouted_outcome ~t0 ~reason config topo coll =
+  Counters.bump "synth.reroutes";
+  Trace.instant "synth.reroute" ~args:[ ("reason", reason) ];
+  let healthy = Syccl_baselines.Fallback.schedule (Topology.base topo) coll in
+  let schedules = Reroute.schedules topo healthy in
+  let time =
+    try
+      List.fold_left
+        (fun a s -> a +. Sim.time ~blocks:config.blocks topo s)
+        0.0 schedules
+    with _ -> Float.nan
+  in
+  {
+    schedules;
+    time;
+    busbw = Collective.busbw coll ~time;
+    synth_time = Clock.now () -. t0;
+    breakdown = zero_breakdown;
+    num_sketches = 0;
+    num_combos = 0;
+    chosen = "baseline-rerouted";
+    degraded = Rerouted;
+    degrade_reason = Some reason;
+  }
+
+(* The bottom of the ladder.  Healthy topology: straight to the baseline.
+   Punctured topology: try rerouting the healthy baseline around the dead
+   hardware first (validated — an invalid reroute counts as the rung
+   crashing), and only then the baseline on the punctured topology itself,
+   whose candidates may all be severed. *)
+let last_resort ~t0 ~reason config topo coll =
+  if Fault.is_empty (Topology.faults topo) then
+    fallback_outcome ~t0 ~reason config topo coll
+  else
+    match
+      let o = rerouted_outcome ~t0 ~reason config topo coll in
+      match Syccl_sim.Validate.validate topo coll o.schedules with
+      | Ok () ->
+          Counters.bump "synth.degraded";
+          o
+      | Error e ->
+          failwith ("Synthesizer: rerouted schedule failed validation: " ^ e)
+    with
+    | o -> o
+    | exception e ->
+        Counters.bump "synth.rung_failures";
+        Trace.instant "synth.degrade"
+          ~args:[ ("rung", "rerouted"); ("error", Printexc.to_string e) ];
+        fallback_outcome ~t0 ~reason:(Printexc.to_string e) config topo coll
+
 (* Degradation ladder: a full-pipeline attempt, then — if that crashed — a
-   fast-only retry under the same budget, then the precomputed baseline.
-   Every rung's schedules must pass Validate.validate before they are
-   returned; a rung producing an invalid schedule counts as that rung
-   crashing.  Caller errors (GPU-count mismatch) are raised before the
-   ladder engages so a fallback never masks them. *)
+   fast-only retry under the same budget, then (on punctured topologies) a
+   reroute of the healthy baseline around the dead hardware, then the
+   precomputed baseline.  Every rung's schedules must pass
+   Validate.validate before they are returned; a rung producing an invalid
+   schedule counts as that rung crashing.  Caller errors (GPU-count
+   mismatch) are raised before the ladder engages so a fallback never
+   masks them. *)
 let synthesize_with ~config ~memo ~budget topo coll =
   if coll.Collective.n <> Topology.num_gpus topo then
     invalid_arg "Synthesizer: collective/topology GPU count mismatch";
@@ -709,7 +769,7 @@ let synthesize_with ~config ~memo ~budget topo coll =
       rung_failed "full" e1;
       let r1 = Printexc.to_string e1 in
       if config.fast_only || Budget.expired budget then
-        fallback_outcome ~t0 ~reason:r1 config topo coll
+        last_resort ~t0 ~reason:r1 config topo coll
       else begin
         match
           let cfg = { config with fast_only = true } in
@@ -719,8 +779,7 @@ let synthesize_with ~config ~memo ~budget topo coll =
         | o -> o
         | exception e2 ->
             rung_failed "fast" e2;
-            fallback_outcome ~t0 ~reason:(Printexc.to_string e2) config topo
-              coll
+            last_resort ~t0 ~reason:(Printexc.to_string e2) config topo coll
       end
 
 let synthesize ?(config = default_config) topo coll =
@@ -827,7 +886,7 @@ let synthesize_all ?(config = default_config) topo colls =
       | Ok o -> o
       | Error reason ->
           (* The element's task died before the ladder could catch it;
-             rebuild its result from the baseline rung in this thread. *)
-          fallback_outcome ~t0:(Clock.now ()) ~reason config topo coll)
+             rebuild its result from the bottom rungs in this thread. *)
+          last_resort ~t0:(Clock.now ()) ~reason config topo coll)
     colls
     (synthesize_all_results ~config topo colls)

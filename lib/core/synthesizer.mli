@@ -34,13 +34,18 @@ type level =
       (** the deadline forced degradation (truncated search/combination
           enumeration, skipped MILP refinements), or the full pipeline
           crashed and the fast-only retry succeeded *)
+  | Rerouted
+      (** synthesis on a punctured topology was impossible within the
+          budget; the result is the healthy baseline with transfers
+          rerouted around the dead hardware ({!Reroute}), still
+          validate-checked *)
   | Fallback
       (** synthesis was impossible within the budget (or kept crashing);
           the result is a precomputed baseline
           ({!Syccl_baselines.Fallback}) *)
 
 val level_name : level -> string
-(** ["full"], ["fast"], ["fallback"]. *)
+(** ["full"], ["fast"], ["rerouted"], ["fallback"]. *)
 
 type breakdown = {
   search_s : float;

@@ -1,11 +1,13 @@
 module Json = Syccl_util.Json
 module Clock = Syccl_util.Clock
 module Counters = Syccl_util.Counters
+module Faultpoint = Syccl_util.Faultpoint
 
 type record = {
   ts : float;
   key : string;
   fingerprint : string;
+  faults : string;
   topology : string;
   collective : string;
   size : float;
@@ -38,6 +40,7 @@ let record_to_json r =
       ("ts", Json.Num r.ts);
       ("key", Json.Str r.key);
       ("fingerprint", Json.Str r.fingerprint);
+      ("faults", (match r.faults with "" -> Json.Null | s -> Json.Str s));
       ("topology", Json.Str r.topology);
       ("collective", Json.Str r.collective);
       ("size", Json.Num r.size);
@@ -74,6 +77,8 @@ let record_of_json j =
     ts = num "ts";
     key = str "key";
     fingerprint = str "fingerprint";
+    (* Records predating the field were all written on healthy topologies. *)
+    faults = (match opt "faults" Json.to_str with None -> "" | Some s -> s);
     topology = str "topology";
     collective = str "collective";
     size = num "size";
@@ -120,6 +125,9 @@ let append t r =
     ~finally:(fun () -> Mutex.unlock t.mutex)
     (fun () ->
       match
+        (* Crash probe for the trail: audit I/O failure (disk full, path
+           gone) must be counted and dropped, never surfaced to serving. *)
+        Faultpoint.inject "audit.crash";
         let fd =
           Unix.openfile t.path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ]
             0o644
@@ -173,6 +181,7 @@ let replay_counters r =
   (match r.rung with
   | "full" -> Counters.bump "serve.rung.full"
   | "fast" -> Counters.bump "serve.rung.fast"
+  | "rerouted" -> Counters.bump "serve.rung.rerouted"
   | "fallback" -> Counters.bump "serve.rung.fallback"
   | _ -> ());
   if r.stored then Counters.bump "registry.stores";

@@ -16,7 +16,12 @@
 type record = {
   ts : float;  (** {!Syccl_util.Clock.now} at emission *)
   key : string;  (** {!Request.key} of the element *)
-  fingerprint : string;  (** topology structure identity *)
+  fingerprint : string;  (** topology structure identity (folds in faults) *)
+  faults : string;
+      (** canonical {!Syccl_topology.Fault.encode} string of the request's
+          fault set ([""] when healthy, and for records predating the
+          field) — the human-readable half of the (fingerprint ×
+          fault-class) provenance *)
   topology : string;  (** request topology name *)
   collective : string;  (** lowercase collective kind *)
   size : float;
@@ -25,7 +30,9 @@ type record = {
       (** {!Plan.probe_name}: ["none"], ["hit"], ["hit.scaled"], or
           ["miss.absent"|"corrupt"|"invalid"|"slower"] *)
   hit_key : string option;  (** registry entry key, on a hit *)
-  rung : string;  (** degradation-ladder rung: ["full"|"fast"|"fallback"] *)
+  rung : string;
+      (** degradation-ladder rung:
+          ["full"|"fast"|"rerouted"|"fallback"] *)
   degrade_reason : string option;
   budget_s : float option;  (** deadline granted to the request *)
   consumed_s : float;  (** synthesis wall time actually spent *)

@@ -1,0 +1,171 @@
+module Topology = Syccl_topology.Topology
+module Fault = Syccl_topology.Fault
+module Collective = Syccl_collective.Collective
+module Perm = Syccl_util.Perm
+module Counters = Syccl_util.Counters
+module Transport = Syccl_sim.Transport
+module Validate = Syccl_sim.Validate
+module Sim = Syccl_sim.Sim
+module Synthesizer = Syccl.Synthesizer
+
+(* The single-element fault universe warming enumerates over: every
+   intra-group edge of every dimension.  GPU and NIC faults are servable
+   (puncture accepts them) but not enumerated — losing a whole GPU changes
+   the demand itself, so there is no one collective to pre-warm. *)
+let link_elements topo =
+  let out = ref [] in
+  for d = Topology.num_dims topo - 1 downto 0 do
+    for g = Topology.groups_count topo ~dim:d - 1 downto 0 do
+      let members = Topology.gpus_in_group topo ~dim:d ~group:g in
+      let m = Array.length members in
+      for i = m - 1 downto 0 do
+        for j = m - 1 downto i + 1 do
+          out :=
+            Fault.Link { dim = d; a = members.(i); b = members.(j) } :: !out
+        done
+      done
+    done
+  done;
+  !out
+
+let fault_sets topo ~k =
+  if k < 1 then invalid_arg "Failover.fault_sets: k must be >= 1";
+  let elts = link_elements topo in
+  (* All subsets of size <= k.  Each subset is either without the head
+     element or with it, so no subset is produced twice. *)
+  let rec combos k = function
+    | _ when k = 0 -> [ [] ]
+    | [] -> [ [] ]
+    | e :: rest ->
+        combos k rest @ List.map (fun c -> e :: c) (combos (k - 1) rest)
+  in
+  combos k elts
+  |> List.filter (fun c -> c <> [])
+  |> List.map Fault.of_list
+  |> List.sort_uniq Fault.compare
+
+(* The subgroup of the rotation group that preserves the collective: a
+   transported schedule solves the collective with its endpoints permuted,
+   so rooted kinds confine transport to rotations fixing the root (and the
+   peer, for SendRecv).  Non-rooted kinds are symmetric under everything. *)
+let symmetry_group topo (coll : Collective.t) =
+  let group = Topology.rotation_group (Topology.base topo) in
+  let fixes p v = Perm.apply p v = v in
+  match coll.Collective.kind with
+  | Collective.AllGather | Collective.AllToAll | Collective.ReduceScatter
+  | Collective.AllReduce ->
+      group
+  | Collective.SendRecv ->
+      List.filter
+        (fun p ->
+          fixes p coll.Collective.root && fixes p coll.Collective.peer)
+        group
+  | Collective.Broadcast | Collective.Scatter | Collective.Gather
+  | Collective.Reduce ->
+      List.filter (fun p -> fixes p coll.Collective.root) group
+
+let orbits topo coll ~k =
+  Perm.orbit_classes
+    ~group:(symmetry_group topo coll)
+    ~image:(fun f p -> Fault.map p f)
+    ~compare:Fault.compare (fault_sets topo ~k)
+
+type stats = {
+  sets : int;
+  orbits : int;
+  rep_hits : int;
+  rep_synthesized : int;
+  transported : int;
+  resynthesized : int;
+  skipped : int;
+}
+
+let simulate ~blocks topo schedules =
+  List.fold_left
+    (fun a s -> a +. (Sim.time ~blocks topo s : float))
+    0.0 schedules
+
+let warm ~registry ?audit ?(config = Synthesizer.default_config) ~topology
+    ~collective ~size k =
+  let healthy = Request.make ~config ~topology ~collective ~size () in
+  let topo = healthy.Request.topo in
+  let coll = healthy.Request.coll in
+  let group = symmetry_group topo coll in
+  let classes = orbits topo coll ~k in
+  let sets = List.fold_left (fun a (_, ms) -> a + List.length ms) 0 classes in
+  let stats =
+    ref
+      {
+        sets;
+        orbits = List.length classes;
+        rep_hits = 0;
+        rep_synthesized = 0;
+        transported = 0;
+        resynthesized = 0;
+        skipped = 0;
+      }
+  in
+  let bump f = stats := f !stats in
+  (* Synthesizing a member from scratch is the correctness net under every
+     transport failure: the orbit machinery is an optimization, never the
+     only path to a warmed entry. *)
+  let resynthesize faults =
+    ignore
+      (Serve.run ~registry ?audit
+         (Request.make ~config ~faults ~topology ~collective ~size ()));
+    bump (fun s -> { s with resynthesized = s.resynthesized + 1 })
+  in
+  List.iter
+    (fun (rep, members) ->
+      let req =
+        Request.make ~config ~faults:rep ~topology ~collective ~size ()
+      in
+      let o = Serve.run ~registry ?audit req in
+      (match o.Serve.source with
+      | Serve.From_registry _ -> bump (fun s -> { s with rep_hits = s.rep_hits + 1 })
+      | Serve.From_synthesis ->
+          bump (fun s -> { s with rep_synthesized = s.rep_synthesized + 1 }));
+      let synth = o.Serve.synth in
+      let rest = List.filter (fun f -> not (Fault.equal f rep)) members in
+      if
+        synth.Synthesizer.degraded <> Synthesizer.Full
+        || config.Synthesizer.fast_only
+      then
+        (* A degraded representative would seed the whole orbit with
+           degraded entries; leave the members cold instead (the same
+           Full-only policy {!Serve} applies to stores). *)
+        bump (fun s -> { s with skipped = s.skipped + List.length rest })
+      else
+        List.iter
+          (fun member ->
+            let p =
+              List.find
+                (fun p -> Fault.equal (Fault.map p rep) member)
+                group
+            in
+            let member_topo = Topology.puncture topo member in
+            match
+              Transport.schedules p coll coll synth.Synthesizer.schedules
+            with
+            | None -> resynthesize member
+            | Some schedules -> (
+                match Validate.validate member_topo coll schedules with
+                | exception _ -> resynthesize member
+                | Error _ -> resynthesize member
+                | Ok () -> (
+                    let blocks = config.Synthesizer.blocks in
+                    let cost = simulate ~blocks member_topo schedules in
+                    match
+                      Registry.store registry member_topo coll ~blocks ~cost
+                        ~chosen:(synth.Synthesizer.chosen ^ "+transport")
+                        schedules
+                    with
+                    | () ->
+                        bump (fun s ->
+                            { s with transported = s.transported + 1 })
+                    | exception _ ->
+                        Counters.bump "registry.store_errors";
+                        bump (fun s -> { s with skipped = s.skipped + 1 }))))
+          rest)
+    classes;
+  !stats

@@ -5,6 +5,8 @@ module Sim = Syccl_sim.Sim
 module Validate = Syccl_sim.Validate
 module Json = Syccl_util.Json
 module Counters = Syccl_util.Counters
+module Faultpoint = Syccl_util.Faultpoint
+module Fault = Syccl_topology.Fault
 
 type t = { root : string }
 
@@ -65,12 +67,13 @@ type hit = {
   hit_key : string;
 }
 
-let entry_json ~fingerprint ~(coll : Collective.t) ~blocks ~cost ~chosen
-    schedules =
+let entry_json ~fingerprint ~faults ~(coll : Collective.t) ~blocks ~cost
+    ~chosen schedules =
   Json.Obj
     [
       ("schema_version", Json.Num (float_of_int Schedule.schema_version));
       ("fingerprint", Json.Str fingerprint);
+      ("faults", (match faults with "" -> Json.Null | s -> Json.Str s));
       ("kind", Json.Str (Collective.kind_name coll.Collective.kind));
       ("root", Json.Num (float_of_int coll.Collective.root));
       ("peer", Json.Num (float_of_int coll.Collective.peer));
@@ -86,11 +89,16 @@ let entry_json ~fingerprint ~(coll : Collective.t) ~blocks ~cost ~chosen
 let ticket = Atomic.make 0
 
 let store t topo (coll : Collective.t) ?(blocks = 8) ~cost ~chosen schedules =
+  (* Crash probe for the store path: serving must survive a registry that
+     cannot persist (full disk, revoked credentials) by dropping the store,
+     not the response. *)
+  Faultpoint.inject "registry.crash";
   let k = key topo coll in
   let body =
     Json.to_string ~pretty:true
-      (entry_json ~fingerprint:(Topology.fingerprint topo) ~coll ~blocks ~cost
-         ~chosen schedules)
+      (entry_json ~fingerprint:(Topology.fingerprint topo)
+         ~faults:(Fault.encode (Topology.faults topo))
+         ~coll ~blocks ~cost ~chosen schedules)
     ^ "\n"
   in
   let tmp =
@@ -147,6 +155,7 @@ let miss reason =
 type meta = {
   m_key : string;
   m_fingerprint : string;
+  m_faults : string;
   m_kind : string;
   m_root : int;
   m_peer : int;
@@ -163,6 +172,9 @@ type meta = {
    fields, wrong schema version — is the entry being corrupt. *)
 let parse_entry ~key:k path =
   match
+    (* Crash probe for the read path: an entry that cannot be read is a
+       counted corrupt miss, never a serving error. *)
+    Faultpoint.inject "registry.crash";
     let body = read_file path in
     let j = Json.of_string body in
     let version = Json.to_int (Json.member "schema_version" j) in
@@ -181,10 +193,21 @@ let parse_entry ~key:k path =
           | None -> 8)
       | _ -> 8
     in
+    (* Fault provenance; entries predating the field were all healthy. *)
+    let m_faults =
+      match j with
+      | Json.Obj fields -> (
+          match List.assoc_opt "faults" fields with
+          | Some (Json.Str s) -> s
+          | Some Json.Null | None -> ""
+          | Some _ -> raise (Json.Parse_error "\"faults\" must be a string"))
+      | _ -> ""
+    in
     let meta =
       {
         m_key = k;
         m_fingerprint = Json.to_str (Json.member "fingerprint" j);
+        m_faults;
         m_kind = Json.to_str (Json.member "kind" j);
         m_root = Json.to_int (Json.member "root" j);
         m_peer = Json.to_int (Json.member "peer" j);

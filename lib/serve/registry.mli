@@ -45,7 +45,11 @@ val from_env : unit -> t option
 
 val key : Syccl_topology.Topology.t -> Syccl_collective.Collective.t -> string
 (** The content address: hex digest over (topology fingerprint, collective
-    kind/root/peer, size bucket, schedule schema version). *)
+    kind/root/peer, size bucket, schedule schema version).  The fingerprint
+    folds in the topology's fault class
+    ({!Syccl_topology.Topology.puncture}), so a degraded topology's entries
+    are keyed apart from the healthy topology's — one store, one namespace
+    per (structure × fault-class). *)
 
 val size_bucket : float -> int
 (** The power-of-two bucket the key quantizes size into:
@@ -123,6 +127,10 @@ val length : t -> int
 type meta = {
   m_key : string;  (** entry key (file name without [.json]) *)
   m_fingerprint : string;
+  m_faults : string;
+      (** canonical {!Syccl_topology.Fault.encode} string of the fault set
+          the entry was synthesized under ([""] for healthy topologies and
+          entries predating the field) *)
   m_kind : string;  (** collective kind, as stored *)
   m_root : int;
   m_peer : int;

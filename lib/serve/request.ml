@@ -1,4 +1,5 @@
 module Topology = Syccl_topology.Topology
+module Fault = Syccl_topology.Fault
 module Builders = Syccl_topology.Builders
 module Collective = Syccl_collective.Collective
 module Json = Syccl_util.Json
@@ -54,17 +55,21 @@ let coll_of_name ?root ?peer name ~n ~size =
   in
   Collective.make ?root ?peer kind ~n ~size
 
-let make ?(config = Synthesizer.default_config) ?root ?peer ~topology
-    ~collective ~size () =
+let make ?(config = Synthesizer.default_config) ?root ?peer
+    ?(faults = Fault.empty) ~topology ~collective ~size () =
   let topo = topo_of_name topology in
+  let topo = if Fault.is_empty faults then topo else Topology.puncture topo faults in
   let coll =
     coll_of_name ?root ?peer collective ~n:(Topology.num_gpus topo) ~size
   in
   { topo_name = topology; topo; coll; config }
 
+let faults t = Topology.faults t.topo
+
 (* The request key covers every input the outcome depends on.  Structural
-   topology identity (fingerprint) rather than the name, the exact demand,
-   and the schedule-affecting config knobs; [domains] is excluded because
+   topology identity (fingerprint — which folds in the fault set of a
+   punctured topology) rather than the name, the exact demand, and the
+   schedule-affecting config knobs; [domains] is excluded because
    synthesis is deterministic in pool width, so requests differing only in
    parallelism are the same work. *)
 let key t =
@@ -96,6 +101,10 @@ let to_json t =
       ("size", Json.Num t.coll.Collective.size);
       ("root", Json.Num (float_of_int t.coll.Collective.root));
       ("peer", Json.Num (float_of_int t.coll.Collective.peer));
+      ( "faults",
+        match Fault.encode (faults t) with
+        | "" -> Json.Null
+        | s -> Json.Str s );
       ("fast", Json.Bool c.Synthesizer.fast_only);
       ("domains", Json.Num (float_of_int c.Synthesizer.domains));
       ( "deadline",
@@ -145,9 +154,17 @@ let of_json ?(defaults = Synthesizer.default_config) j =
     | Some v -> Some (Json.to_float v)
   in
   let root = int_field "root" 0 and peer = int_field "peer" 0 in
+  let faults =
+    match opt "faults" with
+    | None | Some Json.Null -> Fault.empty
+    | Some v -> Fault.decode (Json.to_str v)
+  in
   let config = { defaults with Synthesizer.fast_only; domains; deadline } in
-  make ~config ~root ~peer ~topology ~collective ~size ()
+  make ~config ~root ~peer ~faults ~topology ~collective ~size ()
 
 let pp fmt t =
-  Format.fprintf fmt "%a on %s%s" Collective.pp t.coll t.topo_name
+  Format.fprintf fmt "%a on %s%s%s" Collective.pp t.coll t.topo_name
+    (match Fault.encode (faults t) with
+    | "" -> ""
+    | s -> " faults=" ^ s)
     (if t.config.Synthesizer.fast_only then " (fast)" else "")

@@ -30,13 +30,21 @@ val make :
   ?config:Syccl.Synthesizer.config ->
   ?root:int ->
   ?peer:int ->
+  ?faults:Syccl_topology.Fault.t ->
   topology:string ->
   collective:string ->
   size:float ->
   unit ->
   t
 (** Build a request from names; [config] defaults to
-    {!Syccl.Synthesizer.default_config}. *)
+    {!Syccl.Synthesizer.default_config}.  A non-empty [faults] set
+    punctures the named topology ({!Syccl_topology.Topology.puncture}), so
+    the request targets the surviving hardware and its key separates from
+    the healthy topology's. *)
+
+val faults : t -> Syccl_topology.Fault.t
+(** The fault set the request's topology carries ({!Syccl_topology.Fault.empty}
+    when healthy). *)
 
 val key : t -> string
 (** Canonical digest of everything that determines the outcome: topology
@@ -52,7 +60,8 @@ val to_json : t -> Syccl_util.Json.t
 val of_json : ?defaults:Syccl.Synthesizer.config -> Syccl_util.Json.t -> t
 (** Parse one request (e.g. one [syccl batch] JSONL line).  Required
     fields: ["topology"], ["collective"], ["size"]; optional: ["fast"],
-    ["domains"], ["deadline"], ["root"], ["peer"] (falling back to
+    ["domains"], ["deadline"], ["root"], ["peer"], ["faults"] (a canonical
+    {!Syccl_topology.Fault.encode} string; falling back to
     [defaults], which itself defaults to
     {!Syccl.Synthesizer.default_config}).  Raises
     {!Syccl_util.Json.Parse_error} on malformed input and [Failure] on

@@ -65,13 +65,20 @@ let storable (request : Request.t) (o : Synthesizer.outcome) =
   && (not request.Request.config.Synthesizer.fast_only)
   && o.Synthesizer.schedules <> []
 
+(* Storing is fail-open like auditing: a registry that cannot persist (full
+   disk, revoked credentials, the registry.crash fault point) costs the
+   store, never the response. *)
 let store_result registry (request : Request.t) (o : Synthesizer.outcome) =
   match registry with
-  | Some reg when storable request o ->
-      Registry.store reg request.Request.topo request.Request.coll
-        ~blocks:request.Request.config.Synthesizer.blocks
-        ~cost:o.Synthesizer.time ~chosen:o.Synthesizer.chosen
-        o.Synthesizer.schedules
+  | Some reg when storable request o -> (
+      match
+        Registry.store reg request.Request.topo request.Request.coll
+          ~blocks:request.Request.config.Synthesizer.blocks
+          ~cost:o.Synthesizer.time ~chosen:o.Synthesizer.chosen
+          o.Synthesizer.schedules
+      with
+      | () -> ()
+      | exception _ -> Counters.bump "registry.store_errors")
   | _ -> ()
 
 let with_registry_miss registry (o : Synthesizer.outcome) =
@@ -113,6 +120,7 @@ let audit_record ~registry (p : Plan.t) (o : outcome) =
     Audit.ts = Syccl_util.Clock.now ();
     key = Request.key r;
     fingerprint = Topology.fingerprint r.Request.topo;
+    faults = Syccl_topology.Fault.encode (Request.faults r);
     topology = r.Request.topo_name;
     collective =
       String.lowercase_ascii

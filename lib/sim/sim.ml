@@ -23,7 +23,9 @@ let run ?(blocks = 8) ?trace_pid topo (s : Schedule.t) =
         Topology.group_of topo ~dim:x.dim x.src
         <> Topology.group_of topo ~dim:x.dim x.dst
         || x.src = x.dst
-      then invalid_arg "Sim.run: endpoints are not peers in the dimension")
+      then invalid_arg "Sim.run: endpoints are not peers in the dimension";
+      if not (Topology.edge_alive topo ~dim:x.dim x.src x.dst) then
+        invalid_arg "Sim.run: transfer crosses a dead edge")
     xa;
   (* Per-chunk block count: pipelining never splits below one byte. *)
   let nblocks =

@@ -1,0 +1,74 @@
+(* Schedule transport along a topology automorphism: relabel every transfer
+   endpoint through the permutation and translate demand-chunk tags so the
+   result covers the transported collective.  Validity and simulated cost
+   are preserved — the automorphism-transport fuzz property holds exactly
+   this law — which is what lets failover warming synthesize one fault-orbit
+   representative and transport it to every equivalent fault set. *)
+
+module Perm = Syccl_util.Perm
+module Collective = Syccl_collective.Collective
+
+(* Demand chunk ids are canonical per collective (AllGather chunk i starts
+   on GPU i, ...), so transporting a schedule also permutes which demand
+   chunk each tag refers to.  Match each original chunk's permuted endpoint
+   signature against the transported collective's chunks to build the tag
+   translation; None when a signature is ambiguous. *)
+let tags p phase phase' =
+  let signature = function
+    | Collective.Gather_chunk { src; dsts; _ } ->
+        `G (src, List.sort compare dsts)
+    | Collective.Reduce_chunk { dst; srcs; _ } ->
+        `R (dst, List.sort compare srcs)
+  in
+  let permuted = function
+    | Collective.Gather_chunk { src; dsts; _ } ->
+        `G (Perm.apply p src, List.sort compare (List.map (Perm.apply p) dsts))
+    | Collective.Reduce_chunk { dst; srcs; _ } ->
+        `R (Perm.apply p dst, List.sort compare (List.map (Perm.apply p) srcs))
+  in
+  let id = function
+    | Collective.Gather_chunk { id; _ } | Collective.Reduce_chunk { id; _ } ->
+        id
+  in
+  let chunks' = Collective.chunks phase' in
+  let translate ch =
+    match List.filter (fun ch' -> signature ch' = permuted ch) chunks' with
+    | [ ch' ] -> Some (id ch, id ch')
+    | _ -> None
+  in
+  let pairs = List.map translate (Collective.chunks phase) in
+  if List.exists Option.is_none pairs then None
+  else Some (List.filter_map Fun.id pairs)
+
+let retag map (s : Schedule.t) =
+  {
+    s with
+    Schedule.chunks =
+      Array.map
+        (fun (m : Schedule.chunk_meta) ->
+          match List.assoc_opt m.tag map with
+          | Some tag -> { m with Schedule.tag = tag }
+          | None -> m)
+        s.Schedule.chunks;
+  }
+
+let phase p ~phase:ph ~phase':ph' s =
+  match tags p ph ph' with
+  | None -> None
+  | Some map -> Some (retag map (Schedule.map_gpus s (Perm.apply p)))
+
+let schedules p coll coll' ss =
+  let phases = Collective.phases coll
+  and phases' = Collective.phases coll' in
+  if List.length phases <> List.length ss then None
+  else
+    let rec go acc phs phs' ss =
+      match (phs, phs', ss) with
+      | [], [], [] -> Some (List.rev acc)
+      | ph :: phs, ph' :: phs', s :: ss -> (
+          match phase p ~phase:ph ~phase':ph' s with
+          | None -> None
+          | Some s' -> go (s' :: acc) phs phs' ss)
+      | _ -> None
+    in
+    go [] phases phases' ss

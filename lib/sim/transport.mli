@@ -1,0 +1,33 @@
+(** Schedule transport along a topology automorphism (§4.2).
+
+    Relabels transfer endpoints through the permutation and translates
+    demand-chunk tags so the transported schedule covers the transported
+    collective.  Validity and simulated cost are preserved (the
+    automorphism-transport fuzz law); failover warming leans on this to
+    synthesize one fault-orbit representative and transport it to every
+    equivalent fault set. *)
+
+val tags :
+  Syccl_util.Perm.t -> Syccl_collective.Collective.t ->
+  Syccl_collective.Collective.t -> (int * int) list option
+(** [tags p phase phase'] maps each demand-chunk id of [phase] to the id of
+    the chunk of [phase'] whose endpoint signature is its image under [p];
+    [None] when any signature is ambiguous. *)
+
+val retag : (int * int) list -> Schedule.t -> Schedule.t
+(** Apply a tag translation to a schedule's chunk metadata. *)
+
+val phase :
+  Syccl_util.Perm.t ->
+  phase:Syccl_collective.Collective.t ->
+  phase':Syccl_collective.Collective.t ->
+  Schedule.t -> Schedule.t option
+(** Transport one phase schedule: endpoint relabelling plus tag
+    translation.  [None] on ambiguous signatures. *)
+
+val schedules :
+  Syccl_util.Perm.t -> Syccl_collective.Collective.t ->
+  Syccl_collective.Collective.t -> Schedule.t list -> Schedule.t list option
+(** Transport a per-phase schedule list from one collective to its
+    transported counterpart ([Collective.phases] of each must line up).
+    [None] on phase-count mismatch or any ambiguous tag signature. *)

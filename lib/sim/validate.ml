@@ -18,6 +18,14 @@ let check_structure topo (s : Schedule.t) =
           Topology.group_of topo ~dim:x.dim x.src
           <> Topology.group_of topo ~dim:x.dim x.dst
         then err "xfer %d->%d: not peers in dimension %d" x.src x.dst x.dim
+        else if not (Topology.gpu_alive topo x.src) then
+          err "xfer %d->%d: source GPU is down" x.src x.dst
+        else if not (Topology.gpu_alive topo x.dst) then
+          err "xfer %d->%d: destination GPU is down" x.src x.dst
+        else if not (Topology.edge_alive topo ~dim:x.dim x.src x.dst) then
+          err "xfer %d->%d: edge is down in dimension %d (faults %s)" x.src
+            x.dst x.dim
+            (Syccl_topology.Fault.encode (Topology.faults topo))
         else go rest
   in
   go s.xfers

@@ -19,7 +19,11 @@ let group_edges topo ~dim ~group =
   let acc = ref [] in
   Array.iter
     (fun u ->
-      Array.iter (fun v -> if u <> v then acc := { eu = u; ev = v; edim = dim } :: !acc) members)
+      Array.iter
+        (fun v ->
+          if u <> v && Topology.edge_alive topo ~dim u v then
+            acc := { eu = u; ev = v; edim = dim } :: !acc)
+        members)
     members;
   Array.of_list (List.rev !acc)
 
@@ -32,7 +36,9 @@ let all_edges topo =
         (* Lowest dimension connecting the pair (fastest/most local link). *)
         let rec first d =
           if d >= Topology.num_dims topo then None
-          else if Topology.group_of topo ~dim:d u = Topology.group_of topo ~dim:d v
+          else if
+            Topology.group_of topo ~dim:d u = Topology.group_of topo ~dim:d v
+            && Topology.edge_alive topo ~dim:d u v
           then Some d
           else first (d + 1)
         in

@@ -36,8 +36,11 @@ let solve ?rng ?(restrict = All) ?(holder_beam = 6) ?(congestion_weight = 1.0)
       if d < 0 then acc
       else
         let gu = Topology.group_of topo ~dim:d u in
-        if gu = Topology.group_of topo ~dim:d v && allowed d gu then
-          go (d - 1) (d :: acc)
+        if
+          gu = Topology.group_of topo ~dim:d v
+          && allowed d gu
+          && Topology.edge_alive topo ~dim:d u v
+        then go (d - 1) (d :: acc)
         else go (d - 1) acc
     in
     go (nd - 1) []
@@ -160,7 +163,62 @@ let solve ?rng ?(restrict = All) ?(holder_beam = 6) ?(congestion_weight = 1.0)
             unmet.(c)
         end
       done;
-      match !best with
+      (* No holder can reach any unmet destination directly — on a punctured
+         topology the only edge may be dead.  Fall back to one store-and-
+         forward hop through a non-wanted relay: multi-source BFS from the
+         chunk's holders over surviving allowed edges, delivering the first
+         hop of a shortest path toward an unmet destination.  Each relay
+         strictly shrinks the holder-to-destination distance, so the loop
+         still terminates. *)
+      let relay_candidate () =
+        let rbest = ref None in
+        let rconsider cand =
+          match !rbest with
+          | Some b when b.score <= cand.score -> ()
+          | _ -> rbest := Some cand
+        in
+        for c = 0 to nc - 1 do
+          if unmet.(c) <> [] then begin
+            let dist = Array.make n max_int and parent = Array.make n (-1) in
+            let q = Queue.create () in
+            for u = 0 to n - 1 do
+              if hold.(c).(u) < infinity then begin
+                dist.(u) <- 0;
+                Queue.push u q
+              end
+            done;
+            while not (Queue.is_empty q) do
+              let u = Queue.pop q in
+              for w = 0 to n - 1 do
+                if dist.(w) = max_int && dims_between u w <> [] then begin
+                  dist.(w) <- dist.(u) + 1;
+                  parent.(w) <- u;
+                  Queue.push w q
+                end
+              done
+            done;
+            List.iter
+              (fun v ->
+                if dist.(v) < max_int then begin
+                  (* First hop out of the holder set on a shortest path. *)
+                  let rec first_hop w =
+                    if dist.(w) = 1 then w else first_hop parent.(w)
+                  in
+                  let w = first_hop v in
+                  let u = parent.(w) in
+                  List.iter
+                    (fun d -> rconsider (candidate c u w d))
+                    (dims_between u w)
+                end)
+              unmet.(c)
+          end
+        done;
+        !rbest
+      in
+      let chosen =
+        match !best with Some _ as b -> b | None -> relay_candidate ()
+      in
+      match chosen with
       | None -> timed_out := true (* demand unreachable under restriction *)
       | Some b ->
           let dimrec = Topology.dim topo b.dim in
@@ -170,8 +228,10 @@ let solve ?rng ?(restrict = All) ?(holder_beam = 6) ?(congestion_weight = 1.0)
           ing.((b.v * npg) + pg) <- b.start +. busy;
           hold.(b.c).(b.v) <- b.arrive;
           note_holder b.c b.v;
-          unmet.(b.c) <- List.filter (fun v -> v <> b.v) unmet.(b.c);
-          decr remaining;
+          if List.mem b.v unmet.(b.c) then begin
+            unmet.(b.c) <- List.filter (fun v -> v <> b.v) unmet.(b.c);
+            decr remaining
+          end;
           xfers :=
             { Schedule.chunk = b.c; src = b.u; dst = b.v; dim = b.dim; prio = !prio }
             :: !xfers;

@@ -15,6 +15,7 @@ type t = {
   shape : int array;
   num_gpus : int;
   dims : dim array;
+  faults : Fault.t;
 }
 
 let build_dim ~shape ~num_gpus (dim_name, free_list, link, port_group) =
@@ -51,7 +52,7 @@ let make ~name ~shape ~dims =
   Array.iter (fun s -> if s <= 0 then invalid_arg "Topology.make: axis size <= 0") shape;
   let num_gpus = Mixed_radix.size shape in
   let dims = Array.of_list (List.map (build_dim ~shape ~num_gpus) dims) in
-  { name; shape; num_gpus; dims }
+  { name; shape; num_gpus; dims; faults = Fault.empty }
 
 let num_gpus t = t.num_gpus
 let num_dims t = Array.length t.dims
@@ -110,6 +111,94 @@ let with_link t ~dim link =
     dims = Array.mapi (fun i d -> if i = dim then { d with link } else d) t.dims;
   }
 
+(* --- punctured topologies (fault sets) ----------------------------------- *)
+
+let faults t = t.faults
+
+(* The name of the healthy topology a (possibly punctured) one came from:
+   puncturing appends "!" plus the canonical fault encoding, so everything
+   keyed on [name] (sub-solve memo, search and combination caches) separates
+   punctured variants from the pristine topology for free. *)
+let base_name t =
+  match String.index_opt t.name '!' with
+  | None -> t.name
+  | Some i -> String.sub t.name 0 i
+
+let check_fault_elt t = function
+  | Fault.Gpu g ->
+      if g < 0 || g >= t.num_gpus then
+        invalid_arg "Topology.puncture: gpu out of range"
+  | Fault.Link { dim; a; b } ->
+      if dim < 0 || dim >= Array.length t.dims then
+        invalid_arg "Topology.puncture: link dimension out of range";
+      if a < 0 || b >= t.num_gpus then
+        invalid_arg "Topology.puncture: link endpoint out of range";
+      if t.dims.(dim).group_of.(a) <> t.dims.(dim).group_of.(b) then
+        invalid_arg "Topology.puncture: link endpoints are not peers"
+  | Fault.Nic { gpu; port_group } ->
+      if gpu < 0 || gpu >= t.num_gpus then
+        invalid_arg "Topology.puncture: nic gpu out of range";
+      if not (Array.exists (fun d -> d.port_group = port_group) t.dims) then
+        invalid_arg "Topology.puncture: nic port group unused by any dimension"
+
+let with_faults t faults =
+  let name =
+    if Fault.is_empty faults then base_name t
+    else base_name t ^ "!" ^ Fault.encode faults
+  in
+  { t with name; faults }
+
+let puncture t f =
+  List.iter (check_fault_elt t) (Fault.elements f);
+  with_faults t (Fault.union t.faults f)
+
+let base t = with_faults t Fault.empty
+
+let gpu_alive t v =
+  not (List.exists (function Fault.Gpu g -> g = v | _ -> false)
+         (Fault.elements t.faults))
+
+(* Whether the intra-group edge u—v of [dim] survives: both endpoints up,
+   neither endpoint's NIC for the dimension's port group down, and the edge
+   itself not down.  Fault sets are tiny, so a list scan per query is fine. *)
+let edge_alive t ~dim u v =
+  Fault.is_empty t.faults
+  ||
+  let pg = t.dims.(dim).port_group in
+  let lo = min u v and hi = max u v in
+  not
+    (List.exists
+       (function
+         | Fault.Gpu g -> g = u || g = v
+         | Fault.Link { dim = d; a; b } -> d = dim && a = lo && b = hi
+         | Fault.Nic { gpu; port_group } ->
+             port_group = pg && (gpu = u || gpu = v))
+       (Fault.elements t.faults))
+
+let alive_peers t ~dim v =
+  let g = group_of t ~dim v in
+  let members = gpus_in_group t ~dim ~group:g in
+  Array.of_list
+    (List.filter
+       (fun u -> u <> v && edge_alive t ~dim u v)
+       (Array.to_list members))
+
+(* The rotation group: per-axis rotation products, one element per GPU
+   (the canonical automorphism taking GPU 0 there).  Always a subgroup of
+   the full automorphism group, cheap to enumerate, and exactly the family
+   [automorphism_to] draws from — so schedules transported along its
+   elements are covered by the automorphism-transport law. *)
+let rotation_group t =
+  List.init t.num_gpus (fun g -> automorphism_to t ~src:0 ~dst:g)
+
+(* The subgroup of rotations fixing the fault set: the symmetry a punctured
+   topology retains.  For a healthy topology this is the whole rotation
+   group. *)
+let stabilizer t =
+  Perm.stabilizer
+    ~image:(fun f p -> Fault.map p f)
+    ~equal:Fault.equal (rotation_group t) t.faults
+
 (* Canonical structural digest: everything the synthesizer's output depends
    on — axis sizes, and per dimension the free-axis subset, link class and
    port group — serialized deterministically and hashed.  The topology
@@ -129,6 +218,10 @@ let fingerprint t =
         (Printf.sprintf ",alpha=%h,beta=%h,port=%d" d.link.Link.alpha
            d.link.Link.beta d.port_group))
     t.dims;
+  (* Punctured topologies get a distinct digest; healthy ones keep the
+     exact pre-fault digest, so existing registries stay valid. *)
+  if not (Fault.is_empty t.faults) then
+    Buffer.add_string buf (";faults=" ^ Fault.encode t.faults);
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let bandwidth_share t =

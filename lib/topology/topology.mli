@@ -29,6 +29,9 @@ type t = private {
   shape : int array;  (** axis sizes; GPU id is the row-major encoding *)
   num_gpus : int;
   dims : dim array;
+  faults : Fault.t;
+      (** hardware currently down ({!Fault.empty} for a healthy topology);
+          see {!puncture} *)
 }
 
 val make :
@@ -73,6 +76,42 @@ val automorphism_to : t -> src:int -> dst:int -> Syccl_util.Perm.t
 val is_automorphism : t -> Syccl_util.Perm.t -> bool
 (** True iff the GPU permutation maps every group of every dimension onto a
     group of the same dimension. *)
+
+val faults : t -> Fault.t
+(** The fault set ({!Fault.empty} for a healthy topology). *)
+
+val puncture : t -> Fault.t -> t
+(** [puncture t f] is the surviving topology after losing the hardware in
+    [f] (unioned with any faults [t] already carries).  The result's
+    {!fingerprint} and [name] both fold in the canonical fault encoding, so
+    caches and registries keyed on either separate punctured variants from
+    the pristine topology automatically.  Raises [Invalid_argument] when an
+    element is out of range (unknown GPU/dimension/port group, or link
+    endpoints that are not peers). *)
+
+val base : t -> t
+(** The healthy topology a punctured one came from (identity when no
+    faults). *)
+
+val gpu_alive : t -> int -> bool
+
+val edge_alive : t -> dim:int -> int -> int -> bool
+(** Whether the intra-group edge between two peers of [dim] survives the
+    fault set: both endpoints alive, neither endpoint's NIC for the
+    dimension's port group down, and the link itself not down.  Always true
+    on a healthy topology. *)
+
+val alive_peers : t -> dim:int -> int -> int array
+(** {!peers} filtered by {!edge_alive}. *)
+
+val rotation_group : t -> Syccl_util.Perm.t list
+(** All products of per-axis rotations — one element per GPU (the canonical
+    {!automorphism_to} image of GPU 0).  A subgroup of the automorphism
+    group, of size [num_gpus]. *)
+
+val stabilizer : t -> Syccl_util.Perm.t list
+(** The subgroup of {!rotation_group} fixing the fault set: the symmetry a
+    punctured topology retains.  The whole rotation group when healthy. *)
 
 val with_link : t -> dim:int -> Link.t -> t
 (** A copy of the topology with one dimension's link class replaced — e.g. a

@@ -38,10 +38,12 @@ let exact =
     "cache.subsolve.transfer_fail";
     "subsolve.budget_skips";
     "subsolve.solve_s";
+    "subsolve.widened";
     "synth.calls";
     "synth.combine_s";
     "synth.degraded";
     "synth.fallbacks";
+    "synth.reroutes";
     "synth.rung_failures";
     "synth.search_s";
     "synth.solve1_s";
@@ -63,9 +65,11 @@ let exact =
     "audit.write_errors";
     "audit.synth_time_s";
     "audit.time_s";
+    "registry.store_errors";
     "serve.requests";
     "serve.rung.full";
     "serve.rung.fast";
+    "serve.rung.rerouted";
     "serve.rung.fallback";
   ]
 

@@ -43,6 +43,69 @@ let of_cycle n cycle =
   p
 
 let equal = ( = )
+let compare = Stdlib.compare
+
+(* Closure of a generator set under composition, by breadth-first products.
+   The groups this repo meets are tiny (per-axis rotation products: at most
+   [num_gpus] elements), so a list-backed frontier is plenty; [limit] is a
+   guard against being handed generators of a huge group by mistake. *)
+let close ?(limit = 1 lsl 16) gens =
+  match gens with
+  | [] -> []
+  | g0 :: _ ->
+      let n = Array.length g0 in
+      let seen = Hashtbl.create 64 in
+      let out = ref [] in
+      let add p =
+        if not (Hashtbl.mem seen p) then begin
+          if Hashtbl.length seen >= limit then
+            invalid_arg "Perm.close: group exceeds the element limit";
+          Hashtbl.replace seen p ();
+          out := p :: !out;
+          true
+        end
+        else false
+      in
+      ignore (add (identity n));
+      let rec grow frontier =
+        let next =
+          List.concat_map
+            (fun p -> List.filter (fun q -> add q) (List.map (compose p) gens))
+            frontier
+        in
+        if next <> [] then grow next
+      in
+      grow [ identity n ];
+      List.rev !out
+
+(* Stabilizer of a point under a group acting through [image]: the subset
+   fixing it.  A subset of a group closed this way is itself a subgroup. *)
+let stabilizer ~image ~equal:eq group x =
+  List.filter (fun p -> eq (image x p) x) group
+
+(* Partition [points] into orbits under the group action, returning each
+   orbit as (canonical representative, members).  The representative is the
+   minimum image under [compare], so it is identical for every member of
+   the same orbit — usable directly as a cache or registry key class. *)
+let orbit_classes ~group ~image ~compare:cmp points =
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun x ->
+      let canon =
+        List.fold_left
+          (fun best p ->
+            let y = image x p in
+            if cmp y best < 0 then y else best)
+          x group
+      in
+      match Hashtbl.find_opt tbl canon with
+      | Some members -> members := x :: !members
+      | None ->
+          Hashtbl.replace tbl canon (ref [ x ]);
+          order := canon :: !order)
+    points;
+  List.rev_map (fun canon -> (canon, List.rev !(Hashtbl.find tbl canon))) !order
 
 let pp fmt p =
   Format.fprintf fmt "[%a]"

@@ -22,4 +22,27 @@ val of_cycle : int -> int list -> t
 (** [of_cycle n cycle] is the permutation of [\[0,n)] given by one cycle. *)
 
 val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order (lexicographic on the image arrays). *)
+
+val close : ?limit:int -> t list -> t list
+(** Closure of a generator set under composition: the generated subgroup as
+    an explicit element list (identity included).  Raises [Invalid_argument]
+    past [limit] elements (default 65536) — the groups this repo works with
+    (per-axis rotation products) have at most [num_gpus] elements. *)
+
+val stabilizer : image:('a -> t -> 'a) -> equal:('a -> 'a -> bool) -> t list -> 'a -> t list
+(** [stabilizer ~image ~equal group x] is the subset of [group] fixing [x]
+    under the action [image].  When [group] is a group (closed, with
+    identity), the result is a subgroup. *)
+
+val orbit_classes :
+  group:t list -> image:('a -> t -> 'a) -> compare:('a -> 'a -> int) ->
+  'a list -> ('a * 'a list) list
+(** Partition points into orbits under the group action; each orbit is
+    returned as [(canonical representative, members)] where the
+    representative is the minimum image under [compare] — the same value
+    for every member of one orbit, so it doubles as an orbit key. *)
+
 val pp : Format.formatter -> t -> unit

@@ -370,7 +370,7 @@ let map pool f xs =
     | None -> Array.map (function Some v -> v | None -> assert false) results
   end
 
-(* --- level-addressed map (absorbed Parallel facade) --------------------- *)
+(* --- level-addressed map ------------------------------------------------ *)
 
 let num_recommended () = max 1 (Domain.recommended_domain_count () - 1)
 

@@ -66,6 +66,5 @@ val num_recommended : unit -> int
 
 val map_domains : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** [map_domains ~domains f xs] is [map (get domains) f xs]: a parallel map
-    on the persistent pool of that level ({!num_recommended} when omitted).
-    This absorbs the former [Syccl_util.Parallel.map] facade; [Parallel]
-    remains as a deprecated alias for one release. *)
+    on the persistent pool of that level ({!num_recommended} when
+    omitted). *)

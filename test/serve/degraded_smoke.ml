@@ -1,0 +1,128 @@
+(* Degraded-serving smoke (fig. 16c flavour), run by the `runtest` alias:
+   a small fault grid — the healthy topology plus every single dead link
+   of multirail:2x2 — is orbit-warmed once per pool width, then the whole
+   grid is requested again.  The repeat pass must be 100% registry hits
+   served at the Full rung, every repeat-pass audit record must carry the
+   (fingerprint × fault-class) provenance of its punctured topology, and
+   predicted costs must agree across pool widths.  Exits non-zero on any
+   violation. *)
+
+module Topology = Syccl_topology.Topology
+module Fault = Syccl_topology.Fault
+module Synth = Syccl.Synthesizer
+module Request = Syccl_serve.Request
+module Registry = Syccl_serve.Registry
+module Serve = Syccl_serve.Serve
+module Audit = Syccl_serve.Audit
+module Failover = Syccl_serve.Failover
+
+let fail fmt = Format.kasprintf (fun m -> prerr_endline ("FAIL: " ^ m); exit 1) fmt
+
+let tname = "multirail:2x2"
+let cname = "allgather"
+let size = 65536.0
+
+let widths =
+  let env =
+    match Sys.getenv_opt "SYCCL_TEST_DOMAINS" with
+    | Some s -> (
+        match int_of_string_opt s with Some n when n > 0 -> [ n ] | _ -> [])
+    | None -> []
+  in
+  List.sort_uniq compare ([ 1; 2 ] @ env)
+
+(* Fault grid: healthy plus every single dead link. *)
+let grid = Fault.empty :: Failover.fault_sets (Request.topo_of_name tname) ~k:1
+
+let run_width w =
+  Synth.reset_caches ();
+  let config = { Synth.default_config with Synth.domains = w } in
+  let reg =
+    Registry.open_dir
+      (Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "syccl-degraded-smoke-%d-w%d" (Unix.getpid ()) w))
+  in
+  if Registry.length reg <> 0 then fail "width %d: registry not empty" w;
+  let audit = Audit.for_registry reg in
+  (* Pass 1: orbit-warm the single-fault classes, serve the healthy case
+     cold so it is stored too. *)
+  let stats =
+    Failover.warm ~registry:reg ~audit ~config ~topology:tname
+      ~collective:cname ~size 1
+  in
+  if stats.Failover.skipped <> 0 then
+    fail "width %d: warm left %d orbit members cold" w stats.Failover.skipped;
+  ignore
+    (Serve.run ~registry:reg ~audit
+       (Request.make ~config ~topology:tname ~collective:cname ~size ()));
+  (* Pass 2: the whole grid must be served from the registry at Full. *)
+  Synth.reset_caches ();
+  let outcomes =
+    List.map
+      (fun faults ->
+        let r =
+          Request.make ~config ~faults ~topology:tname ~collective:cname ~size
+            ()
+        in
+        (faults, Serve.run ~registry:reg ~audit r))
+      grid
+  in
+  List.iter
+    (fun (faults, (o : Serve.outcome)) ->
+      (match o.Serve.source with
+      | Serve.From_registry _ -> ()
+      | Serve.From_synthesis ->
+          fail "width %d: faults=%S missed the registry on the repeat pass" w
+            (Fault.encode faults));
+      if o.Serve.synth.Synth.degraded <> Synth.Full then
+        fail "width %d: faults=%S served below the Full rung" w
+          (Fault.encode faults))
+    outcomes;
+  (* Audit provenance: the trailing pass-2 records carry the punctured
+     topology's (fingerprint × fault-class) identity and hit probes. *)
+  let records, bad = Audit.read (Audit.path audit) in
+  if bad <> 0 then fail "width %d: audit trail has %d unparseable lines" w bad;
+  let n2 = List.length grid in
+  let total = List.length records in
+  if total < n2 then
+    fail "width %d: expected at least %d audit records, got %d" w n2 total;
+  let pass2 = List.filteri (fun i _ -> i >= total - n2) records in
+  List.iter2
+    (fun faults (r : Audit.record) ->
+      let punctured = Topology.puncture (Request.topo_of_name tname) faults in
+      if r.Audit.faults <> Fault.encode faults then
+        fail "width %d: audit faults %S do not match request fault class %S" w
+          r.Audit.faults (Fault.encode faults);
+      if r.Audit.fingerprint <> Topology.fingerprint punctured then
+        fail "width %d: audit fingerprint lacks the fault fold for %S" w
+          (Fault.encode faults);
+      if not (r.Audit.probe = "hit" || r.Audit.probe = "hit.scaled") then
+        fail "width %d: faults=%S pass-2 record lacks hit provenance (probe=%s)"
+          w (Fault.encode faults) r.Audit.probe)
+    grid pass2;
+  List.map
+    (fun (f, (o : Serve.outcome)) -> (Fault.encode f, o.Serve.synth.Synth.time))
+    outcomes
+
+let () =
+  let per_width = List.map (fun w -> (w, run_width w)) widths in
+  (match per_width with
+  | [] -> fail "no pool widths to test"
+  | (w0, base) :: rest ->
+      List.iter
+        (fun (w, costs) ->
+          List.iter2
+            (fun (f0, c0) (f, c) ->
+              if f0 <> f || Float.abs (c0 -. c) > 1e-9 *. Float.max 1.0 c0 then
+                fail
+                  "pool width %d disagrees with width %d on faults=%S (%g vs \
+                   %g)"
+                  w w0 f0 c0 c)
+            base costs)
+        rest);
+  Printf.printf
+    "degraded smoke: %d fault classes x %d pool widths, repeat pass 100%% \
+     registry hits at the full rung, audit carries fingerprint x fault-class \
+     provenance\n"
+    (List.length grid) (List.length widths)

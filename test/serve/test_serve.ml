@@ -331,6 +331,67 @@ let test_probe_miss_reasons () =
     (result = Registry.Miss Registry.Corrupt);
   check (Alcotest.float 0.0) "corrupt counted per-reason" 1.0 corrupt
 
+(* --- crash faultpoints: serving is fail-open ---------------------------- *)
+
+let with_faults spec f =
+  Syccl_util.Faultpoint.configure spec;
+  Fun.protect ~finally:Syccl_util.Faultpoint.clear f
+
+let test_registry_crash_failopen () =
+  let reg = fresh_registry () in
+  Synth.reset_caches ();
+  let r = req () in
+  (* Write path: the store crashes, the response does not. *)
+  let o, store_errors =
+    delta "registry.store_errors" (fun () ->
+        with_faults "registry.crash:1.0" (fun () -> Serve.run ~registry:reg r))
+  in
+  checkb "crashed store still serves" true
+    (o.Serve.source = Serve.From_synthesis);
+  checkb "store crash counted" true (store_errors >= 1.0);
+  check Alcotest.int "nothing persisted through the crash" 0
+    (Registry.length reg);
+  (* Read path: store cleanly, then crash the lookup — a counted corrupt
+     miss that falls back to synthesis, never a serving error. *)
+  Synth.reset_caches ();
+  let _ = Serve.run ~registry:reg r in
+  check Alcotest.int "clean run persists" 1 (Registry.length reg);
+  Synth.reset_caches ();
+  let o, corrupt =
+    delta "registry.miss.corrupt" (fun () ->
+        with_faults "registry.crash:1.0" (fun () -> Serve.run ~registry:reg r))
+  in
+  checkb "crashed lookup falls back to synthesis" true
+    (o.Serve.source = Serve.From_synthesis);
+  checkb "crashed lookup is a counted corrupt miss" true (corrupt >= 1.0);
+  (* Disarmed again: the stored entry is intact and serves as a hit. *)
+  Synth.reset_caches ();
+  let o = Serve.run ~registry:reg r in
+  checkb "entry survives the crashes and hits" true
+    (match o.Serve.source with Serve.From_registry _ -> true | _ -> false)
+
+let test_audit_crash_failopen () =
+  let reg = fresh_registry () in
+  let sink = Audit.for_registry reg in
+  Synth.reset_caches ();
+  let r = req () in
+  let o, write_errors =
+    delta "audit.write_errors" (fun () ->
+        with_faults "audit.crash:1.0" (fun () ->
+            Serve.run ~registry:reg ~audit:sink r))
+  in
+  checkb "crashed audit still serves" true
+    (o.Serve.source = Serve.From_synthesis);
+  check (Alcotest.float 0.0) "audit crash counted and dropped" 1.0 write_errors;
+  checkb "no trail written through the crash" true
+    (not (Sys.file_exists (Audit.path sink))
+    || fst (Audit.read (Audit.path sink)) = []);
+  (* Disarmed: the next record appends normally after the dropped one. *)
+  let _ = Serve.run ~registry:reg ~audit:sink r in
+  let records, bad = Audit.read (Audit.path sink) in
+  check Alcotest.int "trail resumes cleanly" 1 (List.length records);
+  check Alcotest.int "no torn lines left behind" 0 bad
+
 (* --- audit trail -------------------------------------------------------- *)
 
 let test_audit_roundtrip () =
@@ -433,6 +494,10 @@ let suite =
     Alcotest.test_case "batch dedupes equal requests" `Quick test_batch_dedupe;
     Alcotest.test_case "probe distinguishes miss reasons" `Quick
       test_probe_miss_reasons;
+    Alcotest.test_case "registry.crash faultpoint is fail-open" `Quick
+      test_registry_crash_failopen;
+    Alcotest.test_case "audit.crash faultpoint is fail-open" `Quick
+      test_audit_crash_failopen;
     Alcotest.test_case "audit trail round-trips" `Quick test_audit_roundtrip;
     Alcotest.test_case "registry verify is read-only" `Quick
       test_verify_entry_nonmutating;

@@ -219,7 +219,7 @@ let test_stats_percentile_range () =
           ignore (Stats.percentile_opt (-0.1) xs)))
     [ []; [ 1.0; 2.0 ] ]
 
-(* --- Pool.map_domains (formerly Parallel) --- *)
+(* --- Pool.map_domains --- *)
 
 let test_parallel_map_order () =
   let xs = Array.init 101 (fun i -> i) in

@@ -37,6 +37,16 @@
       is invisible to the type checker and silently splits a metric into
       two time series no dashboard or test asserts on. *)
 
+(* 7. Canonical fault-set literals: a string literal in lib/ spelling a
+      fault set ("gpu:G", "link:D:A-B", "nic:G@P", comma-joined) must
+      round-trip the canonical encoder — strict digits, no leading zeros,
+      link endpoints A < B, elements sorted and deduplicated.  The
+      encoding is folded into Topology.fingerprint and registry keys, so
+      a non-canonical spelling silently addresses a different entry than
+      the equivalent canonical one.  The grammar is re-implemented
+      textually here to keep tools/ dependency-free; fault.ml (the
+      encoder itself) and format strings (containing '%') are exempt. *)
+
 type rule = {
   name : string;
   hint : string;
@@ -155,15 +165,21 @@ let flag rule text =
 
 (* --- Rule 6: registered counter names ---------------------------------- *)
 
-(* Every string literal in a source text, in order.  Comments are not
-   stripped, so counter_names.ml must not quote names in prose (it says
-   so at the top). *)
-let string_literals text =
+(* Every string literal in a source text with its 1-based line, in order.
+   Comments are not stripped, so counter_names.ml must not quote names in
+   prose (it says so at the top). *)
+let string_literals_at text =
   let n = String.length text in
   let out = ref [] in
   let i = ref 0 in
+  let line = ref 1 in
   while !i < n do
-    if text.[!i] = '"' then begin
+    if text.[!i] = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if text.[!i] = '"' then begin
+      let at = !line in
       let buf = Buffer.create 16 in
       incr i;
       let fin = ref false in
@@ -176,14 +192,17 @@ let string_literals text =
             fin := true;
             incr i
         | c ->
+            if c = '\n' then incr line;
             Buffer.add_char buf c;
             incr i
       done;
-      out := Buffer.contents buf :: !out
+      out := (at, Buffer.contents buf) :: !out
     end
     else incr i
   done;
   List.rev !out
+
+let string_literals text = List.map snd (string_literals_at text)
 
 (* The registered table, parsed textually from counter_names.ml: literals
    ending in '.' are dynamic-family prefixes, the rest exact names. *)
@@ -268,6 +287,96 @@ let scan_counter_names ~prefixes ~exacts offenders path text =
       offenders
       (flag_counter_names ~prefixes ~exacts text)
 
+(* --- Rule 7: canonical fault-set literals ------------------------------ *)
+
+(* Textual mirror of Fault.encode/decode's grammar (lib/topology/fault.ml):
+   strict non-negative digits without leading zeros, gpu:G | link:D:A-B
+   with A < B | nic:G@P, and sets as the comma-join of sorted distinct
+   elements.  Returns the element's sort key (constructor order, then
+   fields, matching the structural order on Fault.elt) or None when the
+   spelling is not canonical. *)
+let strict_int s =
+  if s = "" then None
+  else if String.exists (fun c -> c < '0' || c > '9') s then None
+  else if String.length s > 1 && s.[0] = '0' then None
+  else int_of_string_opt s
+
+let fault_elt_key s =
+  match String.index_opt s ':' with
+  | None -> None
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match kind with
+      | "gpu" -> (
+          match strict_int rest with
+          | Some g -> Some (0, g, 0, 0)
+          | None -> None)
+      | "link" -> (
+          match String.index_opt rest ':' with
+          | None -> None
+          | Some j -> (
+              let dim = strict_int (String.sub rest 0 j) in
+              let pair = String.sub rest (j + 1) (String.length rest - j - 1) in
+              match (dim, String.index_opt pair '-') with
+              | Some dim, Some k -> (
+                  match
+                    ( strict_int (String.sub pair 0 k),
+                      strict_int
+                        (String.sub pair (k + 1) (String.length pair - k - 1))
+                    )
+                  with
+                  | Some a, Some b when a < b -> Some (1, dim, a, b)
+                  | _ -> None)
+              | _ -> None))
+      | "nic" -> (
+          match String.index_opt rest '@' with
+          | None -> None
+          | Some j -> (
+              match
+                ( strict_int (String.sub rest 0 j),
+                  strict_int
+                    (String.sub rest (j + 1) (String.length rest - j - 1)) )
+              with
+              | Some g, Some p -> Some (2, g, p, 0)
+              | _ -> None))
+      | _ -> None)
+
+let looks_like_fault_set s =
+  List.exists (fun p -> starts_with s p) [ "gpu:"; "link:"; "nic:" ]
+
+let fault_set_roundtrips s =
+  let parts = String.split_on_char ',' s in
+  let keys = List.map fault_elt_key parts in
+  (not (List.mem None keys))
+  &&
+  (* Strict element parses re-encode to themselves, so the set is
+     canonical iff its keys are strictly increasing (sorted, no dups). *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> compare a b < 0 && increasing rest
+    | _ -> true
+  in
+  increasing (List.map Option.get keys)
+
+let scan_fault_literals offenders path text =
+  if Filename.basename path = "fault.ml" then offenders
+  else
+    List.fold_left
+      (fun offenders (lineno, lit) ->
+        if
+          looks_like_fault_set lit
+          && (not (contains lit "%"))
+          && not (fault_set_roundtrips lit)
+        then
+          Printf.sprintf
+            "%s:%d: non-canonical fault-set literal %S (must round-trip \
+             Fault.encode: strict digits, link A < B, sorted distinct \
+             elements)"
+            path lineno lit
+          :: offenders
+        else offenders)
+      offenders (string_literals_at text)
+
 let rec scan ~prefixes ~exacts offenders dir =
   Array.fold_left
     (fun offenders entry ->
@@ -291,7 +400,8 @@ let rec scan ~prefixes ~exacts offenders dir =
               else offenders)
             offenders rules
         in
-        scan_counter_names ~prefixes ~exacts offenders path text
+        let offenders = scan_counter_names ~prefixes ~exacts offenders path text in
+        scan_fault_literals offenders path text
       end
       else offenders)
     offenders (Sys.readdir dir)
