@@ -29,6 +29,10 @@ let report_current = ref "BENCH_milp.json"
 let report_threshold = ref 8.0
 let report_check = ref false
 
+(* `report --fleet=FILE`: gate on BENCH_fleet.json instead of the milp
+   comparison (see bench_report). *)
+let report_fleet = ref None
+
 (* Pool/cache activity footer for the synthesis-time figures. *)
 let runtime_stats () =
   let v = Counters.value in
@@ -697,6 +701,111 @@ let bench_milp () =
   close_out oc;
   Printf.printf "   wrote BENCH_milp.json\n%!"
 
+(* --- Fleet warming gate: registry hit rate on a cold production grid ---- *)
+
+(* Warm one root-0 anchor per (family, collective, bucket) into a fresh
+   registry, then serve each family's cold production grid — every request
+   keyed apart from its anchor — and measure how much of it the registry's
+   symmetry probes serve without another synthesis: other roots by
+   stabilizer transport, adjacent buckets by rescaling.  Writes
+   BENCH_fleet.json for `report --check --fleet=...` (the CI gate asserts
+   >=90%) and fails in-process if any near-miss hit lacks its source-entry
+   provenance in the audit trail. *)
+let bench_fleet () =
+  let module Registry = Syccl_serve.Registry in
+  let module Serve = Syccl_serve.Serve in
+  let module Fleet = Syccl_serve.Fleet in
+  let module Audit = Syccl_serve.Audit in
+  let module Json = Syccl_util.Json in
+  let families, anchors =
+    if !smoke then (Fleet.smoke_families, Fleet.smoke_anchors)
+    else (Fleet.default_families, Fleet.default_anchors)
+  in
+  let collectives = Fleet.default_collectives in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "syccl-bench-fleet-%d" (Unix.getpid ()))
+  in
+  let reg = Registry.open_dir dir in
+  Fun.protect ~finally:(fun () -> Registry.destroy reg) @@ fun () ->
+  let audit = Audit.for_registry reg in
+  Printf.printf "\n== fleet: warm anchors, then serve a cold production grid ==\n%!";
+  let w = Fleet.warm ~registry:reg ~audit ~families ~collectives ~anchors () in
+  Printf.printf "   warmed %d anchors (%d stored, %d already hit, %d failed)\n%!"
+    w.Fleet.anchors w.Fleet.stored w.Fleet.already_hit w.Fleet.failed;
+  Printf.printf "%-16s | %8s %11s %12s %11s | %8s\n%!" "family" "requests"
+    "transported" "cross-bucket" "synthesized" "hit-rate";
+  let rows =
+    List.map
+      (fun family ->
+        let grid = Fleet.production_grid ~family ~collectives ~anchors () in
+        let outs = Serve.run_batch ~registry:reg ~audit grid in
+        let transported = ref 0
+        and crossed = ref 0
+        and other = ref 0
+        and synth = ref 0 in
+        List.iter
+          (fun (o : Serve.outcome) ->
+            match o.Serve.source with
+            | Serve.From_registry { via = Registry.Transported; _ } ->
+                incr transported
+            | Serve.From_registry { via = Registry.Scaled_cross; _ } ->
+                incr crossed
+            | Serve.From_registry _ -> incr other
+            | Serve.From_synthesis -> incr synth)
+          outs;
+        let total = List.length grid in
+        let rate =
+          float_of_int (!transported + !crossed)
+          /. float_of_int (max 1 total)
+        in
+        Printf.printf "%-16s | %8d %11d %12d %11d | %7.1f%%\n%!" family total
+          !transported !crossed !synth (100.0 *. rate);
+        Json.Obj
+          [
+            ("family", Json.Str family);
+            ("requests", Json.Num (float_of_int total));
+            ("transported", Json.Num (float_of_int !transported));
+            ("scaled_cross", Json.Num (float_of_int !crossed));
+            ("other_hits", Json.Num (float_of_int !other));
+            ("synthesized", Json.Num (float_of_int !synth));
+            ("hit_rate", Json.Num rate);
+          ])
+      families
+  in
+  (* Reuse provenance: every near-miss hit must name its source entry. *)
+  let records, bad = Audit.read (Audit.path audit) in
+  let unattributed =
+    List.filter
+      (fun (r : Audit.record) ->
+        (r.Audit.probe = "hit.transported"
+        || r.Audit.probe = "hit.scaled_cross")
+        && r.Audit.hit_key = None)
+      records
+  in
+  if bad > 0 then Printf.printf "   (audit: %d torn lines)\n" bad;
+  if unattributed <> [] then begin
+    Printf.printf "fleet: %d near-miss hit(s) lack source-entry provenance\n"
+      (List.length unattributed);
+    exit 1
+  end;
+  let json =
+    Json.Obj
+      [
+        ("bench", Json.Str "fleet");
+        ( "mode",
+          Json.Str
+            (if !smoke then "smoke" else if !full then "full" else "quick")
+        );
+        ("rows", Json.List rows);
+      ]
+  in
+  let oc = open_out "BENCH_fleet.json" in
+  output_string oc (Json.to_string ~pretty:true json);
+  close_out oc;
+  Printf.printf "   wrote BENCH_fleet.json\n%!"
+
 (* --- Bench observatory: regression report over BENCH_*.json ------------- *)
 
 (* Compare the current BENCH_milp.json against a committed baseline and
@@ -727,6 +836,50 @@ let bench_report () =
     match row with Json.Obj kvs -> List.assoc_opt k kvs | _ -> None
   in
   let num row k = match field row k with Some (Json.Num v) -> v | _ -> nan in
+  match !report_fleet with
+  | Some path ->
+      (* Fleet registry hit-rate gate: every family warmed by
+         `fleet` must reach >=90% transported + cross-bucket hits on its
+         cold production grid.  --check keeps the gate non-vacuous: a
+         missing file or an empty row set fails outright. *)
+      Printf.printf "\n== bench report: fleet registry hit-rate gate (%s) ==\n"
+        path;
+      (match read path with
+      | None ->
+          Printf.printf "report: missing %s\n" path;
+          if !report_check then exit 1
+      | Some j ->
+          let frows = rows (Some j) in
+          if frows = [] && !report_check then begin
+            Printf.printf "report: no fleet rows — gate is vacuous\n";
+            exit 1
+          end;
+          let below = ref 0 in
+          Printf.printf "%-16s | %8s %8s | %s\n" "family" "requests"
+            "hit-rate" "verdict";
+          List.iter
+            (fun row ->
+              let family =
+                match field row "family" with
+                | Some (Json.Str s) -> s
+                | _ -> "?"
+              in
+              let rate = num row "hit_rate" in
+              let ok = rate >= 0.9 in
+              if not ok then incr below;
+              Printf.printf "%-16s | %8.0f %7.1f%% | %s\n" family
+                (num row "requests") (100.0 *. rate)
+                (if ok then "ok" else "below 90% gate"))
+            frows;
+          if !below > 0 then begin
+            Printf.printf "report: %d family(ies) below the hit-rate gate\n"
+              !below;
+            exit 1
+          end
+          else
+            Printf.printf "report: fleet gate ok (%d families)\n"
+              (List.length frows))
+  | None ->
   let base = read !report_baseline and cur = read !report_current in
   Printf.printf "\n== bench report: %s vs baseline %s (threshold %.1fx) ==\n"
     !report_current !report_baseline !report_threshold;
@@ -845,6 +998,7 @@ let targets =
     ("tab5", tab5); ("fig17a", fig17a); ("fig17b", fig17b); ("fig17c", fig17c);
     ("tab6", tab6); ("fig21a", fig21a); ("fig21b", fig21b); ("fig22a", fig22a);
     ("milp", bench_milp);
+    ("fleet", bench_fleet);
     ("report", bench_report);
   ]
 
@@ -865,6 +1019,7 @@ let () =
   in
   Option.iter (fun v -> report_baseline := v) (keyed "--baseline=");
   Option.iter (fun v -> report_current := v) (keyed "--current=");
+  Option.iter (fun v -> report_fleet := Some v) (keyed "--fleet=");
   Option.iter
     (fun v -> report_threshold := float_of_string v)
     (keyed "--threshold=");

@@ -10,6 +10,7 @@ module Registry = Syccl_serve.Registry
 module Serve = Syccl_serve.Serve
 module Audit = Syccl_serve.Audit
 module Failover = Syccl_serve.Failover
+module Fleet = Syccl_serve.Fleet
 
 (* Name resolution moved into the serve layer (Syccl_serve.Request) so the
    CLI, batch files, tests and benches accept the same names. *)
@@ -313,11 +314,15 @@ let synth_cmd =
       | s -> Printf.sprintf " (faults %s)" s);
     (match (registry, so.Serve.source) with
     | None, _ -> ()
-    | Some reg, Serve.From_registry { hit_key; scaled; stored_cost } ->
+    | Some reg, Serve.From_registry { hit_key; via; stored_cost } ->
         Format.printf
           "registry:   hit %s%s in %s (stored cost %.1f us, re-validated)@."
           hit_key
-          (if scaled then " (rescaled)" else "")
+          (match via with
+          | Registry.Exact -> ""
+          | Registry.Rescaled -> " (rescaled)"
+          | Registry.Transported -> " (transported)"
+          | Registry.Scaled_cross -> " (rescaled cross-bucket)")
           (Registry.dir reg) (stored_cost *. 1e6)
     | Some reg, Serve.From_synthesis ->
         Format.printf "registry:   miss in %s (stored for next time)@."
@@ -784,14 +789,48 @@ let batch_cmd =
       $ registry_arg $ stats_arg $ audit_arg $ metrics_out_arg $ sjson)
 
 let warm_cmd =
-  let run tname cnames sizes domains deadline rdir audit faults_k =
+  let run tname cnames sizes domains deadline rdir audit faults_k fleet
+      families =
     let registry = require_registry rdir in
     let config =
       { Syccl.Synthesizer.default_config with domains; deadline }
     in
-    let sizes = if sizes = [] then sweep_sizes else sizes in
-    let cnames = String.split_on_char ',' cnames in
     let audit = audit_of (Some registry) audit in
+    if fleet then begin
+      (* Fleet warming: anchor every family × collective × bucket at root
+         0; production requests at other roots / adjacent buckets are
+         served by the registry's transport and cross-bucket probes. *)
+      let families =
+        if families = [] then Fleet.default_families else families
+      in
+      let collectives =
+        match cnames with
+        | Some c -> String.split_on_char ',' c
+        | None -> Fleet.default_collectives
+      in
+      let anchors = if sizes = [] then Fleet.default_anchors else sizes in
+      let stats =
+        Fleet.warm ~registry ?audit ~config ~families ~collectives ~anchors
+          ()
+      in
+      Format.printf "%-16s %8s %8s %8s %8s@." "family" "anchors" "stored"
+        "hit" "failed";
+      List.iter
+        (fun (f : Fleet.family) ->
+          Format.printf "%-16s %8d %8d %8d %8d@." f.Fleet.family
+            f.Fleet.anchors f.Fleet.stored f.Fleet.already_hit
+            f.Fleet.failed)
+        stats.Fleet.families;
+      Format.printf
+        "fleet: %d anchors, %d stored, %d already hit, %d failed@."
+        stats.Fleet.anchors stats.Fleet.stored stats.Fleet.already_hit
+        stats.Fleet.failed
+    end
+    else begin
+    let sizes = if sizes = [] then sweep_sizes else sizes in
+    let cnames =
+      String.split_on_char ',' (Option.value cnames ~default:"allgather")
+    in
     (match faults_k with
     | None ->
         let requests =
@@ -838,9 +877,14 @@ let warm_cmd =
                 if st.Failover.skipped > 0 then
                   Format.printf "%12s %10s skipped %d member(s) (degraded \
                                  representative or store failure)@."
-                    "" "" st.Failover.skipped)
+                    "" "" st.Failover.skipped;
+                if st.Failover.skipped_demand > 0 then
+                  Format.printf "%12s %10s skipped %d demand-changing \
+                                 class(es) (GPU faults)@."
+                    "" "" st.Failover.skipped_demand)
               sizes)
-          cnames);
+          cnames)
+    end;
     Format.printf "registry:   %d entries in %s@." (Registry.length registry)
       (Registry.dir registry)
   in
@@ -861,28 +905,57 @@ let warm_cmd =
   let colls =
     Arg.(
       value
-      & opt string "allgather"
+      & opt (some string) None
       & info [ "c"; "collectives" ] ~docv:"COLLS"
-          ~doc:"Comma-separated collective names to warm.")
+          ~doc:
+            "Comma-separated collective names to warm (default: allgather; \
+             with $(b,--fleet), every collective except sendrecv).")
   in
   let sizes =
     Arg.(
       value
       & opt (list float) []
       & info [ "sizes" ] ~docv:"BYTES,..."
-          ~doc:"Sizes to warm (defaults to the sweep series).")
+          ~doc:
+            "Sizes to warm (defaults to the sweep series; with \
+             $(b,--fleet), one anchor per bucket of the serving sweet \
+             spot).")
+  in
+  let fleet =
+    Arg.(
+      value & flag
+      & info [ "fleet" ]
+          ~doc:
+            "Warm every named topology family across the size grid with \
+             one root-0 anchor per (family, collective, bucket).  The \
+             registry's symmetry probes serve the rest of the grid from \
+             those anchors — other roots by stabilizer transport, adjacent \
+             buckets by rescaling — so a cold family reaches hit-rate \
+             saturation at anchor cost.")
+  in
+  let families =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "families" ] ~docv:"NAME,..."
+          ~doc:
+            "Topology families for $(b,--fleet) (default: every named \
+             builder family).")
   in
   Cmd.v
     (Cmd.info "warm"
        ~doc:
          "Pre-populate the schedule registry for a topology/collective \
-          sweep, so production requests start as hits.  With \
-          $(b,--faults K), also warm every <=K-link fault class at orbit \
-          cost: one synthesis per symmetry-equivalence class of fault \
-          sets, transported to the rest.")
+          sweep, so production requests start as hits.  With $(b,--fleet), \
+          anchor every named topology family so transported and rescaled \
+          registry hits cover the production grid.  With \
+          $(b,--faults K), also warm every <=K-element link/NIC fault \
+          class at orbit cost: one synthesis per symmetry-equivalence \
+          class of fault sets, transported to the rest (GPU fault classes \
+          change the demand itself and are counted, then skipped).")
     Term.(
       const run $ topo_arg $ colls $ sizes $ domains_arg $ deadline_arg
-      $ registry_arg $ audit_arg $ faults_k)
+      $ registry_arg $ audit_arg $ faults_k $ fleet $ families)
 
 (* --- observability: audit / metrics / registry ------------------------- *)
 
@@ -1075,7 +1148,7 @@ let metrics_cmd =
     Term.(const run $ from_audit $ registry_arg $ out)
 
 let registry_cmd =
-  let run action key rdir tname =
+  let run action key rdir tname max_entries max_bytes =
     let reg = require_registry rdir in
     let topo = Option.map topo_of_name tname in
     let keys = Registry.keys reg in
@@ -1117,6 +1190,18 @@ let registry_cmd =
           keys;
         Format.printf "%s: %d entries, %d bytes, %d corrupt@."
           (Registry.dir reg) (List.length keys) !total_bytes !corrupt;
+        let layout = Registry.layout_stats reg in
+        Format.printf
+          "layout:     v%s, %d sharded in %d shard dir%s, %d legacy flat%s@."
+          (match Registry.manifest reg with
+          | Ok v -> string_of_int v
+          | Error e -> "? (" ^ e ^ ")")
+          layout.Registry.sharded layout.Registry.shards_in_use
+          (if layout.Registry.shards_in_use = 1 then "" else "s")
+          layout.Registry.flat
+          (if layout.Registry.flat > 0 then
+             " (run `syccl registry compact` to migrate)"
+           else "");
         List.iter
           (fun (k, (n, b)) -> Format.printf "  %-28s %4d entries %10d bytes@." k n b)
           (List.sort compare !buckets);
@@ -1199,17 +1284,55 @@ let registry_cmd =
           keys;
         Format.printf "verified %d entries, %d bad@." (List.length keys) !bad;
         if !bad > 0 then exit 1
+    | "compact" ->
+        (* Offline maintenance: the only registry action that deletes.
+           LRU recency comes from the audit trail's hit provenance, so an
+           entry that serves traffic (directly or as a transport source)
+           outlives an idle one. *)
+        let last_used =
+          let audit = Filename.concat (Registry.dir reg) Audit.default_name in
+          if Sys.file_exists audit then begin
+            let records, _bad = Audit.read audit in
+            let seen = Hashtbl.create 64 in
+            List.iter
+              (fun (r : Audit.record) ->
+                match r.Audit.hit_key with
+                | Some hk ->
+                    let ts =
+                      match Hashtbl.find_opt seen hk with
+                      | Some t -> Float.max t r.Audit.ts
+                      | None -> r.Audit.ts
+                    in
+                    Hashtbl.replace seen hk ts
+                | None -> ())
+              records;
+            fun k -> Hashtbl.find_opt seen k
+          end
+          else fun _ -> None
+        in
+        let s = Registry.compact reg ?max_entries ?max_bytes ~last_used () in
+        Format.printf
+          "compacted %s: %d migrated, %d corrupt removed, %d dominated \
+           pruned, %d evicted; %d entr%s (%d bytes) kept@."
+          (Registry.dir reg) s.Registry.migrated s.Registry.corrupt_removed
+          s.Registry.dominated_removed s.Registry.evicted s.Registry.kept
+          (if s.Registry.kept = 1 then "y" else "ies")
+          s.Registry.kept_bytes
     | other ->
         failwith
           (Printf.sprintf
-             "unknown registry action %S (expected stats|ls|inspect|verify)"
+             "unknown registry action %S (expected \
+              stats|ls|inspect|verify|compact)"
              other)
   in
   let action =
     Arg.(
       required
       & pos 0 (some string) None
-      & info [] ~docv:"ACTION" ~doc:"One of $(b,stats), $(b,ls), $(b,inspect), $(b,verify).")
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "One of $(b,stats), $(b,ls), $(b,inspect), $(b,verify), \
+             $(b,compact).")
   in
   let key =
     Arg.(
@@ -1226,16 +1349,40 @@ let registry_cmd =
             "Topology to verify entries against (entries whose fingerprint \
              differs stay unverified).")
   in
+  let max_entries =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-entries" ] ~docv:"N"
+          ~doc:
+            "For $(b,compact): evict least-recently-used entries until at \
+             most $(docv) remain.")
+  in
+  let max_bytes =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-bytes" ] ~docv:"B"
+          ~doc:
+            "For $(b,compact): evict least-recently-used entries until at \
+             most $(docv) bytes remain on disk.")
+  in
   Cmd.v
     (Cmd.info "registry"
        ~doc:
-         "Introspect the on-disk schedule registry: per-bucket stats with \
-          audit-derived hit provenance ($(b,stats)), entry listing \
-          ($(b,ls)), one entry in full ($(b,inspect KEY)), or a read-only \
-          re-validation / re-simulation pass over every entry \
-          ($(b,verify)) — corrupt, invalid or cost-regressed entries are \
-          reported, never deleted, and the command exits non-zero.")
-    Term.(const run $ action $ key $ registry_arg $ topo)
+         "Introspect and maintain the on-disk schedule registry: \
+          per-bucket stats with layout and audit-derived hit provenance \
+          ($(b,stats)), entry listing ($(b,ls)), one entry in full \
+          ($(b,inspect KEY)), a read-only re-validation / re-simulation \
+          pass over every entry ($(b,verify)) — corrupt, invalid or \
+          cost-regressed entries are reported, never deleted, and the \
+          command exits non-zero — or offline compaction ($(b,compact)): \
+          migrate legacy flat entries into shards, delete corrupt \
+          entries, prune transport-dominated duplicates, and evict by \
+          audit-trail recency to $(b,--max-entries)/$(b,--max-bytes).")
+    Term.(
+      const run $ action $ key $ registry_arg $ topo $ max_entries
+      $ max_bytes)
 
 let fuzz_cmd =
   let run seed cases props shrink domains =
@@ -1308,11 +1455,17 @@ let () =
         audit_cmd; metrics_cmd; registry_cmd; fuzz_cmd;
       ]
   in
-  (* Bad user input (unknown topology, malformed --faults spec, ...) is
-     reported by the library as Failure/Invalid_argument; print the
-     message, not an "internal error" backtrace dump. *)
+  (* Bad user input (unknown topology, malformed --faults spec, unknown
+     registry key, ...) is reported by the library as
+     Failure/Invalid_argument, and operator problems (an unreadable shard
+     directory, a permission-denied registry) as Sys_error/Unix_error;
+     print the one-line message, not an "internal error" backtrace dump. *)
   exit
     (try Cmd.eval ~catch:false cmd with
-     | Failure msg | Invalid_argument msg ->
+     | Failure msg | Invalid_argument msg | Sys_error msg ->
          Printf.eprintf "syccl_cli: %s\n" msg;
+         Cmd.Exit.internal_error
+     | Unix.Unix_error (e, fn, arg) ->
+         Printf.eprintf "syccl_cli: %s: %s (%s)\n" fn (Unix.error_message e)
+           arg;
          Cmd.Exit.internal_error)

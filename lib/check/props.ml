@@ -323,15 +323,6 @@ let temp_registry_dir rng =
     (Printf.sprintf "syccl-fuzz-reg-%d-%d" (Unix.getpid ())
        (X.int rng 1_000_000_000))
 
-let remove_registry_dir dir =
-  match Sys.readdir dir with
-  | entries ->
-      Array.iter
-        (fun e -> try Sys.remove (Filename.concat dir e) with Sys_error _ -> ())
-        entries;
-      (try Sys.rmdir dir with Sys_error _ -> ())
-  | exception Sys_error _ -> ()
-
 let prop_registry_fidelity ctx =
   let rng = ctx.rng in
   let topo = Gen.topology rng in
@@ -342,7 +333,7 @@ let prop_registry_fidelity ctx =
   let dir = temp_registry_dir rng in
   let reg = Registry.open_dir dir in
   Fun.protect
-    ~finally:(fun () -> remove_registry_dir dir)
+    ~finally:(fun () -> Registry.destroy reg)
     (fun () ->
       let cost = sim_phases ~blocks:b_store topo schedules in
       Registry.store reg topo coll ~blocks:b_store ~cost
@@ -364,6 +355,71 @@ let prop_registry_fidelity ctx =
             failf "hit time %g is not the probe-fidelity resimulation"
               hit.Registry.time
           else Pass)
+
+(* ------------------------------------------------------------------ *)
+(* registry transport soundness: a hit transported from a symmetric root
+   must simulate at exactly the source entry's cost on the source
+   topology — the automorphism-transport law, observed end-to-end through
+   the serving probe — and must carry the source entry's key. *)
+
+let rooted_kinds =
+  [|
+    Collective.Broadcast; Collective.Scatter; Collective.Gather;
+    Collective.Reduce;
+  |]
+
+let prop_registry_transport ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  let n = Topology.num_gpus topo in
+  let src = Gen.collective ~kinds:rooted_kinds rng ~n in
+  let src_root = src.Collective.root in
+  (* Destination roots the probe can reach: images of the source root
+     under the (healthy) stabilizer, excluding the source itself. *)
+  let dsts =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun p ->
+           let r = Perm.apply p src_root in
+           if r = src_root then None else Some r)
+         (Topology.stabilizer topo))
+  in
+  match dsts with
+  | [] -> Skip "stabilizer fixes the source root"
+  | _ -> (
+      let dst_root = X.pick rng (Array.of_list dsts) in
+      let dst =
+        Collective.make ~root:dst_root ~peer:0 src.Collective.kind ~n
+          ~size:src.Collective.size
+      in
+      let schedules = Syccl_baselines.Fallback.schedule topo src in
+      let cost = sim_phases topo schedules in
+      let dir = temp_registry_dir rng in
+      let reg = Registry.open_dir dir in
+      Fun.protect
+        ~finally:(fun () -> Registry.destroy reg)
+        (fun () ->
+          Registry.store reg topo src ~cost ~chosen:"fuzz-fallback" schedules;
+          match Registry.probe reg topo dst with
+          | Registry.Hit h ->
+              if h.Registry.via <> Registry.Transported then
+                failf "probe at root %d served via %s, expected transport"
+                  dst_root (Registry.via_name h.Registry.via)
+              else if h.Registry.hit_key <> Registry.key topo src then
+                failf "transported hit reports key %s, source is %s"
+                  h.Registry.hit_key (Registry.key topo src)
+              else if not (rel_close ~tol:1e-9 h.Registry.time cost) then
+                failf
+                  "transport changes cost: source %g, transported %g"
+                  cost h.Registry.time
+              else Pass
+          | Registry.Miss Registry.Transport_rejected ->
+              (* Legitimate: ambiguous demand chunk signature, or the
+                 fallback at the destination root beats the transport. *)
+              Skip "transport rejected"
+          | Registry.Miss r ->
+              failf "probe at symmetric root %d missed (%s)" dst_root
+                (Registry.miss_reason_name r)))
 
 (* ------------------------------------------------------------------ *)
 (* size_bucket is the exact power-of-two floor. *)
@@ -646,6 +702,8 @@ let all =
     { name = "mutant-soundness"; heavy = false; check = prop_mutant_soundness };
     { name = "reorder-benign"; heavy = false; check = prop_reorder_benign };
     { name = "registry-fidelity"; heavy = true; check = prop_registry_fidelity };
+    { name = "registry-transport"; heavy = true;
+      check = prop_registry_transport };
     { name = "size-bucket"; heavy = false; check = prop_size_bucket };
     { name = "lp-differential"; heavy = false; check = prop_lp_differential };
     { name = "degraded-validity"; heavy = true; check = prop_degraded_validity };

@@ -367,6 +367,12 @@ let synth_phase ~pool ~memo ~budget cfg topo (phase : Collective.t) =
   let primitives = Collective.decompose phase in
   let p0 = List.hd primitives in
   let mirrored = p0.Collective.mirrored in
+  (* Reduce-family mirrors combine on the way up ([reverse]); Gather is the
+     only non-reducing mirrored kind and must stay a copy ([transpose]). *)
+  let mirror =
+    if Collective.is_reduce phase.Collective.kind then Schedule.reverse
+    else Schedule.transpose
+  in
   let kind = p0.Collective.p_kind in
   let search_cfg =
     match cfg.search_config with Some c -> c | None -> Search.default topo kind
@@ -516,7 +522,7 @@ let synth_phase ~pool ~memo ~budget cfg topo (phase : Collective.t) =
             (Pool.map pool
                (fun (c, p) ->
                  let s = Subsolver.assemble p ~solution in
-                 let s = if mirrored then Schedule.reverse s else s in
+                 let s = if mirrored then mirror s else s in
                  (c, p, s, Sim.time ~blocks:screen_blocks topo s))
                (Array.of_list plans)),
           solution ))
@@ -564,7 +570,7 @@ let synth_phase ~pool ~memo ~budget cfg topo (phase : Collective.t) =
           List.map
             (fun (c, p, s1, _) ->
               let s2 = Subsolver.assemble p ~solution in
-              let s2 = if mirrored then Schedule.reverse s2 else s2 in
+              let s2 = if mirrored then mirror s2 else s2 in
               let t1 = Sim.time ~blocks:(fidelity_blocks s1) topo s1 in
               let t2 = Sim.time ~blocks:(fidelity_blocks s2) topo s2 in
               if t2 < t1 then (c, p, s2, t2) else (c, p, s1, t1))

@@ -168,6 +168,12 @@ let replay_counters r =
   Counters.bump "serve.requests";
   (match r.probe with
   | "hit" | "hit.scaled" -> Counters.bump "registry.hits"
+  | "hit.transported" ->
+      Counters.bump "registry.hits";
+      Counters.bump "registry.hit.transported"
+  | "hit.scaled_cross" ->
+      Counters.bump "registry.hits";
+      Counters.bump "registry.hit.scaled_cross"
   | "none" -> ()
   | probe ->
       (* probe is miss.REASON; the counter family is registry.miss.REASON. *)

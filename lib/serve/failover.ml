@@ -8,10 +8,8 @@ module Validate = Syccl_sim.Validate
 module Sim = Syccl_sim.Sim
 module Synthesizer = Syccl.Synthesizer
 
-(* The single-element fault universe warming enumerates over: every
-   intra-group edge of every dimension.  GPU and NIC faults are servable
-   (puncture accepts them) but not enumerated — losing a whole GPU changes
-   the demand itself, so there is no one collective to pre-warm. *)
+(* Every intra-group edge of every dimension — the default single-element
+   fault universe. *)
 let link_elements topo =
   let out = ref [] in
   for d = Topology.num_dims topo - 1 downto 0 do
@@ -28,9 +26,41 @@ let link_elements topo =
   done;
   !out
 
-let fault_sets topo ~k =
+(* One NIC element per (GPU, port group present in the topology): the NIC
+   serving that port group on that GPU.  Demand-preserving — every rank
+   stays alive — so these classes are warmable like links. *)
+let nic_elements topo =
+  let port_groups =
+    Array.to_list topo.Topology.dims
+    |> List.map (fun d -> d.Topology.port_group)
+    |> List.sort_uniq compare
+  in
+  List.concat_map
+    (fun pg ->
+      List.init (Topology.num_gpus topo) (fun g ->
+          Fault.Nic { gpu = g; port_group = pg }))
+    port_groups
+
+(* Whole-GPU elements.  Servable (puncture accepts them) but not warmable:
+   losing a rank changes the collective demand itself, so there is no one
+   collective to pre-warm — {!warm} enumerates these classes only to count
+   them as skipped. *)
+let gpu_elements topo =
+  List.init (Topology.num_gpus topo) (fun g -> Fault.Gpu g)
+
+let fault_elements topo =
+  link_elements topo @ nic_elements topo @ gpu_elements topo
+
+let demand_changing faults =
+  List.exists
+    (function Fault.Gpu _ -> true | Fault.Link _ | Fault.Nic _ -> false)
+    (Fault.elements faults)
+
+let fault_sets ?elements topo ~k =
   if k < 1 then invalid_arg "Failover.fault_sets: k must be >= 1";
-  let elts = link_elements topo in
+  let elts =
+    match elements with Some e -> e | None -> link_elements topo
+  in
   (* All subsets of size <= k.  Each subset is either without the head
      element or with it, so no subset is produced twice. *)
   let rec combos k = function
@@ -64,11 +94,12 @@ let symmetry_group topo (coll : Collective.t) =
   | Collective.Reduce ->
       List.filter (fun p -> fixes p coll.Collective.root) group
 
-let orbits topo coll ~k =
+let orbits ?elements topo coll ~k =
   Perm.orbit_classes
     ~group:(symmetry_group topo coll)
     ~image:(fun f p -> Fault.map p f)
-    ~compare:Fault.compare (fault_sets topo ~k)
+    ~compare:Fault.compare
+    (fault_sets ?elements topo ~k)
 
 type stats = {
   sets : int;
@@ -78,6 +109,7 @@ type stats = {
   transported : int;
   resynthesized : int;
   skipped : int;
+  skipped_demand : int;
 }
 
 let simulate ~blocks topo schedules =
@@ -91,7 +123,14 @@ let warm ~registry ?audit ?(config = Synthesizer.default_config) ~topology
   let topo = healthy.Request.topo in
   let coll = healthy.Request.coll in
   let group = symmetry_group topo coll in
-  let classes = orbits topo coll ~k in
+  (* The warming universe covers links and NICs (demand-preserving) plus
+     whole GPUs.  A dead rank changes the demand's very shape — n drops by
+     one — so GPU classes cannot be pre-warmed for this collective; they
+     are enumerated, counted, and skipped. *)
+  let classes = orbits ~elements:(fault_elements topo) topo coll ~k in
+  let demand_classes, classes =
+    List.partition (fun (rep, _) -> demand_changing rep) classes
+  in
   let sets = List.fold_left (fun a (_, ms) -> a + List.length ms) 0 classes in
   let stats =
     ref
@@ -103,8 +142,10 @@ let warm ~registry ?audit ?(config = Synthesizer.default_config) ~topology
         transported = 0;
         resynthesized = 0;
         skipped = 0;
+        skipped_demand = List.length demand_classes;
       }
   in
+  Counters.add "failover.skipped_demand" (List.length demand_classes);
   let bump f = stats := f !stats in
   (* Synthesizing a member from scratch is the correctness net under every
      transport failure: the orbit machinery is an optimization, never the

@@ -14,14 +14,34 @@
 val link_elements :
   Syccl_topology.Topology.t -> Syccl_topology.Fault.elt list
 (** Every single intra-group edge of every dimension, as fault elements —
-    the universe {!fault_sets} draws from.  GPU and NIC faults are servable
-    but not enumerated: losing a GPU changes the collective demand itself,
-    so there is no fixed demand to pre-warm. *)
+    the default universe {!fault_sets} draws from. *)
+
+val nic_elements :
+  Syccl_topology.Topology.t -> Syccl_topology.Fault.elt list
+(** One NIC element per (GPU, port group present in the topology).
+    Demand-preserving — every rank stays alive — so NIC classes are
+    warmable like links. *)
+
+val gpu_elements :
+  Syccl_topology.Topology.t -> Syccl_topology.Fault.elt list
+(** One whole-GPU element per rank.  Servable (puncture accepts them) but
+    not warmable: losing a rank changes the collective demand itself, so
+    {!warm} enumerates these classes only to count and skip them. *)
+
+val fault_elements :
+  Syccl_topology.Topology.t -> Syccl_topology.Fault.elt list
+(** The full warming universe: links, then NICs, then GPUs. *)
+
+val demand_changing : Syccl_topology.Fault.t -> bool
+(** Whether serving under this fault set changes the collective demand's
+    shape — true iff the set kills a whole GPU. *)
 
 val fault_sets :
+  ?elements:Syccl_topology.Fault.elt list ->
   Syccl_topology.Topology.t -> k:int -> Syccl_topology.Fault.t list
-(** All distinct fault sets of 1 to [k] link elements, canonical and
-    sorted.  Raises [Invalid_argument] when [k < 1]. *)
+(** All distinct fault sets of 1 to [k] elements drawn from [elements]
+    (default {!link_elements}), canonical and sorted.  Raises
+    [Invalid_argument] when [k < 1]. *)
 
 val symmetry_group :
   Syccl_topology.Topology.t -> Syccl_collective.Collective.t ->
@@ -33,14 +53,15 @@ val symmetry_group :
     collective. *)
 
 val orbits :
+  ?elements:Syccl_topology.Fault.elt list ->
   Syccl_topology.Topology.t -> Syccl_collective.Collective.t -> k:int ->
   (Syccl_topology.Fault.t * Syccl_topology.Fault.t list) list
 (** {!fault_sets} partitioned into orbits under {!symmetry_group}, each as
     [(canonical representative, members)]. *)
 
 type stats = {
-  sets : int;  (** fault sets enumerated (orbit members, total) *)
-  orbits : int;  (** equivalence classes — syntheses actually needed *)
+  sets : int;  (** warmable fault sets enumerated (orbit members, total) *)
+  orbits : int;  (** warmable equivalence classes — syntheses needed *)
   rep_hits : int;  (** representatives already served from the registry *)
   rep_synthesized : int;  (** representatives synthesized cold *)
   transported : int;  (** member entries stored by schedule transport *)
@@ -50,6 +71,10 @@ type stats = {
   skipped : int;
       (** members left cold (degraded/fast-only representative, or a store
           failure) — never silently served *)
+  skipped_demand : int;
+      (** classes skipped because their fault set kills a rank and so
+          changes the demand's shape (also counted on the
+          failover.skipped_demand counter) *)
 }
 
 val warm :
@@ -62,7 +87,8 @@ val warm :
   int ->
   stats
 (** [warm ~registry ~topology ~collective ~size k] pre-populates the
-    registry for every <=[k]-link fault set of the topology: one
+    registry for every <=[k]-element link/NIC fault set of the topology
+    (GPU classes are enumerated but skipped — see [skipped_demand]): one
     {!Serve.run} per orbit representative (cold syntheses are stored under
     the punctured fingerprint by the ordinary serving policy), then each
     remaining orbit member receives the representative's schedule

@@ -28,15 +28,22 @@ let make ~registry (request : Request.t) =
       { request; registry_key = Some key; probe = Probed result; action }
 
 (* The audit trail's "probe" field: every value an operator can aggregate
-   misses by.  Scaled hits are distinguished because a transported schedule
-   is the thing to suspect first when a served cost looks off. *)
+   misses by.  Rescaled, transported and cross-bucket hits are each
+   distinguished because a reused-and-transformed schedule is the thing to
+   suspect first when a served cost looks off. *)
 let probe_name t =
   match t.probe with
   | No_registry -> "none"
-  | Probed (Registry.Hit h) -> if h.Registry.scaled then "hit.scaled" else "hit"
+  | Probed (Registry.Hit h) -> (
+      match h.Registry.via with
+      | Registry.Exact -> "hit"
+      | via -> "hit." ^ Registry.via_name via)
   | Probed (Registry.Miss r) -> "miss." ^ Registry.miss_reason_name r
 
 let describe t =
   match t.action with
-  | Serve_hit h -> if h.Registry.scaled then "registry-hit(scaled)" else "registry-hit"
+  | Serve_hit h -> (
+      match h.Registry.via with
+      | Registry.Exact -> "registry-hit"
+      | via -> Printf.sprintf "registry-hit(%s)" (Registry.via_name via))
   | Synthesize -> "synthesize"

@@ -2,10 +2,13 @@ module Topology = Syccl_topology.Topology
 module Collective = Syccl_collective.Collective
 module Schedule = Syccl_sim.Schedule
 module Sim = Syccl_sim.Sim
+module Transport = Syccl_sim.Transport
 module Validate = Syccl_sim.Validate
+module Fallback = Syccl_baselines.Fallback
 module Json = Syccl_util.Json
 module Counters = Syccl_util.Counters
 module Faultpoint = Syccl_util.Faultpoint
+module Perm = Syccl_util.Perm
 module Fault = Syccl_topology.Fault
 
 type t = { root : string }
@@ -19,9 +22,100 @@ let rec mkdirs path =
     with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Unique-enough temp names without Random: pid + a process-wide ticket.
+   Collisions across processes differ in pid; within a process in ticket. *)
+let ticket = Atomic.make 0
+
+(* rename is atomic within a directory: a concurrent reader sees either the
+   old complete file or the new complete file, never a torn one.  The temp
+   file lives in the same directory as its target so the rename never
+   crosses a filesystem boundary. *)
+let atomic_write ~dir:d path body =
+  let tmp =
+    Filename.concat d
+      (Printf.sprintf ".tmp.%d.%d" (Unix.getpid ())
+         (Atomic.fetch_and_add ticket 1))
+  in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc body);
+  Sys.rename tmp path
+
+(* --- sharded layout ----------------------------------------------------- *)
+
+(* Layout v2: entries live under 256 shard directories named by the first
+   two hex characters of the entry key (git-object style), so concurrent
+   writers from many processes spread their renames across directories
+   instead of contending on one.  Layout v1 was a flat directory of
+   <key>.json files; reads fall back to the flat path transparently, and
+   [compact]/[migrate] move stragglers into their shards. *)
+let layout_version = 2
+let shard_prefix_len = 2
+let manifest_name = "MANIFEST.json"
+let manifest_path t = Filename.concat t.root manifest_name
+
+let shard_of_key k =
+  if String.length k >= shard_prefix_len then String.sub k 0 shard_prefix_len
+  else String.make shard_prefix_len '0'
+
+let shard_dir t k = Filename.concat t.root (shard_of_key k)
+let shard_path t k = Filename.concat (shard_dir t k) (k ^ ".json")
+let flat_path t k = Filename.concat t.root (k ^ ".json")
+
+(* Where the entry for [k] currently lives: its shard, the legacy flat
+   location, or nowhere.  The shard wins when both exist — only a layout-2
+   writer can have produced it, so it is the newer of the two. *)
+let entry_path t k =
+  let sharded = shard_path t k in
+  if Sys.file_exists sharded then Some sharded
+  else
+    let flat = flat_path t k in
+    if Sys.file_exists flat then Some flat else None
+
+let manifest_body () =
+  Json.to_string ~pretty:true
+    (Json.Obj
+       [
+         ("layout_version", Json.Num (float_of_int layout_version));
+         ("shard_prefix_len", Json.Num (float_of_int shard_prefix_len));
+         ("schema_version", Json.Num (float_of_int Schedule.schema_version));
+       ])
+  ^ "\n"
+
+let manifest t =
+  let path = manifest_path t in
+  if not (Sys.file_exists path) then Error "no manifest"
+  else
+    match Json.of_string (read_file path) with
+    | exception _ -> Error "unreadable manifest"
+    | j -> (
+        match Json.to_int (Json.member "layout_version" j) with
+        | v -> Ok v
+        | exception _ -> Error "manifest lacks layout_version")
+
 let open_dir root =
   mkdirs root;
-  { root }
+  let t = { root } in
+  (match manifest t with
+  | Ok v when v > layout_version ->
+      failwith
+        (Printf.sprintf
+           "registry %s: layout version %d is newer than this build reads \
+            (%d)"
+           root v layout_version)
+  | Ok _ -> ()
+  | Error _ ->
+      (* First open, or a damaged manifest: (re)write ours.  The write is
+         atomic and the content deterministic, so racing opens agree. *)
+      atomic_write ~dir:root (manifest_path t) (manifest_body ()));
+  t
 
 let from_env () =
   match Sys.getenv_opt "SYCCL_REGISTRY" with
@@ -44,18 +138,28 @@ let size_bucket size =
   if size <= 0.0 || Float.is_nan size then min_int
   else snd (Float.frexp size) - 1
 
-let key topo (coll : Collective.t) =
+let key_of ~fingerprint ~kind ~root ~peer ~bucket =
   let canon =
-    Printf.sprintf "syccl-registry-v1;%s;%s;root=%d;peer=%d;bucket=%d;schema=%d"
-      (Topology.fingerprint topo)
-      (Collective.kind_name coll.Collective.kind)
-      coll.Collective.root coll.Collective.peer
-      (size_bucket coll.Collective.size)
-      Schedule.schema_version
+    Printf.sprintf
+      "syccl-registry-v1;%s;%s;root=%d;peer=%d;bucket=%d;schema=%d"
+      fingerprint kind root peer bucket Schedule.schema_version
   in
   Digest.to_hex (Digest.string canon)
 
-let path_of t k = Filename.concat t.root (k ^ ".json")
+let key topo (coll : Collective.t) =
+  key_of
+    ~fingerprint:(Topology.fingerprint topo)
+    ~kind:(Collective.kind_name coll.Collective.kind)
+    ~root:coll.Collective.root ~peer:coll.Collective.peer
+    ~bucket:(size_bucket coll.Collective.size)
+
+type via = Exact | Rescaled | Transported | Scaled_cross
+
+let via_name = function
+  | Exact -> "exact"
+  | Rescaled -> "scaled"
+  | Transported -> "transported"
+  | Scaled_cross -> "scaled_cross"
 
 type hit = {
   schedules : Schedule.t list;
@@ -63,7 +167,7 @@ type hit = {
   stored_cost : float;
   stored_blocks : int;
   chosen : string;
-  scaled : bool;
+  via : via;
   hit_key : string;
 }
 
@@ -84,10 +188,6 @@ let entry_json ~fingerprint ~faults ~(coll : Collective.t) ~blocks ~cost
       ("schedules", Json.List (List.map Schedule.to_json schedules));
     ]
 
-(* Unique-enough temp names without Random: pid + a process-wide ticket.
-   Collisions across processes differ in pid; within a process in ticket. *)
-let ticket = Atomic.make 0
-
 let store t topo (coll : Collective.t) ?(blocks = 8) ~cost ~chosen schedules =
   (* Crash probe for the store path: serving must survive a registry that
      cannot persist (full disk, revoked credentials) by dropping the store,
@@ -101,38 +201,24 @@ let store t topo (coll : Collective.t) ?(blocks = 8) ~cost ~chosen schedules =
          ~coll ~blocks ~cost ~chosen schedules)
     ^ "\n"
   in
-  let tmp =
-    Filename.concat t.root
-      (Printf.sprintf ".tmp.%s.%d.%d" k (Unix.getpid ())
-         (Atomic.fetch_and_add ticket 1))
-  in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () -> output_string oc body);
-  (* rename is atomic within the directory: a concurrent reader sees either
-     the old complete entry or the new complete entry, never a torn one. *)
-  Sys.rename tmp (path_of t k);
+  let sdir = shard_dir t k in
+  mkdirs sdir;
+  atomic_write ~dir:sdir (shard_path t k) body;
   Counters.bump "registry.stores"
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> really_input_string ic (in_channel_length ic))
 
 (* Simulated cost of a multi-phase schedule set, matching how the
    synthesizer accounts it: phases run back to back, times sum. *)
 let simulate ~blocks topo schedules =
   List.fold_left (fun a s -> a +. (Sim.time ~blocks topo s : float)) 0.0 schedules
 
-type miss_reason = Absent | Corrupt | Invalid | Slower
+type miss_reason = Absent | Corrupt | Invalid | Slower | Transport_rejected
 
 let miss_reason_name = function
   | Absent -> "absent"
   | Corrupt -> "corrupt"
   | Invalid -> "invalid"
   | Slower -> "slower"
+  | Transport_rejected -> "transport_rejected"
 
 type probe_result = Hit of hit | Miss of miss_reason
 
@@ -143,12 +229,19 @@ type probe_result = Hit of hit | Miss of miss_reason
 let miss reason =
   Counters.bump ("registry.miss." ^ miss_reason_name reason);
   (match reason with
-  | Absent -> ()
+  | Absent | Transport_rejected -> ()
   | Corrupt -> Counters.bump "registry.corrupt"
   | Invalid -> Counters.bump "registry.invalid"
   | Slower -> Counters.bump "registry.slower");
   Counters.bump "registry.misses";
   Miss reason
+
+let hit_counters via =
+  Counters.bump "registry.hits";
+  match via with
+  | Exact | Rescaled -> ()
+  | Transported -> Counters.bump "registry.hit.transported"
+  | Scaled_cross -> Counters.bump "registry.hit.scaled_cross"
 
 (* --- entry parsing (shared by probe and the introspection API) --------- *)
 
@@ -228,87 +321,319 @@ let parse_entry ~key:k path =
   | exception e -> Error (Printexc.to_string e)
   | parsed -> Ok parsed
 
+(* --- probe: exact key, then symmetry/size near-miss -------------------- *)
+
+(* Exact-key classification.  Pure with respect to the serving counters:
+   [probe] does the bumping, so the near-miss pass can reuse this without
+   double-counting. *)
+let probe_exact t ~blocks topo (coll : Collective.t) k =
+  match entry_path t k with
+  | None -> Miss Absent
+  | Some path -> (
+      match parse_entry ~key:k path with
+      | Error _ -> Miss Corrupt
+      | Ok (meta, schedules) ->
+          if
+            meta.m_fingerprint <> Topology.fingerprint topo
+            || meta.m_kind <> Collective.kind_name coll.Collective.kind
+            || meta.m_root <> coll.Collective.root
+            || meta.m_peer <> coll.Collective.peer
+          then
+            (* A key collision with a mismatched demand is indistinguishable
+               from a manually planted or damaged entry: corrupt. *)
+            Miss Corrupt
+          else begin
+            let stored_cost = meta.m_cost and stored_blocks = meta.m_blocks in
+            let scaled = meta.m_size <> coll.Collective.size in
+            let schedules =
+              if scaled then
+                let f = coll.Collective.size /. meta.m_size in
+                List.map (fun s -> Schedule.scale s f) schedules
+              else schedules
+            in
+            (* Every hit is re-verified against the live topology model: a
+               stale or hand-planted entry must prove itself before it is
+               allowed to replace a fresh solve. *)
+            match Validate.validate topo coll schedules with
+            | Error _ -> Miss Invalid
+            | exception _ -> Miss Invalid
+            | Ok () ->
+                let time = simulate ~blocks topo schedules in
+                (* Compare against the stored cost at the fidelity it was
+                   computed at: a caller probing with a different [blocks]
+                   must not demote (or rehabilitate) an entry just because
+                   coarser pipelining simulates slower — that is fidelity
+                   drift, not schedule drift. *)
+                let comparable_time =
+                  if blocks = stored_blocks then time
+                  else simulate ~blocks:stored_blocks topo schedules
+                in
+                if
+                  (not scaled)
+                  && comparable_time > stored_cost *. (1.0 +. 1e-6)
+                then
+                  (* The entry simulates slower than advertised (simulator
+                     or link-model drift the fingerprint could not see):
+                     let a fresh solve compete instead of silently serving
+                     it. *)
+                  Miss Slower
+                else
+                  Hit
+                    {
+                      schedules;
+                      time;
+                      stored_cost;
+                      stored_blocks;
+                      chosen = meta.m_chosen;
+                      via = (if scaled then Rescaled else Exact);
+                      hit_key = k;
+                    }
+          end)
+
+let rooted_kind = function
+  | Collective.SendRecv | Collective.Broadcast | Collective.Scatter
+  | Collective.Gather | Collective.Reduce ->
+      true
+  | Collective.AllGather | Collective.AllToAll | Collective.ReduceScatter
+  | Collective.AllReduce ->
+      false
+
+(* Candidate sources for symmetry transport: the distinct (root, peer)
+   pairs whose entries — same fingerprint, kind and bucket — map onto the
+   request under some element of the topology's stabilizer.  The stabilizer
+   (not the full rotation group) is what keeps this sound on punctured
+   topologies: an automorphism that moves the fault set would transport a
+   schedule onto dead links.  Each source carries every permutation mapping
+   it to the request, so an ambiguous tag signature under one rotation can
+   fall back to another. *)
+let transport_sources topo (coll : Collective.t) =
+  if not (rooted_kind coll.Collective.kind) then []
+  else begin
+    let tbl = Hashtbl.create 16 in
+    let order = ref [] in
+    List.iter
+      (fun p ->
+        let q = Perm.invert p in
+        let src_root = Perm.apply q coll.Collective.root in
+        let src_peer =
+          if coll.Collective.kind = Collective.SendRecv then
+            Perm.apply q coll.Collective.peer
+          else coll.Collective.peer
+        in
+        if not (src_root = coll.Collective.root && src_peer = coll.Collective.peer)
+        then begin
+          let src = (src_root, src_peer) in
+          match Hashtbl.find_opt tbl src with
+          | Some ps -> Hashtbl.replace tbl src (p :: ps)
+          | None ->
+              Hashtbl.add tbl src [ p ];
+              order := src :: !order
+        end)
+      (Topology.stabilizer topo);
+    List.rev_map (fun src -> (src, List.rev (Hashtbl.find tbl src))) !order
+  end
+
+(* Near-miss pass, entered only on an exact-key [Absent] miss.  Two
+   candidate families: entries at a symmetric (root, peer) transported
+   through {!Transport.schedules} (validity and cost preserved — the
+   automorphism-transport fuzz law), and same-demand entries one size
+   bucket away rescaled with {!Schedule.scale}.  Every candidate is
+   re-validated and α-β re-simulated, and must beat the fallback ladder
+   before it may serve; the fastest survivor wins. *)
+let probe_near t ~blocks topo (coll : Collective.t) =
+  let fp = Topology.fingerprint topo in
+  let kind_name = Collective.kind_name coll.Collective.kind in
+  let n = Topology.num_gpus topo in
+  let bucket = size_bucket coll.Collective.size in
+  let attempted = ref 0 in
+  (* A source entry that exists and parses sane counts as attempted even if
+     transport, validation or the fallback guard later rejects it: the
+     distinction between miss.absent and miss.transport_rejected is "was
+     there anything to transport". *)
+  let load_source k =
+    match entry_path t k with
+    | None -> None
+    | Some path -> (
+        match parse_entry ~key:k path with
+        | Error _ -> None
+        | Ok (meta, ss) ->
+            if meta.m_fingerprint <> fp || meta.m_kind <> kind_name then None
+            else begin
+              incr attempted;
+              Some (meta, ss)
+            end)
+  in
+  let finish ~via ~hit_key (meta : meta) schedules =
+    match Validate.validate topo coll schedules with
+    | Error _ -> None
+    | exception _ -> None
+    | Ok () ->
+        let time = simulate ~blocks topo schedules in
+        Some
+          {
+            schedules;
+            time;
+            stored_cost = meta.m_cost;
+            stored_blocks = meta.m_blocks;
+            chosen = meta.m_chosen;
+            via;
+            hit_key;
+          }
+  in
+  let rescale (meta : meta) ss =
+    if meta.m_size = coll.Collective.size then ss
+    else
+      let f = coll.Collective.size /. meta.m_size in
+      List.map (fun s -> Schedule.scale s f) ss
+  in
+  let transported =
+    List.filter_map
+      (fun ((src_root, src_peer), ps) ->
+        let k =
+          key_of ~fingerprint:fp ~kind:kind_name ~root:src_root
+            ~peer:src_peer ~bucket
+        in
+        match load_source k with
+        | None -> None
+        | Some (meta, ss) ->
+            if meta.m_root <> src_root || meta.m_peer <> src_peer then None
+            else (
+              match
+                ( Collective.make ~root:src_root ~peer:src_peer
+                    coll.Collective.kind ~n ~size:meta.m_size,
+                  Collective.make ~root:coll.Collective.root
+                    ~peer:coll.Collective.peer coll.Collective.kind ~n
+                    ~size:meta.m_size )
+              with
+              | exception _ -> None
+              | coll_src, coll_dst -> (
+                  match
+                    List.find_map
+                      (fun p -> Transport.schedules p coll_src coll_dst ss)
+                      ps
+                  with
+                  | None -> None
+                  | Some ss' ->
+                      finish ~via:Transported ~hit_key:k meta
+                        (rescale meta ss'))))
+      (transport_sources topo coll)
+  in
+  let cross =
+    List.filter_map
+      (fun db ->
+        let k =
+          key_of ~fingerprint:fp ~kind:kind_name ~root:coll.Collective.root
+            ~peer:coll.Collective.peer ~bucket:(bucket + db)
+        in
+        match load_source k with
+        | None -> None
+        | Some (meta, ss) ->
+            if
+              meta.m_root <> coll.Collective.root
+              || meta.m_peer <> coll.Collective.peer
+              || meta.m_size = coll.Collective.size
+            then None
+            else finish ~via:Scaled_cross ~hit_key:k meta (rescale meta ss))
+      [ -1; 1 ]
+  in
+  match transported @ cross with
+  | [] -> miss (if !attempted > 0 then Transport_rejected else Absent)
+  | candidates -> (
+      (* The fallback ladder is the floor any served schedule must beat: a
+         transported entry slower than the always-available baseline is
+         worse than missing. *)
+      let floor_time =
+        match Fallback.schedule topo coll with
+        | exception _ -> None
+        | phases -> ( try Some (simulate ~blocks topo phases) with _ -> None)
+      in
+      let accepted =
+        match floor_time with
+        | None -> candidates
+        | Some fb ->
+            List.filter (fun h -> h.time <= fb *. (1.0 +. 1e-6)) candidates
+      in
+      match accepted with
+      | [] -> miss Transport_rejected
+      | first :: rest ->
+          let best =
+            List.fold_left
+              (fun a h -> if h.time < a.time then h else a)
+              first rest
+          in
+          hit_counters best.via;
+          Hit best)
+
 let probe t ?(blocks = 8) topo (coll : Collective.t) =
   let k = key topo coll in
-  let path = path_of t k in
-  if not (Sys.file_exists path) then miss Absent
-  else
-    match parse_entry ~key:k path with
-    | Error _ -> miss Corrupt
-    | Ok (meta, schedules) ->
-        if
-          meta.m_fingerprint <> Topology.fingerprint topo
-          || meta.m_kind <> Collective.kind_name coll.Collective.kind
-          || meta.m_root <> coll.Collective.root
-          || meta.m_peer <> coll.Collective.peer
-        then
-          (* A key collision with a mismatched demand is indistinguishable
-             from a manually planted or damaged entry: corrupt. *)
-          miss Corrupt
-        else begin
-          let stored_cost = meta.m_cost and stored_blocks = meta.m_blocks in
-          let scaled = meta.m_size <> coll.Collective.size in
-          let schedules =
-            if scaled then
-              let f = coll.Collective.size /. meta.m_size in
-              List.map (fun s -> Schedule.scale s f) schedules
-            else schedules
-          in
-          (* Every hit is re-verified against the live topology model: a
-             stale or hand-planted entry must prove itself before it is
-             allowed to replace a fresh solve. *)
-          match Validate.validate topo coll schedules with
-          | Error _ -> miss Invalid
-          | exception _ -> miss Invalid
-          | Ok () ->
-              let time = simulate ~blocks topo schedules in
-              (* Compare against the stored cost at the fidelity it was
-                 computed at: a caller probing with a different [blocks] must
-                 not demote (or rehabilitate) an entry just because coarser
-                 pipelining simulates slower — that is fidelity drift, not
-                 schedule drift. *)
-              let comparable_time =
-                if blocks = stored_blocks then time
-                else simulate ~blocks:stored_blocks topo schedules
-              in
-              if (not scaled) && comparable_time > stored_cost *. (1.0 +. 1e-6)
-              then
-                (* The entry simulates slower than advertised (simulator or
-                   link-model drift the fingerprint could not see): let a
-                   fresh solve compete instead of silently serving it. *)
-                miss Slower
-              else begin
-                Counters.bump "registry.hits";
-                Hit
-                  {
-                    schedules;
-                    time;
-                    stored_cost;
-                    stored_blocks;
-                    chosen = meta.m_chosen;
-                    scaled;
-                    hit_key = k;
-                  }
-              end
-        end
+  match probe_exact t ~blocks topo coll k with
+  | Hit h ->
+      hit_counters h.via;
+      Hit h
+  | Miss Absent -> probe_near t ~blocks topo coll
+  | Miss r -> miss r
 
 let lookup t ?blocks topo coll =
   match probe t ?blocks topo coll with Hit h -> Some h | Miss _ -> None
 
 (* --- introspection (read-only; never mutates the store) ----------------- *)
 
+let is_hex_char c = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')
+
+let is_shard_name f =
+  String.length f = shard_prefix_len && String.for_all is_hex_char f
+
 let keys t =
-  Array.to_list (try Sys.readdir t.root with Sys_error _ -> [||])
-  |> List.filter_map (fun f ->
-         if Filename.check_suffix f ".json" then
-           Some (Filename.chop_suffix f ".json")
-         else None)
-  |> List.sort compare
+  let top = Array.to_list (try Sys.readdir t.root with Sys_error _ -> [||]) in
+  let flat =
+    List.filter_map
+      (fun f ->
+        if f <> manifest_name && Filename.check_suffix f ".json" then
+          Some (Filename.chop_suffix f ".json")
+        else None)
+      top
+  in
+  let sharded =
+    List.concat_map
+      (fun d ->
+        let full = Filename.concat t.root d in
+        if is_shard_name d && Sys.is_directory full then
+          (* An existing-but-unreadable shard directory is an operator
+             problem the caller must see, not an empty shard: Sys_error
+             propagates. *)
+          Array.to_list (Sys.readdir full)
+          |> List.filter_map (fun f ->
+                 if Filename.check_suffix f ".json" then
+                   Some (Filename.chop_suffix f ".json")
+                 else None)
+        else [])
+      top
+  in
+  List.sort_uniq compare (flat @ sharded)
+
+let length t = List.length (keys t)
+
+type layout_stats = { sharded : int; flat : int; shards_in_use : int }
+
+let layout_stats t =
+  let ks = keys t in
+  let shards = Hashtbl.create 16 in
+  let sharded, flat =
+    List.fold_left
+      (fun (s, f) k ->
+        if Sys.file_exists (shard_path t k) then begin
+          Hashtbl.replace shards (shard_of_key k) ();
+          (s + 1, f)
+        end
+        else (s, f + 1))
+      (0, 0) ks
+  in
+  { sharded; flat; shards_in_use = Hashtbl.length shards }
 
 let load t k =
-  let path = path_of t k in
-  if not (Sys.file_exists path) then Error "no such entry"
-  else parse_entry ~key:k path
+  match entry_path t k with
+  | None -> Error "no such entry"
+  | Some path -> parse_entry ~key:k path
 
 type verdict =
   | Entry_ok of { simulated : float }
@@ -342,8 +667,169 @@ let verify_entry t ?topo k =
               else Entry_ok { simulated })
       | _ -> Entry_unverified meta)
 
-let length t =
-  Array.fold_left
-    (fun acc f -> if Filename.check_suffix f ".json" then acc + 1 else acc)
-    0
-    (try Sys.readdir t.root with Sys_error _ -> [||])
+(* --- maintenance: migration, compaction, eviction ----------------------- *)
+
+let remove_entry t k =
+  let removed = ref false in
+  List.iter
+    (fun p ->
+      if Sys.file_exists p then begin
+        (try Sys.remove p with Sys_error _ -> ());
+        removed := true
+      end)
+    [ shard_path t k; flat_path t k ];
+  !removed
+
+let migrate t =
+  let moved = ref 0 in
+  Array.iter
+    (fun f ->
+      if f <> manifest_name && Filename.check_suffix f ".json" then begin
+        let k = Filename.chop_suffix f ".json" in
+        let src = flat_path t k and dst = shard_path t k in
+        mkdirs (shard_dir t k);
+        if Sys.file_exists dst then begin
+          (* A sharded entry only a layout-2 writer can have produced
+             shadows the legacy one; drop the straggler. *)
+          (try Sys.remove src with Sys_error _ -> ());
+          incr moved
+        end
+        else
+          match Sys.rename src dst with
+          | () -> incr moved
+          | exception Sys_error _ -> ()
+      end)
+    (try Sys.readdir t.root with Sys_error _ -> [||]);
+  !moved
+
+type compact_stats = {
+  migrated : int;
+  corrupt_removed : int;
+  dominated_removed : int;
+  evicted : int;
+  kept : int;
+  kept_bytes : int;
+}
+
+(* Entries eligible for dominated-entry pruning: a healthy rooted
+   collective (other than SendRecv) at a given (fingerprint, kind, bucket,
+   size, fidelity) is servable for {e any} root by transporting the
+   cheapest entry of the class — the rotation group of a healthy topology
+   is transitive on roots.  SendRecv is excluded because transitivity on
+   (root, peer) {e pairs} is not guaranteed, and faulted entries because
+   the stabilizer may not reach every root. *)
+let prunable m =
+  m.m_faults = ""
+  &&
+  match Collective.kind_of_name m.m_kind with
+  | Collective.Broadcast | Collective.Scatter | Collective.Gather
+  | Collective.Reduce ->
+      true
+  | _ -> false
+  | exception _ -> false
+
+let compact t ?max_entries ?max_bytes ?(last_used = fun _ -> None) () =
+  let migrated = migrate t in
+  let corrupt_removed = ref 0 in
+  let metas =
+    List.filter_map
+      (fun k ->
+        match load t k with
+        | Ok (m, _) -> Some m
+        | Error _ ->
+            (* Compaction is the one explicitly-invoked pass allowed to
+               delete: a corrupt entry can never serve again, only recount
+               as registry.corrupt forever. *)
+            if remove_entry t k then incr corrupt_removed;
+            None)
+      (keys t)
+  in
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun m ->
+      if prunable m then begin
+        let g =
+          (m.m_fingerprint, m.m_kind, size_bucket m.m_size, m.m_size, m.m_blocks)
+        in
+        let cur = try Hashtbl.find groups g with Not_found -> [] in
+        Hashtbl.replace groups g (m :: cur)
+      end)
+    metas;
+  let dominated = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ ms ->
+      match ms with
+      | [] | [ _ ] -> ()
+      | first :: rest ->
+          let best =
+            List.fold_left
+              (fun a m ->
+                if
+                  m.m_cost < a.m_cost
+                  || (m.m_cost = a.m_cost && m.m_key < a.m_key)
+                then m
+                else a)
+              first rest
+          in
+          List.iter
+            (fun m ->
+              if m.m_key <> best.m_key then Hashtbl.replace dominated m.m_key ())
+            ms)
+    groups;
+  let dominated_removed =
+    Hashtbl.fold
+      (fun k () n -> if remove_entry t k then n + 1 else n)
+      dominated 0
+  in
+  let metas = List.filter (fun m -> not (Hashtbl.mem dominated m.m_key)) metas in
+  (* LRU eviction, oldest first.  Last use comes from the caller (audit
+     trail hit provenance); entries never hit fall back to file mtime. *)
+  let stamp m =
+    match last_used m.m_key with
+    | Some ts -> ts
+    | None -> (
+        match entry_path t m.m_key with
+        | Some p -> ( try (Unix.stat p).Unix.st_mtime with _ -> 0.0)
+        | None -> 0.0)
+  in
+  let by_age =
+    List.sort compare (List.map (fun m -> (stamp m, m.m_key, m.m_bytes)) metas)
+  in
+  let total_bytes = List.fold_left (fun a (_, _, b) -> a + b) 0 by_age in
+  let over n bytes =
+    (match max_entries with Some m -> n > m | None -> false)
+    || match max_bytes with Some m -> bytes > m | None -> false
+  in
+  let rec evict acc n bytes = function
+    | (_, k, b) :: rest when over n bytes ->
+        ignore (remove_entry t k);
+        evict (acc + 1) (n - 1) (bytes - b) rest
+    | _ -> (acc, n, bytes)
+  in
+  let evicted, kept, kept_bytes =
+    evict 0 (List.length by_age) total_bytes by_age
+  in
+  (* Re-stamp the manifest: compaction is also the upgrade path from the
+     flat layout, and the manifest should say so afterwards. *)
+  atomic_write ~dir:t.root (manifest_path t) (manifest_body ());
+  {
+    migrated;
+    corrupt_removed = !corrupt_removed;
+    dominated_removed;
+    evicted;
+    kept;
+    kept_bytes;
+  }
+
+let destroy t =
+  let rec rm path =
+    match Sys.is_directory path with
+    | true ->
+        Array.iter
+          (fun f -> rm (Filename.concat path f))
+          (try Sys.readdir path with Sys_error _ -> [||]);
+        (try Unix.rmdir path with Unix.Unix_error _ -> ())
+    | false -> ( try Sys.remove path with Sys_error _ -> ())
+    | exception Sys_error _ -> ()
+  in
+  rm t.root

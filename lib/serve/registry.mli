@@ -1,4 +1,4 @@
-(** Persistent on-disk schedule registry.
+(** Persistent on-disk schedule registry, sharded for fleet scale.
 
     Synthesized schedules are reusable artifacts: any job that shares
     (topology structure, collective, size bucket) can replay one instead
@@ -7,41 +7,90 @@
     {!Syccl_topology.Topology.fingerprint} × collective (kind, root, peer)
     × power-of-two size bucket × {!Syccl_sim.Schedule.schema_version}.
 
+    {b Layout (v2).}  Entries live under 256 shard directories named by
+    the first two hex characters of the entry key (git-object style), so
+    concurrent writers from many pool tasks and processes spread their
+    atomic renames across directories instead of contending on one.  A
+    [MANIFEST.json] at the root records the layout and schema versions.
+    The v1 layout was a flat directory of [<key>.json] files; reads fall
+    back to the flat path transparently, and {!compact}/{!migrate} move
+    stragglers into their shards.
+
     Safety properties:
-    - {e writes are atomic}: entries are written to a temp file in the
-      registry directory and renamed into place, so concurrent writers
+    - {e writes are atomic}: entries are written to a temp file inside
+      their shard directory and renamed into place, so concurrent writers
       (two pool tasks storing the same key, two processes) each leave a
       complete, valid entry — last rename wins;
     - {e loads are corruption-tolerant}: an unreadable, truncated,
       malformed or wrong-schema entry is a counted miss
       (["registry.corrupt"]), never an error;
-    - {e hits are re-verified}: every hit is re-validated with
+    - {e hits are re-verified}: every hit — exact, rescaled, transported
+      or cross-bucket — is re-validated with
       {!Syccl_sim.Validate.validate} and re-simulated against the live
       α-β model; an entry that fails validation (["registry.invalid"]) or
       simulates slower than its stored cost (["registry.slower"]) is
       demoted to a miss, so a stale entry can never beat a fresh solve
       silently.
 
-    A hit whose stored size differs from the requested size (same bucket)
-    is rescaled with {!Syccl_sim.Schedule.scale} before verification.
+    {b Near-miss serving.}  When the exact key is absent, the probe
+    exploits the paper's symmetry machinery at serving time: entries for
+    the same (fingerprint, kind, bucket) at a {e symmetric} (root, peer)
+    are transported through {!Syccl_sim.Transport.schedules} along an
+    element of {!Syccl_topology.Topology.stabilizer} (validity and cost
+    preserved — the automorphism-transport fuzz law), and same-demand
+    entries one bucket away are rescaled with
+    {!Syccl_sim.Schedule.scale}.  Every candidate is re-validated, α-β
+    re-simulated, and must beat the precomputed fallback ladder
+    ({!Syccl_baselines.Fallback.schedule}) before it may serve; the
+    fastest survivor wins and its {e source} entry key is reported as
+    [hit_key].
+
     Activity is published through {!Syccl_util.Counters} as
-    ["registry.hits"], ["registry.stores"], the per-reason miss family
-    ["registry.miss.absent"|"corrupt"|"invalid"|"slower"], the aggregate
-    ["registry.misses"], and the legacy reason names ["registry.corrupt"],
-    ["registry.invalid"], ["registry.slower"] (kept for compatibility). *)
+    ["registry.hits"] (plus ["registry.hit.transported"] /
+    ["registry.hit.scaled_cross"] for near-miss hits),
+    ["registry.stores"], the per-reason miss family
+    ["registry.miss.absent"|"corrupt"|"invalid"|"slower"|
+    "transport_rejected"], the aggregate ["registry.misses"], and the
+    legacy reason names ["registry.corrupt"], ["registry.invalid"],
+    ["registry.slower"] (kept for compatibility). *)
 
 type t
 
 val open_dir : string -> t
-(** Open (creating it and missing parents if needed) a registry rooted at
-    the given directory.  Raises [Sys_error]/[Unix.Unix_error] only when
-    the directory cannot be created at all. *)
+(** Open (creating it, missing parents, and the manifest if needed) a
+    registry rooted at the given directory.  Raises
+    [Sys_error]/[Unix.Unix_error] when the directory cannot be created at
+    all, and [Failure] when the on-disk manifest declares a layout newer
+    than this build reads. *)
 
 val dir : t -> string
 
 val from_env : unit -> t option
 (** The registry named by the [SYCCL_REGISTRY] environment variable, if
     set and non-empty. *)
+
+(** {1 Layout} *)
+
+val layout_version : int
+(** The directory layout this build writes (2: sharded). *)
+
+val shard_of_key : string -> string
+(** The shard directory (relative to {!dir}) an entry key lives in: its
+    first two hex characters. *)
+
+val manifest : t -> (int, string) result
+(** The layout version recorded in the on-disk [MANIFEST.json], or the
+    reason it could not be read. *)
+
+type layout_stats = {
+  sharded : int;  (** entries living in their shard directory *)
+  flat : int;  (** legacy flat-layout entries awaiting {!migrate} *)
+  shards_in_use : int;  (** shard directories holding at least one entry *)
+}
+
+val layout_stats : t -> layout_stats
+
+(** {1 Addressing} *)
 
 val key : Syccl_topology.Topology.t -> Syccl_collective.Collective.t -> string
 (** The content address: hex digest over (topology fingerprint, collective
@@ -50,6 +99,13 @@ val key : Syccl_topology.Topology.t -> Syccl_collective.Collective.t -> string
     ({!Syccl_topology.Topology.puncture}), so a degraded topology's entries
     are keyed apart from the healthy topology's — one store, one namespace
     per (structure × fault-class). *)
+
+val key_of :
+  fingerprint:string -> kind:string -> root:int -> peer:int -> bucket:int ->
+  string
+(** {!key} from its raw components — how the near-miss probe addresses
+    sibling entries (a symmetric root, an adjacent bucket) without a
+    collective in hand. *)
 
 val size_bucket : float -> int
 (** The power-of-two bucket the key quantizes size into:
@@ -60,6 +116,19 @@ val size_bucket : float -> int
     {!Syccl_collective.Collective.make}) get [min_int], colliding with no
     real size. *)
 
+(** {1 Serving} *)
+
+type via =
+  | Exact  (** entry stored for this exact demand and size *)
+  | Rescaled  (** rescaled from a different size in the same bucket *)
+  | Transported
+      (** transported from a symmetric (root, peer) entry along a
+          stabilizer automorphism *)
+  | Scaled_cross  (** rescaled from an adjacent size bucket *)
+
+val via_name : via -> string
+(** ["exact"], ["scaled"], ["transported"], ["scaled_cross"]. *)
+
 type hit = {
   schedules : Syccl_sim.Schedule.t list;  (** one per collective phase *)
   time : float;  (** freshly re-simulated cost, seconds *)
@@ -68,28 +137,39 @@ type hit = {
       (** simulator fidelity [stored_cost] was computed at (8 for legacy
           entries written before the field existed) *)
   chosen : string;  (** winning-combination description, as stored *)
-  scaled : bool;  (** entry was rescaled from a different size in-bucket *)
+  via : via;  (** how the entry reached the request's demand *)
   hit_key : string;
+      (** the {e source} entry key — for transported and cross-bucket hits
+          this is the entry the schedules came from, not the request's own
+          key, so audit trails carry reuse provenance *)
 }
 
 type miss_reason =
-  | Absent  (** no entry file under the key (a cold miss) *)
+  | Absent  (** no entry file under the key and nothing to transport *)
   | Corrupt
       (** unreadable, malformed, wrong-schema, or demand-mismatched entry *)
   | Invalid  (** parsed, but failed {!Syccl_sim.Validate.validate} *)
   | Slower  (** valid, but re-simulates slower than its stored cost *)
+  | Transport_rejected
+      (** symmetric or adjacent-bucket candidates existed, but every one
+          was rejected by transport, re-validation, or the fallback-ladder
+          guard *)
 
 val miss_reason_name : miss_reason -> string
-(** ["absent"], ["corrupt"], ["invalid"], ["slower"] — the suffixes of the
-    ["registry.miss.*"] counters and the audit-trail probe field. *)
+(** ["absent"], ["corrupt"], ["invalid"], ["slower"],
+    ["transport_rejected"] — the suffixes of the ["registry.miss.*"]
+    counters and the audit-trail probe field. *)
 
 type probe_result = Hit of hit | Miss of miss_reason
 
 val probe :
   t -> ?blocks:int -> Syccl_topology.Topology.t ->
   Syccl_collective.Collective.t -> probe_result
-(** Probe, verify, and classify.  A miss carries {e why} it missed, so the
-    serving layer can audit cold misses separately from store corruption.
+(** Probe, verify, and classify.  The exact key is tried first; on an
+    absent exact entry the near-miss pass searches symmetric and
+    adjacent-bucket candidates (see the module preamble).  A miss carries
+    {e why} it missed, so the serving layer can audit cold misses
+    separately from store corruption and from rejected transports.
     [blocks] is the simulator fidelity used for the hit's re-simulated
     [time] (default 8, matching {!Syccl.Synthesizer.default_config}).
     The slower-than-stored demotion always compares at the entry's
@@ -101,21 +181,23 @@ val lookup :
   t -> ?blocks:int -> Syccl_topology.Topology.t ->
   Syccl_collective.Collective.t -> hit option
 (** [probe] with the miss reason erased: [None] covers absent, corrupt,
-    invalid and cost-regressed entries (each separately counted). *)
+    invalid, cost-regressed and transport-rejected entries (each
+    separately counted). *)
 
 val store :
   t -> Syccl_topology.Topology.t -> Syccl_collective.Collective.t ->
   ?blocks:int -> cost:float -> chosen:string -> Syccl_sim.Schedule.t list ->
   unit
-(** Atomically persist a schedule set under the collective's key,
-    replacing any previous entry.  [blocks] (default 8) must be the
+(** Atomically persist a schedule set under the collective's key in its
+    shard, replacing any previous entry.  [blocks] (default 8) must be the
     simulator fidelity [cost] was computed at; it is persisted so later
     lookups compare like-for-like.  Callers are expected to store only
     full-quality (non-degraded, non-fast-only) outcomes — the registry
     does not second-guess that policy, it only verifies on the way out. *)
 
 val length : t -> int
-(** Number of entry files currently present (corrupt ones included). *)
+(** Number of distinct entry keys currently present (corrupt ones
+    included), across shards and the legacy flat layout. *)
 
 (** {1 Introspection}
 
@@ -143,7 +225,10 @@ type meta = {
 }
 
 val keys : t -> string list
-(** All entry keys currently on disk, sorted. *)
+(** All entry keys currently on disk, sorted, across shards and the
+    legacy flat layout.  Raises [Sys_error] when an existing shard
+    directory cannot be read — an operator problem the caller must see,
+    not an empty shard. *)
 
 val load :
   t -> string -> (meta * Syccl_sim.Schedule.t list, string) result
@@ -169,3 +254,44 @@ val verify_entry :
     entry's — re-validate with {!Syccl_sim.Validate.validate} and
     re-simulate at the stored fidelity.  Never mutates the store and
     never touches the serving counters. *)
+
+(** {1 Maintenance}
+
+    The explicitly-invoked offline passes ([syccl registry compact]) and
+    test teardown.  These are the only operations that delete. *)
+
+val migrate : t -> int
+(** Move legacy flat-layout entries into their shard directories (a
+    sharded entry under the same key shadows and replaces the flat one).
+    Returns the number of flat entries resolved.  Idempotent. *)
+
+type compact_stats = {
+  migrated : int;  (** flat entries moved into shards *)
+  corrupt_removed : int;  (** unparseable entries deleted *)
+  dominated_removed : int;
+      (** entries deleted because a cheaper same-class entry serves their
+          demand via transport (healthy rooted collectives only) *)
+  evicted : int;  (** entries deleted by LRU to meet the size limits *)
+  kept : int;  (** entries remaining *)
+  kept_bytes : int;  (** bytes remaining *)
+}
+
+val compact :
+  t -> ?max_entries:int -> ?max_bytes:int ->
+  ?last_used:(string -> float option) -> unit -> compact_stats
+(** Offline compaction: migrate stragglers off the flat layout, delete
+    corrupt entries, prune dominated entries (same healthy
+    (fingerprint, kind, bucket, size, fidelity) class, differing only in
+    root — the transport probe serves them from the cheapest survivor),
+    then evict least-recently-used entries until [max_entries] /
+    [max_bytes] are met.  [last_used] maps an entry key to its last hit
+    timestamp (callers feed it from the audit trail); entries it does not
+    know fall back to file mtime.  Rewrites the manifest. *)
+
+val remove_entry : t -> string -> bool
+(** Delete one entry by key (shard and legacy flat locations).  [false]
+    when no file existed.  Maintenance only — serving never deletes. *)
+
+val destroy : t -> unit
+(** Recursively delete the registry directory — entries, shards, manifest
+    and temp files.  Test/teardown helper; best-effort, never raises. *)

@@ -5,7 +5,11 @@ module Counters = Syccl_util.Counters
 module Synthesizer = Syccl.Synthesizer
 
 type source =
-  | From_registry of { hit_key : string; scaled : bool; stored_cost : float }
+  | From_registry of {
+      hit_key : string;
+      via : Registry.via;
+      stored_cost : float;
+    }
   | From_synthesis
 
 type outcome = {
@@ -36,7 +40,7 @@ let hit_outcome (request : Request.t) (hit : Registry.hit) =
       From_registry
         {
           hit_key = hit.Registry.hit_key;
-          scaled = hit.Registry.scaled;
+          via = hit.Registry.via;
           stored_cost = hit.Registry.stored_cost;
         };
     synth =
@@ -237,8 +241,14 @@ let outcome_to_json (o : outcome) =
       ( "scaled",
         Json.Bool
           (match o.source with
-          | From_registry { scaled; _ } -> scaled
-          | From_synthesis -> false) );
+          | From_registry { via = Registry.Rescaled | Registry.Scaled_cross; _ }
+            ->
+              true
+          | From_registry _ | From_synthesis -> false) );
+      ( "via",
+        match o.source with
+        | From_registry { via; _ } -> Json.Str (Registry.via_name via)
+        | From_synthesis -> Json.Null );
       ("time_s", Json.Num s.Synthesizer.time);
       ("busbw_gbps", Json.Num s.Synthesizer.busbw);
       ("chosen", Json.Str s.Synthesizer.chosen);

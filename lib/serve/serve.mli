@@ -20,7 +20,16 @@
     its siblings keep going). *)
 
 type source =
-  | From_registry of { hit_key : string; scaled : bool; stored_cost : float }
+  | From_registry of {
+      hit_key : string;
+          (** the {e source} entry key — for transported / cross-bucket
+              hits, the entry the schedules were derived from *)
+      via : Registry.via;
+          (** how the entry reached this request's demand (exact,
+              in-bucket rescale, symmetry transport, adjacent-bucket
+              rescale) *)
+      stored_cost : float;
+    }
   | From_synthesis
 
 type outcome = {

@@ -66,6 +66,14 @@ let reverse t =
         t.xfers;
   }
 
+(* Data-flow mirror for copy collectives: [reverse] with every chunk kept
+   in copy ([`Gather]) mode.  [reverse] turns a scatter tree into a reduce
+   tree — combining semantics — but a Gather demand wants the same
+   transfers with plain concatenation, so the mode flip is undone. *)
+let transpose t =
+  let r = reverse t in
+  { r with chunks = Array.map (fun c -> { c with mode = `Gather }) r.chunks }
+
 let scale t f =
   assert (f > 0.0);
   { t with chunks = Array.map (fun c -> { c with size = c.size *. f }) t.chunks }

@@ -54,6 +54,12 @@ val reverse : t -> t
     reduce chunks with [initial] and [wanted] swapped and every edge
     flipped. *)
 
+val transpose : t -> t
+(** {!reverse} with every chunk kept in copy ([`Gather]) mode — the mirror
+    for {e non-reducing} demands.  A Gather collective is the data-flow
+    reverse of a Scatter, but its chunks are concatenated, not combined, so
+    the reduce-mode flip {!reverse} performs must be undone. *)
+
 val scale : t -> float -> t
 (** Multiply every chunk size by a fraction (chunk splitting, §4.2). *)
 

@@ -51,15 +51,20 @@ let exact =
     "synth.total_s";
     (* lib/serve: registry *)
     "registry.hits";
+    "registry.hit.scaled_cross";
+    "registry.hit.transported";
     "registry.misses";
     "registry.miss.absent";
     "registry.miss.corrupt";
     "registry.miss.invalid";
     "registry.miss.slower";
+    "registry.miss.transport_rejected";
     "registry.corrupt";
     "registry.invalid";
     "registry.slower";
     "registry.stores";
+    (* lib/serve: failover *)
+    "failover.skipped_demand";
     (* lib/serve: audit *)
     "audit.records";
     "audit.write_errors";

@@ -38,6 +38,12 @@ let delta name f =
   let r = f () in
   (r, Counters.value name -. before)
 
+(* Where an entry file lives on disk under the sharded layout — tests that
+   plant corruption or inspect placement go through this. *)
+let entry_path reg k =
+  Filename.concat (Registry.dir reg)
+    (Filename.concat (Registry.shard_of_key k) (k ^ ".json"))
+
 let topo = Builders.h800_scaled ~servers:2 ~gpus_per_server:2
 let n = T.num_gpus topo
 let coll = C.make C.AllGather ~n ~size:65536.0
@@ -121,7 +127,7 @@ let test_registry_roundtrip () =
   (match Registry.lookup reg topo coll with
   | None -> Alcotest.fail "stored entry must be a hit"
   | Some hit ->
-      checkb "same size: not scaled" false hit.Registry.scaled;
+      checkb "same size: exact" true (hit.Registry.via = Registry.Exact);
       check Alcotest.string "chosen survives" "fallback" hit.Registry.chosen;
       checkb "re-simulated cost no worse than stored" true
         (hit.Registry.time <= cost *. (1.0 +. 1e-6)));
@@ -130,7 +136,8 @@ let test_registry_roundtrip () =
   (match Registry.lookup reg topo coll' with
   | None -> Alcotest.fail "in-bucket size must be a (scaled) hit"
   | Some hit ->
-      checkb "rescaled from the stored size" true hit.Registry.scaled;
+      checkb "rescaled from the stored size" true
+        (hit.Registry.via = Registry.Rescaled);
       checkb "rescaled schedules validate" true
         (match Syccl_sim.Validate.validate topo coll' hit.Registry.schedules with
         | Ok () -> true
@@ -146,9 +153,7 @@ let test_registry_corrupt_entry () =
   let schedules = Fallback.schedule topo coll in
   Registry.store reg topo coll ~cost:(simulate schedules) ~chosen:"fallback"
     schedules;
-  let path =
-    Filename.concat (Registry.dir reg) (Registry.key topo coll ^ ".json")
-  in
+  let path = entry_path reg (Registry.key topo coll) in
   (* Truncate the entry mid-file: the lookup must demote it to a counted
      miss, not raise. *)
   let body =
@@ -186,9 +191,7 @@ let test_registry_schema_mismatch () =
   let schedules = Fallback.schedule topo coll in
   Registry.store reg topo coll ~cost:(simulate schedules) ~chosen:"fallback"
     schedules;
-  let path =
-    Filename.concat (Registry.dir reg) (Registry.key topo coll ^ ".json")
-  in
+  let path = entry_path reg (Registry.key topo coll) in
   let ic = open_in_bin path in
   let body = really_input_string ic (in_channel_length ic) in
   close_in ic;
@@ -252,7 +255,8 @@ let test_outcome_breakdown_counters () =
     first.Serve.synth.Synth.breakdown.Synth.registry_hits;
   let second = Serve.run ~registry:reg r in
   (match second.Serve.source with
-  | Serve.From_registry { scaled; _ } -> checkb "exact size" false scaled
+  | Serve.From_registry { via; _ } ->
+      checkb "exact size" true (via = Registry.Exact)
   | Serve.From_synthesis -> Alcotest.fail "second run must hit the registry");
   check Alcotest.int "hit surfaced in breakdown" 1
     second.Serve.synth.Synth.breakdown.Synth.registry_hits;
@@ -318,9 +322,7 @@ let test_probe_miss_reasons () =
     | Registry.Miss _ -> false);
   (* Corrupt the entry: the per-reason counter distinguishes it from a
      cold miss. *)
-  let path =
-    Filename.concat (Registry.dir reg) (Registry.key topo coll ^ ".json")
-  in
+  let path = entry_path reg (Registry.key topo coll) in
   let oc = open_out path in
   output_string oc "garbage";
   close_out oc;
@@ -451,7 +453,7 @@ let test_verify_entry_nonmutating () =
   | _ -> Alcotest.fail "no topology: entry must be unverified, not judged");
   (* Corrupt the entry: verify reports it, does not repair, delete or
      count it. *)
-  let path = Filename.concat (Registry.dir reg) (key ^ ".json") in
+  let path = entry_path reg key in
   let oc = open_out path in
   output_string oc "deliberately corrupt";
   close_out oc;
@@ -468,6 +470,216 @@ let test_verify_entry_nonmutating () =
   close_in ic;
   check Alcotest.string "evidence left in place" "deliberately corrupt" left;
   check Alcotest.int "entry not deleted" 1 (Registry.length reg)
+
+(* --- sharded layout ------------------------------------------------------ *)
+
+let test_shard_layout_manifest () =
+  let reg = fresh_registry () in
+  (match Registry.manifest reg with
+  | Ok v -> check Alcotest.int "manifest written at open" Registry.layout_version v
+  | Error e -> Alcotest.fail ("manifest unreadable: " ^ e));
+  let schedules = Fallback.schedule topo coll in
+  Registry.store reg topo coll ~cost:(simulate schedules) ~chosen:"fallback"
+    schedules;
+  let k = Registry.key topo coll in
+  checkb "entry lands in its shard directory" true
+    (Sys.file_exists (entry_path reg k));
+  checkb "shard name is the key's first two hex chars" true
+    (Registry.shard_of_key k = String.sub k 0 2);
+  let s = Registry.layout_stats reg in
+  check Alcotest.int "one sharded entry" 1 s.Registry.sharded;
+  check Alcotest.int "no flat stragglers" 0 s.Registry.flat;
+  check Alcotest.int "one shard in use" 1 s.Registry.shards_in_use
+
+let test_legacy_flat_entry () =
+  let reg = fresh_registry () in
+  let schedules = Fallback.schedule topo coll in
+  Registry.store reg topo coll ~cost:(simulate schedules) ~chosen:"fallback"
+    schedules;
+  let k = Registry.key topo coll in
+  (* Demote the entry to the v1 flat layout by hand: reads must keep
+     serving it, and migrate must move it home. *)
+  let flat = Filename.concat (Registry.dir reg) (k ^ ".json") in
+  Sys.rename (entry_path reg k) flat;
+  checkb "flat legacy entry still hits" true
+    (Registry.lookup reg topo coll <> None);
+  check Alcotest.int "length sees the flat entry" 1 (Registry.length reg);
+  let s = Registry.layout_stats reg in
+  check Alcotest.int "layout_stats counts it flat" 1 s.Registry.flat;
+  check Alcotest.int "migrate resolves one straggler" 1 (Registry.migrate reg);
+  checkb "migrated into its shard" true (Sys.file_exists (entry_path reg k));
+  checkb "flat copy gone" false (Sys.file_exists flat);
+  checkb "still hits after migration" true
+    (Registry.lookup reg topo coll <> None);
+  check Alcotest.int "migrate is idempotent" 0 (Registry.migrate reg)
+
+let test_shard_racing_writers () =
+  let reg = fresh_registry () in
+  (* 16 pool tasks write 16 distinct keys concurrently: two kinds across
+     eight buckets.  Shard dirs are created on demand under the race; the
+     store must end consistent — every entry present, in its shard, and
+     the manifest intact. *)
+  let colls =
+    List.init 16 (fun i ->
+        let kind = if i < 8 then C.AllGather else C.ReduceScatter in
+        C.make kind ~n ~size:(65536.0 *. (2.0 ** float_of_int (i mod 8))))
+  in
+  let pool = Pool.get 4 in
+  ignore
+    (Pool.map pool
+       (fun c ->
+         let schedules = Fallback.schedule topo c in
+         Registry.store reg topo c ~cost:(simulate schedules)
+           ~chosen:"fallback" schedules;
+         0)
+       (Array.of_list colls));
+  check Alcotest.int "all sixteen entries survive" 16 (Registry.length reg);
+  (match Registry.manifest reg with
+  | Ok v -> check Alcotest.int "manifest consistent after the race"
+              Registry.layout_version v
+  | Error e -> Alcotest.fail ("manifest damaged by the race: " ^ e));
+  let s = Registry.layout_stats reg in
+  check Alcotest.int "all sharded" 16 s.Registry.sharded;
+  check Alcotest.int "none flat" 0 s.Registry.flat;
+  List.iter
+    (fun c ->
+      checkb "entry sits in its own shard" true
+        (Sys.file_exists (entry_path reg (Registry.key topo c)));
+      checkb "every key hits" true (Registry.lookup reg topo c <> None))
+    colls
+
+(* --- symmetry-transported near-miss hits --------------------------------- *)
+
+let test_transported_hit () =
+  let reg = fresh_registry () in
+  let src = C.make C.Broadcast ~root:0 ~n ~size:65536.0 in
+  let schedules = Fallback.schedule topo src in
+  let src_cost = simulate schedules in
+  Registry.store reg topo src ~cost:src_cost ~chosen:"fallback" schedules;
+  (* A symmetric root with no entry of its own: the probe must transport
+     the root-0 entry along a stabilizer rotation. *)
+  let dst = C.make C.Broadcast ~root:2 ~n ~size:65536.0 in
+  let result, transported =
+    delta "registry.hit.transported" (fun () -> Registry.probe reg topo dst)
+  in
+  (match result with
+  | Registry.Hit h ->
+      checkb "served via transport" true (h.Registry.via = Registry.Transported);
+      check Alcotest.string "hit_key is the source entry"
+        (Registry.key topo src) h.Registry.hit_key;
+      checkb "transported schedules validate for the new root" true
+        (match Syccl_sim.Validate.validate topo dst h.Registry.schedules with
+        | Ok () -> true
+        | Error _ -> false);
+      (* The automorphism-transport law: cost identity with the source. *)
+      checkb "cost identical to the source entry" true
+        (Float.abs (h.Registry.time -. src_cost) <= src_cost *. 1e-6)
+  | Registry.Miss r ->
+      Alcotest.fail
+        ("transported probe missed: " ^ Registry.miss_reason_name r));
+  check (Alcotest.float 0.0) "transported hit counted" 1.0 transported;
+  (* The source's own key still serves exact, untouched by the probe. *)
+  match Registry.lookup reg topo src with
+  | Some h -> checkb "source still exact" true (h.Registry.via = Registry.Exact)
+  | None -> Alcotest.fail "source entry must still hit"
+
+let test_cross_bucket_hit () =
+  let reg = fresh_registry () in
+  let schedules = Fallback.schedule topo coll in
+  Registry.store reg topo coll ~cost:(simulate schedules) ~chosen:"fallback"
+    schedules;
+  (* One bucket up (150000 ∈ bucket 17, anchor 65536 ∈ bucket 16): served
+     by cross-bucket rescaling. *)
+  let near = C.make C.AllGather ~n ~size:150000.0 in
+  let result, crossed =
+    delta "registry.hit.scaled_cross" (fun () -> Registry.probe reg topo near)
+  in
+  (match result with
+  | Registry.Hit h ->
+      checkb "served via cross-bucket rescale" true
+        (h.Registry.via = Registry.Scaled_cross);
+      check Alcotest.string "hit_key is the source entry"
+        (Registry.key topo coll) h.Registry.hit_key;
+      checkb "rescaled schedules validate at the new size" true
+        (match Syccl_sim.Validate.validate topo near h.Registry.schedules with
+        | Ok () -> true
+        | Error _ -> false)
+  | Registry.Miss r ->
+      Alcotest.fail
+        ("cross-bucket probe missed: " ^ Registry.miss_reason_name r));
+  check (Alcotest.float 0.0) "cross-bucket hit counted" 1.0 crossed;
+  (* Two buckets away is out of the probe's reach: an honest cold miss. *)
+  let far = C.make C.AllGather ~n ~size:1048576.0 in
+  checkb "two buckets away stays a miss" true
+    (match Registry.probe reg topo far with
+    | Registry.Miss _ -> true
+    | Registry.Hit _ -> false)
+
+(* --- compaction ---------------------------------------------------------- *)
+
+let test_registry_compact () =
+  let reg = fresh_registry () in
+  (* Four symmetric broadcast roots, root 0 cheapest: compaction keeps
+     only root 0 and lets the transport probe serve the others. *)
+  let store_root r ~factor =
+    let c = C.make C.Broadcast ~root:r ~n ~size:65536.0 in
+    let schedules = Fallback.schedule topo c in
+    Registry.store reg topo c
+      ~cost:(simulate schedules *. factor)
+      ~chosen:"fallback" schedules;
+    c
+  in
+  let kept_coll = store_root 0 ~factor:1.0 in
+  let pruned = List.map (fun r -> store_root r ~factor:2.0) [ 1; 2; 3 ] in
+  (* Plus one unparseable entry compaction must delete. *)
+  let garbage_coll = C.make C.AllGather ~n ~size:65536.0 in
+  let garbage_schedules = Fallback.schedule topo garbage_coll in
+  Registry.store reg topo garbage_coll
+    ~cost:(simulate garbage_schedules)
+    ~chosen:"fallback" garbage_schedules;
+  let oc = open_out (entry_path reg (Registry.key topo garbage_coll)) in
+  output_string oc "rotted";
+  close_out oc;
+  let s = Registry.compact reg () in
+  check Alcotest.int "corrupt entry removed" 1 s.Registry.corrupt_removed;
+  check Alcotest.int "dominated roots pruned" 3 s.Registry.dominated_removed;
+  check Alcotest.int "nothing evicted without limits" 0 s.Registry.evicted;
+  check Alcotest.int "one entry kept" 1 s.Registry.kept;
+  check Alcotest.int "on-disk store agrees" 1 (Registry.length reg);
+  checkb "kept bytes accounted" true (s.Registry.kept_bytes > 0);
+  (* A pruned root still serves — transported from the survivor.  Root 2
+     specifically: the source entry is only fallback-quality, and the
+     fallback ladder happens to be cheaper at roots 1 and 3 on this
+     topology, so the probe's fallback guard (correctly) rejects those. *)
+  (match Registry.probe reg topo (List.nth pruned 1) with
+  | Registry.Hit h ->
+      checkb "pruned root served via transport" true
+        (h.Registry.via = Registry.Transported);
+      check Alcotest.string "from the kept entry"
+        (Registry.key topo kept_coll) h.Registry.hit_key
+  | Registry.Miss r ->
+      Alcotest.fail ("pruned root must transport: " ^ Registry.miss_reason_name r));
+  (* LRU eviction: a second entry, then a one-entry cap with an audit-fed
+     recency map — the stale key goes, the fresh one stays. *)
+  let fresh_coll = C.make C.ReduceScatter ~n ~size:65536.0 in
+  let fresh_schedules = Fallback.schedule topo fresh_coll in
+  Registry.store reg topo fresh_coll
+    ~cost:(simulate fresh_schedules)
+    ~chosen:"fallback" fresh_schedules;
+  let fresh_key = Registry.key topo fresh_coll in
+  let s =
+    Registry.compact reg ~max_entries:1
+      ~last_used:(fun k -> if k = fresh_key then Some 100.0 else Some 1.0)
+      ()
+  in
+  check Alcotest.int "one entry evicted to meet the cap" 1 s.Registry.evicted;
+  check Alcotest.int "cap met" 1 s.Registry.kept;
+  checkb "the recently used entry survives" true
+    (Registry.lookup reg topo fresh_coll <> None);
+  checkb "the stale entry is gone" true
+    (match Registry.probe reg topo kept_coll with
+    | Registry.Miss _ -> true
+    | Registry.Hit _ -> false)
 
 let suite =
   [
@@ -501,6 +713,18 @@ let suite =
     Alcotest.test_case "audit trail round-trips" `Quick test_audit_roundtrip;
     Alcotest.test_case "registry verify is read-only" `Quick
       test_verify_entry_nonmutating;
+    Alcotest.test_case "sharded layout and manifest" `Quick
+      test_shard_layout_manifest;
+    Alcotest.test_case "legacy flat entries serve and migrate" `Quick
+      test_legacy_flat_entry;
+    Alcotest.test_case "racing writers across shards stay consistent" `Quick
+      test_shard_racing_writers;
+    Alcotest.test_case "near-miss probe transports symmetric roots" `Quick
+      test_transported_hit;
+    Alcotest.test_case "near-miss probe rescales adjacent buckets" `Quick
+      test_cross_bucket_hit;
+    Alcotest.test_case "compact migrates, prunes and evicts" `Quick
+      test_registry_compact;
   ]
 
 let () = Alcotest.run "syccl-serve" [ ("serve", suite) ]

@@ -47,6 +47,14 @@
       textually here to keep tools/ dependency-free; fault.ml (the
       encoder itself) and format strings (containing '%') are exempt. *)
 
+(* 8. No direct [Sys.readdir] in lib/serve or lib/check outside
+      registry.ml — the sharded registry's directory layout (shard
+      fan-out, MANIFEST.json, legacy flat entries) is an implementation
+      detail of Registry.  Code that walks a registry directory by hand
+      sees a half-migrated or mid-compaction layout; enumeration must go
+      through Registry.keys / Registry.layout_stats, which know the
+      layout version and skip non-entry files. *)
+
 type rule = {
   name : string;
   hint : string;
@@ -122,6 +130,23 @@ let rules =
           in
           has "milp" path && Filename.basename path <> "lp_dense.ml");
       needles = [ "Array.make_matrix" ];
+      at_bol_only = false;
+    };
+    {
+      name = "direct registry directory walk";
+      hint =
+        "enumerate registry entries via Registry.keys/layout_stats, not \
+         Sys.readdir (the shard layout is Registry's implementation detail)";
+      applies =
+        (fun path ->
+          let has sub s =
+            let n = String.length s and m = String.length sub in
+            let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+            go 0
+          in
+          (has "serve" path || has "check" path)
+          && Filename.basename path <> "registry.ml");
+      needles = [ "Sys.readdir" ];
       at_bol_only = false;
     };
   ]
