@@ -578,35 +578,111 @@ let profile_cmd =
        ~doc:"Fit per-dimension alpha-beta link parameters from probe sweeps.")
     Term.(const run $ topo_arg $ noise)
 
-let export_cmd =
-  let run tname cname size fast output =
-    let topo = topo_of_name tname in
-    let coll = coll_of_name cname ~n:(T.Topology.num_gpus topo) ~size in
-    let config = { Syccl.Synthesizer.default_config with fast_only = fast } in
-    let o = Syccl.Synthesizer.synthesize ~config topo coll in
+let lower_cmd =
+  let run tname cname size fast faults domains deadline rdir audit channels
+      proto check output =
+    let config =
+      { Syccl.Synthesizer.default_config with fast_only = fast; domains;
+        deadline }
+    in
+    let req =
+      Request.make ~config ~faults:(faults_of faults) ~topology:tname
+        ~collective:cname ~size ()
+    in
+    let registry = registry_of rdir in
+    (* The lowering check runs inside Serve on the schedules as served:
+       registry hits (transported/rescaled included) and degraded rungs
+       (Rerouted, fallback) are lowered exactly as the plan resolved them,
+       never re-synthesized. *)
+    let lower (r : Request.t) (o : Syccl.Synthesizer.outcome) =
+      if not check then Ok ()
+      else
+        match
+          S.Msccl_interp.check_lowering ~channels ~coll:r.Request.coll
+            o.Syccl.Synthesizer.schedules
+        with
+        | Error _ as e -> e
+        | Ok () ->
+            Result.map_error
+              (fun e -> "reference checker divergence: " ^ e)
+              (Syccl_check.Refcheck.covers r.Request.topo r.Request.coll
+                 o.Syccl.Synthesizer.schedules)
+    in
+    let so = Serve.run ?registry ?audit:(audit_of registry audit) ~lower req in
+    let o = so.Serve.synth in
+    (* Status goes to stderr: stdout carries the XML when no -o is given. *)
+    Format.eprintf "lowering:   %s, rung %s, %d phase(s), channels %d@."
+      (match so.Serve.source with
+      | Serve.From_registry { hit_key; via; _ } ->
+          Printf.sprintf "registry hit %s (%s)" hit_key (Registry.via_name via)
+      | Serve.From_synthesis -> "fresh synthesis")
+      (Syccl.Synthesizer.level_name o.Syccl.Synthesizer.degraded)
+      (List.length o.Syccl.Synthesizer.schedules)
+      channels;
+    (match so.Serve.lower with
+    | Some (Error e) -> failwith ("lower --check: " ^ e)
+    | Some (Ok ()) when check ->
+        Format.eprintf
+          "check:      lower -> parse -> replay ok, refcheck agrees@."
+    | _ -> ());
+    let phases = C.phases req.Request.coll in
     List.iteri
-      (fun i s ->
-        let xml = S.Msccl.to_xml ~name:(Printf.sprintf "syccl-%s-%d" cname i) ~coll s in
+      (fun i (phase, s) ->
+        let prog =
+          S.Msccl.lower ~channels ~proto
+            ~name:(Printf.sprintf "syccl-%s-%d" cname i)
+            ~coll:phase s
+        in
+        let xml = S.Msccl.emit prog in
         match output with
         | None -> print_string xml
         | Some path ->
             let path =
-              if List.length o.schedules = 1 then path
+              if List.length phases = 1 then path
               else Printf.sprintf "%s.phase%d" path i
             in
             let oc = open_out path in
             output_string oc xml;
             close_out oc;
-            Format.printf "wrote %s (%d transfers)@." path (S.Schedule.num_xfers s))
-      o.schedules
+            Format.eprintf "wrote %s (%d steps)@." path (S.Msccl.num_steps prog))
+      (List.combine phases o.Syccl.Synthesizer.schedules)
+  in
+  let channels =
+    Arg.(
+      value & opt int 1
+      & info [ "channels" ] ~docv:"N"
+          ~doc:"Spread connections round-robin over $(docv) channels.")
+  in
+  let proto =
+    Arg.(
+      value & opt string "Simple"
+      & info [ "proto" ] ~docv:"PROTO" ~doc:"Protocol attribute (LL, LL128, Simple).")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Replay the lowered program step-by-step under executor \
+             semantics and cross-check data placement against the \
+             reference interpreter before emitting; non-zero exit and no \
+             XML on any divergence.  The verdict is recorded in the audit \
+             trail either way.")
   in
   let output =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write XML here instead of stdout.")
   in
   Cmd.v
-    (Cmd.info "export" ~doc:"Synthesize and emit MSCCL-executor XML (one file per phase).")
-    Term.(const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ output)
+    (Cmd.info "lower"
+       ~doc:
+         "Serve a request (registry and degradation ladder included) and \
+          lower the schedules actually served to MSCCL-executor XML (one \
+          file per phase).")
+    Term.(
+      const run $ topo_arg $ coll_arg $ size_arg $ fast_arg $ faults_arg
+      $ domains_arg $ deadline_arg $ registry_arg $ audit_arg $ channels
+      $ proto $ check $ output)
 
 let sweep_sizes = [ 1e3; 65536.0; 1048576.0; 1.6777e7; 2.68435e8; 1.073741824e9 ]
 
@@ -1450,7 +1526,7 @@ let () =
   let cmd =
     Cmd.group (Cmd.info "syccl_cli" ~doc)
       [
-        topo_cmd; synth_cmd; sweep_cmd; batch_cmd; warm_cmd; export_cmd;
+        topo_cmd; synth_cmd; sweep_cmd; batch_cmd; warm_cmd; lower_cmd;
         analyze_cmd; profile_cmd; save_cmd; replay_cmd; explain_cmd;
         audit_cmd; metrics_cmd; registry_cmd; fuzz_cmd;
       ]

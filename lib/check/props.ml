@@ -18,6 +18,7 @@ module Teccl = Syccl_teccl.Teccl
 module Registry = Syccl_serve.Registry
 module Synthesizer = Syccl.Synthesizer
 module Transport = Syccl_sim.Transport
+module Msccl_interp = Syccl_sim.Msccl_interp
 module Fault = Syccl_topology.Fault
 module Failover = Syccl_serve.Failover
 module Reroute = Syccl.Reroute
@@ -690,6 +691,56 @@ let prop_fault_orbit_transport ctx =
                       else Pass))))
 
 (* ------------------------------------------------------------------ *)
+(* executor-level lowering oracle: lowering any valid schedule to MSCCL
+   XML, parsing it back and replaying it step-by-step under executor
+   semantics reproduces exactly the reference checker's verdict of the
+   demand — at any channel count.  This is the second differential oracle
+   of ROADMAP 5(a): it checks threadblock layout, FIFO connection pairing
+   and cross-threadblock dependency edges, which no schedule-level checker
+   sees. *)
+
+let lowering_diverges ~channels phase s =
+  match Refcheck.covers_phase phase s with
+  | Error _ -> false (* the schedule itself is wrong; not a lowering bug *)
+  | Ok () ->
+      Result.is_error (Msccl_interp.check_lowering ~channels ~coll:phase [ s ])
+
+let prop_lower_replay ctx =
+  let rng = ctx.rng in
+  let topo = Gen.topology rng in
+  let coll = Gen.collective rng ~n:(Topology.num_gpus topo) in
+  let phases = Collective.phases coll in
+  let schedules = Gen.schedules rng topo coll in
+  let channels = X.pick rng [| 1; 2; 4 |] in
+  let rec go pairs =
+    match pairs with
+    | [] -> Pass
+    | (phase, s) :: rest -> (
+        match Refcheck.covers_phase phase s with
+        | Error e -> failf "generator schedule fails reference checker: %s" e
+        | Ok () ->
+            if lowering_diverges ~channels phase s then
+              let witness =
+                if ctx.shrink then
+                  Shrink.schedule
+                    ~still_fails:(lowering_diverges ~channels phase)
+                    s
+                else s
+              in
+              let why =
+                match
+                  Msccl_interp.check_lowering ~channels ~coll:phase [ witness ]
+                with
+                | Error e -> e
+                | Ok () -> "(witness passes after shrinking; original diverged)"
+              in
+              failf "lower-replay (channels=%d): %s\n%s" channels why
+                (pp_schedule witness)
+            else go rest)
+  in
+  go (List.combine phases schedules)
+
+(* ------------------------------------------------------------------ *)
 
 let all =
   [
@@ -709,6 +760,7 @@ let all =
     { name = "degraded-validity"; heavy = true; check = prop_degraded_validity };
     { name = "fault-orbit-transport"; heavy = false;
       check = prop_fault_orbit_transport };
+    { name = "lower-replay"; heavy = false; check = prop_lower_replay };
     { name = "oracle"; heavy = true; check = prop_oracle };
   ]
 

@@ -45,6 +45,11 @@ val all : prop list
       survive probes at another, and report store-time fidelity;
     - [size-bucket]: {!Syccl_serve.Registry.size_bucket} is the exact
       power-of-two floor;
+    - [lower-replay]: lowering any refcheck-valid schedule to MSCCL XML,
+      parsing it back and replaying it under executor semantics
+      ({!Syccl_sim.Msccl_interp}) completes without deadlock,
+      use-before-receive or double-writes and lands the demanded data,
+      at channels 1, 2 and 4;
     - [oracle]: the full synthesis pipeline validates and is never beaten
       beyond per-comparator screening tolerance by greedy-only synthesis,
       TECCL, NCCL or the fallback ladder on the same demand (TECCL's

@@ -26,6 +26,8 @@ type record = {
   milp_solves : int;
   milp_nodes : int;
   flow_certified : int;
+  lowered : bool;  (* a lowering check ran for this response *)
+  lower_check : string option;  (* "ok" or the first divergence *)
 }
 
 (* Fixed field order: byte-identical re-encoding is what lets the smoke
@@ -59,6 +61,8 @@ let record_to_json r =
       ("milp_solves", int r.milp_solves);
       ("milp_nodes", int r.milp_nodes);
       ("flow_certified", int r.flow_certified);
+      ("lowered", Json.Bool r.lowered);
+      ("lower_check", opt_str r.lower_check);
     ]
 
 let record_of_json j =
@@ -99,6 +103,17 @@ let record_of_json j =
     milp_solves = int "milp_solves";
     milp_nodes = int "milp_nodes";
     flow_certified = int "flow_certified";
+    (* Records predating the executor-level lowering oracle never checked. *)
+    lowered = (match Json.member "lowered" j with
+               | Json.Bool b -> b
+               | Json.Null -> false
+               | exception Json.Parse_error _ -> false
+               | _ -> raise (Json.Parse_error "\"lowered\" must be a boolean"));
+    lower_check =
+      (match Json.member "lower_check" j with
+      | exception Json.Parse_error _ -> None
+      | Json.Null -> None
+      | v -> Some (Json.to_str v));
   }
 
 (* --- the sink ------------------------------------------------------------ *)
@@ -191,6 +206,10 @@ let replay_counters r =
   | "fallback" -> Counters.bump "serve.rung.fallback"
   | _ -> ());
   if r.stored then Counters.bump "registry.stores";
+  if r.lowered then Counters.bump "serve.lowered";
+  (match r.lower_check with
+  | Some v when v <> "ok" -> Counters.bump "serve.lower_failures"
+  | _ -> ());
   Counters.add "cache.subsolve.hits" r.cache_hits;
   Counters.add "cache.subsolve.misses" r.cache_misses;
   Counters.add "milp.solves" r.milp_solves;

@@ -44,6 +44,12 @@ type record = {
   milp_solves : int;
   milp_nodes : int;
   flow_certified : int;
+  lowered : bool;
+      (** an executor-level lowering check ({!Syccl_sim.Msccl_interp}) ran
+          over the served schedules ([false] for records predating the
+          field) *)
+  lower_check : string option;
+      (** ["ok"], or the first lowering divergence found *)
 }
 
 val record_to_json : record -> Syccl_util.Json.t

@@ -16,6 +16,10 @@ type outcome = {
   request : Request.t;
   source : source;
   synth : Synthesizer.outcome;
+  lower : (unit, string) result option;
+      (* verdict of the caller's lowering check over the schedules actually
+         served (registry hits and degraded rungs included); [None] when no
+         check was requested *)
 }
 
 let hit_breakdown =
@@ -57,6 +61,7 @@ let hit_outcome (request : Request.t) (hit : Registry.hit) =
         degraded = Synthesizer.Full;
         degrade_reason = None;
       };
+    lower = None;
   }
 
 (* Registry write policy: persist only results the registry may later serve
@@ -151,9 +156,15 @@ let audit_record ~registry (p : Plan.t) (o : outcome) =
     milp_solves = b.Synthesizer.milp_solves;
     milp_nodes = b.Synthesizer.milp_nodes;
     flow_certified = b.Synthesizer.flow_certified;
+    lowered = o.lower <> None;
+    lower_check =
+      (match o.lower with
+      | None -> None
+      | Some (Ok ()) -> Some "ok"
+      | Some (Error e) -> Some e);
   }
 
-let run_batch ?registry ?audit requests =
+let run_batch ?registry ?audit ?lower requests =
   (* Dedupe on the request key: equal keys are guaranteed identical
      outcomes (synthesis is deterministic in everything the key covers),
      so each unique request is planned and executed once. *)
@@ -186,16 +197,37 @@ let run_batch ?registry ?audit requests =
           (fun (r : Request.t) o ->
             store_result registry r o;
             (Request.key r, { request = r; source = From_synthesis;
-                              synth = with_registry_miss registry o }))
+                              synth = with_registry_miss registry o;
+                              lower = None }))
           members outs)
       (group_requests (List.map snd synth_work))
+  in
+  (* The lowering check runs over the outcome {e as served} — a registry
+     hit or a degraded rung lowers exactly the schedules the caller gets,
+     never a fresh synthesis.  One check per unique request; duplicate
+     requests share the verdict. *)
+  let checked (o : outcome) =
+    match lower with
+    | None -> o
+    | Some f ->
+        let verdict =
+          match f o.request o.synth with
+          | v -> v
+          | exception e ->
+              Error ("lowering check raised: " ^ Printexc.to_string e)
+        in
+        Counters.bump "serve.lowered";
+        (match verdict with
+        | Ok () -> ()
+        | Error _ -> Counters.bump "serve.lower_failures");
+        { o with lower = Some verdict }
   in
   let by_key =
     List.map
       (fun (k, (p : Plan.t)) ->
         match p.Plan.action with
-        | Plan.Serve_hit hit -> (k, hit_outcome p.Plan.request hit)
-        | Plan.Synthesize -> (k, List.assoc k synthesized))
+        | Plan.Serve_hit hit -> (k, checked (hit_outcome p.Plan.request hit))
+        | Plan.Synthesize -> (k, checked (List.assoc k synthesized)))
       plans
   in
   let outcomes = List.map (fun r -> List.assoc (Request.key r) by_key) requests in
@@ -210,8 +242,8 @@ let run_batch ?registry ?audit requests =
         outcomes);
   outcomes
 
-let run ?registry ?audit request =
-  match run_batch ?registry ?audit [ request ] with
+let run ?registry ?audit ?lower request =
+  match run_batch ?registry ?audit ?lower [ request ] with
   | [ o ] -> o
   | _ -> assert false
 
@@ -260,4 +292,9 @@ let outcome_to_json (o : outcome) =
       ("registry_hits", int b.Synthesizer.registry_hits);
       ("registry_misses", int b.Synthesizer.registry_misses);
       ("synth_time_s", Json.Num s.Synthesizer.synth_time);
+      ( "lower_check",
+        match o.lower with
+        | None -> Json.Null
+        | Some (Ok ()) -> Json.Str "ok"
+        | Some (Error e) -> Json.Str e );
     ]

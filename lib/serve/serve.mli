@@ -39,13 +39,26 @@ type outcome = {
       (** the underlying outcome; for registry hits, [time]/[busbw] are
           freshly re-simulated, [synth_time] is 0, and
           [breakdown.registry_hits = 1] *)
+  lower : (unit, string) result option;
+      (** verdict of the [lower] hook over the schedules {e as served}
+          (registry hits and degraded rungs included); [None] when the
+          caller passed no hook *)
 }
 
-val run : ?registry:Registry.t -> ?audit:Audit.t -> Request.t -> outcome
+val run :
+  ?registry:Registry.t ->
+  ?audit:Audit.t ->
+  ?lower:(Request.t -> Syccl.Synthesizer.outcome -> (unit, string) result) ->
+  Request.t ->
+  outcome
 (** Plan and execute one request. *)
 
 val run_batch :
-  ?registry:Registry.t -> ?audit:Audit.t -> Request.t list -> outcome list
+  ?registry:Registry.t ->
+  ?audit:Audit.t ->
+  ?lower:(Request.t -> Syccl.Synthesizer.outcome -> (unit, string) result) ->
+  Request.t list ->
+  outcome list
 (** Plan and execute a batch, preserving order.  Duplicate requests
     (equal {!Request.key}) are executed once and their outcome shared;
     distinct requests sharing a topology structure and config are
@@ -56,7 +69,14 @@ val run_batch :
     executed outcome's numbers), carrying the plan decision, the registry
     probe outcome with its miss reason, the ladder rung, budget granted
     vs consumed, and the solver counter deltas from the outcome
-    breakdown. *)
+    breakdown.
+
+    When [lower] is given, it is invoked once per {e unique} request on
+    the outcome actually served — the resolved schedules, whether they
+    came from the registry, a degraded ladder rung, or fresh synthesis —
+    and its verdict is recorded in the outcome ([lower]) and the audit
+    trail ([lowered]/[lower_check]).  A hook that raises is recorded as a
+    failed check; it never fails serving. *)
 
 val outcome_to_json : outcome -> Syccl_util.Json.t
 (** Canonical outcome encoding (one [syccl batch] JSONL line): fixed

@@ -1,34 +1,107 @@
 module Collective = Syccl_collective.Collective
 
-(* Internal step representation; [dep] points at the receive step a relayed
-   send must wait for, resolved to (tbid, sid) at emission time. *)
+(* ------------------------------------------------------------------ *)
+(* Lowered program representation                                      *)
+(* ------------------------------------------------------------------ *)
+
 type step = {
-  op : string;  (* "s" | "r" | "rrc" *)
-  chunk : int;
-  prio : int;
-  mutable sid : int;
-  mutable hasdep : bool;
-  mutable dep : (tb * step) option;
+  s : int;
+  op : string;  (* "s" | "r" | "rrc" | "nop" *)
+  srcbuf : string;
+  srcoff : int;
+  dstbuf : string;
+  dstoff : int;
+  cnt : int;
+  depid : int;
+  deps : int;
+  hasdep : bool;
 }
 
-and tb = {
-  tbid : int;
-  mutable send_peer : int;
-  mutable recv_peer : int;
-  chan : int;
-  mutable steps : step list;  (* reversed during construction *)
+type tb = {
+  tb_id : int;
+  tb_send : int;
+  tb_recv : int;
+  tb_chan : int;
+  tb_steps : step list;
 }
+
+type gpu = {
+  gpu_id : int;
+  i_chunks : int;
+  o_chunks : int;
+  s_chunks : int;
+  gpu_tbs : tb list;
+}
+
+type program = {
+  algo_name : string;
+  nchunks : int;
+  nchannels : int;
+  proto : string;
+  ngpus : int;
+  coll : string;
+  inplace : int;
+  gpus : gpu list;
+}
+
+let num_steps p =
+  List.fold_left
+    (fun acc g ->
+      List.fold_left (fun acc tb -> acc + List.length tb.tb_steps) acc g.gpu_tbs)
+    0 p.gpus
 
 let coll_name (coll : Collective.t) =
   String.lowercase_ascii (Collective.kind_name coll.Collective.kind)
 
-let to_xml ?(name = "syccl") ?(proto = "Simple") ?(channels = 1)
+(* ------------------------------------------------------------------ *)
+(* Lowering: Schedule.t -> program                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Mutable builder mirror of [step]/[tb]; [b_dep] edges are resolved to
+   (tbid, sid) pairs only after per-threadblock numbering. *)
+type bstep = {
+  b_op : string;
+  b_srcoff : int;
+  b_dstoff : int;
+  b_cnt : int;
+  mutable b_sid : int;
+  mutable b_hasdep : bool;
+  mutable b_dep : (btb * bstep) option;
+}
+
+and btb = {
+  b_tbid : int;
+  mutable b_send : int;
+  mutable b_recv : int;
+  b_chan : int;
+  mutable b_steps : bstep list;  (* reversed during construction *)
+}
+
+let lower ?(name = "syccl") ?(proto = "Simple") ?(channels = 1)
     ~(coll : Collective.t) (s : Schedule.t) =
+  if channels < 1 then invalid_arg "Msccl.lower: channels must be >= 1";
   let n = coll.Collective.n in
   (* One threadblock per (gpu, peer); a peer with traffic both ways shares
      one threadblock, like MSCCL's paired send/recv connections. *)
-  let tbs : (int * int, tb) Hashtbl.t = Hashtbl.create 64 in
+  let tbs : (int * int, btb) Hashtbl.t = Hashtbl.create 64 in
   let next_tb = Array.make n 0 in
+  (* The send threadblock on one rank and the receive threadblock on its
+     peer are two ends of the same executor connection, so both must name
+     the same channel.  Assign channels per unordered GPU pair, first-touch
+     round-robin over the transfer order (deterministic: transfers are
+     iterated in priority order). *)
+  let pair_chan : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let next_chan = ref 0 in
+  let chan_for g p =
+    let key = (min g p, max g p) in
+    match Hashtbl.find_opt pair_chan key with
+    | Some c -> c
+    | None ->
+        let c = !next_chan mod channels in
+        incr next_chan;
+        Hashtbl.replace pair_chan key c;
+        c
+  in
   let tb_for gpu peer ~send =
     let tb =
       match Hashtbl.find_opt tbs (gpu, peer) with
@@ -37,19 +110,21 @@ let to_xml ?(name = "syccl") ?(proto = "Simple") ?(channels = 1)
           let tbid = next_tb.(gpu) in
           next_tb.(gpu) <- tbid + 1;
           let tb =
-            { tbid; send_peer = -1; recv_peer = -1; chan = tbid mod channels;
-              steps = [] }
+            { b_tbid = tbid; b_send = -1; b_recv = -1;
+              b_chan = chan_for gpu peer; b_steps = [] }
           in
           Hashtbl.replace tbs (gpu, peer) tb;
           tb
     in
-    if send then tb.send_peer <- peer else tb.recv_peer <- peer;
+    if send then tb.b_send <- peer else tb.b_recv <- peer;
     tb
   in
-  (* Latest receive of (gpu, chunk), so sends of relayed chunks can depend
-     on it (reduce fan-in keeps the last receive: MSCCL chains its
-     receive-reduce-copy steps). *)
-  let recv_of : (int * int, tb * step) Hashtbl.t = Hashtbl.create 64 in
+  (* All receives of (gpu, chunk) so far, newest first.  A gather-mode send
+     forwards a copy and depends on the (single) receive that produced it; a
+     reduce-mode send forwards the local accumulation and must wait for
+     {e every} inbound contribution, which land on different threadblocks
+     when the fan-in spans peers. *)
+  let recvs_of : (int * int, (btb * bstep) list) Hashtbl.t = Hashtbl.create 64 in
   let ordered =
     List.stable_sort
       (fun (a : Schedule.xfer) b -> compare a.prio b.prio)
@@ -59,77 +134,383 @@ let to_xml ?(name = "syccl") ?(proto = "Simple") ?(channels = 1)
     (fun (x : Schedule.xfer) ->
       let mode = s.Schedule.chunks.(x.chunk).Schedule.mode in
       let stb = tb_for x.src x.dst ~send:true in
-      let send =
-        { op = "s"; chunk = x.chunk; prio = x.prio; sid = 0; hasdep = false;
-          dep = Hashtbl.find_opt recv_of (x.src, x.chunk) }
+      let inbound =
+        Option.value ~default:[] (Hashtbl.find_opt recvs_of (x.src, x.chunk))
       in
-      (match send.dep with
-      | Some (_, rstep) -> rstep.hasdep <- true
-      | None -> ());
-      stb.steps <- send :: stb.steps;
+      let deps =
+        match mode with
+        | `Gather -> ( match inbound with [] -> [] | r :: _ -> [ r ])
+        | `Reduce -> List.rev inbound
+      in
+      (* Receives already in the sending threadblock are sequenced by
+         threadblock order; only cross-threadblock edges need dep slots. *)
+      let deps = List.filter (fun (rtb, _) -> rtb != stb) deps in
+      List.iter (fun ((_, rstep) : btb * bstep) -> rstep.b_hasdep <- true) deps;
+      (* One dep slot per step: the send carries the last edge, and each
+         earlier edge becomes a "nop" step placed just before it. *)
+      let rec split = function
+        | [] -> ([], None)
+        | [ last ] -> ([], Some last)
+        | d :: rest ->
+            let nops, last = split rest in
+            (d :: nops, last)
+      in
+      let nop_deps, send_dep = split deps in
+      let nops =
+        List.map
+          (fun d ->
+            { b_op = "nop"; b_srcoff = 0; b_dstoff = 0; b_cnt = 0; b_sid = 0;
+              b_hasdep = false; b_dep = Some d })
+          nop_deps
+      in
+      let send =
+        { b_op = "s"; b_srcoff = x.chunk; b_dstoff = x.chunk; b_cnt = 1;
+          b_sid = 0; b_hasdep = false; b_dep = send_dep }
+      in
+      stb.b_steps <- (send :: List.rev nops) @ stb.b_steps;
       let rtb = tb_for x.dst x.src ~send:false in
       let recv =
-        {
-          op = (match mode with `Gather -> "r" | `Reduce -> "rrc");
-          chunk = x.chunk;
-          prio = x.prio;
-          sid = 0;
-          hasdep = false;
-          dep = None;
-        }
+        { b_op = (match mode with `Gather -> "r" | `Reduce -> "rrc");
+          b_srcoff = x.chunk; b_dstoff = x.chunk; b_cnt = 1; b_sid = 0;
+          b_hasdep = false; b_dep = None }
       in
-      rtb.steps <- recv :: rtb.steps;
-      Hashtbl.replace recv_of (x.dst, x.chunk) (rtb, recv))
+      rtb.b_steps <- recv :: rtb.b_steps;
+      let prior =
+        Option.value ~default:[] (Hashtbl.find_opt recvs_of (x.dst, x.chunk))
+      in
+      Hashtbl.replace recvs_of (x.dst, x.chunk) ((rtb, recv) :: prior))
     ordered;
   (* Number steps within each threadblock (construction order = priority
-     order). *)
+     order), then freeze into the immutable program form. *)
   let by_gpu = Array.make n [] in
   Hashtbl.iter (fun (gpu, _) tb -> by_gpu.(gpu) <- tb :: by_gpu.(gpu)) tbs;
   Array.iteri
     (fun g l ->
-      let sorted = List.sort (fun a b -> compare a.tbid b.tbid) l in
+      let sorted = List.sort (fun a b -> compare a.b_tbid b.b_tbid) l in
       List.iter
         (fun tb ->
-          tb.steps <- List.rev tb.steps;
-          List.iteri (fun i st -> st.sid <- i) tb.steps)
+          tb.b_steps <- List.rev tb.b_steps;
+          List.iteri (fun i st -> st.b_sid <- i) tb.b_steps)
         sorted;
       by_gpu.(g) <- sorted)
     by_gpu;
-  let buf = Buffer.create 4096 in
   let nchunks = Array.length s.Schedule.chunks in
+  let freeze_step (st : bstep) =
+    let depid, deps =
+      match st.b_dep with
+      | Some (rtb, rstep) -> (rtb.b_tbid, rstep.b_sid)
+      | None -> (-1, -1)
+    in
+    { s = st.b_sid; op = st.b_op; srcbuf = "o"; srcoff = st.b_srcoff;
+      dstbuf = "o"; dstoff = st.b_dstoff; cnt = st.b_cnt; depid; deps;
+      hasdep = st.b_hasdep }
+  in
+  let freeze_tb (tb : btb) =
+    { tb_id = tb.b_tbid; tb_send = tb.b_send; tb_recv = tb.b_recv;
+      tb_chan = tb.b_chan; tb_steps = List.map freeze_step tb.b_steps }
+  in
+  let gpus =
+    List.init n (fun g ->
+        { gpu_id = g; i_chunks = nchunks; o_chunks = nchunks; s_chunks = 0;
+          gpu_tbs = List.map freeze_tb by_gpu.(g) })
+  in
+  { algo_name = name; nchunks; nchannels = channels; proto; ngpus = n;
+    coll = coll_name coll; inplace = 0; gpus }
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let escape s =
+  if
+    String.for_all
+      (fun c -> not (c = '&' || c = '<' || c = '>' || c = '"'))
+      s
+  then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '"' -> Buffer.add_string buf "&quot;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let emit (p : program) =
+  let buf = Buffer.create 4096 in
   Buffer.add_string buf
     (Printf.sprintf
        "<algo name=\"%s\" nchunksperloop=\"%d\" nchannels=\"%d\" proto=\"%s\" \
-        ngpus=\"%d\" coll=\"%s\" inplace=\"0\">\n"
-       name nchunks channels proto n (coll_name coll));
-  for g = 0 to n - 1 do
-    Buffer.add_string buf
-      (Printf.sprintf
-         "  <gpu id=\"%d\" i_chunks=\"%d\" o_chunks=\"%d\" s_chunks=\"0\">\n" g
-         nchunks nchunks);
-    List.iter
-      (fun tb ->
-        Buffer.add_string buf
-          (Printf.sprintf "    <tb id=\"%d\" send=\"%d\" recv=\"%d\" chan=\"%d\">\n"
-             tb.tbid tb.send_peer tb.recv_peer tb.chan);
-        List.iter
-          (fun st ->
-            let depid, deps =
-              match st.dep with
-              | Some (rtb, rstep) -> (rtb.tbid, rstep.sid)
-              | None -> (-1, -1)
-            in
-            Buffer.add_string buf
-              (Printf.sprintf
-                 "      <step s=\"%d\" type=\"%s\" srcbuf=\"o\" srcoff=\"%d\" \
-                  dstbuf=\"o\" dstoff=\"%d\" cnt=\"1\" depid=\"%d\" deps=\"%d\" \
-                  hasdep=\"%d\"/>\n"
-                 st.sid st.op st.chunk st.chunk depid deps
-                 (if st.hasdep then 1 else 0)))
-          tb.steps;
-        Buffer.add_string buf "    </tb>\n")
-      by_gpu.(g);
-    Buffer.add_string buf "  </gpu>\n"
-  done;
+        ngpus=\"%d\" coll=\"%s\" inplace=\"%d\">\n"
+       (escape p.algo_name) p.nchunks p.nchannels (escape p.proto) p.ngpus
+       (escape p.coll) p.inplace);
+  List.iter
+    (fun g ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  <gpu id=\"%d\" i_chunks=\"%d\" o_chunks=\"%d\" s_chunks=\"%d\">\n"
+           g.gpu_id g.i_chunks g.o_chunks g.s_chunks);
+      List.iter
+        (fun tb ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "    <tb id=\"%d\" send=\"%d\" recv=\"%d\" chan=\"%d\">\n"
+               tb.tb_id tb.tb_send tb.tb_recv tb.tb_chan);
+          List.iter
+            (fun st ->
+              Buffer.add_string buf
+                (Printf.sprintf
+                   "      <step s=\"%d\" type=\"%s\" srcbuf=\"%s\" \
+                    srcoff=\"%d\" dstbuf=\"%s\" dstoff=\"%d\" cnt=\"%d\" \
+                    depid=\"%d\" deps=\"%d\" hasdep=\"%d\"/>\n"
+                   st.s (escape st.op) (escape st.srcbuf) st.srcoff
+                   (escape st.dstbuf) st.dstoff st.cnt st.depid st.deps
+                   (if st.hasdep then 1 else 0)))
+            tb.tb_steps;
+          Buffer.add_string buf "    </tb>\n")
+        g.gpu_tbs;
+      Buffer.add_string buf "  </gpu>\n")
+    p.gpus;
   Buffer.add_string buf "</algo>\n";
   Buffer.contents buf
+
+let to_xml ?name ?proto ?channels ~coll s =
+  emit (lower ?name ?proto ?channels ~coll s)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse of string
+
+let parse_fail fmt = Format.kasprintf (fun m -> raise (Parse m)) fmt
+
+let unescape s =
+  match String.index_opt s '&' with
+  | None -> s
+  | Some _ ->
+      let n = String.length s in
+      let buf = Buffer.create n in
+      let i = ref 0 in
+      while !i < n do
+        (if s.[!i] <> '&' then begin
+           Buffer.add_char buf s.[!i];
+           incr i
+         end
+         else
+           match String.index_from_opt s !i ';' with
+           | None -> parse_fail "unterminated entity in %S" s
+           | Some j ->
+               (match String.sub s !i (j - !i + 1) with
+               | "&amp;" -> Buffer.add_char buf '&'
+               | "&lt;" -> Buffer.add_char buf '<'
+               | "&gt;" -> Buffer.add_char buf '>'
+               | "&quot;" -> Buffer.add_char buf '"'
+               | "&apos;" -> Buffer.add_char buf '\''
+               | e -> parse_fail "unknown entity %S" e);
+               i := j + 1)
+      done;
+      Buffer.contents buf
+
+(* Minimal tag scanner for the subset of XML [emit] produces: tags and
+   attributes only, no text nodes, comments, or processing instructions. *)
+type tag =
+  | Open of string * (string * string) list
+  | Self of string * (string * string) list
+  | Close of string
+
+let scan text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match text.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let is_name_char c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '-' || c = '.' || c = ':'
+  in
+  let read_name what =
+    let start = !pos in
+    while !pos < n && is_name_char text.[!pos] do incr pos done;
+    if !pos = start then parse_fail "expected %s at offset %d" what start;
+    String.sub text start (!pos - start)
+  in
+  let next_tag () =
+    skip_ws ();
+    if !pos >= n then None
+    else if text.[!pos] <> '<' then
+      parse_fail "stray text at offset %d" !pos
+    else begin
+      incr pos;
+      if !pos < n && text.[!pos] = '/' then begin
+        incr pos;
+        let name = read_name "closing tag name" in
+        skip_ws ();
+        if !pos >= n || text.[!pos] <> '>' then
+          parse_fail "malformed closing tag </%s" name;
+        incr pos;
+        Some (Close name)
+      end
+      else begin
+        let name = read_name "tag name" in
+        let attrs = ref [] in
+        let rec attrs_loop () =
+          skip_ws ();
+          if !pos >= n then parse_fail "unterminated tag <%s" name
+          else if text.[!pos] = '>' then begin
+            incr pos;
+            Some (Open (name, List.rev !attrs))
+          end
+          else if text.[!pos] = '/' then begin
+            incr pos;
+            if !pos >= n || text.[!pos] <> '>' then
+              parse_fail "malformed self-closing tag <%s" name;
+            incr pos;
+            Some (Self (name, List.rev !attrs))
+          end
+          else begin
+            let attr = read_name "attribute name" in
+            skip_ws ();
+            if !pos >= n || text.[!pos] <> '=' then
+              parse_fail "attribute %s of <%s> missing '='" attr name;
+            incr pos;
+            skip_ws ();
+            if !pos >= n || text.[!pos] <> '"' then
+              parse_fail "attribute %s of <%s> missing opening quote" attr name;
+            incr pos;
+            let start = !pos in
+            while !pos < n && text.[!pos] <> '"' do incr pos done;
+            if !pos >= n then
+              parse_fail "attribute %s of <%s> missing closing quote" attr name;
+            let value = unescape (String.sub text start (!pos - start)) in
+            incr pos;
+            attrs := (attr, value) :: !attrs;
+            attrs_loop ()
+          end
+        in
+        attrs_loop ()
+      end
+    end
+  in
+  (* One-token lookahead so list parsers can peek. *)
+  let pending : tag option option ref = ref None in
+  let next () =
+    match !pending with
+    | Some t ->
+        pending := None;
+        t
+    | None -> next_tag ()
+  in
+  let peek () =
+    match !pending with
+    | Some t -> t
+    | None ->
+        let t = next_tag () in
+        pending := Some t;
+        t
+  in
+  (next, peek)
+
+let attr tag attrs name =
+  match List.assoc_opt name attrs with
+  | Some v -> v
+  | None -> parse_fail "<%s> missing attribute %S" tag name
+
+let int_attr tag attrs name =
+  let v = attr tag attrs name in
+  match int_of_string_opt v with
+  | Some i -> i
+  | None -> parse_fail "<%s> attribute %s=%S is not an integer" tag name v
+
+let of_xml text =
+  try
+    let next, peek = scan text in
+    let expect_open want =
+      match next () with
+      | Some (Open (name, attrs)) when name = want -> attrs
+      | Some _ -> parse_fail "expected <%s>" want
+      | None -> parse_fail "expected <%s>, got end of input" want
+    in
+    let expect_close want =
+      match next () with
+      | Some (Close name) when name = want -> ()
+      | _ -> parse_fail "expected </%s>" want
+    in
+    let parse_step attrs =
+      { s = int_attr "step" attrs "s";
+        op = attr "step" attrs "type";
+        srcbuf = attr "step" attrs "srcbuf";
+        srcoff = int_attr "step" attrs "srcoff";
+        dstbuf = attr "step" attrs "dstbuf";
+        dstoff = int_attr "step" attrs "dstoff";
+        cnt = int_attr "step" attrs "cnt";
+        depid = int_attr "step" attrs "depid";
+        deps = int_attr "step" attrs "deps";
+        hasdep = int_attr "step" attrs "hasdep" <> 0 }
+    in
+    let rec parse_steps acc =
+      match peek () with
+      | Some (Self ("step", attrs)) ->
+          ignore (next ());
+          parse_steps (parse_step attrs :: acc)
+      | _ -> List.rev acc
+    in
+    let parse_tb attrs =
+      let steps = parse_steps [] in
+      expect_close "tb";
+      { tb_id = int_attr "tb" attrs "id";
+        tb_send = int_attr "tb" attrs "send";
+        tb_recv = int_attr "tb" attrs "recv";
+        tb_chan = int_attr "tb" attrs "chan";
+        tb_steps = steps }
+    in
+    let rec parse_tbs acc =
+      match peek () with
+      | Some (Open ("tb", attrs)) ->
+          ignore (next ());
+          parse_tbs (parse_tb attrs :: acc)
+      | _ -> List.rev acc
+    in
+    let parse_gpu attrs =
+      let tbs = parse_tbs [] in
+      expect_close "gpu";
+      { gpu_id = int_attr "gpu" attrs "id";
+        i_chunks = int_attr "gpu" attrs "i_chunks";
+        o_chunks = int_attr "gpu" attrs "o_chunks";
+        s_chunks = int_attr "gpu" attrs "s_chunks";
+        gpu_tbs = tbs }
+    in
+    let rec parse_gpus acc =
+      match peek () with
+      | Some (Open ("gpu", attrs)) ->
+          ignore (next ());
+          parse_gpus (parse_gpu attrs :: acc)
+      | _ -> List.rev acc
+    in
+    let algo = expect_open "algo" in
+    let gpus = parse_gpus [] in
+    expect_close "algo";
+    (match next () with
+    | None -> ()
+    | Some _ -> parse_fail "trailing content after </algo>");
+    Ok
+      { algo_name = attr "algo" algo "name";
+        nchunks = int_attr "algo" algo "nchunksperloop";
+        nchannels = int_attr "algo" algo "nchannels";
+        proto = attr "algo" algo "proto";
+        ngpus = int_attr "algo" algo "ngpus";
+        coll = attr "algo" algo "coll";
+        inplace = int_attr "algo" algo "inplace";
+        gpus }
+  with Parse msg -> Error msg

@@ -1,14 +1,87 @@
-(** MSCCL-executor XML emission (§6).
+(** MSCCL-executor XML lowering (§6).
 
     The paper's schedule executor converts synthesized schedules into XML
     consumed by the MSCCL executor [https://github.com/Azure/msccl-executor-nccl]
-    without touching CUDA kernels.  This module emits that format: one
-    [<gpu>] per rank, one threadblock per (peer, direction, channel), and
-    one [<step>] per chunk transfer, with cross-threadblock dependencies for
-    relayed chunks.
+    without touching CUDA kernels.  This module lowers a {!Schedule.t} into
+    that instruction form — one [<gpu>] per rank, one threadblock per
+    (peer, direction) pair on a channel, one [<step>] per chunk transfer,
+    with cross-threadblock dependency edges for relayed chunks — and parses
+    it back, so {!Msccl_interp} can replay the lowered program as an
+    executor-level differential oracle.
 
     Reduce-mode chunks emit ["rrc"] (receive-reduce-copy) steps on the
-    receiving side, matching MSCCL's reduction semantics. *)
+    receiving side, matching MSCCL's reduction semantics.  A reduce-mode
+    relay send must wait for {e every} inbound contribution; since each
+    step carries at most one [depid]/[deps] slot, extra fan-in edges are
+    lowered as ["nop"] steps immediately before the send.
+
+    Both threadblocks of a connection (the sender's and the receiver's)
+    are assigned the {e same} channel: channels are distributed round-robin
+    over unordered GPU pairs in first-use order. *)
+
+(** One executor instruction.  [s] is the step's index within its
+    threadblock; [op] is ["s"] (send), ["r"] (receive), ["rrc"]
+    (receive-reduce-copy) or ["nop"] (dependency placeholder); [depid]/
+    [deps] name a (threadblock, step) on the same GPU that must complete
+    first, or [-1]/[-1] for none; [hasdep] marks steps other steps wait
+    on. *)
+type step = {
+  s : int;
+  op : string;
+  srcbuf : string;
+  srcoff : int;
+  dstbuf : string;
+  dstoff : int;
+  cnt : int;
+  depid : int;
+  deps : int;
+  hasdep : bool;
+}
+
+(** A threadblock: sends to [tb_send], receives from [tb_recv] ([-1] for
+    none), on channel [tb_chan]; executes [tb_steps] strictly in order. *)
+type tb = {
+  tb_id : int;
+  tb_send : int;
+  tb_recv : int;
+  tb_chan : int;
+  tb_steps : step list;
+}
+
+type gpu = {
+  gpu_id : int;
+  i_chunks : int;
+  o_chunks : int;
+  s_chunks : int;
+  gpu_tbs : tb list;
+}
+
+type program = {
+  algo_name : string;
+  nchunks : int;
+  nchannels : int;
+  proto : string;
+  ngpus : int;
+  coll : string;
+  inplace : int;
+  gpus : gpu list;
+}
+
+val lower :
+  ?name:string ->
+  ?proto:string ->
+  ?channels:int ->
+  coll:Syccl_collective.Collective.t ->
+  Schedule.t ->
+  program
+(** Lower a schedule to an executor program.  [proto] defaults to
+    ["Simple"]; [channels] spreads connections round-robin over that many
+    channels (default 1).  Transfers are ordered by priority within each
+    threadblock.  Raises [Invalid_argument] if [channels < 1]. *)
+
+val emit : program -> string
+(** Render a program as MSCCL XML.  Attribute values are XML-escaped
+    (ampersand, angle brackets, double quote). *)
 
 val to_xml :
   ?name:string ->
@@ -17,6 +90,15 @@ val to_xml :
   coll:Syccl_collective.Collective.t ->
   Schedule.t ->
   string
-(** Render the schedule.  [proto] defaults to ["Simple"]; [channels] spreads
-    threadblocks round-robin over that many channels (default 1).  Transfers
-    are ordered by priority within each threadblock. *)
+(** [emit] of [lower]. *)
+
+val of_xml : string -> (program, string) result
+(** Parse XML in the subset {!emit} produces (tags and attributes, no text
+    nodes) back into a program.  For any program [p] built by {!lower},
+    [of_xml (emit p) = Ok p] and re-emission is byte-identical. *)
+
+val num_steps : program -> int
+(** Total step count across all GPUs and threadblocks. *)
+
+val coll_name : Syccl_collective.Collective.t -> string
+(** The lower-case collective name used for the [coll] attribute. *)

@@ -1,0 +1,357 @@
+module Collective = Syccl_collective.Collective
+module Imap = Map.Make (Int)
+
+(* Buffer cells hold contributor multisets: gather data for chunk [c] is the
+   singleton {c}; reduce data is the multiset of contributing GPU ids, so
+   double-counted or missing contributions are visible in the final state.
+   Payloads carry the sender's cell value verbatim. *)
+type value = int Imap.t
+
+let value_union = Imap.union (fun _ a b -> Some (a + b))
+
+let pp_value v =
+  let items =
+    Imap.fold
+      (fun k count acc ->
+        (if count = 1 then string_of_int k
+         else Printf.sprintf "%dx%d" count k)
+        :: acc)
+      v []
+  in
+  "{" ^ String.concat "," (List.rev items) ^ "}"
+
+(* Runtime view of one threadblock. *)
+type rtb = {
+  gpu : int;
+  tb : Msccl.tb;
+  steps : Msccl.step array;
+  mutable pc : int;
+}
+
+let err fmt = Format.kasprintf (fun m -> Error m) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Structural checks                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let structure (p : Msccl.program) =
+  let ( let* ) = Result.bind in
+  let* () =
+    if List.length p.gpus <> p.ngpus then
+      err "program declares ngpus=%d but has %d <gpu> sections" p.ngpus
+        (List.length p.gpus)
+    else Ok ()
+  in
+  let seen_gpu = Hashtbl.create 16 in
+  List.fold_left
+    (fun acc (g : Msccl.gpu) ->
+      let* () = acc in
+      let* () =
+        if g.gpu_id < 0 || g.gpu_id >= p.ngpus then
+          err "gpu id %d out of range [0, %d)" g.gpu_id p.ngpus
+        else if Hashtbl.mem seen_gpu g.gpu_id then
+          err "duplicate gpu id %d" g.gpu_id
+        else Ok (Hashtbl.replace seen_gpu g.gpu_id ())
+      in
+      let tb_len = Hashtbl.create 16 in
+      let* () =
+        List.fold_left
+          (fun acc (tb : Msccl.tb) ->
+            let* () = acc in
+            if Hashtbl.mem tb_len tb.tb_id then
+              err "gpu %d: duplicate threadblock id %d" g.gpu_id tb.tb_id
+            else
+              Ok (Hashtbl.replace tb_len tb.tb_id (List.length tb.tb_steps)))
+          (Ok ()) g.gpu_tbs
+      in
+      List.fold_left
+        (fun acc (tb : Msccl.tb) ->
+          List.fold_left
+            (fun acc (st : Msccl.step) ->
+              let* () = acc in
+              if st.Msccl.depid < 0 then Ok ()
+              else
+                match Hashtbl.find_opt tb_len st.Msccl.depid with
+                | None ->
+                    err
+                      "missing dependency: gpu %d tb %d step %d waits on tb \
+                       %d, which does not exist"
+                      g.gpu_id tb.tb_id st.Msccl.s st.Msccl.depid
+                | Some len ->
+                    if st.Msccl.deps < 0 || st.Msccl.deps >= len then
+                      err
+                        "missing dependency: gpu %d tb %d step %d waits on \
+                         tb %d step %d, which does not exist (tb has %d \
+                         steps)"
+                        g.gpu_id tb.tb_id st.Msccl.s st.Msccl.depid
+                        st.Msccl.deps len
+                    else Ok ())
+            acc tb.tb_steps)
+        (Ok ()) g.gpu_tbs)
+    (Ok ()) p.gpus
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let replay (s : Schedule.t) (p : Msccl.program) =
+  let ( let* ) = Result.bind in
+  let* () = structure p in
+  let nchunks = Array.length s.Schedule.chunks in
+  let* () =
+    if p.Msccl.nchunks <> nchunks then
+      err "program declares %d chunks but the schedule has %d" p.Msccl.nchunks
+        nchunks
+    else Ok ()
+  in
+  let n = p.Msccl.ngpus in
+  (* Initial buffer state from the schedule's demand. *)
+  let bufs : value option array array =
+    Array.make_matrix n nchunks None
+  in
+  Array.iteri
+    (fun c (meta : Schedule.chunk_meta) ->
+      match meta.Schedule.mode with
+      | `Gather ->
+          List.iter
+            (fun g -> bufs.(g).(c) <- Some (Imap.singleton c 1))
+            meta.Schedule.initial
+      | `Reduce ->
+          List.iter
+            (fun g -> bufs.(g).(c) <- Some (Imap.singleton g 1))
+            (List.sort_uniq compare meta.Schedule.initial))
+    s.Schedule.chunks;
+  let tbs_of : (int, rtb list) Hashtbl.t = Hashtbl.create 16 in
+  let by_id : (int * int, rtb) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (g : Msccl.gpu) ->
+      let rtbs =
+        List.map
+          (fun (tb : Msccl.tb) ->
+            let r =
+              { gpu = g.Msccl.gpu_id; tb; steps = Array.of_list tb.Msccl.tb_steps;
+                pc = 0 }
+            in
+            Hashtbl.replace by_id (g.Msccl.gpu_id, tb.Msccl.tb_id) r;
+            r)
+          g.Msccl.gpu_tbs
+      in
+      Hashtbl.replace tbs_of g.Msccl.gpu_id rtbs)
+    p.Msccl.gpus;
+  let all_tbs =
+    List.concat_map (fun (g : Msccl.gpu) ->
+        match Hashtbl.find_opt tbs_of g.Msccl.gpu_id with
+        | Some l -> l
+        | None -> [])
+      p.Msccl.gpus
+  in
+  (* FIFO payloads per executor connection (sender, receiver, channel). *)
+  let queues : (int * int * int, value Queue.t) Hashtbl.t = Hashtbl.create 64 in
+  let queue key =
+    match Hashtbl.find_opt queues key with
+    | Some q -> q
+    | None ->
+        let q = Queue.create () in
+        Hashtbl.replace queues key q;
+        q
+  in
+  let dep_satisfied (r : rtb) (st : Msccl.step) =
+    st.Msccl.depid < 0
+    ||
+    match Hashtbl.find_opt by_id (r.gpu, st.Msccl.depid) with
+    | Some target -> target.pc > st.Msccl.deps
+    | None -> false
+  in
+  let error = ref None in
+  let fail fmt =
+    Format.kasprintf
+      (fun m -> if !error = None then error := Some m)
+      fmt
+  in
+  let progress = ref true in
+  (* Adversarial order: drain every ready send (and nop) to a fixpoint
+     before any receive runs, each round.  A send whose buffer cell is
+     only populated by a not-yet-ordered receive — a missing dependency
+     edge — deterministically fires early and is caught as
+     use-before-receive rather than racing. *)
+  let step_sends () =
+    let moved = ref true in
+    while !moved && !error = None do
+      moved := false;
+      List.iter
+        (fun (r : rtb) ->
+          let continue = ref true in
+          while
+            !continue && !error = None && r.pc < Array.length r.steps
+          do
+            let st = r.steps.(r.pc) in
+            match st.Msccl.op with
+            | ("s" | "nop") when dep_satisfied r st ->
+                (if st.Msccl.op = "s" then
+                   match bufs.(r.gpu).(st.Msccl.srcoff) with
+                   | None ->
+                       fail
+                         "use-before-receive: gpu %d tb %d step %d sends \
+                          offset %d before any data arrived there"
+                         r.gpu r.tb.Msccl.tb_id st.Msccl.s st.Msccl.srcoff
+                   | Some v ->
+                       Queue.push v
+                         (queue (r.gpu, r.tb.Msccl.tb_send, r.tb.Msccl.tb_chan)));
+                r.pc <- r.pc + 1;
+                moved := true;
+                progress := true
+            | "s" | "nop" -> continue := false
+            | "r" | "rrc" -> continue := false
+            | op ->
+                fail "gpu %d tb %d step %d: unknown step type %S" r.gpu
+                  r.tb.Msccl.tb_id st.Msccl.s op
+          done)
+        all_tbs
+    done
+  in
+  let step_recvs () =
+    List.iter
+      (fun (r : rtb) ->
+        if !error = None && r.pc < Array.length r.steps then
+          let st = r.steps.(r.pc) in
+          match st.Msccl.op with
+          | ("r" | "rrc") when dep_satisfied r st -> (
+              let q = queue (r.tb.Msccl.tb_recv, r.gpu, r.tb.Msccl.tb_chan) in
+              if not (Queue.is_empty q) then begin
+                let v = Queue.pop q in
+                let cell = bufs.(r.gpu).(st.Msccl.dstoff) in
+                (match (st.Msccl.op, cell) with
+                | "r", Some _ ->
+                    fail
+                      "double-write: gpu %d tb %d step %d receives into \
+                       offset %d, which is already occupied"
+                      r.gpu r.tb.Msccl.tb_id st.Msccl.s st.Msccl.dstoff
+                | "r", None -> bufs.(r.gpu).(st.Msccl.dstoff) <- Some v
+                | _, Some prev ->
+                    bufs.(r.gpu).(st.Msccl.dstoff) <- Some (value_union prev v)
+                | _, None -> bufs.(r.gpu).(st.Msccl.dstoff) <- Some v);
+                r.pc <- r.pc + 1;
+                progress := true
+              end)
+          | _ -> ())
+      all_tbs
+  in
+  while !progress && !error = None do
+    progress := false;
+    step_sends ();
+    if !error = None then step_recvs ()
+  done;
+  match !error with
+  | Some m -> Error m
+  | None ->
+      (* Anything left unexecuted is a deadlock: a dependency cycle, a dep
+         on a step that never runs, or a receive whose matching send went
+         to a different connection (e.g. a channel mismatch). *)
+      let blocked =
+        List.filter_map
+          (fun (r : rtb) ->
+            if r.pc >= Array.length r.steps then None
+            else
+              let st = r.steps.(r.pc) in
+              let why =
+                if not (dep_satisfied r st) then
+                  Printf.sprintf "waiting on tb %d step %d" st.Msccl.depid
+                    st.Msccl.deps
+                else
+                  Printf.sprintf
+                    "no payload on connection %d->%d chan %d"
+                    r.tb.Msccl.tb_recv r.gpu r.tb.Msccl.tb_chan
+              in
+              Some
+                (Printf.sprintf "gpu %d tb %d step %d (%s): %s" r.gpu
+                   r.tb.Msccl.tb_id st.Msccl.s st.Msccl.op why))
+          all_tbs
+      in
+      if blocked <> [] then
+        err "deadlock: %d step(s) blocked; first: %s"
+          (List.length blocked) (List.hd blocked)
+      else begin
+        let stray = ref 0 in
+        Hashtbl.iter (fun _ q -> stray := !stray + Queue.length q) queues;
+        if !stray > 0 then
+          err "%d payload(s) sent but never received" !stray
+        else
+          (* Final placement against the schedule's demand. *)
+          let check_chunk c (meta : Schedule.chunk_meta) =
+            match meta.Schedule.mode with
+            | `Gather ->
+                let want = Imap.singleton c 1 in
+                List.fold_left
+                  (fun acc g ->
+                    let* () = acc in
+                    match bufs.(g).(c) with
+                    | None ->
+                        err "gpu %d never received gather chunk %d" g c
+                    | Some v when Imap.equal ( = ) v want -> Ok ()
+                    | Some v ->
+                        err
+                          "gpu %d offset %d holds %s instead of chunk %d's \
+                           data"
+                          g c (pp_value v) c)
+                  (Ok ()) meta.Schedule.wanted
+            | `Reduce ->
+                let want =
+                  List.fold_left
+                    (fun acc g -> value_union acc (Imap.singleton g 1))
+                    Imap.empty
+                    (List.sort_uniq compare meta.Schedule.initial)
+                in
+                List.fold_left
+                  (fun acc g ->
+                    let* () = acc in
+                    match bufs.(g).(c) with
+                    | None ->
+                        err "gpu %d never received reduce chunk %d" g c
+                    | Some v when Imap.equal ( = ) v want -> Ok ()
+                    | Some v ->
+                        err
+                          "reduce chunk %d at gpu %d accumulates %s, want %s"
+                          c g (pp_value v) (pp_value want))
+                  (Ok ()) meta.Schedule.wanted
+          in
+          let acc = ref (Ok ()) in
+          Array.iteri
+            (fun c meta ->
+              match !acc with
+              | Error _ -> ()
+              | Ok () -> acc := check_chunk c meta)
+            s.Schedule.chunks;
+          !acc
+      end
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end lowering check                                           *)
+(* ------------------------------------------------------------------ *)
+
+let check_lowering ?name ?proto ?(channels = 1) ~(coll : Collective.t)
+    (schedules : Schedule.t list) =
+  let phases = Collective.phases coll in
+  if List.length phases <> List.length schedules then
+    err "expected %d phase schedule(s) for %s, got %d" (List.length phases)
+      (Collective.kind_name coll.Collective.kind)
+      (List.length schedules)
+  else
+    let rec go i phases schedules =
+      match (phases, schedules) with
+      | [], [] -> Ok ()
+      | phase :: phases, sched :: schedules -> (
+          let xml = Msccl.to_xml ?name ?proto ~channels ~coll:phase sched in
+          match Msccl.of_xml xml with
+          | Error e ->
+              err "phase %d: emitted XML does not parse back: %s" i e
+          | Ok prog ->
+              if not (String.equal (Msccl.emit prog) xml) then
+                err "phase %d: to_xml -> of_xml -> emit is not byte-identical"
+                  i
+              else (
+                match replay sched prog with
+                | Error e -> err "phase %d: %s" i e
+                | Ok () -> go (i + 1) phases schedules))
+      | _ -> err "phase/schedule count mismatch"
+    in
+    go 0 phases schedules

@@ -1,0 +1,40 @@
+(** Step-level replay of lowered MSCCL programs — the executor-level half
+    of the differential oracle (ROADMAP 5(a)).
+
+    The interpreter replays a {!Msccl.program} under the executor's
+    semantics: steps within a threadblock run strictly in order;
+    [depid]/[deps] edges gate steps on other threadblocks of the same GPU;
+    sends and receives pair up FIFO per (sender, receiver, channel)
+    connection; ["r"] writes the payload, ["rrc"] reduces it into the
+    destination offset; ["nop"] only waits on its dependency.
+
+    Scheduling is adversarial: every ready send fires before any receive
+    each round, so a send that is only {e accidentally} ordered after the
+    receive that produces its data (a missing dependency edge) is
+    deterministically caught as use-before-receive instead of racing.
+
+    Divergences detected: malformed or missing [depid]/[deps] targets,
+    deadlock (dependency cycles, or receives whose matching send went to a
+    different connection — e.g. mismatched channels), use-before-receive,
+    double-writes into an occupied offset, payloads sent but never
+    received, and a final data placement that does not meet the schedule's
+    demand (gather chunks at every wanted GPU; the exact contribution
+    multiset at a reduce destination). *)
+
+val replay : Schedule.t -> Msccl.program -> (unit, string) result
+(** Replay [program] from the initial buffer state implied by the
+    schedule's chunk metadata and check the final placement against its
+    demand.  [Ok ()] means the lowered program provably performs the
+    schedule under executor semantics. *)
+
+val check_lowering :
+  ?name:string ->
+  ?proto:string ->
+  ?channels:int ->
+  coll:Syccl_collective.Collective.t ->
+  Schedule.t list ->
+  (unit, string) result
+(** Lower each phase schedule of [coll] (via {!Collective.phases}), then
+    check: the XML parses back ([Msccl.of_xml]), re-emission is
+    byte-identical, and {!replay} accepts the program.  The first
+    divergence is reported with its phase index. *)

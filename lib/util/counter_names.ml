@@ -72,6 +72,8 @@ let exact =
     "audit.time_s";
     "registry.store_errors";
     "serve.requests";
+    "serve.lowered";
+    "serve.lower_failures";
     "serve.rung.full";
     "serve.rung.fast";
     "serve.rung.rerouted";

@@ -681,6 +681,105 @@ let test_registry_compact () =
     | Registry.Miss _ -> true
     | Registry.Hit _ -> false)
 
+(* --- executable-lowering hook -------------------------------------------- *)
+
+let test_lower_hook () =
+  let reg = fresh_registry () in
+  let sink = Audit.for_registry reg in
+  Synth.reset_caches ();
+  let r = req () in
+  (* Without a hook, no verdict is recorded anywhere. *)
+  let o = Serve.run ~registry:reg ~audit:sink r in
+  checkb "no hook, no verdict" true (o.Serve.lower = None);
+  (* The real replay check on a fresh synthesis. *)
+  Synth.reset_caches ();
+  let real_lower (r : Request.t) (s : Synth.outcome) =
+    Syccl_sim.Msccl_interp.check_lowering ~coll:r.Request.coll
+      s.Synth.schedules
+  in
+  let reg2 = fresh_registry () in
+  let sink2 = Audit.for_registry reg2 in
+  let o, lowered =
+    delta "serve.lowered" (fun () ->
+        Serve.run ~registry:reg2 ~audit:sink2 ~lower:real_lower r)
+  in
+  checkb "synthesized schedules lower cleanly" true
+    (o.Serve.lower = Some (Ok ()));
+  check (Alcotest.float 0.0) "lowering counted" 1.0 lowered;
+  (* Second pass is a registry hit: the hook must run over the schedules
+     as served from the registry, not only on fresh syntheses. *)
+  Synth.reset_caches ();
+  let o = Serve.run ~registry:reg2 ~audit:sink2 ~lower:real_lower r in
+  checkb "hit path is checked too" true
+    ((match o.Serve.source with Serve.From_registry _ -> true | _ -> false)
+    && o.Serve.lower = Some (Ok ()));
+  (* A failing verdict is recorded, counted, and never fails serving. *)
+  Synth.reset_caches ();
+  let o, failures =
+    delta "serve.lower_failures" (fun () ->
+        Serve.run ~registry:reg2 ~audit:sink2
+          ~lower:(fun _ _ -> Error "synthetic divergence")
+          r)
+  in
+  checkb "failing hook still serves" true
+    (o.Serve.lower = Some (Error "synthetic divergence"));
+  check (Alcotest.float 0.0) "failure counted" 1.0 failures;
+  (* A hook that raises is demoted to a failed check, not an exception. *)
+  Synth.reset_caches ();
+  let o =
+    Serve.run ~registry:reg2 ~audit:sink2 ~lower:(fun _ _ -> failwith "boom") r
+  in
+  (match o.Serve.lower with
+  | Some (Error e) ->
+      checkb "raise recorded as failed check" true
+        (let sub = "lowering check raised" in
+         String.length e >= String.length sub
+         && String.sub e 0 (String.length sub) = sub)
+  | _ -> Alcotest.fail "raising hook must record a failed check");
+  (* The audit trail carries the verdicts in order. *)
+  let records, bad = Audit.read (Audit.path sink2) in
+  check Alcotest.int "no torn lines" 0 bad;
+  check Alcotest.int "four records" 4 (List.length records);
+  let nth i = List.nth records i in
+  checkb "clean check audited" true
+    ((nth 0).Audit.lowered && (nth 0).Audit.lower_check = Some "ok");
+  checkb "hit-path check audited" true
+    ((nth 1).Audit.lowered && (nth 1).Audit.lower_check = Some "ok");
+  checkb "divergence audited verbatim" true
+    ((nth 2).Audit.lower_check = Some "synthetic divergence");
+  checkb "records with verdicts round-trip" true
+    (List.for_all
+       (fun rc -> Audit.record_of_json (Audit.record_to_json rc) = rc)
+       records);
+  (* And the unhooked run recorded no verdict. *)
+  let records, _ = Audit.read (Audit.path sink) in
+  let r0 = List.hd records in
+  checkb "unhooked record says so" true
+    ((not r0.Audit.lowered) && r0.Audit.lower_check = None)
+
+let test_audit_legacy_record () =
+  (* Records written before the lowering fields existed must still parse,
+     defaulting to lowered=false / no verdict. *)
+  let reg = fresh_registry () in
+  let sink = Audit.for_registry reg in
+  Synth.reset_caches ();
+  let _ = Serve.run ~registry:reg ~audit:sink (req ()) in
+  let records, _ = Audit.read (Audit.path sink) in
+  let rc = List.hd records in
+  let legacy =
+    match Audit.record_to_json rc with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.filter
+             (fun (k, _) -> k <> "lowered" && k <> "lower_check")
+             fields)
+    | _ -> Alcotest.fail "record encoding is not an object"
+  in
+  let rc' = Audit.record_of_json legacy in
+  checkb "legacy record defaults lowered=false" false rc'.Audit.lowered;
+  checkb "legacy record has no verdict" true (rc'.Audit.lower_check = None);
+  check Alcotest.string "other fields preserved" rc.Audit.key rc'.Audit.key
+
 let suite =
   [
     Alcotest.test_case "fingerprint stable and name-blind" `Quick
@@ -725,6 +824,10 @@ let suite =
       test_cross_bucket_hit;
     Alcotest.test_case "compact migrates, prunes and evicts" `Quick
       test_registry_compact;
+    Alcotest.test_case "lower hook verdicts reach outcome and audit" `Quick
+      test_lower_hook;
+    Alcotest.test_case "legacy audit records parse without lowering fields"
+      `Quick test_audit_legacy_record;
   ]
 
 let () = Alcotest.run "syccl-serve" [ ("serve", suite) ]

@@ -1,9 +1,14 @@
-(* Tests for MSCCL XML emission (§6). *)
+(* Tests for MSCCL XML lowering (§6) and the step-level replay
+   interpreter: round-trips, executor-semantics divergences on hand-built
+   counterexample programs, and shrunk reproducers for the lowering bugs
+   the replay oracle flushed out (asymmetric channel assignment, reduce
+   fan-in depending on a single receive). *)
 
 module Builders = Syccl_topology.Builders
 module C = Syccl_collective.Collective
 module Schedule = Syccl_sim.Schedule
 module Msccl = Syccl_sim.Msccl
+module Interp = Syccl_sim.Msccl_interp
 
 let check = Alcotest.check
 
@@ -72,6 +77,298 @@ let test_balanced_tags () =
   check Alcotest.int "gpu open/close balance" (count_substring xml "<gpu ")
     (count_substring xml "</gpu>")
 
+(* ------------------------------------------------------------------ *)
+(* Round-trip: to_xml → of_xml → emit must be byte-identical.          *)
+
+let parse_ok xml =
+  match Msccl.of_xml xml with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "of_xml: %s" e
+
+let test_roundtrip_allgather () =
+  let _, _, xml = ring_xml () in
+  check Alcotest.string "re-emit byte-identical" xml (Msccl.emit (parse_ok xml))
+
+let test_roundtrip_reducescatter_channels () =
+  let topo = Builders.a100 ~servers:2 in
+  let coll = C.make C.ReduceScatter ~n:16 ~size:1.6e6 in
+  let s = Syccl_baselines.Ring.reducescatter ~channels:2 topo coll in
+  let xml = Msccl.to_xml ~channels:2 ~coll s in
+  check Alcotest.string "re-emit byte-identical" xml (Msccl.emit (parse_ok xml))
+
+let test_escaping () =
+  let _, s, _ = ring_xml () in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  let name = "a<b>&\"ring\"" in
+  let xml = Msccl.to_xml ~name ~coll s in
+  Alcotest.(check bool) "ampersand escaped" true
+    (count_substring xml "a&lt;b&gt;&amp;&quot;ring&quot;" = 1);
+  let p = parse_ok xml in
+  check Alcotest.string "name survives round-trip" name p.Msccl.algo_name;
+  check Alcotest.string "re-emit byte-identical" xml (Msccl.emit p)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-built counterexample programs for the replay interpreter.  The
+   helpers keep the fixtures terse; every program below is minimal for
+   the divergence it demonstrates. *)
+
+let step ?(op = "s") ?(srcoff = 0) ?(dstoff = 0) ?(cnt = 1) ?(depid = -1)
+    ?(deps = -1) ?(hasdep = false) s =
+  {
+    Msccl.s;
+    op;
+    srcbuf = "o";
+    srcoff;
+    dstbuf = "o";
+    dstoff;
+    cnt;
+    depid;
+    deps;
+    hasdep;
+  }
+
+let tb ~id ?(send = -1) ?(recv = -1) ?(chan = 0) steps =
+  { Msccl.tb_id = id; tb_send = send; tb_recv = recv; tb_chan = chan; tb_steps = steps }
+
+let gpu ~id ~nchunks tbs =
+  { Msccl.gpu_id = id; i_chunks = nchunks; o_chunks = nchunks; s_chunks = 0; gpu_tbs = tbs }
+
+let program ~ngpus ~nchunks gpus =
+  {
+    Msccl.algo_name = "test";
+    nchunks;
+    nchannels = 1;
+    proto = "Simple";
+    ngpus;
+    coll = "custom";
+    inplace = 0;
+    gpus;
+  }
+
+let chunk ?(size = 1.0) ?(mode = `Gather) ~initial ~wanted tag =
+  { Schedule.size; mode; initial; wanted; tag }
+
+let sched chunks xfers = { Schedule.chunks = Array.of_list chunks; xfers }
+
+let xfer ?(dim = 0) ~prio chunk src dst =
+  { Schedule.chunk; src; dst; dim; prio }
+
+let replay_err s p =
+  match Interp.replay s p with
+  | Ok () -> Alcotest.fail "replay unexpectedly passed"
+  | Error e -> e
+
+let assert_mentions what e needle =
+  if count_substring e needle = 0 then
+    Alcotest.failf "%s: expected %S in error %S" what needle e
+
+let test_interp_deadlock () =
+  (* Two threadblocks, each first step gated on the other making
+     progress: a dependency cycle no executor order resolves. *)
+  let s = sched [ chunk ~initial:[ 0 ] ~wanted:[ 0 ] 0 ] [] in
+  let p =
+    program ~ngpus:1 ~nchunks:1
+      [
+        gpu ~id:0 ~nchunks:1
+          [
+            tb ~id:0 [ step ~op:"nop" ~cnt:0 ~depid:1 ~deps:0 0 ];
+            tb ~id:1 [ step ~op:"nop" ~cnt:0 ~depid:0 ~deps:0 0 ];
+          ];
+      ]
+  in
+  assert_mentions "circular deps" (replay_err s p) "deadlock"
+
+let test_interp_missing_dep () =
+  let s = sched [ chunk ~initial:[ 0 ] ~wanted:[ 0 ] 0 ] [] in
+  let p =
+    program ~ngpus:1 ~nchunks:1
+      [ gpu ~id:0 ~nchunks:1 [ tb ~id:0 [ step ~op:"nop" ~cnt:0 ~depid:5 ~deps:0 0 ] ] ]
+  in
+  assert_mentions "dangling depid" (replay_err s p) "missing dependency"
+
+let test_interp_use_before_receive () =
+  (* gpu 1 relays chunk 0 onward but its send carries no dependency on
+     the inbound receive: the adversarial scheduler fires it first. *)
+  let s =
+    sched
+      [ chunk ~initial:[ 0 ] ~wanted:[ 2 ] 0 ]
+      [ xfer ~prio:0 0 0 1; xfer ~prio:1 0 1 2 ]
+  in
+  let p =
+    program ~ngpus:3 ~nchunks:1
+      [
+        gpu ~id:0 ~nchunks:1 [ tb ~id:0 ~send:1 [ step 0 ] ];
+        gpu ~id:1 ~nchunks:1
+          [ tb ~id:0 ~send:2 [ step 0 ]; tb ~id:1 ~recv:0 [ step ~op:"r" 0 ] ];
+        gpu ~id:2 ~nchunks:1 [ tb ~id:0 ~recv:1 [ step ~op:"r" 0 ] ];
+      ]
+  in
+  assert_mentions "undependent relay" (replay_err s p) "use-before-receive"
+
+let test_interp_double_write () =
+  let s =
+    sched
+      [ chunk ~initial:[ 0 ] ~wanted:[ 1 ] 0 ]
+      [ xfer ~prio:0 0 0 1 ]
+  in
+  let p =
+    program ~ngpus:2 ~nchunks:1
+      [
+        gpu ~id:0 ~nchunks:1 [ tb ~id:0 ~send:1 [ step 0; step 1 ] ];
+        gpu ~id:1 ~nchunks:1 [ tb ~id:0 ~recv:0 [ step ~op:"r" 0; step ~op:"r" 1 ] ];
+      ]
+  in
+  assert_mentions "overwriting receive" (replay_err s p) "double-write"
+
+let test_interp_wrong_reduce_order () =
+  (* Reduce relay that forwards its own contribution without waiting for
+     the inbound reduce-copy: destination accumulates the wrong multiset. *)
+  let s =
+    sched
+      [ chunk ~mode:`Reduce ~initial:[ 0; 1 ] ~wanted:[ 2 ] 0 ]
+      [ xfer ~prio:0 0 0 1; xfer ~prio:1 0 1 2 ]
+  in
+  let p =
+    program ~ngpus:3 ~nchunks:1
+      [
+        gpu ~id:0 ~nchunks:1 [ tb ~id:0 ~send:1 [ step 0 ] ];
+        gpu ~id:1 ~nchunks:1
+          [ tb ~id:0 ~send:2 [ step 0 ]; tb ~id:1 ~recv:0 [ step ~op:"rrc" 0 ] ];
+        gpu ~id:2 ~nchunks:1 [ tb ~id:0 ~recv:1 [ step ~op:"rrc" 0 ] ];
+      ]
+  in
+  assert_mentions "premature reduce relay" (replay_err s p) "accumulates"
+
+(* ------------------------------------------------------------------ *)
+(* Shrunk reproducer 1: asymmetric channel assignment.  The original
+   emitter numbered channels per-threadblock ([tbid mod channels]), so at
+   channels > 1 a connection's sender and receiver could disagree on the
+   channel — payloads queue on one channel while the receive blocks
+   forever on another.  The replay detects it as a deadlock; the fixed
+   lowering assigns channels per unordered GPU pair, so both ends agree
+   by construction. *)
+
+let test_repro_channel_mismatch () =
+  let s =
+    sched [ chunk ~initial:[ 0 ] ~wanted:[ 1 ] 0 ] [ xfer ~prio:0 0 0 1 ]
+  in
+  let broken =
+    {
+      (program ~ngpus:2 ~nchunks:1
+         [
+           gpu ~id:0 ~nchunks:1 [ tb ~id:0 ~send:1 ~chan:0 [ step 0 ] ];
+           gpu ~id:1 ~nchunks:1 [ tb ~id:0 ~recv:0 ~chan:1 [ step ~op:"r" 0 ] ];
+         ])
+      with
+      Msccl.nchannels = 2;
+    }
+  in
+  assert_mentions "mismatched channels" (replay_err s broken) "deadlock"
+
+let test_channel_pairing_symmetric () =
+  (* The fix: in any lowered program, the sender-side and receiver-side
+     threadblocks of one connection name the same channel. *)
+  let _, s, _ = ring_xml () in
+  let coll = C.make C.AllGather ~n:16 ~size:1.6e6 in
+  let p = parse_ok (Msccl.to_xml ~channels:4 ~coll s) in
+  let chan_of g pred =
+    let gg = List.nth p.Msccl.gpus g in
+    List.filter_map
+      (fun t -> if pred t then Some t.Msccl.tb_chan else None)
+      gg.Msccl.gpu_tbs
+  in
+  List.iter
+    (fun (g : Msccl.gpu) ->
+      List.iter
+        (fun (t : Msccl.tb) ->
+          if t.Msccl.tb_send >= 0 then
+            let peer_chans =
+              chan_of t.Msccl.tb_send (fun u ->
+                  u.Msccl.tb_recv = g.Msccl.gpu_id
+                  && u.Msccl.tb_chan = t.Msccl.tb_chan)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "gpu %d -> %d chan %d has matching receiver"
+                 g.Msccl.gpu_id t.Msccl.tb_send t.Msccl.tb_chan)
+              true
+              (peer_chans <> []))
+        g.Msccl.gpu_tbs)
+    p.Msccl.gpus
+
+(* ------------------------------------------------------------------ *)
+(* Shrunk reproducer 2: reduce fan-in with a single dependency.  The
+   original emitter kept only the most recent receive per (gpu, chunk),
+   so a relay send in a reduce tree waited for just one of its inbound
+   arms.  With a multi-chunk schedule delaying the other arm, the relay
+   forwards a partial sum.  The fixed lowering threads one dependency
+   per inbound receive (extra edges as nop steps). *)
+
+let fanin_schedule () =
+  (* Chunk 1's path 5 -> 1 -> 2 delays gpu 1's send of chunk 0 (same
+     threadblock, earlier priority), so at gpu 2 the receive from gpu 4
+     completes a round before the receive from gpu 1. *)
+  sched
+    [
+      chunk ~mode:`Reduce ~initial:[ 1; 2; 4 ] ~wanted:[ 3 ] 0;
+      chunk ~mode:`Reduce ~initial:[ 1; 5 ] ~wanted:[ 2 ] 1;
+    ]
+    [
+      xfer ~prio:0 1 5 1;
+      xfer ~prio:1 1 1 2;
+      xfer ~prio:2 0 1 2;
+      xfer ~prio:3 0 4 2;
+      xfer ~prio:4 0 2 3;
+    ]
+
+let test_repro_fanin_single_dep () =
+  let s = fanin_schedule () in
+  let p = Msccl.lower ~coll:(C.make C.AllReduce ~n:6 ~size:1.0) s in
+  (* The fixed lowering covers both arms: one edge rides the send, the
+     other is a nop step, and the replay is clean. *)
+  let nops =
+    List.fold_left
+      (fun acc (g : Msccl.gpu) ->
+        List.fold_left
+          (fun acc (t : Msccl.tb) ->
+            acc
+            + List.length
+                (List.filter (fun (st : Msccl.step) -> st.Msccl.op = "nop") t.Msccl.tb_steps))
+          acc g.Msccl.gpu_tbs)
+      0 p.Msccl.gpus
+  in
+  Alcotest.(check bool) "fan-in lowered with nop dep step" true (nops > 0);
+  (match Interp.replay s p with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "fixed lowering diverges: %s" e);
+  (* Reconstruct the old behaviour: strip the nop carrying the extra
+     edge, leaving the relay send dependent on a single receive.  The
+     replay's eager-send order then forwards a partial sum. *)
+  let drop_nops (p : Msccl.program) =
+    {
+      p with
+      Msccl.gpus =
+        List.map
+          (fun (g : Msccl.gpu) ->
+            {
+              g with
+              Msccl.gpu_tbs =
+                List.map
+                  (fun (t : Msccl.tb) ->
+                    let kept =
+                      List.filter (fun (st : Msccl.step) -> st.Msccl.op <> "nop") t.Msccl.tb_steps
+                    in
+                    {
+                      t with
+                      Msccl.tb_steps =
+                        List.mapi (fun i (st : Msccl.step) -> { st with Msccl.s = i }) kept;
+                    })
+                  g.Msccl.gpu_tbs;
+            })
+          p.Msccl.gpus;
+    }
+  in
+  assert_mentions "single-dep fan-in" (replay_err s (drop_nops p)) "accumulates"
+
 let suite =
   [
     ("header", `Quick, test_header);
@@ -81,4 +378,15 @@ let suite =
     ("reduce steps", `Quick, test_reduce_steps);
     ("channels", `Quick, test_channels);
     ("balanced tags", `Quick, test_balanced_tags);
+    ("round-trip allgather", `Quick, test_roundtrip_allgather);
+    ("round-trip reducescatter x2", `Quick, test_roundtrip_reducescatter_channels);
+    ("attribute escaping", `Quick, test_escaping);
+    ("interp: deadlock", `Quick, test_interp_deadlock);
+    ("interp: missing dep", `Quick, test_interp_missing_dep);
+    ("interp: use before receive", `Quick, test_interp_use_before_receive);
+    ("interp: double write", `Quick, test_interp_double_write);
+    ("interp: wrong reduce order", `Quick, test_interp_wrong_reduce_order);
+    ("repro: channel mismatch", `Quick, test_repro_channel_mismatch);
+    ("channel pairing symmetric", `Quick, test_channel_pairing_symmetric);
+    ("repro: reduce fan-in single dep", `Quick, test_repro_fanin_single_dep);
   ]

@@ -55,6 +55,12 @@
       through Registry.keys / Registry.layout_stats, which know the
       layout version and skip non-entry files. *)
 
+(* 9. No hand-rolled XML emission ([printf]/[Buffer.add_string] of a
+      literal opening with '<') outside lib/sim/msccl.ml — ad-hoc XML
+      skips attribute escaping and the of_xml/replay round-trip oracle,
+      which is exactly how unescaped names shipped malformed executor
+      files.  Emission goes through Msccl.emit on a Msccl.program. *)
+
 type rule = {
   name : string;
   hint : string;
@@ -149,6 +155,18 @@ let rules =
       needles = [ "Sys.readdir" ];
       at_bol_only = false;
     };
+    {
+      name = "hand-rolled XML emission";
+      hint =
+        "XML is emitted only by Msccl.emit (lib/sim/msccl.ml), which \
+         escapes attributes and is round-trip checked; build a \
+         Msccl.program instead";
+      applies = (fun path -> Filename.basename path <> "msccl.ml");
+      needles = [];
+      (* refined below: a printf/Buffer.add_string of a literal opening
+         with '<' *)
+      at_bol_only = false;
+    };
   ]
 
 let read_file path =
@@ -179,6 +197,9 @@ let flag rule text =
            | "top-level Hashtbl.create" ->
                (* A binding at column 0 that creates a table right there. *)
                starts_with line "let " && contains line "Hashtbl.create"
+           | "hand-rolled XML emission" ->
+               (contains line "printf" || contains line "Buffer.add_string")
+               && contains line "\"<"
            | _ ->
                List.exists
                  (fun needle ->
